@@ -1,0 +1,51 @@
+//! Application layer over PET estimation.
+//!
+//! The paper's introduction motivates estimation with inventory control,
+//! cargo verification, and attendance counting (§1: "counting the number of
+//! conference or exposition attendees with RFID badges, verifying the
+//! amount of products with RFID labels in cargo shipping"). This crate
+//! turns those scenarios into *calibrated decision procedures* built on the
+//! estimator's known sampling law (the mean gray-node statistic is
+//! asymptotically normal with deviation `σ(h)/√m`, §4.2):
+//!
+//! - [`monitor`]: missing-tag (loss/theft) detection — a one-sided test of
+//!   "is the population significantly below the book inventory?".
+//! - [`guard`]: capacity guarding — two one-sided tests around an occupancy
+//!   limit, with an explicit *uncertain* verdict in between.
+//! - [`trend`]: population trend tracking across repeated estimates, with
+//!   per-point confidence intervals and a least-squares drift test.
+//! - [`category`]: per-category (e.g. per-supplier) estimates via Gen2
+//!   Select scoping.
+//!
+//! # Example
+//!
+//! ```
+//! use pet_apps::monitor::MissingTagMonitor;
+//! use pet_core::config::PetConfig;
+//! use pet_stats::accuracy::Accuracy;
+//! use pet_tags::population::TagPopulation;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let config = PetConfig::builder()
+//!     .accuracy(Accuracy::new(0.10, 0.05).unwrap())
+//!     .build()
+//!     .unwrap();
+//! // Book inventory says 10,000 pallets; alarm if ≥10% are missing.
+//! let monitor = MissingTagMonitor::new(10_000, 0.01, config).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let verdict = monitor.check(&TagPopulation::sequential(10_000), &mut rng);
+//! assert!(!verdict.alarm, "full shelf must not alarm: {verdict:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod guard;
+pub mod monitor;
+pub mod trend;
+
+pub use category::{estimate_by, estimate_by_manager, CategoryReport};
+pub use guard::{CapacityGuard, CapacityVerdict};
+pub use monitor::{MissingTagMonitor, MonitorVerdict};
+pub use trend::{TrendPoint, TrendTracker};

@@ -1,0 +1,238 @@
+//! Population trend tracking across repeated anonymous estimates.
+//!
+//! A stream of timestamped PET estimates (badge headcounts through a day,
+//! pallets through a week) with per-point confidence intervals and a
+//! least-squares drift test: "is the population growing or shrinking, or is
+//! the movement within estimation noise?". Works in the log domain, where
+//! the estimator's error is additive and homoscedastic
+//! (`log₂ n̂ = L̄ − log₂ φ` with deviation `σ(h)/√m`).
+
+use pet_stats::erf::two_sided_quantile;
+use pet_stats::gray::{PHI, SIGMA_H};
+
+/// One tracked estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Observation time (any monotone unit: seconds, frame index, …).
+    pub time: f64,
+    /// The cardinality estimate.
+    pub estimate: f64,
+    /// Rounds behind the estimate (sets its confidence interval).
+    pub rounds: u32,
+}
+
+impl TrendPoint {
+    /// Two-sided confidence interval of this point at error probability
+    /// `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside (0, 1) or the estimate is not positive.
+    #[must_use]
+    pub fn confidence_interval(&self, delta: f64) -> (f64, f64) {
+        assert!(self.estimate > 0.0, "interval undefined for zero estimates");
+        let c = two_sided_quantile(delta);
+        let half = c * SIGMA_H / f64::from(self.rounds).sqrt();
+        (
+            self.estimate * 2f64.powf(-half),
+            self.estimate * 2f64.powf(half),
+        )
+    }
+}
+
+/// Direction verdict of the drift test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drift {
+    /// Significant growth.
+    Growing,
+    /// Significant decline.
+    Shrinking,
+    /// Movement within estimation noise.
+    Flat,
+}
+
+/// A stream of estimates with drift detection.
+#[derive(Debug, Clone, Default)]
+pub struct TrendTracker {
+    points: Vec<TrendPoint>,
+}
+
+impl TrendTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly after the previous point, the
+    /// estimate is not positive/finite, or `rounds` is zero.
+    pub fn push(&mut self, point: TrendPoint) {
+        assert!(
+            point.estimate.is_finite() && point.estimate > 0.0,
+            "estimate must be positive and finite"
+        );
+        assert!(point.rounds > 0, "rounds must be positive");
+        if let Some(last) = self.points.last() {
+            assert!(point.time > last.time, "time must be strictly increasing");
+        }
+        self.points.push(point);
+    }
+
+    /// The tracked points.
+    #[must_use]
+    pub fn points(&self) -> &[TrendPoint] {
+        &self.points
+    }
+
+    /// Least-squares slope of `log₂ n̂` over time (bits per time unit), with
+    /// its standard error from the known per-point deviations. `None` with
+    /// fewer than two points or zero time spread.
+    #[must_use]
+    pub fn log2_slope(&self) -> Option<(f64, f64)> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        // Weighted least squares with weights 1/var_i, var_i = σ²/mᵢ.
+        let w: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| f64::from(p.rounds) / (SIGMA_H * SIGMA_H))
+            .collect();
+        let y: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| (PHI * p.estimate).log2())
+            .collect();
+        let sw: f64 = w.iter().sum();
+        let t_bar = self
+            .points
+            .iter()
+            .zip(&w)
+            .map(|(p, wi)| wi * p.time)
+            .sum::<f64>()
+            / sw;
+        let sxx: f64 = self
+            .points
+            .iter()
+            .zip(&w)
+            .map(|(p, wi)| wi * (p.time - t_bar).powi(2))
+            .sum();
+        if sxx <= 0.0 {
+            return None;
+        }
+        let sxy: f64 = self
+            .points
+            .iter()
+            .zip(&w)
+            .zip(&y)
+            .map(|((p, wi), yi)| wi * (p.time - t_bar) * yi)
+            .sum();
+        let slope = sxy / sxx;
+        let se = (1.0 / sxx).sqrt();
+        Some((slope, se))
+    }
+
+    /// Drift verdict at error probability `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is outside (0, 1).
+    #[must_use]
+    pub fn drift(&self, delta: f64) -> Drift {
+        let Some((slope, se)) = self.log2_slope() else {
+            return Drift::Flat;
+        };
+        let c = two_sided_quantile(delta);
+        if slope > c * se {
+            Drift::Growing
+        } else if slope < -c * se {
+            Drift::Shrinking
+        } else {
+            Drift::Flat
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(time: f64, estimate: f64, rounds: u32) -> TrendPoint {
+        TrendPoint {
+            time,
+            estimate,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_estimate() {
+        let p = point(0.0, 10_000.0, 1_000);
+        let (lo, hi) = p.confidence_interval(0.05);
+        assert!(lo < 10_000.0 && 10_000.0 < hi);
+        // m = 1000: half-width ≈ 1.96·1.87/31.6 ≈ 0.116 bits ≈ ±8.4%.
+        assert!(lo > 9_000.0 && hi < 11_000.0, "({lo}, {hi})");
+        // Fewer rounds → wider interval.
+        let wide = point(0.0, 10_000.0, 10).confidence_interval(0.05);
+        assert!(wide.0 < lo && wide.1 > hi);
+    }
+
+    #[test]
+    fn steady_population_reads_flat() {
+        let mut t = TrendTracker::new();
+        for i in 0..8 {
+            // Small jitter well inside the noise floor at m = 64.
+            let jitter = 1.0 + 0.01 * f64::from(i % 3) - 0.01;
+            t.push(point(f64::from(i), 5_000.0 * jitter, 64));
+        }
+        assert_eq!(t.drift(0.05), Drift::Flat);
+    }
+
+    #[test]
+    fn doubling_population_reads_growing() {
+        let mut t = TrendTracker::new();
+        for i in 0..6 {
+            t.push(point(f64::from(i), 1_000.0 * 2f64.powi(i), 64));
+        }
+        assert_eq!(t.drift(0.01), Drift::Growing);
+        let (slope, _) = t.log2_slope().unwrap();
+        assert!((slope - 1.0).abs() < 0.05, "slope {slope} bits/step");
+    }
+
+    #[test]
+    fn halving_population_reads_shrinking() {
+        let mut t = TrendTracker::new();
+        for i in 0..6 {
+            t.push(point(f64::from(i), 64_000.0 / 2f64.powi(i), 64));
+        }
+        assert_eq!(t.drift(0.01), Drift::Shrinking);
+    }
+
+    #[test]
+    fn too_few_points_is_flat() {
+        let mut t = TrendTracker::new();
+        assert_eq!(t.drift(0.05), Drift::Flat);
+        t.push(point(0.0, 100.0, 8));
+        assert_eq!(t.drift(0.05), Drift::Flat);
+        assert!(t.log2_slope().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_time_rejected() {
+        let mut t = TrendTracker::new();
+        t.push(point(1.0, 100.0, 8));
+        t.push(point(1.0, 100.0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_estimate_rejected() {
+        let mut t = TrendTracker::new();
+        t.push(point(0.0, 0.0, 8));
+    }
+}

@@ -1,0 +1,216 @@
+//! EZB — the Enhanced Zero-Based estimator (Kodialam, Nandagopal & Lau,
+//! INFOCOM 2007, "Anonymous Tracking Using RFID Tags").
+//!
+//! EZB removes USE's prior-knowledge requirement by spreading tags over a
+//! cascade of frames with geometrically decaying participation: a tag joins
+//! frame `j` with probability `2^-(j+1)` and picks a uniform slot inside it.
+//! Whatever `n` is, *some* frame sees a moderate load; the reader picks the
+//! best-conditioned frame (empty fraction nearest `e^{−ρ*}`) and applies the
+//! zero-based inversion with that frame's effective persistence. This is
+//! the §2 "estimate relatively larger number of tags … anonymous" baseline.
+
+use crate::use_est::OPTIMAL_LOAD;
+use crate::{CardinalityEstimator, Estimate};
+use pet_hash::family::{AnyFamily, HashFamily, MixFamily};
+use pet_hash::GeometricHasher;
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::{Rng, RngCore};
+
+/// The EZB estimator.
+#[derive(Debug, Clone)]
+pub struct Ezb {
+    /// Slots per frame (power of two).
+    frame: u64,
+    /// Number of cascaded frames.
+    tiers: u32,
+    family: AnyFamily,
+}
+
+impl Ezb {
+    /// EZB with explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a power of two in `2..=2^16` or `tiers` is
+    /// not in `1..=32`.
+    #[must_use]
+    pub fn new(frame: u64, tiers: u32) -> Self {
+        assert!(
+            frame.is_power_of_two() && (2..=1 << 16).contains(&frame),
+            "frame must be a power of two in 2..=2^16, got {frame}"
+        );
+        assert!(
+            (1..=32).contains(&tiers),
+            "tiers must be in 1..=32, got {tiers}"
+        );
+        Self {
+            frame,
+            tiers,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// 256-slot frames, 16 tiers: covers `n` up to the hundreds of millions
+    /// with no prior.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(256, 16)
+    }
+
+    /// One cascade: per-tier empty-slot counts.
+    fn cascade_empties(
+        &self,
+        keys: &[u64],
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<u64> {
+        let seed: u64 = rng.random();
+        let geo = GeometricHasher::new(MixFamily::new(), self.tiers);
+        let bits = self.frame.trailing_zeros();
+        let mut counts = vec![vec![0u64; self.frame as usize]; self.tiers as usize];
+        for &k in keys {
+            let tier = geo.slot(seed, k) as usize;
+            // Independent slot draw inside the tier.
+            let slot = pet_hash::mix::truncate(self.family.hash(seed ^ 0xE2B, k), bits);
+            counts[tier][slot as usize] += 1;
+        }
+        air.broadcast(32);
+        counts
+            .iter()
+            .map(|tier| {
+                tier.iter()
+                    .filter(|&&c| air.slot(c, 0, rng).is_idle())
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    /// Picks the best-conditioned tier and inverts its zero count.
+    fn estimate_from_empties(&self, empties: &[u64]) -> f64 {
+        let f = self.frame as f64;
+        let target = (-OPTIMAL_LOAD).exp(); // ideal empty fraction
+        let mut best: Option<(f64, f64)> = None; // (distance, estimate)
+        for (j, &n0) in empties.iter().enumerate() {
+            if n0 == 0 || n0 == self.frame {
+                continue; // saturated or empty tier carries no information
+            }
+            let frac = n0 as f64 / f;
+            let q_j = 0.5f64.powi(j as i32 + 1);
+            let est = -(f / q_j) * frac.ln();
+            let distance = (frac - target).abs();
+            if best.map_or(true, |(d, _)| distance < d) {
+                best = Some((distance, est));
+            }
+        }
+        best.map_or(0.0, |(_, est)| est)
+    }
+}
+
+impl CardinalityEstimator for Ezb {
+    fn name(&self) -> &str {
+        "EZB"
+    }
+
+    /// The selected tier behaves like USE at near-optimal load; the cascade
+    /// costs `tiers×` more slots per round.
+    fn rounds(&self, accuracy: &Accuracy) -> u32 {
+        let rho = OPTIMAL_LOAD;
+        let sigma_rel = (rho.exp() - rho - 1.0).sqrt() / (rho * (self.frame as f64).sqrt());
+        let c = accuracy.quantile();
+        ((c * sigma_rel / accuracy.epsilon()).powi(2)).ceil().max(1.0) as u32
+    }
+
+    fn slots_per_round(&self) -> u64 {
+        self.frame * u64::from(self.tiers)
+    }
+
+    /// Per round, a passive tag preloads a tier index and a slot index.
+    fn tag_memory_bits(&self, accuracy: &Accuracy) -> u64 {
+        let tier_bits = u64::from(32 - (self.tiers - 1).leading_zeros());
+        let slot_bits = u64::from(self.frame.trailing_zeros());
+        u64::from(self.rounds(accuracy)) * (tier_bits + slot_bits)
+    }
+
+    fn estimate_rounds(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        assert!(rounds > 0, "at least one round is required");
+        let mut sum = 0.0;
+        for _ in 0..rounds {
+            let empties = self.cascade_empties(keys, air, rng);
+            sum += self.estimate_from_empties(&empties);
+        }
+        Estimate {
+            estimate: sum / f64::from(rounds),
+            rounds,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimate(n: usize, rounds: u32, seed: u64) -> Estimate {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ezb::paper_default().estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    }
+
+    /// EZB's selling point: no prior needed across orders of magnitude.
+    #[test]
+    fn accurate_across_magnitudes_without_prior() {
+        for &n in &[300usize, 3_000, 30_000, 100_000] {
+            let est = estimate(n, 40, 51);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "n = {n}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn cascade_slot_cost() {
+        let est = estimate(1_000, 3, 52);
+        assert_eq!(est.metrics.slots, 3 * 256 * 16);
+    }
+
+    #[test]
+    fn empty_population_estimates_zero() {
+        let est = estimate(0, 5, 53);
+        assert_eq!(est.estimate, 0.0);
+    }
+
+    #[test]
+    fn tier_selection_prefers_moderate_load() {
+        let ezb = Ezb::new(256, 4);
+        // Tier 1 at the ideal empty fraction; others saturated/empty.
+        let ideal = ((-OPTIMAL_LOAD).exp() * 256.0) as u64;
+        let empties = vec![0, ideal, 256, 256];
+        let est = ezb.estimate_from_empties(&empties);
+        // q₁ = 1/4 → n̂ = −(256/0.25)·ln(ideal/256) ≈ 1024·1.59.
+        let expected = -(256.0 / 0.25) * (ideal as f64 / 256.0).ln();
+        assert!((est - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_tiers_uninformative_yields_zero() {
+        let ezb = Ezb::new(256, 2);
+        assert_eq!(ezb.estimate_from_empties(&[256, 256]), 0.0);
+        assert_eq!(ezb.estimate_from_empties(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiers must be in 1..=32")]
+    fn rejects_zero_tiers() {
+        let _ = Ezb::new(256, 0);
+    }
+}

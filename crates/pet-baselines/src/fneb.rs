@@ -1,0 +1,346 @@
+//! FNEB — First-Non-Empty-slot-Based estimation (Han et al., INFOCOM 2010,
+//! "Counting RFID Tags Efficiently and Anonymously").
+//!
+//! Each round, every tag hashes itself uniformly into a virtual frame of `f`
+//! slots. The position `X` of the first non-empty slot satisfies
+//! `P(X > k) = ((f − k)/f)^n ≈ e^{−nk/f}` — approximately exponential with
+//! rate `n/f` — and the reader finds `X` by *binary search* over slot
+//! indices ("respond if your slot ≤ mid"), spending `⌈log₂ f⌉ + 1` slots per
+//! round (the +1 is the initial presence probe that anchors the search and
+//! catches the empty region). Averaging `m` rounds gives the
+//! inverse-Gamma-corrected MLE `n̂ = f(m−1)/Σ(Xᵢ − ½)`.
+//!
+//! The *enhanced* variant (the paper's "adaptive shrinking algorithm")
+//! starts from a conservative `f₀ = 2³²` upper bound, runs a short pilot,
+//! then shrinks the frame to track the estimate — trading a few expensive
+//! pilot rounds for cheaper steady-state rounds when `n ≪ f₀`.
+
+use crate::{CardinalityEstimator, Estimate, Fidelity};
+use pet_hash::family::{AnyFamily, HashFamily};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::{Rng, RngCore};
+
+/// The FNEB estimator.
+#[derive(Debug, Clone)]
+pub struct Fneb {
+    /// Frame size `f` (power of two).
+    frame: u64,
+    /// Enhanced variant: adaptively shrink the frame after a pilot phase.
+    adaptive: bool,
+    fidelity: Fidelity,
+    family: AnyFamily,
+}
+
+/// Pilot rounds used by the enhanced variant before shrinking the frame.
+const PILOT_ROUNDS: u32 = 16;
+
+impl Fneb {
+    /// FNEB with an explicit frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a power of two in `2..=2^32`.
+    #[must_use]
+    pub fn new(frame: u64, fidelity: Fidelity) -> Self {
+        assert!(
+            frame.is_power_of_two() && (2..=1 << 32).contains(&frame),
+            "frame must be a power of two in 2..=2^32, got {frame}"
+        );
+        Self {
+            frame,
+            adaptive: false,
+            fidelity,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// The configuration used for the paper-comparison benches: `f = 2²⁴`
+    /// (no prior knowledge of `n` beyond `n < 16M` — mirroring PET's
+    /// `H = 32` no-prior stance), non-adaptive, per-tag fidelity.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(1 << 24, Fidelity::PerTag)
+    }
+
+    /// The enhanced (adaptively shrinking) variant starting from `f = 2³²`.
+    #[must_use]
+    pub fn enhanced(fidelity: Fidelity) -> Self {
+        let mut fneb = Self::new(1 << 32, fidelity);
+        fneb.adaptive = true;
+        fneb
+    }
+
+    /// Switches the simulation fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The current frame size.
+    #[must_use]
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Whether this is the enhanced adaptive variant.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Slots for one round at frame size `f`: one presence probe plus the
+    /// binary search.
+    fn slots_for_frame(frame: u64) -> u64 {
+        u64::from(frame.trailing_zeros()) + 1
+    }
+
+    /// Runs one round at frame size `frame`, returning the observed first
+    /// non-empty position `X ∈ [1, f]`, or `None` when the region is empty.
+    fn round(
+        &self,
+        keys: &[u64],
+        frame: u64,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Option<u64> {
+        let seed: u64 = rng.random();
+        match self.fidelity {
+            Fidelity::PerTag => {
+                // Slot of each tag this round: uniform in 1..=f.
+                let bits = frame.trailing_zeros();
+                let slots: Vec<u64> = keys
+                    .iter()
+                    .map(|&k| pet_hash::mix::truncate(self.family.hash(seed, k), bits) + 1)
+                    .collect();
+                let count_leq = |k: u64| slots.iter().filter(|&&s| s <= k).count() as u64;
+                self.search(frame, &mut |k| count_leq(k), air, rng)
+            }
+            Fidelity::Sampled => {
+                assert!(
+                    matches!(air.channel(), ChannelModel::Perfect),
+                    "sampled fidelity requires the lossless channel"
+                );
+                let n = keys.len() as u64;
+                let x = if n == 0 { None } else { Some(sample_first_nonempty(n, frame, rng)) };
+                // Drive the same binary search so slot accounting is honest;
+                // the responder count is synthetic (1 = busy) which the
+                // perfect channel maps to the correct busy/idle outcome.
+                self.search(frame, &mut |k| u64::from(x.is_some_and(|x| x <= k)), air, rng)
+            }
+        }
+    }
+
+    /// The reader's slot schedule: presence probe on the whole frame, then
+    /// binary search for the first busy prefix of slots.
+    fn search(
+        &self,
+        frame: u64,
+        count_leq: &mut dyn FnMut(u64) -> u64,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Option<u64> {
+        let cmd_bits = frame.trailing_zeros().max(1);
+        // Presence probe: "respond if your slot ≤ f" = everyone.
+        let outcome = air.slot(count_leq(frame), cmd_bits, rng);
+        if outcome.is_idle() {
+            return None;
+        }
+        let mut lo = 1u64;
+        let mut hi = frame;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let outcome = air.slot(count_leq(mid), cmd_bits, rng);
+            if outcome.is_busy() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+/// Samples `X = min` slot of `n` uniform throws into `1..=f` by inverse
+/// transform on `P(X > k) = ((f − k)/f)^n`.
+fn sample_first_nonempty<R: Rng + ?Sized>(n: u64, frame: u64, rng: &mut R) -> u64 {
+    let u: f64 = rng.random();
+    // X ≤ k  ⇔  u ≤ 1 − ((f−k)/f)^n  ⇔  k ≥ f(1 − (1−u)^(1/n))
+    let k = frame as f64 * (-((1.0 - u).ln() / n as f64).exp_m1());
+    (k.ceil() as u64).clamp(1, frame)
+}
+
+impl CardinalityEstimator for Fneb {
+    fn name(&self) -> &str {
+        if self.adaptive {
+            "Enhanced FNEB"
+        } else {
+            "FNEB"
+        }
+    }
+
+    /// `X̄`-averaging of an exponential statistic: the relative deviation of
+    /// `n̂` after `m` rounds is ≈ `1/√(m−2)`, so `m ≈ (c/ε)² + 2`.
+    fn rounds(&self, accuracy: &Accuracy) -> u32 {
+        let c = accuracy.quantile();
+        ((c / accuracy.epsilon()).powi(2)).ceil() as u32 + 2
+    }
+
+    fn slots_per_round(&self) -> u64 {
+        Self::slots_for_frame(self.frame)
+    }
+
+    /// Passive tags must preload one slot index per round: `m·log₂ f` bits
+    /// (the Fig. 7 cost that grows with the accuracy requirement).
+    fn tag_memory_bits(&self, accuracy: &Accuracy) -> u64 {
+        u64::from(self.rounds(accuracy)) * u64::from(self.frame.trailing_zeros())
+    }
+
+    fn estimate_rounds(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        assert!(rounds > 0, "at least one round is required");
+        let mut frame = self.frame;
+        let mut normalized_sum = 0.0; // Σ (Xᵢ − ½)/fᵢ, exponential with rate n
+        let mut observations = 0u32;
+        for round in 0..rounds {
+            if let Some(x) = self.round(keys, frame, air, rng) {
+                normalized_sum += (x as f64 - 0.5) / frame as f64;
+                observations += 1;
+            }
+            // Enhanced variant: after the pilot, shrink the frame toward the
+            // running estimate (kept ≫ n̂ so X stays well resolved).
+            if self.adaptive && round + 1 == PILOT_ROUNDS.min(rounds) && observations > 2 {
+                let pilot_n = (observations as f64 - 1.0) / normalized_sum;
+                let target = (64.0 * pilot_n).max(2.0) as u64;
+                frame = target.next_power_of_two().clamp(2, 1 << 32);
+            }
+        }
+        let estimate = if observations == 0 {
+            0.0
+        } else if observations == 1 {
+            // Single observation: plain method-of-moments.
+            1.0 / normalized_sum
+        } else {
+            (f64::from(observations) - 1.0) / normalized_sum
+        };
+        Estimate {
+            estimate,
+            rounds,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimate_with(fneb: &Fneb, n: usize, rounds: u32, seed: u64) -> Estimate {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        fneb.estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    }
+
+    #[test]
+    fn per_tag_estimates_are_unbiased_enough() {
+        let fneb = Fneb::new(1 << 16, Fidelity::PerTag);
+        for &n in &[100usize, 1_000, 5_000] {
+            let est = estimate_with(&fneb, n, 400, 42);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "n = {n}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn sampled_matches_per_tag_statistically() {
+        let n = 2_000usize;
+        let per_tag = estimate_with(&Fneb::new(1 << 16, Fidelity::PerTag), n, 600, 1);
+        let sampled = estimate_with(&Fneb::new(1 << 16, Fidelity::Sampled), n, 600, 2);
+        let rel = (per_tag.estimate - sampled.estimate).abs() / n as f64;
+        assert!(
+            rel < 0.12,
+            "per-tag {} vs sampled {}",
+            per_tag.estimate,
+            sampled.estimate
+        );
+        // Identical slot accounting regardless of fidelity.
+        assert_eq!(per_tag.metrics.slots, sampled.metrics.slots);
+    }
+
+    #[test]
+    fn slot_accounting_is_log_frame_plus_probe() {
+        let fneb = Fneb::new(1 << 16, Fidelity::PerTag);
+        let est = estimate_with(&fneb, 500, 10, 3);
+        assert_eq!(est.metrics.slots, 10 * (16 + 1));
+        assert_eq!(fneb.slots_per_round(), 17);
+    }
+
+    #[test]
+    fn empty_region_detected_by_probe() {
+        let fneb = Fneb::new(1 << 10, Fidelity::PerTag);
+        let est = estimate_with(&fneb, 0, 5, 4);
+        assert_eq!(est.estimate, 0.0);
+        // Idle probe short-circuits the search: 1 slot per round.
+        assert_eq!(est.metrics.slots, 5);
+    }
+
+    #[test]
+    fn enhanced_variant_shrinks_and_still_estimates() {
+        let enhanced = Fneb::enhanced(Fidelity::Sampled);
+        let n = 10_000usize;
+        let est = estimate_with(&enhanced, n, 300, 5);
+        let rel = (est.estimate - n as f64).abs() / n as f64;
+        assert!(rel < 0.15, "estimate {}", est.estimate);
+        // Cheaper than the non-adaptive 2^32 run: pilot at 33 slots/round,
+        // then ~21 slots/round, vs 33 throughout.
+        let full: u64 = 300 * 33;
+        assert!(
+            est.metrics.slots < full,
+            "adaptive {} should beat fixed {full}",
+            est.metrics.slots
+        );
+    }
+
+    #[test]
+    fn sampled_first_nonempty_distribution() {
+        // E(X) ≈ f/n for exponential order statistic; spot-check the sampler.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (n, f) = (100u64, 1u64 << 16);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_first_nonempty(n, f, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = f as f64 / n as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_frame() {
+        let _ = Fneb::new(1000, Fidelity::PerTag);
+    }
+
+    #[test]
+    fn rounds_scale_with_accuracy() {
+        let fneb = Fneb::paper_default();
+        let tight = fneb.rounds(&Accuracy::new(0.05, 0.01).unwrap());
+        let loose = fneb.rounds(&Accuracy::new(0.20, 0.01).unwrap());
+        assert!(tight > loose);
+        // ≈ (2.576/0.05)² ≈ 2655.
+        assert!((2_500..2_800).contains(&tight), "m = {tight}");
+    }
+}

@@ -1,0 +1,298 @@
+//! LoF — Lottery-Frame estimation (Qian et al., PerCom 2008, "Cardinality
+//! Estimation for Large-Scale RFID Systems").
+//!
+//! Each round, every tag hashes itself into a 32-slot *lottery frame* with
+//! geometric probabilities — slot `i` with probability `2^-(i+1)` — and all
+//! tags respond in their slots. The reader observes the occupancy bitmap and
+//! extracts the Flajolet–Martin statistic `R` = index of the first empty
+//! slot, with `E(R) ≈ log₂(φ_FM·n)` (`φ_FM ≈ 0.77351`) and
+//! `σ(R) ≈ 1.12127`. Averaging over rounds gives `n̂ = 2^R̄ / φ_FM`.
+//!
+//! Following the PET paper's cost accounting, a round charges the full
+//! 32-slot frame; the reader *could* stop listening at the first empty slot
+//! (`R + 1` slots), which we expose as the early-termination ablation.
+
+use crate::{CardinalityEstimator, Estimate, Fidelity};
+use pet_hash::family::{AnyFamily, MixFamily};
+use pet_hash::GeometricHasher;
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use pet_stats::binomial::sample_binomial;
+use pet_stats::gray::{FM_PHI, FM_SIGMA_R};
+use rand::{Rng, RngCore};
+
+/// The LoF estimator.
+#[derive(Debug, Clone)]
+pub struct Lof {
+    /// Lottery-frame length (number of geometric slots).
+    frame: u32,
+    /// Stop listening after the first empty slot instead of charging the
+    /// whole frame (ablation; off in the paper's accounting).
+    early_termination: bool,
+    fidelity: Fidelity,
+    family: AnyFamily,
+}
+
+impl Lof {
+    /// LoF with an explicit frame length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not in `2..=64`.
+    #[must_use]
+    pub fn new(frame: u32, fidelity: Fidelity) -> Self {
+        assert!(
+            (2..=64).contains(&frame),
+            "lottery frame must be in 2..=64, got {frame}"
+        );
+        Self {
+            frame,
+            early_termination: false,
+            fidelity,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// The 32-slot frame the PET paper compares against, per-tag fidelity.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(32, Fidelity::PerTag)
+    }
+
+    /// Switches the simulation fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Enables the early-termination ablation.
+    #[must_use]
+    pub fn with_early_termination(mut self, enabled: bool) -> Self {
+        self.early_termination = enabled;
+        self
+    }
+
+    /// The frame length.
+    #[must_use]
+    pub fn frame(&self) -> u32 {
+        self.frame
+    }
+
+    /// Per-slot response counts for one round.
+    fn slot_counts(&self, keys: &[u64], rng: &mut dyn RngCore) -> Vec<u64> {
+        let seed: u64 = rng.random();
+        let mut counts = vec![0u64; self.frame as usize];
+        match self.fidelity {
+            Fidelity::PerTag => {
+                let geo = GeometricHasher::new(MixFamily::new(), self.frame);
+                let _ = &self.family; // per-tag path uses the geometric hasher
+                for &k in keys {
+                    counts[geo.slot(seed, k) as usize] += 1;
+                }
+            }
+            Fidelity::Sampled => {
+                // Binomial chain: conditioned on not landing in slots < i,
+                // a tag lands in slot i with probability exactly 1/2 (the
+                // truncated-geometric telescoping), and the last slot takes
+                // every leftover.
+                let mut remaining = keys.len() as u64;
+                let last = self.frame as usize - 1;
+                for (i, slot) in counts.iter_mut().enumerate() {
+                    let c = if i == last {
+                        remaining
+                    } else {
+                        sample_binomial(remaining, 0.5, rng)
+                    };
+                    *slot = c;
+                    remaining -= c;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        counts
+    }
+
+    /// Runs one round, returning the FM statistic `R` (first empty slot,
+    /// 0-based; `R = frame` when every slot is busy).
+    fn round(&self, keys: &[u64], air: &mut Air<ChannelModel>, rng: &mut dyn RngCore) -> u32 {
+        if self.fidelity == Fidelity::Sampled {
+            assert!(
+                matches!(air.channel(), ChannelModel::Perfect),
+                "sampled fidelity requires the lossless channel"
+            );
+        }
+        let counts = self.slot_counts(keys, rng);
+        // Frame announcement: a 32-bit seed.
+        air.broadcast(32);
+        let mut first_empty = None;
+        for (i, &c) in counts.iter().enumerate() {
+            let outcome = air.slot(c, 0, rng);
+            if outcome.is_idle() && first_empty.is_none() {
+                first_empty = Some(i as u32);
+                if self.early_termination {
+                    break;
+                }
+            }
+        }
+        first_empty.unwrap_or(self.frame)
+    }
+}
+
+impl CardinalityEstimator for Lof {
+    fn name(&self) -> &str {
+        "LoF"
+    }
+
+    /// Same Eq. (20) structure as PET with the FM statistic's σ(R) ≈ 1.12.
+    fn rounds(&self, accuracy: &Accuracy) -> u32 {
+        accuracy.rounds_for_sigma(FM_SIGMA_R)
+    }
+
+    fn slots_per_round(&self) -> u64 {
+        u64::from(self.frame)
+    }
+
+    /// Passive tags preload one geometric value per round:
+    /// `m·⌈log₂ frame⌉` bits (5 bits per round at frame 32).
+    fn tag_memory_bits(&self, accuracy: &Accuracy) -> u64 {
+        let bits = u64::from(32 - (self.frame - 1).leading_zeros());
+        u64::from(self.rounds(accuracy)) * bits
+    }
+
+    fn estimate_rounds(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        assert!(rounds > 0, "at least one round is required");
+        let mut sum_r = 0u64;
+        for _ in 0..rounds {
+            sum_r += u64::from(self.round(keys, air, rng));
+        }
+        let mean_r = sum_r as f64 / f64::from(rounds);
+        let estimate = if sum_r == 0 {
+            0.0
+        } else {
+            2f64.powf(mean_r) / FM_PHI
+        };
+        Estimate {
+            estimate,
+            rounds,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimate_with(lof: &Lof, n: usize, rounds: u32, seed: u64) -> Estimate {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        lof.estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    }
+
+    #[test]
+    fn per_tag_estimates_are_unbiased_enough() {
+        let lof = Lof::paper_default();
+        for &n in &[100usize, 1_000, 10_000] {
+            let est = estimate_with(&lof, n, 600, 21);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "n = {n}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn sampled_matches_per_tag_statistically() {
+        let n = 5_000usize;
+        let a = estimate_with(&Lof::paper_default(), n, 800, 1);
+        let b = estimate_with(
+            &Lof::paper_default().with_fidelity(Fidelity::Sampled),
+            n,
+            800,
+            2,
+        );
+        let rel = (a.estimate - b.estimate).abs() / n as f64;
+        assert!(rel < 0.12, "per-tag {} vs sampled {}", a.estimate, b.estimate);
+    }
+
+    /// The paper's accounting: 32 slots per round, regardless of R.
+    #[test]
+    fn full_frame_charged_per_round() {
+        let est = estimate_with(&Lof::paper_default(), 1_000, 50, 3);
+        assert_eq!(est.metrics.slots, 50 * 32);
+    }
+
+    /// Early termination listens only up to the first empty slot:
+    /// ≈ log₂ n + 1 slots per round, well under the full frame.
+    #[test]
+    fn early_termination_saves_slots() {
+        let lof = Lof::paper_default().with_early_termination(true);
+        let est = estimate_with(&lof, 1_000, 200, 4);
+        let per_round = est.metrics.slots as f64 / 200.0;
+        // E(R) ≈ log₂(0.77·1000) ≈ 9.6 → ≈ 10.6 slots per round.
+        assert!(
+            per_round > 8.0 && per_round < 14.0,
+            "slots/round {per_round}"
+        );
+        // Same estimate quality.
+        let rel = (est.estimate - 1_000.0).abs() / 1_000.0;
+        assert!(rel < 0.15, "estimate {}", est.estimate);
+    }
+
+    #[test]
+    fn empty_region_estimates_zero() {
+        let est = estimate_with(&Lof::paper_default(), 0, 10, 5);
+        assert_eq!(est.estimate, 0.0);
+    }
+
+    /// The FM statistic's measured spread matches σ(R) ≈ 1.12 — the number
+    /// that drives LoF's round budget in Tables 4–5.
+    #[test]
+    fn fm_statistic_spread_matches_theory() {
+        let lof = Lof::paper_default().with_fidelity(Fidelity::Sampled);
+        let keys: Vec<u64> = (0..10_000).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut air = Air::new(ChannelModel::Perfect);
+        let rs: Vec<f64> = (0..3_000)
+            .map(|_| f64::from(lof.round(&keys, &mut air, &mut rng)))
+            .collect();
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let sd = (rs.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rs.len() as f64).sqrt();
+        assert!(
+            (sd - FM_SIGMA_R).abs() < 0.12,
+            "σ(R) = {sd}, expected ≈ {FM_SIGMA_R}"
+        );
+        let expected_mean = (FM_PHI * 10_000.0).log2();
+        assert!(
+            (mean - expected_mean).abs() < 0.15,
+            "E(R) = {mean}, expected ≈ {expected_mean}"
+        );
+    }
+
+    #[test]
+    fn rounds_fewer_than_pet_but_frames_cost_more() {
+        let acc = Accuracy::new(0.05, 0.01).unwrap();
+        let lof = Lof::paper_default();
+        let m_lof = lof.rounds(&acc);
+        let m_pet = acc.pet_rounds();
+        assert!(m_lof < m_pet, "LoF's tighter σ needs fewer rounds");
+        assert!(lof.total_slots(&acc) > u64::from(m_pet) * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lottery frame must be in 2..=64")]
+    fn rejects_tiny_frame() {
+        let _ = Lof::new(1, Fidelity::PerTag);
+    }
+}

@@ -1,0 +1,230 @@
+//! USE — the Unified Simple (zero-based) Estimator (Kodialam & Nandagopal,
+//! MobiCom 2006, "Fast and Reliable Estimation Schemes in RFID Systems").
+//!
+//! One round is a slotted-Aloha frame of `f` slots; each tag participates
+//! with persistence probability `q` and picks a uniform slot. With load
+//! `ρ = qn/f`, the number of *empty* slots concentrates at `f·e^{−ρ}`, so
+//! `n̂ = −(f/q)·ln(N₀/f)`. The scheme needs a prior magnitude of `n` to set
+//! `q` near the optimal load (`ρ* ≈ 1.59`) — the drawback the PET paper
+//! calls out in §2 ("the schemes require approximate magnitude of the tag
+//! number as a prior knowledge"). Per-round relative deviation is
+//! `√(e^ρ − ρ − 1)/(ρ√f)`.
+
+use crate::{CardinalityEstimator, Estimate, Fidelity};
+use pet_hash::family::{AnyFamily, HashFamily};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::{Rng, RngCore};
+
+/// Optimal frame load for the zero-based estimator.
+pub(crate) const OPTIMAL_LOAD: f64 = 1.59;
+
+/// The USE (zero-based) estimator.
+#[derive(Debug, Clone)]
+pub struct UnifiedSimpleEstimator {
+    /// Frame size `f` (power of two).
+    frame: u64,
+    /// Prior magnitude of `n`, used to set the persistence probability.
+    prior: f64,
+    fidelity: Fidelity,
+    family: AnyFamily,
+}
+
+impl UnifiedSimpleEstimator {
+    /// USE with an explicit frame size and prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a power of two in `2..=2^20` or `prior` is
+    /// not positive and finite.
+    #[must_use]
+    pub fn new(frame: u64, prior: f64, fidelity: Fidelity) -> Self {
+        assert!(
+            frame.is_power_of_two() && (2..=1 << 20).contains(&frame),
+            "frame must be a power of two in 2..=2^20, got {frame}"
+        );
+        assert!(
+            prior.is_finite() && prior > 0.0,
+            "prior must be positive, got {prior}"
+        );
+        Self {
+            frame,
+            prior,
+            fidelity,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// A 512-slot frame with the given prior — a reasonable default for the
+    /// populations the examples use.
+    #[must_use]
+    pub fn with_prior(prior: f64) -> Self {
+        Self::new(512, prior, Fidelity::PerTag)
+    }
+
+    /// The persistence probability `q = min(1, ρ*·f/prior)`.
+    #[must_use]
+    pub fn persistence(&self) -> f64 {
+        (OPTIMAL_LOAD * self.frame as f64 / self.prior).min(1.0)
+    }
+
+    /// Runs one frame and returns the empty-slot count `N₀`.
+    pub(crate) fn frame_empties(
+        frame: u64,
+        q: f64,
+        family: &AnyFamily,
+        keys: &[u64],
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> u64 {
+        let seed: u64 = rng.random();
+        let bits = frame.trailing_zeros();
+        let mut counts = vec![0u64; frame as usize];
+        for &k in keys {
+            // One hash decides both participation and slot: the low 53 bits
+            // drive the persistence draw, the top bits the slot.
+            let h = family.hash(seed, k);
+            let u = (h & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64;
+            if u < q {
+                counts[pet_hash::mix::truncate(h, bits) as usize] += 1;
+            }
+        }
+        air.broadcast(32); // frame seed announcement
+        let mut empties = 0u64;
+        for &c in &counts {
+            if air.slot(c, 0, rng).is_idle() {
+                empties += 1;
+            }
+        }
+        empties
+    }
+
+    /// Zero-based point estimate from one frame's empty count.
+    pub(crate) fn zero_estimate(frame: u64, q: f64, empties: u64) -> f64 {
+        if empties == 0 {
+            // Saturated frame: the load is at least ~ln f; report the cap.
+            return frame as f64 * (frame as f64).ln() / q;
+        }
+        -(frame as f64 / q) * (empties as f64 / frame as f64).ln()
+    }
+}
+
+impl CardinalityEstimator for UnifiedSimpleEstimator {
+    fn name(&self) -> &str {
+        "USE"
+    }
+
+    /// `m = (c·σ_rel/ε)²` with the per-frame relative deviation at the
+    /// design load.
+    fn rounds(&self, accuracy: &Accuracy) -> u32 {
+        let rho = OPTIMAL_LOAD;
+        let sigma_rel = (rho.exp() - rho - 1.0).sqrt() / (rho * (self.frame as f64).sqrt());
+        let c = accuracy.quantile();
+        ((c * sigma_rel / accuracy.epsilon()).powi(2)).ceil().max(1.0) as u32
+    }
+
+    fn slots_per_round(&self) -> u64 {
+        self.frame
+    }
+
+    /// Passive tags preload, per round, one participation bit and one slot
+    /// index.
+    fn tag_memory_bits(&self, accuracy: &Accuracy) -> u64 {
+        u64::from(self.rounds(accuracy)) * (1 + u64::from(self.frame.trailing_zeros()))
+    }
+
+    fn estimate_rounds(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        assert!(rounds > 0, "at least one round is required");
+        assert!(
+            self.fidelity == Fidelity::PerTag,
+            "USE implements per-tag fidelity only"
+        );
+        let q = self.persistence();
+        let mut sum = 0.0;
+        for _ in 0..rounds {
+            let empties =
+                Self::frame_empties(self.frame, q, &self.family, keys, air, rng);
+            sum += Self::zero_estimate(self.frame, q, empties);
+        }
+        Estimate {
+            estimate: sum / f64::from(rounds),
+            rounds,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn estimate(n: usize, prior: f64, rounds: u32, seed: u64) -> Estimate {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        UnifiedSimpleEstimator::with_prior(prior).estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    }
+
+    #[test]
+    fn accurate_with_good_prior() {
+        for &n in &[500usize, 2_000, 10_000] {
+            let est = estimate(n, n as f64, 60, 31);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.1, "n = {n}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn degrades_gracefully_with_bad_prior() {
+        // Prior off by 4× in either direction still lands within 25%.
+        let n = 4_000usize;
+        for prior in [1_000.0, 16_000.0] {
+            let est = estimate(n, prior, 80, 32);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.25, "prior {prior}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn persistence_saturates_at_one() {
+        let small = UnifiedSimpleEstimator::with_prior(10.0);
+        assert_eq!(small.persistence(), 1.0);
+        let big = UnifiedSimpleEstimator::with_prior(1e6);
+        assert!(big.persistence() < 0.01);
+    }
+
+    #[test]
+    fn slot_accounting_charges_full_frames() {
+        let est = estimate(1_000, 1_000.0, 7, 33);
+        assert_eq!(est.metrics.slots, 7 * 512);
+    }
+
+    #[test]
+    fn saturated_frame_reports_cap() {
+        // Overwhelming load with q = 1: all slots busy → capped estimate,
+        // not a NaN or infinity.
+        let cap = UnifiedSimpleEstimator::zero_estimate(8, 1.0, 0);
+        assert!(cap.is_finite() && cap > 8.0);
+    }
+
+    #[test]
+    fn empty_population_estimates_zero() {
+        let est = estimate(0, 100.0, 5, 34);
+        assert_eq!(est.estimate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior must be positive")]
+    fn rejects_bad_prior() {
+        let _ = UnifiedSimpleEstimator::with_prior(0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the baseline estimators.
+
+use pet_baselines::{CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, Upe,
+                    UnifiedSimpleEstimator};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_protocols(prior: f64) -> Vec<Box<dyn CardinalityEstimator>> {
+    vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default()),
+        Box::new(Fneb::paper_default().with_fidelity(Fidelity::Sampled)),
+        Box::new(Lof::paper_default()),
+        Box::new(Lof::paper_default().with_fidelity(Fidelity::Sampled)),
+        Box::new(UnifiedSimpleEstimator::with_prior(prior)),
+        Box::new(Upe::with_prior(prior)),
+        Box::new(Ezb::paper_default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every estimator returns a finite, non-negative estimate with
+    /// positive slot accounting for arbitrary populations and round counts.
+    #[test]
+    fn estimates_always_finite_and_costed(
+        n in 0usize..2_000,
+        rounds in 1u32..24,
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        for p in all_protocols((n.max(1)) as f64) {
+            let mut air = Air::new(ChannelModel::Perfect);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let est = p.estimate_rounds(&keys, rounds, &mut air, &mut rng);
+            prop_assert!(est.estimate.is_finite(), "{}", p.name());
+            prop_assert!(est.estimate >= 0.0, "{}", p.name());
+            prop_assert_eq!(est.rounds, rounds);
+            prop_assert!(est.metrics.slots > 0, "{} ran no slots", p.name());
+            prop_assert!(est.metrics.is_consistent(), "{}", p.name());
+        }
+    }
+
+    /// Nominal total-slot budgets factor exactly as rounds × slots/round
+    /// and are monotone in the accuracy requirement, for every protocol.
+    #[test]
+    fn budgets_factor_and_are_monotone(
+        eps in 0.02f64..0.4,
+        delta in 0.005f64..0.4,
+    ) {
+        let acc = Accuracy::new(eps, delta).unwrap();
+        let tighter = Accuracy::new(eps / 2.0, delta).unwrap();
+        for p in all_protocols(1_000.0) {
+            prop_assert_eq!(
+                p.total_slots(&acc),
+                u64::from(p.rounds(&acc)) * p.slots_per_round()
+            );
+            prop_assert!(p.rounds(&tighter) >= p.rounds(&acc), "{}", p.name());
+            prop_assert!(p.tag_memory_bits(&tighter) >= p.tag_memory_bits(&acc),
+                "{} memory not monotone", p.name());
+        }
+    }
+
+    /// FNEB's measured slots match its nominal formula exactly (presence
+    /// probe + ⌈log₂ f⌉ binary-search slots per round) whenever tags exist.
+    #[test]
+    fn fneb_slot_formula(
+        n in 1usize..1_500,
+        rounds in 1u32..16,
+        seed in any::<u64>(),
+    ) {
+        let fneb = Fneb::paper_default();
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = fneb.estimate_rounds(&keys, rounds, &mut air, &mut rng);
+        prop_assert_eq!(
+            est.metrics.slots,
+            u64::from(rounds) * fneb.slots_per_round()
+        );
+    }
+
+    /// LoF's statistic is bounded by the frame, so its estimate is bounded
+    /// by 2^frame/φ_FM no matter the population.
+    #[test]
+    fn lof_estimate_bounded_by_frame(
+        n in 0usize..3_000,
+        seed in any::<u64>(),
+    ) {
+        let lof = Lof::paper_default().with_fidelity(Fidelity::Sampled);
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = lof.estimate_rounds(&keys, 8, &mut air, &mut rng);
+        prop_assert!(est.estimate <= 2f64.powi(32) / pet_stats::gray::FM_PHI);
+    }
+}

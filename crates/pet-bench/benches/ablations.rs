@@ -1,0 +1,50 @@
+//! Ablation benches: the DESIGN.md extension measurements, reduced.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pet_sim::experiments::ablations;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let search = ablations::search_strategy(&[1_000, 100_000], 64, 1);
+    println!("\nAblation, linear vs binary slots/round:");
+    for r in &search {
+        println!(
+            "  n={:<8} linear={:>6.2} binary={:>5.2}",
+            r.n, r.linear_slots_per_round, r.binary_slots_per_round
+        );
+    }
+    let enc = ablations::command_encoding(10_000, 64, 2);
+    println!("Ablation, command bits per 64-round estimate:");
+    for r in &enc {
+        println!("  {:<16} {:>8} bits", r.encoding, r.command_bits);
+    }
+    let early = ablations::lof_early_termination(10_000, 128, 30, 3);
+    println!("Ablation, LoF early termination:");
+    for r in &early {
+        println!(
+            "  early={:<5} slots/round={:>6.2} accuracy={:.4}",
+            r.early_termination, r.slots_per_round, r.accuracy
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("lossy_channel_sweep_reduced", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ablations::lossy_channel(5_000, 32, &[0.0, 0.1], 10, seed))
+        });
+    });
+    group.bench_function("hash_family_sweep_reduced", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ablations::hash_families(2_000, 32, 5, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 4 bench: regenerates a reduced accuracy-vs-rounds sweep and times
+//! the per-cell kernel (one full PET estimate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pet_sim::experiments::fig4;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    // Print the reduced sweep once, so `cargo bench` output shows the
+    // regenerated series alongside the timings.
+    let params = fig4::Fig4Params {
+        tag_counts: vec![5_000, 50_000],
+        round_counts: vec![8, 32, 64, 128],
+        runs: 60,
+        seed: 0xBE44,
+    };
+    let result = fig4::run(&params);
+    println!("\nFig. 4 (reduced): n, m, accuracy, normalized std dev");
+    for r in &result.rows {
+        println!(
+            "  {:>6} {:>4} {:>8.4} {:>8.4}",
+            r.n, r.rounds, r.accuracy, r.normalized_std_dev
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_estimate");
+    group.sample_size(10);
+    for &(n, m) in &[(5_000usize, 64u32), (50_000, 64), (50_000, 512)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(fig4::pet_trial(n, m, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

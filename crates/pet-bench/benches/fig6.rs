@@ -1,0 +1,49 @@
+//! Fig. 6 bench: regenerates a reduced equal-budget distribution comparison
+//! and times the per-protocol estimate kernels it is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pet_sim::experiments::fig6;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = fig6::Fig6Params {
+        n: 10_000,
+        epsilon: 0.10,
+        delta: 0.05,
+        runs: 60,
+        bins: 20,
+        seed: 0xBE46,
+    };
+    let result = fig6::run(&params);
+    println!(
+        "\nFig. 6 (reduced, n = {}, budget = {} slots):",
+        params.n, result.slot_budget
+    );
+    for s in [&result.pet, &result.fneb, &result.lof] {
+        println!(
+            "  {:<16} rounds={:<5} within CI: {:.1}%",
+            s.label,
+            s.rounds,
+            s.within_interval * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("reduced_full_figure", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let p = fig6::Fig6Params {
+                runs: 20,
+                seed,
+                ..params.clone()
+            };
+            black_box(fig6::run(&p))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

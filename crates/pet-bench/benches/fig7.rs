@@ -1,0 +1,33 @@
+//! Fig. 7 bench: regenerates the memory grids (closed-form) and times the
+//! grid computation — trivially fast, kept as a bench so every figure has a
+//! `cargo bench` entry point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pet_sim::experiments::fig7;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let a = fig7::fig7a();
+    let b = fig7::fig7b();
+    println!("\nFig. 7a (δ = 1%): protocol, ε, memory bits");
+    for r in a.iter().step_by(3 * 5) {
+        println!("  {:<6} {:>5.2} {:>10}", r.protocol, r.epsilon, r.memory_bits);
+    }
+    let pet_bits = a.iter().find(|r| r.protocol == "PET").unwrap().memory_bits;
+    let fneb_bits = a.iter().find(|r| r.protocol == "FNEB").unwrap().memory_bits;
+    let lof_bits = a.iter().find(|r| r.protocol == "LoF").unwrap().memory_bits;
+    println!(
+        "  at ε=5%: PET {pet_bits} bits vs FNEB {fneb_bits} vs LoF {lof_bits} \
+         ({}× / {}×)",
+        fneb_bits / pet_bits,
+        lof_bits / pet_bits
+    );
+    println!("  fig7b rows: {}", b.len());
+
+    c.bench_function("fig7_memory_grids", |bch| {
+        bch.iter(|| black_box((fig7::fig7a(), fig7::fig7b())));
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

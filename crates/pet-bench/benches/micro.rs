@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the protocol hot paths: hash families, geometric
+//! hashing, roster construction, and prefix-count queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pet_core::bits::BitString;
+use pet_core::config::PetConfig;
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_hash::family::{AnyFamily, HashFamily, HashKind};
+use pet_hash::{GeometricHasher, MixFamily};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family");
+    group.throughput(Throughput::Elements(1));
+    for kind in [HashKind::Mix, HashKind::Md5, HashKind::Sha1] {
+        let fam = AnyFamily::new(kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &fam,
+            |b, fam| {
+                let mut id = 0u64;
+                b.iter(|| {
+                    id = id.wrapping_add(1);
+                    black_box(fam.hash_bits(7, id, 32))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let geo = GeometricHasher::new(MixFamily::new(), 32);
+    c.bench_function("geometric_slot", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = id.wrapping_add(1);
+            black_box(geo.slot(11, id))
+        });
+    });
+}
+
+fn bench_roster(c: &mut Criterion) {
+    let config = PetConfig::paper_default();
+    let mut group = c.benchmark_group("roster");
+    group.sample_size(20);
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        let keys: Vec<u64> = (0..n).collect();
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("build", n), &keys, |b, keys| {
+            b.iter(|| black_box(CodeRoster::new(keys, &config, AnyFamily::default())));
+        });
+    }
+    // Query latency on the largest roster.
+    let keys: Vec<u64> = (0..1_000_000u64).collect();
+    let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let path = BitString::random(32, &mut rng);
+    roster.begin_round(&RoundStart { path, seed: None });
+    group.bench_function("count_prefix_1M", |b| {
+        let mut len = 0u32;
+        b.iter(|| {
+            len = len % 32 + 1;
+            black_box(roster.responders(len))
+        });
+    });
+    group.finish();
+}
+
+fn bench_firmware(c: &mut Criterion) {
+    use pet_firmware::TagChip;
+    use pet_radio::command::CommandFrame;
+    let start = CommandFrame::round_start(0xDEAD_BEEF, 32, None);
+    let query = CommandFrame::query_mid(17);
+    let mut chip = TagChip::new(0xCAFE_F00D);
+    chip.on_frame(start.bits());
+    c.bench_function("firmware_on_frame_query", |b| {
+        b.iter(|| black_box(chip.on_frame(query.bits())));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash_families,
+    bench_geometric,
+    bench_roster,
+    bench_firmware
+);
+criterion_main!(benches);

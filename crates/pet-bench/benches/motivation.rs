@@ -1,0 +1,65 @@
+//! Motivation bench: identification vs estimation cost, plus the energy
+//! comparison — §1's scaling argument, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_sim::experiments::{energy, motivation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_motivation(c: &mut Criterion) {
+    let rows = motivation::run(&motivation::MotivationParams {
+        tag_counts: vec![1_000, 10_000, 100_000],
+        epsilon: 0.05,
+        delta: 0.01,
+        seed: 0xBE40,
+    });
+    println!("\nMotivation: n, Aloha-ID, TreeWalk-ID, PET slots, speedup");
+    for r in &rows {
+        println!(
+            "  {:>7} {:>9} {:>9} {:>6} {:>7.0}×",
+            r.n,
+            r.aloha_slots,
+            r.treewalk_slots,
+            r.pet_slots,
+            r.speedup()
+        );
+    }
+    let energy_rows = energy::run(&energy::EnergyParams {
+        n: 10_000,
+        epsilon: 0.10,
+        delta: 0.05,
+        seed: 0xBE41,
+    });
+    println!("Energy (n = 10k): protocol, responses/tag");
+    for r in &energy_rows {
+        println!("  {:<6} {:>10.2}", r.protocol, r.responses_per_tag);
+    }
+
+    let mut group = c.benchmark_group("identification");
+    group.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        let keys: Vec<u64> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("treewalk", n), &keys, |b, keys| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut air = Air::new(ChannelModel::Perfect);
+                black_box(TreeWalk::new().identify(keys, &mut air, &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("aloha", n), &keys, |b, keys| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut air = Air::new(ChannelModel::Perfect);
+                black_box(FramedAloha::unbounded().identify(keys, &mut air, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motivation);
+criterion_main!(benches);

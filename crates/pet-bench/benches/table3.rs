@@ -1,0 +1,60 @@
+//! Table 3 bench: regenerates the slots-vs-rounds table and times one PET
+//! round at H = 32 (the paper's "five time slots" unit of work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pet_core::config::PetConfig;
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_core::reader::binary_round;
+use pet_core::bits::BitString;
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::PerfectChannel;
+use pet_radio::Air;
+use pet_sim::experiments::table3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = table3::run(&table3::Table3Params::default());
+    println!("\nTable 3: rounds, measured slots, nominal 5m");
+    for r in &rows {
+        println!("  {:>4} {:>6} {:>6}", r.rounds, r.measured_slots, r.nominal_slots);
+    }
+
+    let config = PetConfig::paper_default();
+    let keys: Vec<u64> = (0..50_000).collect();
+    let mut oracle = CodeRoster::new(&keys, &config, AnyFamily::default());
+    let mut air = Air::new(PerfectChannel);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("table3_round");
+    group.sample_size(60);
+    group.bench_function("binary_round_50k", |b| {
+        b.iter(|| {
+            let path = BitString::random(32, &mut rng);
+            let seed: Option<u64> = None;
+            oracle.begin_round(&RoundStart { path, seed });
+            black_box(binary_round(&config, &mut oracle, &mut air, &mut rng))
+        });
+    });
+    group.bench_function("round_start_rehash_active_50k", |b| {
+        // The active-mode per-round cost: rebuild + sort all codes.
+        let active = PetConfig::builder()
+            .tag_mode(pet_core::config::TagMode::ActivePerRound)
+            .build()
+            .unwrap();
+        let mut oracle = CodeRoster::new(&keys, &active, AnyFamily::default());
+        b.iter(|| {
+            let path = BitString::random(32, &mut rng);
+            oracle.begin_round(&RoundStart {
+                path,
+                seed: Some(rng.random()),
+            });
+            black_box(oracle.responders(16))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Tables 4/5 and Fig. 5 bench: regenerates the slot-budget grids and times
+//! a full at-budget estimation for each protocol at a reduced requirement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_sim::experiments::table45;
+use pet_stats::accuracy::Accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table45(c: &mut Criterion) {
+    println!("\nTable 4 (δ = 1%): protocol, ε, rounds, total slots");
+    for r in table45::table4() {
+        println!(
+            "  {:<6} {:>5.2} {:>6} {:>8}",
+            r.protocol, r.epsilon, r.rounds, r.total_slots
+        );
+    }
+    println!("Table 5 (ε = 5%): protocol, δ, rounds, total slots");
+    for r in table45::table5() {
+        println!(
+            "  {:<6} {:>5.2} {:>6} {:>8}",
+            r.protocol, r.delta, r.rounds, r.total_slots
+        );
+    }
+    println!(
+        "Fig. 5 grids: {} + {} points",
+        table45::fig5a().len(),
+        table45::fig5b().len()
+    );
+
+    // Time a full at-budget estimation per protocol (reduced ε, δ so each
+    // iteration stays sub-second).
+    let acc = Accuracy::new(0.10, 0.05).unwrap();
+    let keys: Vec<u64> = (0..50_000).collect();
+    let protocols: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default().with_fidelity(Fidelity::Sampled)),
+        Box::new(Lof::paper_default().with_fidelity(Fidelity::Sampled)),
+    ];
+    let mut group = c.benchmark_group("table45_at_budget");
+    group.sample_size(10);
+    for p in protocols {
+        let rounds = p.rounds(&acc);
+        group.bench_function(format!("{}_m{rounds}", p.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(0x7AB);
+            b.iter(|| {
+                let mut air = Air::new(ChannelModel::Perfect);
+                black_box(p.estimate_rounds(&keys, rounds, &mut air, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table45);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//!
+//! ```sh
+//! cargo run -p pet-bench --release --bin repro -- all
+//! cargo run -p pet-bench --release --bin repro -- fig4 table3 table4 table5 \
+//!     fig5a fig5b fig6 fig7a fig7b validate ablations
+//! cargo run -p pet-bench --release --bin repro -- --quick all   # reduced runs
+//! ```
+//!
+//! Printed tables mirror the paper's rows; CSV files land in `results/`.
+
+use pet_sim::experiments::{ablations, detection, energy, fig4, fig6, fig7, motivation, table3, table45};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4", "table3", "table4", "table5", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
+    "validate", "ablations", "motivation", "energy", "detection",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: BTreeSet<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if requested.is_empty() {
+        eprintln!("usage: repro [--quick] [all | {}]", EXPERIMENTS.join(" | "));
+        std::process::exit(2);
+    }
+    let want = |name: &str| requested.contains("all") || requested.contains(name);
+    for name in &requested {
+        if name != "all" && !EXPERIMENTS.contains(&name.as_str()) {
+            eprintln!("unknown experiment {name:?}; known: all {}", EXPERIMENTS.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let out_dir = PathBuf::from("results");
+    let runs = if quick { 60 } else { 300 };
+    println!(
+        "PET reproduction harness — {} runs per data point, output in {}/",
+        runs,
+        out_dir.display()
+    );
+
+    let clock = Instant::now();
+
+    if want("fig4") {
+        let params = fig4::Fig4Params {
+            runs,
+            ..fig4::Fig4Params::default()
+        };
+        let result = fig4::run(&params);
+        pet_bench::report_fig4(&result, &out_dir).expect("write fig4");
+        pet_bench::figures::fig4(&result, &out_dir).expect("fig4 svg");
+    }
+
+    if want("table3") {
+        let rows = table3::run(&table3::Table3Params::default());
+        pet_bench::report_table3(&rows, &out_dir).expect("write table3");
+    }
+
+    if want("table4") {
+        let rows = table45::table4();
+        pet_bench::report_budgets(
+            "Table 4: slots to meet accuracy, ε ∈ {5..20}%, δ = 1% (n = 50,000)",
+            "table4",
+            &rows,
+            &out_dir,
+        )
+        .expect("write table4");
+    }
+
+    if want("table5") {
+        let rows = table45::table5();
+        pet_bench::report_budgets(
+            "Table 5: slots to meet accuracy, δ ∈ {1..20}%, ε = 5% (n = 50,000)",
+            "table5",
+            &rows,
+            &out_dir,
+        )
+        .expect("write table5");
+    }
+
+    if want("fig5a") {
+        let rows = table45::fig5a();
+        pet_bench::report_budgets(
+            "Fig. 5a: slots vs confidence interval ε (δ = 1%)",
+            "fig5a",
+            &rows,
+            &out_dir,
+        )
+        .expect("write fig5a");
+        pet_bench::figures::budgets(&rows, "fig5a", true, &out_dir).expect("fig5a svg");
+    }
+
+    if want("fig5b") {
+        let rows = table45::fig5b();
+        pet_bench::report_budgets(
+            "Fig. 5b: slots vs error probability δ (ε = 5%)",
+            "fig5b",
+            &rows,
+            &out_dir,
+        )
+        .expect("write fig5b");
+        pet_bench::figures::budgets(&rows, "fig5b", false, &out_dir).expect("fig5b svg");
+    }
+
+    if want("fig6") {
+        let params = fig6::Fig6Params {
+            runs,
+            ..fig6::Fig6Params::default()
+        };
+        let result = fig6::run(&params);
+        pet_bench::report_fig6(&result, &out_dir).expect("write fig6");
+        pet_bench::figures::fig6(&result, &out_dir).expect("fig6 svg");
+    }
+
+    if want("fig7a") {
+        let rows = fig7::fig7a();
+        pet_bench::report_fig7(
+            "Fig. 7a: tag memory vs ε (δ = 1%, log scale in the paper)",
+            "fig7a",
+            &rows,
+            &out_dir,
+        )
+        .expect("write fig7a");
+        pet_bench::figures::fig7(&rows, "fig7a", true, &out_dir).expect("fig7a svg");
+    }
+
+    if want("fig7b") {
+        let rows = fig7::fig7b();
+        pet_bench::report_fig7(
+            "Fig. 7b: tag memory vs δ (ε = 5%)",
+            "fig7b",
+            &rows,
+            &out_dir,
+        )
+        .expect("write fig7b");
+        pet_bench::figures::fig7(&rows, "fig7b", false, &out_dir).expect("fig7b svg");
+    }
+
+    if want("validate") {
+        let rows = table45::validate(&table45::ValidateParams {
+            runs,
+            ..table45::ValidateParams::default()
+        });
+        pet_bench::report_validation(&rows, &out_dir).expect("write validate");
+    }
+
+    if want("motivation") {
+        let rows = motivation::run(&motivation::MotivationParams::default());
+        pet_bench::report_motivation(&rows, &out_dir).expect("write motivation");
+        pet_bench::figures::motivation(&rows, &out_dir).expect("motivation svg");
+    }
+
+    if want("energy") {
+        let rows = energy::run(&energy::EnergyParams::default());
+        pet_bench::report_energy(&rows, &out_dir).expect("write energy");
+        pet_bench::figures::energy(&rows, &out_dir).expect("energy svg");
+    }
+
+    if want("detection") {
+        let rows = detection::run(&detection::DetectionParams {
+            runs,
+            ..detection::DetectionParams::default()
+        });
+        pet_bench::report_detection(&rows, &out_dir).expect("write detection");
+        pet_bench::figures::detection(&rows, &out_dir).expect("detection svg");
+    }
+
+    if want("ablations") {
+        let search = ablations::search_strategy(&[1_000, 10_000, 100_000, 1_000_000], 128, 0xAB1);
+        let encodings = ablations::command_encoding(50_000, 256, 0xAB2);
+        let loss = ablations::lossy_channel(
+            50_000,
+            256,
+            &[0.0, 0.01, 0.05, 0.10, 0.20, 0.40],
+            runs.min(100),
+            0xAB3,
+        );
+        let early = ablations::lof_early_termination(50_000, 512, runs.min(100), 0xAB4);
+        let families = ablations::hash_families(10_000, 256, runs.min(60), 0xAB5);
+        pet_bench::report_ablations(&search, &encodings, &loss, &early, &families, &out_dir)
+            .expect("write ablations");
+        pet_bench::figures::loss(&loss, &out_dir).expect("loss svg");
+        let adaptive = ablations::adaptive_stopping(50_000, 0.05, 0.01, runs.min(100), 0xAB6);
+        pet_bench::print_adaptive(&adaptive);
+    }
+
+    pet_bench::plots::write_all(&out_dir).expect("write plot scripts");
+    println!(
+        "\ndone in {secs:.1}s — CSVs under {dir}/, SVGs under {dir}/svg/, \
+         gnuplot scripts under {dir}/plots/",
+        secs = clock.elapsed().as_secs_f64(),
+        dir = out_dir.display()
+    );
+}

@@ -1,0 +1,137 @@
+//! Gnuplot script emission: turns the `results/*.csv` series into the
+//! paper's figures with `gnuplot results/plots/*.gp` (gnuplot is not a
+//! build dependency — the scripts are plain text artifacts).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes every plot script into `<out_dir>/plots/`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the scripts.
+pub fn write_all(out_dir: &Path) -> io::Result<()> {
+    let dir = out_dir.join("plots");
+    fs::create_dir_all(&dir)?;
+    let scripts: &[(&str, String)] = &[
+        ("fig4a.gp", fig4(out_dir, "accuracy", "Estimation accuracy (n̂/n)", "fig4a")),
+        ("fig4b.gp", fig4(out_dir, "std_dev", "Standard deviation", "fig4b")),
+        (
+            "fig4c.gp",
+            fig4(out_dir, "normalized_std_dev", "Normalized standard deviation", "fig4c"),
+        ),
+        ("fig5a.gp", fig5(out_dir, "fig5a", "epsilon", "Confidence interval ε")),
+        ("fig5b.gp", fig5(out_dir, "fig5b", "delta", "Error probability δ")),
+        ("fig6.gp", fig6(out_dir)),
+        ("fig7a.gp", fig7(out_dir, "fig7a", "epsilon", "Confidence interval ε")),
+        ("fig7b.gp", fig7(out_dir, "fig7b", "delta", "Error probability δ")),
+        ("motivation.gp", motivation(out_dir)),
+        ("detection.gp", detection(out_dir)),
+    ];
+    for (name, body) in scripts {
+        let mut f = fs::File::create(dir.join(name))?;
+        f.write_all(body.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn preamble(png: &str, title: &str) -> String {
+    format!(
+        "set terminal pngcairo size 900,600 enhanced\n\
+         set output '{png}.png'\n\
+         set datafile separator ','\n\
+         set key top right\n\
+         set grid\n\
+         set title '{title}'\n"
+    )
+}
+
+fn fig4(out: &Path, column: &str, ylabel: &str, stem: &str) -> String {
+    let csv = out.join("fig4.csv");
+    let col = match column {
+        "accuracy" => 3,
+        "std_dev" => 4,
+        _ => 5,
+    };
+    format!(
+        "{}set xlabel 'Estimating rounds m'\nset ylabel '{ylabel}'\nset logscale x 2\n\
+         plot for [n in \"5000 10000 50000 100000\"] \\\n  '{}' using 2:(strcol(1) eq n ? ${col} : 1/0) every ::1 \\\n  with linespoints title sprintf('n = %s', n)\n",
+        preamble(stem, &format!("{ylabel} vs estimating rounds (Fig. 4)")),
+        csv.display()
+    )
+}
+
+fn fig5(out: &Path, stem: &str, xcol: &str, xlabel: &str) -> String {
+    let csv = out.join(format!("{stem}.csv"));
+    let xidx = if xcol == "epsilon" { 2 } else { 3 };
+    format!(
+        "{}set xlabel '{xlabel}'\nset ylabel 'Total time slots'\nset logscale y\n\
+         plot for [p in \"PET FNEB LoF\"] \\\n  '{}' using {xidx}:(strcol(1) eq p ? $5 : 1/0) every ::1 \\\n  with linespoints title p\n",
+        preamble(stem, "Slots to meet the accuracy requirement (Fig. 5)"),
+        csv.display()
+    )
+}
+
+fn fig6(out: &Path) -> String {
+    let csv = out.join("fig6.csv");
+    format!(
+        "{}set xlabel 'Estimated number of tags'\nset ylabel 'Fraction of runs'\n\
+         plot for [s in \"PET-theory PET 'Enhanced FNEB' LoF\"] \\\n  '{}' using 2:(strcol(1) eq s ? $3 : 1/0) every ::1 \\\n  with linespoints title s\n",
+        preamble("fig6", "Estimate distributions at equal slot budget (Fig. 6)"),
+        csv.display()
+    )
+}
+
+fn fig7(out: &Path, stem: &str, xcol: &str, xlabel: &str) -> String {
+    let csv = out.join(format!("{stem}.csv"));
+    let xidx = if xcol == "epsilon" { 2 } else { 3 };
+    format!(
+        "{}set xlabel '{xlabel}'\nset ylabel 'Tag memory (bits)'\nset logscale y\n\
+         plot for [p in \"PET FNEB LoF\"] \\\n  '{}' using {xidx}:(strcol(1) eq p ? $4 : 1/0) every ::1 \\\n  with linespoints title p\n",
+        preamble(stem, "Per-tag memory for preloaded randomness (Fig. 7)"),
+        csv.display()
+    )
+}
+
+fn motivation(out: &Path) -> String {
+    let csv = out.join("motivation.csv");
+    format!(
+        "{}set xlabel 'Number of tags'\nset ylabel 'Total time slots'\nset logscale xy\n\
+         plot '{csv}' using 1:2 every ::1 with linespoints title 'Aloha-ID', \\\n  '{csv}' using 1:3 every ::1 with linespoints title 'TreeWalk-ID', \\\n  '{csv}' using 1:4 every ::1 with linespoints title 'PET (5%%, 1%%)'\n",
+        preamble("motivation", "Identification vs estimation cost"),
+        csv = csv.display()
+    )
+}
+
+fn detection(out: &Path) -> String {
+    let csv = out.join("detection.csv");
+    format!(
+        "{}set xlabel 'True missing fraction'\nset ylabel 'Alarm probability'\nset yrange [0:1.05]\n\
+         plot '{csv}' using 1:2 every ::1 with linespoints title 'measured', \\\n  '{csv}' using 1:3 every ::1 with lines title 'normal theory'\n",
+        preamble("detection", "Missing-tag detection power"),
+        csv = csv.display()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scripts_are_written() {
+        let dir = std::env::temp_dir().join(format!("pet-plots-{}", std::process::id()));
+        write_all(&dir).unwrap();
+        for name in [
+            "fig4a.gp", "fig4b.gp", "fig4c.gp", "fig5a.gp", "fig5b.gp", "fig6.gp",
+            "fig7a.gp", "fig7b.gp", "motivation.gp", "detection.gp",
+        ] {
+            let path = dir.join("plots").join(name);
+            assert!(path.exists(), "{name} missing");
+            let body = fs::read_to_string(&path).unwrap();
+            assert!(body.contains("set terminal pngcairo"), "{name} malformed");
+            assert!(body.contains("plot"), "{name} has no plot command");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,334 @@
+//! Dependency-free SVG line charts, so `repro` can emit ready-to-view
+//! figures (`results/svg/*.svg`) without any plotting toolchain.
+//!
+//! Deliberately small: linear or log₁₀ axes, multi-series polylines with
+//! point markers, tick labels, legend. Enough to render every figure shape
+//! the paper's evaluation needs.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 900.0;
+const HEIGHT: f64 = 560.0;
+const MARGIN_L: f64 = 90.0;
+const MARGIN_R: f64 = 30.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 70.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#7f7f7f",
+];
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (requires strictly positive data).
+    Log,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart under construction.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+impl SvgChart {
+    /// Starts a chart with linear axes.
+    #[must_use]
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis scales.
+    #[must_use]
+    pub fn scales(mut self, x: Scale, y: Scale) -> Self {
+        self.x_scale = x;
+        self.y_scale = y;
+        self
+    }
+
+    /// Adds a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite points, or non-positive values on a log axis.
+    #[must_use]
+    pub fn series(mut self, label: &str, points: Vec<(f64, f64)>) -> Self {
+        for &(x, y) in &points {
+            assert!(x.is_finite() && y.is_finite(), "non-finite point in {label}");
+            if self.x_scale == Scale::Log {
+                assert!(x > 0.0, "log x-axis needs positive data ({label})");
+            }
+            if self.y_scale == Scale::Log {
+                assert!(y > 0.0, "log y-axis needs positive data ({label})");
+            }
+        }
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+        self
+    }
+
+    fn transform(scale: Scale, v: f64) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log => v.log10(),
+        }
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series contains any points.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .map(|(x, y)| {
+                (
+                    Self::transform(self.x_scale, x),
+                    Self::transform(self.y_scale, y),
+                )
+            })
+            .collect();
+        assert!(!all.is_empty(), "chart has no data");
+        let (mut x0, mut x1) = min_max(all.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(all.iter().map(|p| p.1));
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        // 5% padding on the y axis.
+        let pad = (y1 - y0) * 0.05;
+        y0 -= pad;
+        y1 += pad;
+
+        let px = |tx: f64| MARGIN_L + (tx - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R);
+        let py = |ty: f64| HEIGHT - MARGIN_B - (ty - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns='http://www.w3.org/2000/svg' width='{WIDTH}' height='{HEIGHT}' \
+             viewBox='0 0 {WIDTH} {HEIGHT}' font-family='sans-serif'>\n\
+             <rect width='100%' height='100%' fill='white'/>\n\
+             <text x='{:.0}' y='28' text-anchor='middle' font-size='18'>{}</text>\n",
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes box.
+        let _ = writeln!(
+            svg,
+            "<rect x='{MARGIN_L}' y='{MARGIN_T}' width='{:.0}' height='{:.0}' \
+             fill='none' stroke='#333'/>",
+            WIDTH - MARGIN_L - MARGIN_R,
+            HEIGHT - MARGIN_T - MARGIN_B
+        );
+
+        // Ticks: 5 per axis, with gridlines.
+        for i in 0..=5 {
+            let f = f64::from(i) / 5.0;
+            let tx = x0 + f * (x1 - x0);
+            let ty = y0 + f * (y1 - y0);
+            let (gx, gy) = (px(tx), py(ty));
+            let _ = write!(
+                svg,
+                "<line x1='{gx:.1}' y1='{MARGIN_T}' x2='{gx:.1}' y2='{:.1}' stroke='#ddd'/>\n\
+                 <line x1='{MARGIN_L}' y1='{gy:.1}' x2='{:.1}' y2='{gy:.1}' stroke='#ddd'/>\n\
+                 <text x='{gx:.1}' y='{:.1}' text-anchor='middle' font-size='12'>{}</text>\n\
+                 <text x='{:.1}' y='{gy:.1}' text-anchor='end' font-size='12'>{}</text>\n",
+                HEIGHT - MARGIN_B,
+                WIDTH - MARGIN_R,
+                HEIGHT - MARGIN_B + 18.0,
+                tick_label(self.x_scale, tx),
+                MARGIN_L - 8.0,
+                tick_label(self.y_scale, ty),
+            );
+        }
+
+        // Axis labels.
+        let _ = write!(
+            svg,
+            "<text x='{:.0}' y='{:.0}' text-anchor='middle' font-size='14'>{}</text>\n\
+             <text x='20' y='{:.0}' text-anchor='middle' font-size='14' \
+             transform='rotate(-90 20 {:.0})'>{}</text>\n",
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            HEIGHT - 20.0,
+            escape(&self.x_label),
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut path = String::new();
+            for &(x, y) in &series.points {
+                let gx = px(Self::transform(self.x_scale, x));
+                let gy = py(Self::transform(self.y_scale, y));
+                let _ = write!(path, "{}{gx:.1},{gy:.1}", if path.is_empty() { "" } else { " " });
+                let _ = writeln!(
+                    svg,
+                    "<circle cx='{gx:.1}' cy='{gy:.1}' r='3' fill='{color}'/>"
+                );
+            }
+            let _ = writeln!(
+                svg,
+                "<polyline points='{path}' fill='none' stroke='{color}' stroke-width='2'/>"
+            );
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 + 18.0 * si as f64;
+            let _ = write!(
+                svg,
+                "<line x1='{:.0}' y1='{ly:.0}' x2='{:.0}' y2='{ly:.0}' stroke='{color}' stroke-width='3'/>\n\
+                 <text x='{:.0}' y='{:.0}' font-size='13'>{}</text>\n",
+                MARGIN_L + 12.0,
+                MARGIN_L + 40.0,
+                MARGIN_L + 46.0,
+                ly + 4.0,
+                escape(&series.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Renders and writes to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn tick_label(scale: Scale, transformed: f64) -> String {
+    let v = match scale {
+        Scale::Linear => transformed,
+        Scale::Log => 10f64.powf(transformed),
+    };
+    if v.abs() >= 10_000.0 || (v.abs() < 0.01 && v != 0.0) {
+        format!("{v:.1e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = SvgChart::new("Demo", "x", "y")
+            .series("a", vec![(1.0, 2.0), (2.0, 4.0), (3.0, 1.0)])
+            .series("b", vec![(1.0, 1.0), (3.0, 3.0)])
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("Demo"));
+    }
+
+    #[test]
+    fn log_axes_transform() {
+        let svg = SvgChart::new("Log", "n", "slots")
+            .scales(Scale::Log, Scale::Log)
+            .series("s", vec![(10.0, 100.0), (1_000.0, 10_000.0)])
+            .render();
+        // Tick labels render in data units: the x axis (unpadded) ends at
+        // 1000, and the padded y axis shows scientific notation above 10⁴.
+        assert!(svg.contains(">1000<"), "x tick missing");
+        assert!(svg.contains("e4"), "scientific y tick missing");
+    }
+
+    #[test]
+    fn degenerate_ranges_still_render() {
+        let svg = SvgChart::new("Flat", "x", "y")
+            .series("s", vec![(1.0, 5.0), (2.0, 5.0)])
+            .render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = SvgChart::new("a < b & c", "x", "y")
+            .series("s", vec![(0.0, 0.0), (1.0, 1.0)])
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log x-axis needs positive data")]
+    fn log_rejects_nonpositive() {
+        let _ = SvgChart::new("bad", "x", "y")
+            .scales(Scale::Log, Scale::Linear)
+            .series("s", vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart has no data")]
+    fn empty_chart_panics() {
+        let _ = SvgChart::new("empty", "x", "y").render();
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("pet-svg-{}", std::process::id()));
+        let path = dir.join("deep/chart.svg");
+        SvgChart::new("t", "x", "y")
+            .series("s", vec![(0.0, 1.0), (1.0, 0.0)])
+            .save(&path)
+            .unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,457 @@
+//! `pet` — command-line interface to the PET reproduction.
+//!
+//! ```text
+//! pet estimate --tags 50000 [--epsilon 0.05] [--delta 0.01]
+//!              [--protocol pet|fneb|lof|ezb] [--linear] [--adaptive]
+//!              [--rounds M] [--seed S]
+//! pet identify --tags 50000 [--protocol aloha|treewalk] [--seed S]
+//! pet compare  --tags 50000 [--epsilon 0.05] [--delta 0.01] [--seed S]
+//! pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
+//! pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
+//! pet info     [--epsilon 0.05] [--delta 0.01]
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Lof, PetAdapter};
+use pet_core::adaptive::AdaptiveSession;
+use pet_core::bits::BitString;
+use pet_core::config::{PetConfig, SearchStrategy};
+use pet_core::oracle::CodeRoster;
+use pet_core::session::PetSession;
+use pet_core::tree::Tree;
+use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet_radio::channel::ChannelModel;
+use pet_radio::{Air, TimeModel};
+use pet_stats::accuracy::Accuracy;
+use pet_stats::gray::{PHI, SIGMA_H};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [--flags]
+  pet estimate --tags 50000 [--epsilon 0.05] [--delta 0.01] [--protocol pet|fneb|lof|ezb]
+               [--linear] [--adaptive] [--rounds M] [--seed S]
+  pet identify --tags 50000 [--protocol aloha|treewalk] [--seed S]
+  pet compare  --tags 50000 [--epsilon 0.05] [--delta 0.01] [--seed S]
+  pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
+  pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
+  pet trace    --tags 16 [--height 6] [--rounds 2] [--linear] [--seed S]
+  pet info     [--epsilon 0.05] [--delta 0.01]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn accuracy_from(args: &Args) -> Result<Accuracy, ArgError> {
+    let epsilon: f64 = args.get_or("epsilon", 0.05)?;
+    let delta: f64 = args.get_or("delta", 0.01)?;
+    Accuracy::new(epsilon, delta).map_err(|e| ArgError(e.to_string()))
+}
+
+fn run(argv: &[String]) -> Result<(), ArgError> {
+    let args = Args::parse(argv.iter().cloned())?;
+    match args.command.as_str() {
+        "estimate" => cmd_estimate(&args),
+        "identify" => cmd_identify(&args),
+        "compare" => cmd_compare(&args),
+        "monitor" => cmd_monitor(&args),
+        "tree" => cmd_tree(&args),
+        "trace" => cmd_trace(&args),
+        "info" => cmd_info(&args),
+        other => Err(ArgError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "tags", "epsilon", "delta", "protocol", "linear", "adaptive", "rounds", "seed",
+    ])?;
+    let n: usize = args.require("tags")?;
+    let accuracy = accuracy_from(args)?;
+    let seed: u64 = args.get_or("seed", 0xD0C5)?;
+    let protocol = args.get("protocol").unwrap_or("pet");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<u64> = (0..n as u64).collect();
+
+    if protocol == "pet" {
+        let config = PetConfig::builder()
+            .accuracy(accuracy)
+            .search(if args.switch("linear") {
+                SearchStrategy::Linear
+            } else {
+                SearchStrategy::Binary
+            })
+            .build()
+            .map_err(|e| ArgError(e.to_string()))?;
+        let mut oracle = CodeRoster::new(&keys, &config, pet_hash_family());
+        let mut air = Air::new(ChannelModel::Perfect);
+        let report = if args.switch("adaptive") {
+            AdaptiveSession::new(config).run(&mut oracle, &mut air, &mut rng)
+        } else if let Some(rounds) = args.get("rounds") {
+            let rounds: u32 = rounds
+                .parse()
+                .map_err(|_| ArgError("--rounds: not an integer".into()))?;
+            PetSession::new(config).run_rounds(rounds, &mut oracle, &mut air, &mut rng)
+        } else {
+            PetSession::new(config).run(&mut oracle, &mut air, &mut rng)
+        };
+        println!("protocol      : PET (H = {})", config.height());
+        println!("estimate      : {:.0}   (true: {n})", report.estimate);
+        println!(
+            "relative error: {:+.2}%",
+            (report.estimate / n as f64 - 1.0) * 100.0
+        );
+        println!("rounds        : {}", report.rounds);
+        print_costs(&report.metrics);
+        return Ok(());
+    }
+
+    let estimator: Box<dyn CardinalityEstimator> = match protocol {
+        "fneb" => Box::new(Fneb::paper_default()),
+        "lof" => Box::new(Lof::paper_default()),
+        "ezb" => Box::new(Ezb::paper_default()),
+        other => {
+            return Err(ArgError(format!(
+                "unknown protocol {other:?} (pet|fneb|lof|ezb)"
+            )))
+        }
+    };
+    let mut air = Air::new(ChannelModel::Perfect);
+    let est = if let Some(rounds) = args.get("rounds") {
+        let rounds: u32 = rounds
+            .parse()
+            .map_err(|_| ArgError("--rounds: not an integer".into()))?;
+        estimator.estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    } else {
+        estimator.estimate(&keys, &accuracy, &mut air, &mut rng)
+    };
+    println!("protocol      : {}", estimator.name());
+    println!("estimate      : {:.0}   (true: {n})", est.estimate);
+    println!(
+        "relative error: {:+.2}%",
+        (est.estimate / n as f64 - 1.0) * 100.0
+    );
+    println!("rounds        : {}", est.rounds);
+    print_costs(&est.metrics);
+    Ok(())
+}
+
+fn cmd_identify(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["tags", "protocol", "seed"])?;
+    let n: usize = args.require("tags")?;
+    let seed: u64 = args.get_or("seed", 0x1DE)?;
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let protocol: Box<dyn IdentificationProtocol> = match args.get("protocol").unwrap_or("treewalk")
+    {
+        "aloha" => Box::new(FramedAloha::unbounded()),
+        "treewalk" => Box::new(TreeWalk::new()),
+        other => {
+            return Err(ArgError(format!(
+                "unknown protocol {other:?} (aloha|treewalk)"
+            )))
+        }
+    };
+    let mut air = Air::new(ChannelModel::Perfect);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = protocol.identify(&keys, &mut air, &mut rng);
+    println!("protocol   : {}", protocol.name());
+    println!("identified : {} of {n}", report.identified);
+    print_costs(&report.metrics);
+    println!(
+        "slots/tag  : {:.2}  (identification is Θ(n); try `pet compare`)",
+        report.metrics.slots as f64 / n.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["tags", "epsilon", "delta", "seed"])?;
+    let n: usize = args.require("tags")?;
+    let accuracy = accuracy_from(args)?;
+    let seed: u64 = args.get_or("seed", 0xC0)?;
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let protocols: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default()),
+        Box::new(Lof::paper_default()),
+    ];
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>9} {:>14}",
+        "protocol", "rounds", "slots", "estimate", "err %", "air time"
+    );
+    for p in &protocols {
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = p.estimate(&keys, &accuracy, &mut air, &mut rng);
+        println!(
+            "{:<8} {:>8} {:>12} {:>12.0} {:>8.2}% {:>12.2} s",
+            p.name(),
+            est.rounds,
+            est.metrics.slots,
+            est.estimate,
+            (est.estimate / n as f64 - 1.0) * 100.0,
+            TimeModel::gen2().elapsed(&est.metrics).as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_monitor(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["expected", "present", "alpha", "seed"])?;
+    let expected: u64 = args.require("expected")?;
+    let present: usize = args.require("present")?;
+    let alpha: f64 = args.get_or("alpha", 0.01)?;
+    let seed: u64 = args.get_or("seed", 0x40)?;
+    let config = PetConfig::paper_default();
+    let monitor = pet_apps::monitor::MissingTagMonitor::new(expected, alpha, config)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let verdict = monitor.check(
+        &pet_tags::population::TagPopulation::sequential(present),
+        &mut rng,
+    );
+    println!("book inventory : {expected}");
+    println!("estimate       : {:.0}", verdict.estimate);
+    println!(
+        "missing (est.) : {:.1}%",
+        verdict.missing_fraction.max(0.0) * 100.0
+    );
+    println!("p-value        : {:.4}", verdict.p_value);
+    println!(
+        "verdict        : {}",
+        if verdict.alarm {
+            "ALARM — tags are missing"
+        } else {
+            "consistent with full inventory"
+        }
+    );
+    println!(
+        "(smallest deficit detectable with 95% power at this budget: {:.1}%)",
+        monitor.detectable_fraction(0.95) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_tree(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["tags", "height", "path", "seed"])?;
+    let n: usize = args.require("tags")?;
+    let height: u32 = args.get_or("height", 4)?;
+    if !(1..=6).contains(&height) {
+        return Err(ArgError("--height must be 1..=6 for rendering".into()));
+    }
+    let seed: u64 = args.get_or("seed", 0x7EE)?;
+    let config = PetConfig::builder()
+        .height(height)
+        .manufacture_seed(seed)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let roster = CodeRoster::new(&keys, &config, pet_hash_family());
+    let codes: Vec<BitString> = roster
+        .codes()
+        .iter()
+        .map(|&c| BitString::from_bits(c, height).expect("in range"))
+        .collect();
+    let tree = Tree::build(&codes, height);
+    let path = match args.get("path") {
+        Some(bits) => {
+            let v = u64::from_str_radix(bits, 2)
+                .map_err(|_| ArgError("--path must be a binary string".into()))?;
+            if bits.len() != height as usize {
+                return Err(ArgError(format!(
+                    "--path must have exactly {height} bits"
+                )));
+            }
+            Some(BitString::from_bits(v, height).map_err(|e| ArgError(e.to_string()))?)
+        }
+        None => None,
+    };
+    println!(
+        "PET over {n} tags, H = {height} (● black, · white{})",
+        if path.is_some() {
+            ", ◐ gray node, [x] estimating path"
+        } else {
+            ""
+        }
+    );
+    print!("{}", tree.render(path.as_ref()));
+    if let Some(p) = &path {
+        if let Some(gray) = tree.gray_node(p) {
+            println!(
+                "gray node at depth {} (height {}): single-round estimate {:.1}",
+                gray.prefix_len,
+                gray.height,
+                pet_stats::gray::estimate_from_mean_prefix(f64::from(gray.prefix_len))
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["tags", "height", "rounds", "linear", "seed"])?;
+    let n: usize = args.require("tags")?;
+    let height: u32 = args.get_or("height", 6)?;
+    let rounds: u32 = args.get_or("rounds", 2)?;
+    let seed: u64 = args.get_or("seed", 0x7ACE)?;
+    let config = PetConfig::builder()
+        .height(height)
+        .search(if args.switch("linear") {
+            SearchStrategy::Linear
+        } else {
+            SearchStrategy::Binary
+        })
+        .manufacture_seed(seed)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let mut oracle = CodeRoster::new(&keys, &config, pet_hash_family());
+    let mut air = Air::new(ChannelModel::Perfect).with_transcript(4096);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut estimator = pet_core::estimator::PetEstimator::new(height);
+    println!(
+        "PET protocol trace — {n} tags, H = {height}, {} search\n",
+        if args.switch("linear") { "linear" } else { "binary" }
+    );
+    let mut slot_base = 0usize;
+    for round in 0..rounds {
+        let record = pet_core::reader::run_round(&config, &mut oracle, &mut air, &mut rng);
+        estimator.push(record);
+        let transcript = air.transcript().expect("transcript enabled");
+        println!("round {round}:");
+        for (i, rec) in transcript.records().iter().enumerate().skip(slot_base) {
+            println!(
+                "  slot {:>2}: {:>3} responder(s) → {}",
+                i - slot_base,
+                rec.responders,
+                rec.outcome
+            );
+        }
+        slot_base = transcript.len();
+        println!(
+            "  → L = {} (gray node height {}), {} slots{}",
+            record.prefix_len,
+            record.gray_height,
+            record.slots,
+            if record.disambiguated {
+                ", disambiguation slot used"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nrunning estimate after {} round(s): {:.1}",
+        estimator.rounds(),
+        estimator.estimate()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["epsilon", "delta"])?;
+    let accuracy = accuracy_from(args)?;
+    println!("PET constants (paper §4.2):");
+    println!("  φ    = e^γ/√2          = {PHI:.5}");
+    println!("  σ(h) = √(π²/6ln²2+1/12) = {SIGMA_H:.5}");
+    println!(
+        "requirement ±{:.0}% at {:.0}% confidence:",
+        accuracy.epsilon() * 100.0,
+        (1.0 - accuracy.delta()) * 100.0
+    );
+    println!("  quantile c    = {:.4}", accuracy.quantile());
+    println!("  PET rounds m  = {} (Eq. 20)", accuracy.pet_rounds());
+    println!(
+        "  PET slots     = {} (5 per round at H = 32)",
+        accuracy.pet_rounds() * 5
+    );
+    Ok(())
+}
+
+fn print_costs(m: &pet_radio::AirMetrics) {
+    println!(
+        "air cost      : {} slots ({} idle / {} singleton / {} collision)",
+        m.slots, m.idle, m.singleton, m.collision
+    );
+    println!(
+        "command bits  : {}   tag responses: {}",
+        m.command_bits, m.tag_responses
+    );
+    println!(
+        "est. air time : {:.2} s (Gen2 model)",
+        TimeModel::gen2().elapsed(m).as_secs_f64()
+    );
+}
+
+fn pet_hash_family() -> pet_hash::family::AnyFamily {
+    pet_hash::family::AnyFamily::default()
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::run;
+
+    fn exec(tokens: &[&str]) -> Result<(), super::ArgError> {
+        let argv: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn estimate_all_protocols() {
+        for proto in ["pet", "fneb", "lof", "ezb"] {
+            exec(&[
+                "estimate", "--tags", "500", "--protocol", proto, "--rounds", "16",
+                "--seed", "1",
+            ])
+            .unwrap_or_else(|e| panic!("{proto}: {e}"));
+        }
+    }
+
+    #[test]
+    fn estimate_variants() {
+        exec(&["estimate", "--tags", "300", "--linear", "--rounds", "8"]).unwrap();
+        exec(&[
+            "estimate", "--tags", "300", "--adaptive", "--epsilon", "0.3", "--delta", "0.3",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn identify_both_protocols() {
+        exec(&["identify", "--tags", "200", "--protocol", "aloha"]).unwrap();
+        exec(&["identify", "--tags", "200", "--protocol", "treewalk"]).unwrap();
+        exec(&["identify", "--tags", "0"]).unwrap();
+    }
+
+    #[test]
+    fn compare_monitor_tree_trace_info() {
+        exec(&["compare", "--tags", "1000", "--epsilon", "0.3", "--delta", "0.3"]).unwrap();
+        exec(&["monitor", "--expected", "500", "--present", "400", "--alpha", "0.05"]).unwrap();
+        exec(&["tree", "--tags", "4", "--path", "0011"]).unwrap();
+        exec(&["tree", "--tags", "8", "--height", "5"]).unwrap();
+        exec(&["trace", "--tags", "16", "--height", "6", "--rounds", "2"]).unwrap();
+        exec(&["trace", "--tags", "16", "--height", "6", "--linear", "--rounds", "1"]).unwrap();
+        exec(&["info"]).unwrap();
+        exec(&["info", "--epsilon", "0.1", "--delta", "0.1"]).unwrap();
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        assert!(exec(&["bogus"]).is_err());
+        assert!(exec(&["estimate"]).is_err(), "missing --tags");
+        assert!(exec(&["estimate", "--tags", "10", "--frobnicate"]).is_err());
+        assert!(exec(&["estimate", "--tags", "10", "--protocol", "upx"]).is_err());
+        assert!(exec(&["tree", "--tags", "4", "--height", "9"]).is_err());
+        assert!(exec(&["tree", "--tags", "4", "--path", "01"]).is_err(), "path width");
+        assert!(exec(&["monitor", "--expected", "0", "--present", "1"]).is_err());
+    }
+}

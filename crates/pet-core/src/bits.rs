@@ -1,0 +1,281 @@
+//! Fixed-width bit strings: PET codes and estimating paths.
+//!
+//! A PET of height `H` assigns every tag an `H`-bit *random code* (a leaf of
+//! the conceptual tree, Fig. 1) and the reader draws an `H`-bit *estimating
+//! path* per round. Both are the same object: a left-to-right bit string
+//! where bit 0 is the branch taken at the root. Prefix comparison — "does
+//! this tag's code match the first `l` bits of the path?" — is the only
+//! operation the protocol ever performs on them (§4.1).
+
+use rand::Rng;
+use std::fmt;
+
+/// An `H`-bit string (`1 ≤ H ≤ 64`), stored right-aligned in a `u64`.
+///
+/// # Example
+///
+/// ```
+/// use pet_core::bits::BitString;
+///
+/// // The paper's Fig. 1 example: H = 4, code 0110.
+/// let code = BitString::from_bits(0b0110, 4).unwrap();
+/// let path = BitString::from_bits(0b0011, 4).unwrap();
+/// assert!(code.matches_prefix(&path, 1)); // both start with 0
+/// assert!(!code.matches_prefix(&path, 2)); // 01 vs 00
+/// assert_eq!(code.to_string(), "0110");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitString {
+    bits: u64,
+    height: u32,
+}
+
+/// Error constructing a [`BitString`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitStringError {
+    /// Height must be in `1..=64`.
+    HeightOutOfRange,
+    /// The value had bits set above the requested height.
+    ValueTooWide,
+}
+
+impl fmt::Display for BitStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HeightOutOfRange => write!(f, "bit-string height must be in 1..=64"),
+            Self::ValueTooWide => write!(f, "value has bits above the requested height"),
+        }
+    }
+}
+
+impl std::error::Error for BitStringError {}
+
+impl BitString {
+    /// Builds a bit string from the low `height` bits of `bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `height` is outside `1..=64` or `bits` does not
+    /// fit in `height` bits.
+    pub fn from_bits(bits: u64, height: u32) -> Result<Self, BitStringError> {
+        if !(1..=64).contains(&height) {
+            return Err(BitStringError::HeightOutOfRange);
+        }
+        if height < 64 && bits >> height != 0 {
+            return Err(BitStringError::ValueTooWide);
+        }
+        Ok(Self { bits, height })
+    }
+
+    /// Draws a uniformly random bit string — the reader's per-round
+    /// estimating-path selection (Algorithm 1 line 3 / Algorithm 3 line 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is outside `1..=64`.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(height: u32, rng: &mut R) -> Self {
+        assert!((1..=64).contains(&height), "height must be in 1..=64");
+        let mask = if height == 64 {
+            u64::MAX
+        } else {
+            (1u64 << height) - 1
+        };
+        Self {
+            bits: rng.random::<u64>() & mask,
+            height,
+        }
+    }
+
+    /// The raw value, right-aligned.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The height `H` (total number of bits).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The first `len` bits (the root-side prefix), right-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > H`.
+    #[must_use]
+    pub fn prefix(&self, len: u32) -> u64 {
+        assert!(len <= self.height, "prefix length {len} exceeds height");
+        if len == 0 {
+            0
+        } else {
+            self.bits >> (self.height - len)
+        }
+    }
+
+    /// Whether this string agrees with `other` on the first `len` bits —
+    /// the tag-side check `prc ∧ mask = r ∧ mask` of Algorithm 2/4 line 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > H` or heights differ.
+    #[must_use]
+    pub fn matches_prefix(&self, other: &BitString, len: u32) -> bool {
+        assert_eq!(
+            self.height, other.height,
+            "comparing bit strings of different heights"
+        );
+        self.prefix(len) == other.prefix(len)
+    }
+
+    /// Length of the longest common prefix with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if heights differ.
+    #[must_use]
+    pub fn common_prefix_len(&self, other: &BitString) -> u32 {
+        assert_eq!(
+            self.height, other.height,
+            "comparing bit strings of different heights"
+        );
+        let diff = self.bits ^ other.bits;
+        if diff == 0 {
+            self.height
+        } else {
+            // The first differing bit, counted from the top of the H-bit
+            // window.
+            (diff.leading_zeros() - (64 - self.height)).min(self.height)
+        }
+    }
+
+    /// Bit `i` counted from the root side (`i = 0` is the first branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= H`.
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.height, "bit index {i} out of range");
+        (self.bits >> (self.height - 1 - i)) & 1 == 1
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.height {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(BitString::from_bits(0b1111, 4).is_ok());
+        assert_eq!(
+            BitString::from_bits(0b10000, 4).unwrap_err(),
+            BitStringError::ValueTooWide
+        );
+        assert_eq!(
+            BitString::from_bits(0, 0).unwrap_err(),
+            BitStringError::HeightOutOfRange
+        );
+        assert_eq!(
+            BitString::from_bits(0, 65).unwrap_err(),
+            BitStringError::HeightOutOfRange
+        );
+        assert!(BitString::from_bits(u64::MAX, 64).is_ok());
+    }
+
+    /// The paper's Fig. 1 worked example: tags 0001, 0110, 1011, 1110 and
+    /// estimating path 0011.
+    #[test]
+    fn fig1_prefix_relations() {
+        let path = BitString::from_bits(0b0011, 4).unwrap();
+        let codes = [0b0001u64, 0b0110, 0b1011, 0b1110]
+            .map(|b| BitString::from_bits(b, 4).unwrap());
+        // Prefix 0: tags 0001 and 0110 respond.
+        let l1: Vec<bool> = codes.iter().map(|c| c.matches_prefix(&path, 1)).collect();
+        assert_eq!(l1, vec![true, true, false, false]);
+        // Prefix 00: only 0001 responds.
+        let l2: Vec<bool> = codes.iter().map(|c| c.matches_prefix(&path, 2)).collect();
+        assert_eq!(l2, vec![true, false, false, false]);
+        // Prefix 001: nobody responds → idle slot; gray node at height 2.
+        assert!(codes.iter().all(|c| !c.matches_prefix(&path, 3)));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        let s = BitString::from_bits(0b1010_1100, 8).unwrap();
+        assert_eq!(s.prefix(0), 0);
+        assert_eq!(s.prefix(1), 0b1);
+        assert_eq!(s.prefix(4), 0b1010);
+        assert_eq!(s.prefix(8), 0b1010_1100);
+    }
+
+    #[test]
+    fn common_prefix_lengths() {
+        let a = BitString::from_bits(0b1010, 4).unwrap();
+        assert_eq!(a.common_prefix_len(&a), 4);
+        let b = BitString::from_bits(0b1011, 4).unwrap();
+        assert_eq!(a.common_prefix_len(&b), 3);
+        let c = BitString::from_bits(0b0010, 4).unwrap();
+        assert_eq!(a.common_prefix_len(&c), 0);
+    }
+
+    #[test]
+    fn display_and_bit_indexing() {
+        let s = BitString::from_bits(0b0011, 4).unwrap();
+        assert_eq!(s.to_string(), "0011");
+        assert!(!s.bit(0));
+        assert!(!s.bit(1));
+        assert!(s.bit(2));
+        assert!(s.bit(3));
+    }
+
+    #[test]
+    fn random_respects_height() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for h in [1u32, 7, 32, 63, 64] {
+            for _ in 0..100 {
+                let s = BitString::random(h, &mut rng);
+                assert_eq!(s.height(), h);
+                if h < 64 {
+                    assert!(s.bits() >> h == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_first_bit_is_fair() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ones = (0..10_000)
+            .filter(|_| BitString::random(32, &mut rng).bit(0))
+            .count();
+        assert!((ones as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "different heights")]
+    fn mismatched_heights_panic() {
+        let a = BitString::from_bits(0, 4).unwrap();
+        let b = BitString::from_bits(0, 5).unwrap();
+        let _ = a.matches_prefix(&b, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds height")]
+    fn oversize_prefix_panics() {
+        let a = BitString::from_bits(0, 4).unwrap();
+        let _ = a.prefix(5);
+    }
+}

@@ -1,0 +1,384 @@
+//! PET protocol configuration.
+
+use pet_stats::accuracy::Accuracy;
+use std::fmt;
+
+/// How the reader locates the gray node on the estimating path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchStrategy {
+    /// Algorithm 1: additively growing prefix queries, `O(log n)` slots.
+    Linear,
+    /// Algorithm 3: binary search over prefix lengths, `O(log log n)` slots
+    /// (5 per round at `H = 32`).
+    #[default]
+    Binary,
+}
+
+/// Where the tag's PET code comes from (paper §4.3 vs §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TagMode {
+    /// Active tags re-hash `H(s, tagID)` with a fresh reader seed every
+    /// round (Algorithm 2).
+    ActivePerRound,
+    /// Passive tags use a single preloaded code across all rounds; only the
+    /// estimating path varies (Algorithm 4, §4.5).
+    #[default]
+    PassivePreloaded,
+}
+
+/// Reader command encoding for each prefix query (paper §4.6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommandEncoding {
+    /// Broadcast the full `H`-bit mask every slot.
+    FullMask,
+    /// Broadcast only the `⌈log₂ H⌉`-bit prefix length (`mid`).
+    #[default]
+    PrefixLength,
+    /// Broadcast a single feedback bit; tags mirror the binary-search state
+    /// (`high`/`low`) locally. Only meaningful with
+    /// [`SearchStrategy::Binary`].
+    FeedbackBit,
+}
+
+impl CommandEncoding {
+    /// Bits broadcast per query slot for a PET of height `height`.
+    #[must_use]
+    pub fn bits_per_query(self, height: u32) -> u32 {
+        match self {
+            Self::FullMask => height,
+            // mid ∈ 1..=H: ⌈log₂ H⌉ bits (5 for H = 32, as §4.6.2 argues).
+            Self::PrefixLength => u32::BITS - (height - 1).leading_zeros(),
+            Self::FeedbackBit => 1,
+        }
+    }
+}
+
+/// Error validating a [`PetConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Height must lie in `1..=64`.
+    HeightOutOfRange,
+    /// The 1-bit feedback encoding requires the binary-search strategy —
+    /// with linear search the tags would have nothing to mirror.
+    FeedbackRequiresBinarySearch,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HeightOutOfRange => write!(f, "PET height must be in 1..=64"),
+            Self::FeedbackRequiresBinarySearch => write!(
+                f,
+                "the 1-bit feedback encoding requires the binary-search strategy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Complete PET protocol configuration.
+///
+/// # Example
+///
+/// ```
+/// use pet_core::config::{PetConfig, SearchStrategy};
+/// use pet_stats::accuracy::Accuracy;
+///
+/// let config = PetConfig::builder()
+///     .height(32)
+///     .accuracy(Accuracy::new(0.05, 0.01).unwrap())
+///     .search(SearchStrategy::Binary)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.height(), 32);
+/// // 5 query slots per round at H = 32 (Table 3).
+/// assert_eq!(config.slots_per_round_nominal(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PetConfig {
+    height: u32,
+    accuracy: Accuracy,
+    search: SearchStrategy,
+    tag_mode: TagMode,
+    encoding: CommandEncoding,
+    manufacture_seed: u64,
+    zero_probe: bool,
+}
+
+impl PetConfig {
+    /// Starts a builder with the paper's defaults: `H = 32`, ε = 5%,
+    /// δ = 1%, binary search, passive preloaded tags, `⌈log₂H⌉`-bit
+    /// commands, no zero-probe.
+    #[must_use]
+    pub fn builder() -> PetConfigBuilder {
+        PetConfigBuilder::default()
+    }
+
+    /// The paper's default configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::builder().build().expect("defaults are valid")
+    }
+
+    /// PET height `H`.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The accuracy requirement.
+    #[must_use]
+    pub fn accuracy(&self) -> Accuracy {
+        self.accuracy
+    }
+
+    /// The gray-node search strategy.
+    #[must_use]
+    pub fn search(&self) -> SearchStrategy {
+        self.search
+    }
+
+    /// The tag code mode.
+    #[must_use]
+    pub fn tag_mode(&self) -> TagMode {
+        self.tag_mode
+    }
+
+    /// The per-query command encoding.
+    #[must_use]
+    pub fn encoding(&self) -> CommandEncoding {
+        self.encoding
+    }
+
+    /// Seed under which passive tags' codes were "manufactured" (§4.5).
+    #[must_use]
+    pub fn manufacture_seed(&self) -> u64 {
+        self.manufacture_seed
+    }
+
+    /// Whether to spend one extra slot per estimate on an "anyone there?"
+    /// probe so a zero-tag region reports exactly 0 (extension; the plain
+    /// estimator cannot distinguish 0 from ~1).
+    #[must_use]
+    pub fn zero_probe(&self) -> bool {
+        self.zero_probe
+    }
+
+    /// Rounds `m` required by the accuracy requirement (paper Eq. (20)).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.accuracy.pet_rounds()
+    }
+
+    /// Nominal query slots per round: `⌈log₂ H⌉` for binary search (the
+    /// paper's 5 at `H = 32`; a rare extra disambiguation slot can occur,
+    /// see `reader`), `H` worst-case for linear search.
+    #[must_use]
+    pub fn slots_per_round_nominal(&self) -> u32 {
+        match self.search {
+            SearchStrategy::Binary => u32::BITS - (self.height - 1).leading_zeros(),
+            SearchStrategy::Linear => self.height,
+        }
+    }
+
+    /// Bits the reader broadcasts at the start of each round: the `H`-bit
+    /// estimating path, plus a 32-bit seed in active mode (Algorithm 1
+    /// line 3 "broadcast r and s").
+    #[must_use]
+    pub fn round_start_bits(&self) -> u32 {
+        match self.tag_mode {
+            TagMode::ActivePerRound => self.height + 32,
+            TagMode::PassivePreloaded => self.height,
+        }
+    }
+}
+
+impl Default for PetConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Builder for [`PetConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct PetConfigBuilder {
+    height: u32,
+    accuracy: Accuracy,
+    search: SearchStrategy,
+    tag_mode: TagMode,
+    encoding: CommandEncoding,
+    manufacture_seed: u64,
+    zero_probe: bool,
+}
+
+impl Default for PetConfigBuilder {
+    fn default() -> Self {
+        Self {
+            height: 32,
+            accuracy: Accuracy::new(0.05, 0.01).expect("paper defaults are valid"),
+            search: SearchStrategy::default(),
+            tag_mode: TagMode::default(),
+            encoding: CommandEncoding::default(),
+            manufacture_seed: 0x9e37_79b9_7f4a_7c15,
+            zero_probe: false,
+        }
+    }
+}
+
+impl PetConfigBuilder {
+    /// Sets the PET height `H` (default 32).
+    #[must_use]
+    pub fn height(mut self, height: u32) -> Self {
+        self.height = height;
+        self
+    }
+
+    /// Sets the accuracy requirement (default ε = 5%, δ = 1%).
+    #[must_use]
+    pub fn accuracy(mut self, accuracy: Accuracy) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Sets the search strategy (default binary).
+    #[must_use]
+    pub fn search(mut self, search: SearchStrategy) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Sets the tag mode (default passive preloaded).
+    #[must_use]
+    pub fn tag_mode(mut self, tag_mode: TagMode) -> Self {
+        self.tag_mode = tag_mode;
+        self
+    }
+
+    /// Sets the command encoding (default `⌈log₂H⌉`-bit prefix length).
+    #[must_use]
+    pub fn encoding(mut self, encoding: CommandEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets the manufacture seed for passive preloaded codes.
+    #[must_use]
+    pub fn manufacture_seed(mut self, seed: u64) -> Self {
+        self.manufacture_seed = seed;
+        self
+    }
+
+    /// Enables the zero-cardinality probe (default off, matching the paper's
+    /// slot accounting).
+    #[must_use]
+    pub fn zero_probe(mut self, enabled: bool) -> Self {
+        self.zero_probe = enabled;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range heights or incompatible
+    /// strategy/encoding combinations.
+    pub fn build(self) -> Result<PetConfig, ConfigError> {
+        if !(1..=64).contains(&self.height) {
+            return Err(ConfigError::HeightOutOfRange);
+        }
+        if self.encoding == CommandEncoding::FeedbackBit
+            && self.search != SearchStrategy::Binary
+        {
+            return Err(ConfigError::FeedbackRequiresBinarySearch);
+        }
+        Ok(PetConfig {
+            height: self.height,
+            accuracy: self.accuracy,
+            search: self.search,
+            tag_mode: self.tag_mode,
+            encoding: self.encoding,
+            manufacture_seed: self.manufacture_seed,
+            zero_probe: self.zero_probe,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PetConfig::paper_default();
+        assert_eq!(c.height(), 32);
+        assert_eq!(c.search(), SearchStrategy::Binary);
+        assert_eq!(c.tag_mode(), TagMode::PassivePreloaded);
+        assert_eq!(c.slots_per_round_nominal(), 5);
+        assert_eq!(c.round_start_bits(), 32);
+        assert!(!c.zero_probe());
+        assert!((c.accuracy().epsilon() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = PetConfig::builder()
+            .height(16)
+            .search(SearchStrategy::Linear)
+            .tag_mode(TagMode::ActivePerRound)
+            .encoding(CommandEncoding::FullMask)
+            .zero_probe(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.height(), 16);
+        assert_eq!(c.slots_per_round_nominal(), 16);
+        assert_eq!(c.round_start_bits(), 16 + 32);
+        assert!(c.zero_probe());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            PetConfig::builder().height(0).build().unwrap_err(),
+            ConfigError::HeightOutOfRange
+        );
+        assert_eq!(
+            PetConfig::builder().height(65).build().unwrap_err(),
+            ConfigError::HeightOutOfRange
+        );
+        assert_eq!(
+            PetConfig::builder()
+                .search(SearchStrategy::Linear)
+                .encoding(CommandEncoding::FeedbackBit)
+                .build()
+                .unwrap_err(),
+            ConfigError::FeedbackRequiresBinarySearch
+        );
+    }
+
+    /// §4.6.2's arithmetic: 32-bit masks carry log₂32 = 5 bits of
+    /// information; feedback needs only 1.
+    #[test]
+    fn encoding_bit_costs() {
+        assert_eq!(CommandEncoding::FullMask.bits_per_query(32), 32);
+        assert_eq!(CommandEncoding::PrefixLength.bits_per_query(32), 5);
+        assert_eq!(CommandEncoding::FeedbackBit.bits_per_query(32), 1);
+        // Non-power-of-two heights round up.
+        assert_eq!(CommandEncoding::PrefixLength.bits_per_query(33), 6);
+        assert_eq!(CommandEncoding::PrefixLength.bits_per_query(1), 0);
+        assert_eq!(CommandEncoding::PrefixLength.bits_per_query(2), 1);
+    }
+
+    #[test]
+    fn rounds_come_from_accuracy() {
+        let tight = PetConfig::builder()
+            .accuracy(Accuracy::new(0.05, 0.01).unwrap())
+            .build()
+            .unwrap();
+        let loose = PetConfig::builder()
+            .accuracy(Accuracy::new(0.20, 0.10).unwrap())
+            .build()
+            .unwrap();
+        assert!(tight.rounds() > loose.rounds());
+    }
+}

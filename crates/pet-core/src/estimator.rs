@@ -1,0 +1,155 @@
+//! Aggregating round statistics into a cardinality estimate (Eq. (12)–(14)).
+
+use crate::reader::RoundRecord;
+use pet_stats::gray;
+
+/// Accumulates per-round gray-node observations and produces `n̂`.
+///
+/// # Example
+///
+/// ```
+/// use pet_core::estimator::PetEstimator;
+/// use pet_core::reader::RoundRecord;
+///
+/// let mut est = PetEstimator::new(32);
+/// est.push(RoundRecord { prefix_len: 16, gray_height: 16, slots: 5, disambiguated: false });
+/// est.push(RoundRecord { prefix_len: 17, gray_height: 15, slots: 5, disambiguated: false });
+/// // n̂ = 2^16.5 / φ ≈ 73,5xx
+/// assert!((est.estimate() - 2f64.powf(16.5) / pet_stats::gray::PHI).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PetEstimator {
+    height: u32,
+    sum_prefix: u64,
+    rounds: u32,
+}
+
+impl PetEstimator {
+    /// Creates an estimator for a PET of the given height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is outside `1..=64`.
+    #[must_use]
+    pub fn new(height: u32) -> Self {
+        assert!((1..=64).contains(&height), "height must be in 1..=64");
+        Self {
+            height,
+            sum_prefix: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Adds one round's observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's prefix length exceeds the height.
+    pub fn push(&mut self, record: RoundRecord) {
+        assert!(
+            record.prefix_len <= self.height,
+            "prefix length {} exceeds height {}",
+            record.prefix_len,
+            self.height
+        );
+        self.sum_prefix += u64::from(record.prefix_len);
+        self.rounds += 1;
+    }
+
+    /// Rounds accumulated so far.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Mean responsive prefix length `L̄` (0 when no rounds yet).
+    #[must_use]
+    pub fn mean_prefix_len(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.sum_prefix as f64 / f64::from(self.rounds)
+        }
+    }
+
+    /// Mean gray-node height `h̄ = H − L̄`.
+    #[must_use]
+    pub fn mean_gray_height(&self) -> f64 {
+        f64::from(self.height) - self.mean_prefix_len()
+    }
+
+    /// The cardinality estimate `n̂ = φ⁻¹·2^(L̄)` (Eq. (14)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rounds have been accumulated.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        assert!(self.rounds > 0, "estimate requires at least one round");
+        gray::estimate_from_mean_prefix(self.mean_prefix_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(prefix_len: u32) -> RoundRecord {
+        RoundRecord {
+            prefix_len,
+            gray_height: 32 - prefix_len,
+            slots: 5,
+            disambiguated: false,
+        }
+    }
+
+    #[test]
+    fn averages_prefix_lengths() {
+        let mut e = PetEstimator::new(32);
+        e.push(rec(10));
+        e.push(rec(12));
+        e.push(rec(14));
+        assert_eq!(e.rounds(), 3);
+        assert!((e.mean_prefix_len() - 12.0).abs() < 1e-12);
+        assert!((e.mean_gray_height() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_formula() {
+        let mut e = PetEstimator::new(32);
+        e.push(rec(16));
+        let expected = 2f64.powi(16) / gray::PHI;
+        assert!((e.estimate() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn height_and_prefix_views_consistent() {
+        let mut e = PetEstimator::new(32);
+        e.push(rec(7));
+        e.push(rec(9));
+        let via_height = gray::estimate_from_mean_height(e.mean_gray_height(), 32);
+        assert!((e.estimate() - via_height).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn empty_estimator_panics() {
+        let _ = PetEstimator::new(32).estimate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds height")]
+    fn oversized_prefix_rejected() {
+        let mut e = PetEstimator::new(8);
+        e.push(rec(9));
+    }
+
+    #[test]
+    fn zero_prefix_rounds_estimate_below_one() {
+        // All-idle rounds (L = 0) estimate ~0.79 tags — why the zero probe
+        // exists.
+        let mut e = PetEstimator::new(32);
+        e.push(rec(0));
+        assert!(e.estimate() < 1.0);
+    }
+}

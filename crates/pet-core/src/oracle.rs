@@ -1,0 +1,498 @@
+//! Responder oracles: who answers a prefix query.
+//!
+//! The reader algorithms (see [`crate::reader`]) are written against the
+//! [`ResponderOracle`] trait so the same protocol code can run in two
+//! fidelities:
+//!
+//! - [`TagFleet`] — every tag is an explicit state machine ([`TagUnit`]),
+//!   including the §4.6.2 1-bit-feedback variant where tags mirror the
+//!   reader's binary-search registers. This is the reference semantics.
+//! - [`CodeRoster`] — an exact fast path: since a prefix query's responder
+//!   count equals the number of codes in one contiguous range of the sorted
+//!   code array, the oracle answers in `O(log n)` without touching
+//!   individual tags. Bit-for-bit equivalent to [`TagFleet`] with explicit
+//!   commands (the integration suite asserts this), and what makes
+//!   paper-scale sweeps (thousands of rounds × 10⁵ tags × 300 runs)
+//!   tractable.
+
+use crate::bits::BitString;
+use crate::config::{PetConfig, TagMode};
+use pet_hash::family::{AnyFamily, HashFamily};
+
+/// Parameters announced by the reader at the start of a round
+/// (Algorithm 1 line 3: "Select a random estimating path r and a random
+/// seed s; Broadcast r and s").
+#[derive(Debug, Clone, Copy)]
+pub struct RoundStart {
+    /// The estimating path `r`.
+    pub path: BitString,
+    /// The per-round hashing seed `s` (active-tag mode only).
+    pub seed: Option<u64>,
+}
+
+/// Answers "how many tags respond to this prefix query?".
+pub trait ResponderOracle {
+    /// Begins a round: tags latch the path (and recompute codes in active
+    /// mode), feedback-mode tags reset their search registers.
+    fn begin_round(&mut self, start: &RoundStart);
+
+    /// Number of tags whose code matches the first `prefix_len` bits of the
+    /// round's estimating path. `prefix_len == 0` is the match-all presence
+    /// probe.
+    fn responders(&mut self, prefix_len: u32) -> u64;
+
+    /// Delivers the reader's 1-bit busy/idle feedback after a slot
+    /// (only feedback-mode tags react; a no-op otherwise).
+    fn feedback(&mut self, busy: bool) {
+        let _ = busy;
+    }
+
+    /// Total tags currently energized (for the zero probe and tests).
+    fn population(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Fast path: sorted code roster.
+// ---------------------------------------------------------------------------
+
+/// Exact `O(log n)`-per-query oracle over the sorted tag codes.
+#[derive(Debug, Clone)]
+pub struct CodeRoster {
+    /// Tag hashing keys (needed to rebuild codes in active mode).
+    keys: Vec<u64>,
+    /// Sorted codes for the current round.
+    codes: Vec<u64>,
+    height: u32,
+    family: AnyFamily,
+    mode: TagMode,
+    path: Option<BitString>,
+}
+
+impl CodeRoster {
+    /// Builds a roster for `keys` under `config`, preloading passive codes
+    /// with the manufacture seed.
+    #[must_use]
+    pub fn new(keys: &[u64], config: &PetConfig, family: AnyFamily) -> Self {
+        let mut roster = Self {
+            keys: keys.to_vec(),
+            codes: Vec::new(),
+            height: config.height(),
+            family,
+            mode: config.tag_mode(),
+            path: None,
+        };
+        if roster.mode == TagMode::PassivePreloaded {
+            roster.rebuild_codes(config.manufacture_seed());
+        }
+        roster
+    }
+
+    /// Builds a passive roster from explicit codes (e.g. the paper's Fig. 1
+    /// and Fig. 3 worked examples) instead of hashed keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is outside `1..=64` or any code has a different
+    /// height.
+    #[must_use]
+    pub fn from_codes(codes: &[BitString], height: u32) -> Self {
+        assert!((1..=64).contains(&height), "height must be in 1..=64");
+        let mut sorted: Vec<u64> = codes
+            .iter()
+            .map(|c| {
+                assert_eq!(c.height(), height, "code height mismatch");
+                c.bits()
+            })
+            .collect();
+        sorted.sort_unstable();
+        Self {
+            keys: sorted.clone(),
+            codes: sorted,
+            height,
+            family: AnyFamily::default(),
+            mode: TagMode::PassivePreloaded,
+            path: None,
+        }
+    }
+
+    fn rebuild_codes(&mut self, seed: u64) {
+        self.codes = self
+            .keys
+            .iter()
+            .map(|&k| self.family.hash_bits(seed, k, self.height))
+            .collect();
+        self.codes.sort_unstable();
+    }
+
+    /// The sorted codes of the current round (test hook).
+    #[must_use]
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Exact number of codes matching the first `len` bits of `path`,
+    /// by range counting on the sorted array.
+    #[must_use]
+    pub fn count_prefix(&self, path: &BitString, len: u32) -> u64 {
+        if len == 0 {
+            return self.codes.len() as u64;
+        }
+        let shift = self.height - len; // ≤ 63 since len ≥ 1
+        let lo = (path.bits() >> shift) << shift;
+        let start = self.codes.partition_point(|&c| c < lo);
+        // The exclusive upper bound lo + 2^shift can overflow u64 at the top
+        // of a height-64 tree; that range extends past every code.
+        let end = match lo.checked_add(1u64 << shift) {
+            Some(hi_excl) => self.codes.partition_point(|&c| c < hi_excl),
+            None => self.codes.len(),
+        };
+        (end - start) as u64
+    }
+}
+
+impl ResponderOracle for CodeRoster {
+    fn begin_round(&mut self, start: &RoundStart) {
+        if self.mode == TagMode::ActivePerRound {
+            let seed = start
+                .seed
+                .expect("active mode requires a per-round seed");
+            self.rebuild_codes(seed);
+        }
+        self.path = Some(start.path);
+    }
+
+    fn responders(&mut self, prefix_len: u32) -> u64 {
+        if prefix_len == 0 {
+            // Presence probe: every energized tag responds; valid even
+            // before the first round starts.
+            return self.keys.len() as u64;
+        }
+        let path = self.path.expect("begin_round not called");
+        self.count_prefix(&path, prefix_len)
+    }
+
+    fn population(&self) -> u64 {
+        self.keys.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference path: per-tag state machines.
+// ---------------------------------------------------------------------------
+
+/// Per-tag protocol state for the full-fidelity oracle.
+#[derive(Debug, Clone)]
+pub struct TagUnit {
+    key: u64,
+    /// Current `H`-bit PET code (preloaded, or refreshed per round).
+    code: u64,
+    /// Binary-search mirror registers for the 1-bit feedback mode
+    /// (§4.6.2: "If tags keep high and low locally, they can compute a new
+    /// value of mid").
+    low: u32,
+    high: u32,
+    any_busy: bool,
+    /// Set when the tag has decided the round is over for it.
+    converged: bool,
+}
+
+impl TagUnit {
+    fn new(key: u64) -> Self {
+        Self {
+            key,
+            code: 0,
+            low: 1,
+            high: 1,
+            any_busy: false,
+            converged: false,
+        }
+    }
+
+    /// The tag-side computation of the next query's prefix length in
+    /// feedback mode — must mirror the reader's rule exactly.
+    fn expected_mid(&self, height: u32) -> u32 {
+        if self.low < self.high {
+            (self.low + self.high).div_ceil(2)
+        } else if self.low == 1 && !self.any_busy {
+            // Reader's disambiguation slot for L ∈ {0, 1}.
+            1
+        } else {
+            // Converged; the reader will not query again this round.
+            height + 1
+        }
+    }
+}
+
+/// Which command style the fleet's tags are wired for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetCommandMode {
+    /// Tags receive the prefix length (or full mask) explicitly.
+    Explicit,
+    /// Tags receive only the 1-bit feedback and track `low`/`high` locally.
+    Feedback,
+}
+
+/// Full-fidelity oracle: a vector of per-tag state machines.
+#[derive(Debug, Clone)]
+pub struct TagFleet {
+    tags: Vec<TagUnit>,
+    height: u32,
+    family: AnyFamily,
+    mode: TagMode,
+    command_mode: FleetCommandMode,
+    manufacture_seed: u64,
+    path: Option<BitString>,
+}
+
+impl TagFleet {
+    /// Builds a fleet for `keys` under `config`.
+    #[must_use]
+    pub fn new(keys: &[u64], config: &PetConfig, family: AnyFamily) -> Self {
+        let command_mode = match config.encoding() {
+            crate::config::CommandEncoding::FeedbackBit => FleetCommandMode::Feedback,
+            _ => FleetCommandMode::Explicit,
+        };
+        let mut fleet = Self {
+            tags: keys.iter().map(|&k| TagUnit::new(k)).collect(),
+            height: config.height(),
+            family,
+            mode: config.tag_mode(),
+            command_mode,
+            manufacture_seed: config.manufacture_seed(),
+            path: None,
+        };
+        if fleet.mode == TagMode::PassivePreloaded {
+            let seed = fleet.manufacture_seed;
+            for t in &mut fleet.tags {
+                t.code = fleet.family.hash_bits(seed, t.key, fleet.height);
+            }
+        }
+        fleet
+    }
+
+    /// The command style the tags are wired for.
+    #[must_use]
+    pub fn command_mode(&self) -> FleetCommandMode {
+        self.command_mode
+    }
+
+    fn tag_responds(code: u64, path: &BitString, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let shift = path.height() - len;
+        (code >> shift) == path.prefix(len)
+    }
+}
+
+impl ResponderOracle for TagFleet {
+    fn begin_round(&mut self, start: &RoundStart) {
+        if self.mode == TagMode::ActivePerRound {
+            let seed = start
+                .seed
+                .expect("active mode requires a per-round seed");
+            for t in &mut self.tags {
+                t.code = self.family.hash_bits(seed, t.key, self.height);
+            }
+        }
+        for t in &mut self.tags {
+            t.low = 1;
+            t.high = self.height;
+            t.any_busy = false;
+            t.converged = false;
+        }
+        self.path = Some(start.path);
+    }
+
+    fn responders(&mut self, prefix_len: u32) -> u64 {
+        if prefix_len == 0 {
+            // Presence probe: every energized tag responds; valid even
+            // before the first round starts.
+            return self.tags.len() as u64;
+        }
+        let path = self.path.expect("begin_round not called");
+        let mut count = 0;
+        for t in &self.tags {
+            let len = match self.command_mode {
+                FleetCommandMode::Explicit => prefix_len,
+                FleetCommandMode::Feedback => {
+                    // The tag computes the query length itself; it must agree
+                    // with the reader or the protocol has desynchronized.
+                    let mid = t.expected_mid(self.height);
+                    debug_assert_eq!(
+                        mid, prefix_len,
+                        "feedback tag desynchronized from reader"
+                    );
+                    mid
+                }
+            };
+            if !t.converged && Self::tag_responds(t.code, &path, len) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn feedback(&mut self, busy: bool) {
+        if self.command_mode != FleetCommandMode::Feedback {
+            return;
+        }
+        for t in &mut self.tags {
+            if t.converged {
+                continue;
+            }
+            if t.low < t.high {
+                let mid = (t.low + t.high).div_ceil(2);
+                if busy {
+                    t.low = mid;
+                    t.any_busy = true;
+                } else {
+                    t.high = mid - 1;
+                }
+            } else {
+                // This was the disambiguation slot (or spurious feedback
+                // after convergence): the round is over for this tag.
+                t.converged = true;
+            }
+        }
+    }
+
+    fn population(&self) -> u64 {
+        self.tags.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PetConfig;
+    use pet_hash::family::HashKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> PetConfig {
+        PetConfig::builder().height(16).build().unwrap()
+    }
+
+    fn family() -> AnyFamily {
+        AnyFamily::new(HashKind::Mix)
+    }
+
+    #[test]
+    fn roster_counts_match_brute_force() {
+        let keys: Vec<u64> = (0..500).collect();
+        let cfg = config();
+        let mut roster = CodeRoster::new(&keys, &cfg, family());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let path = BitString::random(16, &mut rng);
+            roster.begin_round(&RoundStart { path, seed: None });
+            for len in 0..=16 {
+                let fast = roster.count_prefix(&path, len);
+                let slow = roster
+                    .codes()
+                    .iter()
+                    .filter(|&&c| {
+                        len == 0 || (c >> (16 - len)) == path.prefix(len)
+                    })
+                    .count() as u64;
+                assert_eq!(fast, slow, "len {len} path {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn roster_and_fleet_agree_on_explicit_queries() {
+        let keys: Vec<u64> = (0..300).collect();
+        let cfg = config();
+        let mut roster = CodeRoster::new(&keys, &cfg, family());
+        let mut fleet = TagFleet::new(&keys, &cfg, family());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..25 {
+            let start = RoundStart {
+                path: BitString::random(16, &mut rng),
+                seed: None,
+            };
+            roster.begin_round(&start);
+            fleet.begin_round(&start);
+            for len in 0..=16 {
+                assert_eq!(roster.responders(len), fleet.responders(len));
+            }
+        }
+    }
+
+    #[test]
+    fn active_mode_rehashes_each_round() {
+        let keys: Vec<u64> = (0..100).collect();
+        let cfg = PetConfig::builder()
+            .height(16)
+            .tag_mode(TagMode::ActivePerRound)
+            .build()
+            .unwrap();
+        let mut roster = CodeRoster::new(&keys, &cfg, family());
+        let path = BitString::from_bits(0, 16).unwrap();
+        roster.begin_round(&RoundStart { path, seed: Some(1) });
+        let codes1 = roster.codes().to_vec();
+        roster.begin_round(&RoundStart { path, seed: Some(2) });
+        let codes2 = roster.codes().to_vec();
+        assert_ne!(codes1, codes2);
+        // Same seed reproduces the same codes.
+        roster.begin_round(&RoundStart { path, seed: Some(1) });
+        assert_eq!(roster.codes(), &codes1[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "active mode requires a per-round seed")]
+    fn active_mode_without_seed_panics() {
+        let cfg = PetConfig::builder()
+            .tag_mode(TagMode::ActivePerRound)
+            .build()
+            .unwrap();
+        let mut roster = CodeRoster::new(&[1, 2], &cfg, family());
+        let path = BitString::from_bits(0, 32).unwrap();
+        roster.begin_round(&RoundStart { path, seed: None });
+    }
+
+    #[test]
+    fn presence_probe_counts_everyone() {
+        let keys: Vec<u64> = (0..77).collect();
+        let cfg = config();
+        let mut roster = CodeRoster::new(&keys, &cfg, family());
+        let mut fleet = TagFleet::new(&keys, &cfg, family());
+        let start = RoundStart {
+            path: BitString::from_bits(0, 16).unwrap(),
+            seed: None,
+        };
+        roster.begin_round(&start);
+        fleet.begin_round(&start);
+        assert_eq!(roster.responders(0), 77);
+        assert_eq!(fleet.responders(0), 77);
+        assert_eq!(roster.population(), 77);
+        assert_eq!(fleet.population(), 77);
+    }
+
+    #[test]
+    fn empty_roster_is_always_idle() {
+        let cfg = config();
+        let mut roster = CodeRoster::new(&[], &cfg, family());
+        let path = BitString::from_bits(0b1010_1010_1010_1010, 16).unwrap();
+        roster.begin_round(&RoundStart { path, seed: None });
+        for len in 1..=16 {
+            assert_eq!(roster.responders(len), 0);
+        }
+        assert_eq!(roster.responders(0), 0);
+    }
+
+    #[test]
+    fn full_height_roster_range_counting() {
+        // height = 64 exercises the shift == 64 edge in count_prefix.
+        let cfg = PetConfig::builder().height(64).build().unwrap();
+        let keys: Vec<u64> = (0..50).collect();
+        let mut roster = CodeRoster::new(&keys, &cfg, family());
+        let path = BitString::from_bits(u64::MAX, 64).unwrap();
+        roster.begin_round(&RoundStart { path, seed: None });
+        assert_eq!(roster.responders(0), 50);
+        // A 64-bit exact-match query finds at most one code.
+        assert!(roster.responders(64) <= 1);
+    }
+}

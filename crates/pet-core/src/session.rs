@@ -1,0 +1,380 @@
+//! End-to-end PET estimation sessions.
+//!
+//! A session executes the `m` rounds required by the configured accuracy
+//! target (Eq. (20)) and aggregates them into an estimate, tracking air
+//! costs throughout. The generic [`PetSession::run`] accepts any oracle and
+//! channel; [`PetSession::estimate_population`] is the one-call convenience
+//! path over a lossless channel.
+
+use crate::config::PetConfig;
+use crate::estimator::PetEstimator;
+use crate::oracle::{CodeRoster, ResponderOracle};
+use crate::reader::{run_round, RoundRecord};
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::{Channel, PerfectChannel};
+use pet_radio::{Air, AirMetrics};
+use pet_tags::population::TagPopulation;
+use rand::Rng;
+
+/// Result of one complete estimation.
+#[derive(Debug, Clone)]
+pub struct EstimateReport {
+    /// The cardinality estimate `n̂`.
+    pub estimate: f64,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Mean responsive prefix length `L̄` across rounds.
+    pub mean_prefix_len: f64,
+    /// Air costs (slots, command bits) for the whole estimation.
+    pub metrics: AirMetrics,
+    /// Set when the zero probe fired and found an empty region (in which
+    /// case `estimate` is exactly 0 and no rounds were run).
+    pub zero_detected: bool,
+    /// Per-round records, in order.
+    pub records: Vec<RoundRecord>,
+}
+
+impl EstimateReport {
+    /// Two-sided confidence interval of the estimate at error probability
+    /// `delta`, from the asymptotic law of the mean gray-node statistic
+    /// (`L̄ ~ N(E L, σ(h)/√m)` ⇒ multiplicative `2^±(c·σ/√m)` bounds).
+    ///
+    /// Returns `(0.0, 0.0)` when the zero probe detected an empty region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` lies outside `(0, 1)` or no rounds were run on a
+    /// non-empty region.
+    #[must_use]
+    pub fn confidence_interval(&self, delta: f64) -> (f64, f64) {
+        if self.zero_detected {
+            return (0.0, 0.0);
+        }
+        assert!(self.rounds > 0, "no rounds were run");
+        let c = pet_stats::erf::two_sided_quantile(delta);
+        let half = c * pet_stats::gray::SIGMA_H / f64::from(self.rounds).sqrt();
+        (
+            self.estimate * 2f64.powf(-half),
+            self.estimate * 2f64.powf(half),
+        )
+    }
+}
+
+/// A configured PET estimation session.
+///
+/// # Example
+///
+/// ```
+/// use pet_core::session::PetSession;
+/// use pet_core::config::PetConfig;
+/// use pet_tags::population::TagPopulation;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let population = TagPopulation::sequential(10_000);
+/// let session = PetSession::new(PetConfig::paper_default());
+/// let report = session.estimate_population(&population, &mut rng);
+/// let err = (report.estimate - 10_000.0).abs() / 10_000.0;
+/// assert!(err < 0.10, "estimate {} too far off", report.estimate);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PetSession {
+    config: PetConfig,
+    family: AnyFamily,
+}
+
+impl PetSession {
+    /// Creates a session with the default fast hash family.
+    #[must_use]
+    pub fn new(config: PetConfig) -> Self {
+        Self {
+            config,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// Creates a session with an explicit hash family (e.g. MD5/SHA-1 as
+    /// §4.5 suggests for manufactured codes).
+    #[must_use]
+    pub fn with_family(config: PetConfig, family: AnyFamily) -> Self {
+        Self { config, family }
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PetConfig {
+        &self.config
+    }
+
+    /// The session's hash family.
+    #[must_use]
+    pub fn family(&self) -> AnyFamily {
+        self.family
+    }
+
+    /// Runs the configured number of rounds (`m` from Eq. (20)) against an
+    /// arbitrary oracle and channel.
+    pub fn run<O, C, R>(&self, oracle: &mut O, air: &mut Air<C>, rng: &mut R) -> EstimateReport
+    where
+        O: ResponderOracle,
+        C: Channel,
+        R: Rng + ?Sized,
+    {
+        self.run_rounds(self.config.rounds(), oracle, air, rng)
+    }
+
+    /// Runs an explicit number of rounds — the knob the Fig. 4 sweeps turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn run_rounds<O, C, R>(
+        &self,
+        rounds: u32,
+        oracle: &mut O,
+        air: &mut Air<C>,
+        rng: &mut R,
+    ) -> EstimateReport
+    where
+        O: ResponderOracle,
+        C: Channel,
+        R: Rng + ?Sized,
+    {
+        assert!(rounds > 0, "at least one round is required");
+        if self.config.zero_probe() {
+            // One match-all slot: if nobody answers, the region is empty.
+            let outcome = air.slot(oracle.responders(0), 1, rng);
+            if outcome.is_idle() {
+                return EstimateReport {
+                    estimate: 0.0,
+                    rounds: 0,
+                    mean_prefix_len: 0.0,
+                    metrics: *air.metrics(),
+                    zero_detected: true,
+                    records: Vec::new(),
+                };
+            }
+        }
+        let mut estimator = PetEstimator::new(self.config.height());
+        let mut records = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let record = run_round(&self.config, oracle, air, rng);
+            estimator.push(record);
+            records.push(record);
+        }
+        EstimateReport {
+            estimate: estimator.estimate(),
+            rounds,
+            mean_prefix_len: estimator.mean_prefix_len(),
+            metrics: *air.metrics(),
+            zero_detected: false,
+            records,
+        }
+    }
+
+    /// One-call convenience: estimates a population over a lossless channel
+    /// using the exact roster oracle.
+    pub fn estimate_population<R: Rng + ?Sized>(
+        &self,
+        population: &TagPopulation,
+        rng: &mut R,
+    ) -> EstimateReport {
+        let keys: Vec<u64> = population.keys().collect();
+        let mut oracle = CodeRoster::new(&keys, &self.config, self.family);
+        let mut air = Air::new(PerfectChannel);
+        self.run(&mut oracle, &mut air, rng)
+    }
+
+    /// Like [`Self::estimate_population`] with an explicit round count.
+    pub fn estimate_population_rounds<R: Rng + ?Sized>(
+        &self,
+        population: &TagPopulation,
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        let keys: Vec<u64> = population.keys().collect();
+        let mut oracle = CodeRoster::new(&keys, &self.config, self.family);
+        let mut air = Air::new(PerfectChannel);
+        self.run_rounds(rounds, &mut oracle, &mut air, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SearchStrategy, TagMode};
+    use pet_stats::accuracy::Accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config() -> PetConfig {
+        // Loose accuracy to keep unit tests fast; statistical quality is
+        // covered by the integration suite and benches.
+        PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimates_are_in_the_right_ballpark() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let session = PetSession::new(quick_config());
+        for &n in &[100usize, 1_000, 10_000] {
+            let pop = TagPopulation::sequential(n);
+            let report = session.estimate_population_rounds(&pop, 256, &mut rng);
+            let rel = (report.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.3, "n = {n}: estimate {} off by {rel}", report.estimate);
+        }
+    }
+
+    /// Table 3's accounting: total slots = 5m at H = 32 (for n large enough
+    /// that disambiguation never fires).
+    #[test]
+    fn slot_budget_is_five_per_round() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let session = PetSession::new(quick_config());
+        let pop = TagPopulation::sequential(5_000);
+        let report = session.estimate_population_rounds(&pop, 64, &mut rng);
+        assert_eq!(report.metrics.slots, 64 * 5);
+        assert_eq!(report.rounds, 64);
+        assert_eq!(report.records.len(), 64);
+    }
+
+    #[test]
+    fn configured_rounds_follow_accuracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = PetConfig::builder()
+            .accuracy(Accuracy::new(0.3, 0.3).unwrap())
+            .build()
+            .unwrap();
+        let session = PetSession::new(config);
+        let pop = TagPopulation::sequential(1_000);
+        let report = session.estimate_population(&pop, &mut rng);
+        assert_eq!(report.rounds, config.rounds());
+        assert_eq!(
+            report.metrics.slots,
+            u64::from(report.rounds) * 5,
+            "5 slots/round"
+        );
+    }
+
+    #[test]
+    fn zero_probe_detects_empty_region() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = PetConfig::builder()
+            .zero_probe(true)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let session = PetSession::new(config);
+        let report = session.estimate_population(&TagPopulation::new(), &mut rng);
+        assert!(report.zero_detected);
+        assert_eq!(report.estimate, 0.0);
+        assert_eq!(report.metrics.slots, 1, "only the probe slot");
+    }
+
+    #[test]
+    fn zero_probe_passes_through_when_tags_exist() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = PetConfig::builder()
+            .zero_probe(true)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let session = PetSession::new(config);
+        let pop = TagPopulation::sequential(500);
+        let report = session.estimate_population_rounds(&pop, 32, &mut rng);
+        assert!(!report.zero_detected);
+        assert_eq!(report.metrics.slots, 1 + 32 * 5);
+    }
+
+    #[test]
+    fn without_zero_probe_empty_region_estimates_below_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let session = PetSession::new(quick_config());
+        let report =
+            session.estimate_population_rounds(&TagPopulation::new(), 16, &mut rng);
+        assert!(!report.zero_detected);
+        assert!(report.estimate < 1.0);
+    }
+
+    /// §4.5's claim: the passive preloaded-code variant estimates as well as
+    /// the active per-round variant.
+    #[test]
+    fn passive_and_active_modes_agree_statistically() {
+        let n = 2_000usize;
+        let pop = TagPopulation::sequential(n);
+        let mut estimates = Vec::new();
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            let config = PetConfig::builder()
+                .tag_mode(mode)
+                .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                .build()
+                .unwrap();
+            let session = PetSession::new(config);
+            let mut rng = StdRng::seed_from_u64(7);
+            let report = session.estimate_population_rounds(&pop, 512, &mut rng);
+            estimates.push(report.estimate);
+        }
+        let rel = (estimates[0] - estimates[1]).abs() / n as f64;
+        assert!(rel < 0.15, "passive {} vs active {}", estimates[0], estimates[1]);
+    }
+
+    #[test]
+    fn linear_strategy_sessions_work_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let config = PetConfig::builder()
+            .search(SearchStrategy::Linear)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let session = PetSession::new(config);
+        let pop = TagPopulation::sequential(1_000);
+        let report = session.estimate_population_rounds(&pop, 128, &mut rng);
+        let rel = (report.estimate - 1_000.0).abs() / 1_000.0;
+        assert!(rel < 0.3, "estimate {}", report.estimate);
+        // Linear rounds cost ≈ log₂ n + 1 slots, well above binary's 5.
+        let per_round = report.metrics.slots as f64 / 128.0;
+        assert!(per_round > 8.0, "slots/round {per_round}");
+    }
+
+    #[test]
+    fn confidence_interval_brackets_truth_usually() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let session = PetSession::new(quick_config());
+        let pop = TagPopulation::sequential(5_000);
+        let report = session.estimate_population_rounds(&pop, 256, &mut rng);
+        let (lo, hi) = report.confidence_interval(0.05);
+        assert!(lo < report.estimate && report.estimate < hi);
+        assert!(lo < 5_000.0 && 5_000.0 < hi, "CI ({lo}, {hi}) misses truth");
+        // Tighter delta → wider interval.
+        let (lo2, hi2) = report.confidence_interval(0.001);
+        assert!(lo2 < lo && hi2 > hi);
+    }
+
+    #[test]
+    fn confidence_interval_zero_region() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = PetConfig::builder()
+            .zero_probe(true)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let report =
+            PetSession::new(config).estimate_population(&TagPopulation::new(), &mut rng);
+        assert_eq!(report.confidence_interval(0.05), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let session = PetSession::new(quick_config());
+        let _ = session.estimate_population_rounds(
+            &TagPopulation::sequential(10),
+            0,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! The conceptual Probabilistic Estimating Tree (paper §4.1, Figs. 1–2).
+//!
+//! The paper stresses that "the PET structure is neither created nor
+//! maintained at the RFID reader. It is only a conceptual data structure."
+//! We materialize it anyway — for small heights — as a *reference model*:
+//! node colors computed by definition, the gray node found by scanning the
+//! path. The protocol implementations never touch this module; the test
+//! suite uses it to cross-validate every reader algorithm against the
+//! definitional semantics.
+
+use crate::bits::BitString;
+
+/// Color of a PET node (paper §4.1): a subtree is *black* if it contains at
+/// least one tag leaf, *white* otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeColor {
+    /// No tag code lies in this node's subtree.
+    White,
+    /// At least one tag code lies in this node's subtree.
+    Black,
+}
+
+/// The gray node found on an estimating path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrayNode {
+    /// Depth of the gray node = longest responsive prefix length `L`.
+    pub prefix_len: u32,
+    /// Height of the gray node, `h = H − L` — the paper's estimation
+    /// statistic.
+    pub height: u32,
+}
+
+/// A materialized PET over a set of tag codes.
+///
+/// # Example
+///
+/// The paper's Fig. 1: four tags coded 0001, 0110, 1011, 1110 in an H = 4
+/// tree; estimating path 0011 leads to the gray node `A` at height 2.
+///
+/// ```
+/// use pet_core::bits::BitString;
+/// use pet_core::tree::Tree;
+///
+/// let codes: Vec<BitString> = [0b0001u64, 0b0110, 0b1011, 0b1110]
+///     .iter()
+///     .map(|&b| BitString::from_bits(b, 4).unwrap())
+///     .collect();
+/// let tree = Tree::build(&codes, 4);
+/// let path = BitString::from_bits(0b0011, 4).unwrap();
+/// let gray = tree.gray_node(&path).unwrap();
+/// assert_eq!(gray.height, 2);
+/// assert_eq!(gray.prefix_len, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tree {
+    height: u32,
+    codes: Vec<BitString>,
+}
+
+impl Tree {
+    /// Builds the conceptual tree over `codes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is outside `1..=64` or any code has a different
+    /// height.
+    #[must_use]
+    pub fn build(codes: &[BitString], height: u32) -> Self {
+        assert!((1..=64).contains(&height), "height must be in 1..=64");
+        for c in codes {
+            assert_eq!(c.height(), height, "code height mismatch");
+        }
+        Self {
+            height,
+            codes: codes.to_vec(),
+        }
+    }
+
+    /// The tree height `H`.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Color of the node reached by following the first `depth` bits of
+    /// `path` from the root (depth 0 is the root itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > H` or the path height differs from the tree's.
+    #[must_use]
+    pub fn node_color(&self, path: &BitString, depth: u32) -> NodeColor {
+        assert!(depth <= self.height, "depth exceeds tree height");
+        if self
+            .codes
+            .iter()
+            .any(|c| c.matches_prefix(path, depth))
+        {
+            NodeColor::Black
+        } else {
+            NodeColor::White
+        }
+    }
+
+    /// Finds the gray node on `path` by definition: the lowest black node
+    /// whose path-side child subtree is white. Returns `None` when the root
+    /// itself is white (no tags).
+    #[must_use]
+    pub fn gray_node(&self, path: &BitString) -> Option<GrayNode> {
+        if self.codes.is_empty() {
+            return None;
+        }
+        // L = longest prefix of the path matched by some code.
+        let prefix_len = self
+            .codes
+            .iter()
+            .map(|c| c.common_prefix_len(path))
+            .max()
+            .expect("non-empty");
+        Some(GrayNode {
+            prefix_len,
+            height: self.height - prefix_len,
+        })
+    }
+
+    /// Checks the monotone color structure of Table 2 along a path: white
+    /// above the gray node (toward the leaf), black below (toward the root).
+    #[must_use]
+    pub fn colors_along(&self, path: &BitString) -> Vec<NodeColor> {
+        (0..=self.height)
+            .map(|d| self.node_color(path, d))
+            .collect()
+    }
+
+    /// Renders the tree as ASCII art, one row per depth: `●` black node,
+    /// `·` white node; with a path given, the on-path node is bracketed and
+    /// the gray node marked `◐`. Intended for teaching/debugging at small
+    /// heights (like the paper's Fig. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the height exceeds 6 (wider trees do not fit a terminal).
+    #[must_use]
+    pub fn render(&self, path: Option<&BitString>) -> String {
+        assert!(self.height <= 6, "render supports heights up to 6");
+        let gray = path.and_then(|p| self.gray_node(p));
+        let width = 1usize << self.height;
+        let mut out = String::new();
+        for depth in 0..=self.height {
+            let nodes = 1u64 << depth;
+            let cell = width / nodes as usize;
+            for prefix in 0..nodes {
+                // Color of the node addressed by `prefix` at this depth.
+                let probe = BitString::from_bits(
+                    prefix << (self.height - depth),
+                    self.height,
+                )
+                .expect("in range");
+                let color = self.node_color(&probe, depth);
+                let on_path = path.is_some_and(|p| p.prefix(depth) == prefix);
+                let is_gray = on_path && gray.is_some_and(|g| g.prefix_len == depth);
+                let glyph = if is_gray {
+                    '◐'
+                } else {
+                    match color {
+                        NodeColor::Black => '●',
+                        NodeColor::White => '·',
+                    }
+                };
+                let pad_left = (cell - 1) / 2;
+                let pad_right = cell - 1 - pad_left;
+                out.push_str(&" ".repeat(pad_left));
+                if on_path {
+                    // Mark the estimating path with brackets (costs the
+                    // padding columns around the glyph).
+                    if pad_left > 0 {
+                        out.pop();
+                    }
+                    out.push('[');
+                    out.push(glyph);
+                    out.push(']');
+                    out.push_str(&" ".repeat(pad_right.saturating_sub(1)));
+                } else {
+                    out.push(glyph);
+                    out.push_str(&" ".repeat(pad_right));
+                }
+            }
+            // Trim trailing spaces per row.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_tree() -> Tree {
+        let codes: Vec<BitString> = [0b0001u64, 0b0110, 0b1011, 0b1110]
+            .iter()
+            .map(|&b| BitString::from_bits(b, 4).unwrap())
+            .collect();
+        Tree::build(&codes, 4)
+    }
+
+    #[test]
+    fn fig1_gray_node() {
+        let tree = fig1_tree();
+        let path = BitString::from_bits(0b0011, 4).unwrap();
+        let gray = tree.gray_node(&path).unwrap();
+        assert_eq!(gray, GrayNode { prefix_len: 2, height: 2 });
+    }
+
+    #[test]
+    fn fig1_colors_along_path() {
+        let tree = fig1_tree();
+        let path = BitString::from_bits(0b0011, 4).unwrap();
+        // Root black, "0" black, "00" black (gray node), "001" white,
+        // "0011" white.
+        assert_eq!(
+            tree.colors_along(&path),
+            vec![
+                NodeColor::Black,
+                NodeColor::Black,
+                NodeColor::Black,
+                NodeColor::White,
+                NodeColor::White,
+            ]
+        );
+    }
+
+    /// §4.4's monotonicity observation: along any path the colors are black
+    /// then white with a single transition (the gray node).
+    #[test]
+    fn colors_are_monotone_on_random_trees() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.random_range(1..60);
+            let codes: Vec<BitString> =
+                (0..n).map(|_| BitString::random(8, &mut rng)).collect();
+            let tree = Tree::build(&codes, 8);
+            let path = BitString::random(8, &mut rng);
+            let colors = tree.colors_along(&path);
+            let mut seen_white = false;
+            for c in colors {
+                match c {
+                    NodeColor::White => seen_white = true,
+                    NodeColor::Black => {
+                        assert!(!seen_white, "black below white violates Table 2");
+                    }
+                }
+            }
+            // Transition depth equals the gray node's prefix length + 1.
+            let gray = tree.gray_node(&path).unwrap();
+            assert_eq!(
+                tree.node_color(&path, gray.prefix_len),
+                NodeColor::Black
+            );
+            if gray.prefix_len < 8 {
+                assert_eq!(
+                    tree.node_color(&path, gray.prefix_len + 1),
+                    NodeColor::White
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_no_gray_node() {
+        let tree = Tree::build(&[], 4);
+        let path = BitString::from_bits(0, 4).unwrap();
+        assert!(tree.gray_node(&path).is_none());
+        assert_eq!(tree.node_color(&path, 0), NodeColor::White);
+    }
+
+    #[test]
+    fn path_equal_to_a_code_reaches_the_leaf() {
+        let code = BitString::from_bits(0b1010, 4).unwrap();
+        let tree = Tree::build(&[code], 4);
+        let gray = tree.gray_node(&code).unwrap();
+        assert_eq!(gray.prefix_len, 4);
+        assert_eq!(gray.height, 0);
+    }
+
+    #[test]
+    fn render_fig1_marks_the_gray_node() {
+        let tree = fig1_tree();
+        let path = BitString::from_bits(0b0011, 4).unwrap();
+        let art = tree.render(Some(&path));
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 5, "one row per depth plus the root");
+        // The gray node (depth 2, the paper's node A) is marked.
+        assert!(rows[2].contains('◐'), "row 2: {:?}", rows[2]);
+        // Four black leaves at the bottom.
+        assert_eq!(rows[4].matches('●').count(), 4);
+        // The path is bracketed at every depth.
+        for (d, row) in rows.iter().enumerate() {
+            assert!(row.contains('['), "depth {d} not marked: {row:?}");
+        }
+    }
+
+    #[test]
+    fn render_without_path_uses_plain_glyphs() {
+        let tree = fig1_tree();
+        let art = tree.render(None);
+        assert!(!art.contains('['));
+        assert!(!art.contains('◐'));
+        assert!(art.lines().count() == 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "render supports heights up to 6")]
+    fn render_rejects_tall_trees() {
+        let codes = [BitString::from_bits(0, 8).unwrap()];
+        let _ = Tree::build(&codes, 8).render(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "code height mismatch")]
+    fn mixed_heights_rejected() {
+        let a = BitString::from_bits(0, 4).unwrap();
+        let _ = Tree::build(&[a], 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the PET core protocol.
+
+use pet_core::bits::BitString;
+use pet_core::config::{CommandEncoding, PetConfig, SearchStrategy};
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart, TagFleet};
+use pet_core::reader::{binary_round, linear_round};
+use pet_core::tree::Tree;
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::PerfectChannel;
+use pet_radio::Air;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(height: u32) -> PetConfig {
+    PetConfig::builder().height(height).build().unwrap()
+}
+
+proptest! {
+    /// For any code set and path: linear search, binary search, and the
+    /// definitional reference tree all report the same gray node.
+    #[test]
+    fn strategies_match_reference_tree(
+        keys in proptest::collection::vec(any::<u64>(), 1..80),
+        path_bits in any::<u64>(),
+        height in 2u32..=20,
+        seed in any::<u64>(),
+    ) {
+        let config = cfg(height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let path = BitString::from_bits(path_bits & ((1u64 << height) - 1), height).unwrap();
+        let codes: Vec<BitString> = oracle
+            .codes()
+            .iter()
+            .map(|&c| BitString::from_bits(c, height).unwrap())
+            .collect();
+        let tree = Tree::build(&codes, height);
+        let gray = tree.gray_node(&path).expect("non-empty");
+
+        let mut air = Air::new(PerfectChannel);
+        oracle.begin_round(&RoundStart { path, seed: None });
+        let lin = linear_round(&config, &mut oracle, &mut air, &mut rng);
+        oracle.begin_round(&RoundStart { path, seed: None });
+        let bin = binary_round(&config, &mut oracle, &mut air, &mut rng);
+
+        prop_assert_eq!(lin.prefix_len, gray.prefix_len);
+        prop_assert_eq!(bin.prefix_len, gray.prefix_len);
+        prop_assert_eq!(bin.gray_height, gray.height);
+    }
+
+    /// Binary search slot count is bounded by ⌈log₂ H⌉ + 1 (the +1 is the
+    /// disambiguation slot) for any population and path.
+    #[test]
+    fn binary_slot_bound(
+        keys in proptest::collection::vec(any::<u64>(), 0..60),
+        height in 2u32..=32,
+        seed in any::<u64>(),
+    ) {
+        let config = cfg(height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let mut air = Air::new(PerfectChannel);
+        let path = BitString::random(height, &mut rng);
+        oracle.begin_round(&RoundStart { path, seed: None });
+        let rec = binary_round(&config, &mut oracle, &mut air, &mut rng);
+        let bound = 32 - (height - 1).leading_zeros() + 1;
+        prop_assert!(rec.slots <= bound, "slots {} > bound {bound}", rec.slots);
+        prop_assert!(rec.prefix_len <= height);
+        prop_assert_eq!(rec.gray_height, height - rec.prefix_len);
+    }
+
+    /// The roster fast path and the per-tag fleet agree on every query of a
+    /// full protocol round, for explicit and feedback encodings alike.
+    #[test]
+    fn roster_equals_fleet_through_rounds(
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+        height in 2u32..=16,
+        seed in any::<u64>(),
+        feedback in any::<bool>(),
+    ) {
+        let encoding = if feedback {
+            CommandEncoding::FeedbackBit
+        } else {
+            CommandEncoding::PrefixLength
+        };
+        let config = PetConfig::builder()
+            .height(height)
+            .encoding(encoding)
+            .build()
+            .unwrap();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let mut fleet = TagFleet::new(&keys, &config, AnyFamily::default());
+        let mut air_a = Air::new(PerfectChannel);
+        let mut air_b = Air::new(PerfectChannel);
+        for round in 0..4u64 {
+            let path = BitString::random(height, &mut StdRng::seed_from_u64(seed ^ round));
+            roster.begin_round(&RoundStart { path, seed: None });
+            fleet.begin_round(&RoundStart { path, seed: None });
+            let a = binary_round(&config, &mut roster, &mut air_a, &mut rng_a);
+            let b = binary_round(&config, &mut fleet, &mut air_b, &mut rng_b);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Linear search costs exactly L + 1 slots (or H when every prefix is
+    /// responsive).
+    #[test]
+    fn linear_slot_cost_formula(
+        keys in proptest::collection::vec(any::<u64>(), 1..60),
+        height in 2u32..=24,
+        seed in any::<u64>(),
+    ) {
+        let config = PetConfig::builder()
+            .height(height)
+            .search(SearchStrategy::Linear)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let mut air = Air::new(PerfectChannel);
+        let path = BitString::random(height, &mut rng);
+        oracle.begin_round(&RoundStart { path, seed: None });
+        let rec = linear_round(&config, &mut oracle, &mut air, &mut rng);
+        if rec.prefix_len == height {
+            prop_assert_eq!(rec.slots, height);
+        } else {
+            prop_assert_eq!(rec.slots, rec.prefix_len + 1);
+        }
+    }
+
+    /// BitString::common_prefix_len is symmetric, bounded, and consistent
+    /// with matches_prefix.
+    #[test]
+    fn common_prefix_properties(a in any::<u64>(), b in any::<u64>(), height in 1u32..=64) {
+        let mask = if height == 64 { u64::MAX } else { (1u64 << height) - 1 };
+        let x = BitString::from_bits(a & mask, height).unwrap();
+        let y = BitString::from_bits(b & mask, height).unwrap();
+        let l = x.common_prefix_len(&y);
+        prop_assert_eq!(l, y.common_prefix_len(&x));
+        prop_assert!(l <= height);
+        prop_assert!(x.matches_prefix(&y, l));
+        if l < height {
+            prop_assert!(!x.matches_prefix(&y, l + 1));
+        }
+    }
+}

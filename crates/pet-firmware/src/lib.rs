@@ -1,0 +1,357 @@
+//! `no_std` tag-side firmware for the PET protocol.
+//!
+//! Section 4.5 of the paper claims PET fits passive tags because a tag only
+//! ever performs "bitwise comparison on the PET code and path prefix". This
+//! crate makes that claim concrete: [`TagChip`] is a fixed-register state
+//! machine — no allocation, no floating point, no hashing at run time —
+//! that consumes the bit-level reader frames of `pet-radio::command`
+//! (CRC-5 checked) and decides whether to backscatter. It compiles with
+//! `#![no_std]` so it could be dropped into actual tag silicon tooling.
+//!
+//! Total mutable state: the latched 32-bit estimating path, two 6-bit
+//! search registers, and three flags — 47 bits on top of the factory-burned
+//! 32-bit PET code, matching Fig. 7's constant-memory story.
+//!
+//! The chip understands all three §4.6.2 command encodings:
+//!
+//! - explicit [`Query`](Opcode::Query) frames carrying the 5-bit prefix
+//!   length;
+//! - [`Feedback`](Opcode::Feedback) frames carrying one busy/idle bit, with
+//!   the chip mirroring the reader's binary-search registers;
+//! - the match-all [`Probe`](Opcode::Probe).
+//!
+//! Equivalence with the simulator's tag model (`pet-core::TagFleet`) is
+//! asserted bit-for-bit in this crate's test suite.
+
+#![no_std]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Tree height the chip is masked for (the paper's `H`).
+pub const HEIGHT: u8 = 32;
+
+/// Frame opcodes (must match `pet-radio::command::PetCommandCode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Round start: latch the estimating path, reset search registers.
+    RoundStart = 0b1100,
+    /// Explicit prefix-length query.
+    Query = 0b1101,
+    /// 1-bit feedback broadcast (previous slot's busy/idle).
+    Feedback = 0b1110,
+    /// Match-all presence probe.
+    Probe = 0b1111,
+}
+
+/// What the chip does in the response window after a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipAction {
+    /// Stay silent.
+    Silent,
+    /// Backscatter (an unmodulated presence response).
+    Respond,
+}
+
+/// The tag chip: PET code plus 47 bits of working state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagChip {
+    /// Factory-preloaded 32-bit PET random code (§4.5).
+    prc: u32,
+    /// Latched estimating path of the current round.
+    path: u32,
+    /// Mirrored binary-search registers (1..=32 fit in 6 bits each).
+    low: u8,
+    high: u8,
+    any_busy: bool,
+    converged: bool,
+    /// No feedback has been delivered yet this round.
+    awaiting_first_feedback: bool,
+}
+
+impl TagChip {
+    /// A chip with the given factory-preloaded code.
+    #[must_use]
+    pub const fn new(prc: u32) -> Self {
+        Self {
+            prc,
+            path: 0,
+            low: 1,
+            high: HEIGHT,
+            any_busy: false,
+            converged: true, // nothing to do until a round starts
+            awaiting_first_feedback: true,
+        }
+    }
+
+    /// The preloaded code (test hook; a real chip never emits this).
+    #[must_use]
+    pub const fn code(&self) -> u32 {
+        self.prc
+    }
+
+    /// Whether the chip's code matches the latched path on `len` bits —
+    /// the only computation the protocol ever asks of a tag: one XOR and
+    /// one shift.
+    #[must_use]
+    pub const fn matches_prefix(&self, len: u8) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if len >= 32 {
+            return self.prc == self.path;
+        }
+        (self.prc ^ self.path) >> (32 - len) == 0
+    }
+
+    /// The chip's own next query length in feedback mode (mirrors the
+    /// reader's `⌈(low+high)/2⌉` rule, plus the L ∈ {0,1} disambiguation).
+    const fn own_mid(&self) -> u8 {
+        if self.low < self.high {
+            (self.low + self.high).div_ceil(2)
+        } else {
+            1 // the disambiguation query; only reached when low = high = 1
+        }
+    }
+
+    /// Processes one reader frame: `bits` is the full frame MSB-first
+    /// (4-bit opcode ‖ payload ‖ 5-bit CRC). Malformed or corrupted frames
+    /// are ignored (the chip stays silent and keeps its state).
+    pub fn on_frame(&mut self, bits: &[bool]) -> ChipAction {
+        if bits.len() < 9 || crc5(bits) != 0 {
+            return ChipAction::Silent;
+        }
+        let opcode = take_bits(bits, 0, 4) as u8;
+        let payload = &bits[4..bits.len() - 5];
+        match opcode {
+            code if code == Opcode::RoundStart as u8 => {
+                // Payload: 32-bit path, optionally followed by a 32-bit
+                // seed (active-tag variant; a passive chip ignores it).
+                if payload.len() != 32 && payload.len() != 64 {
+                    return ChipAction::Silent;
+                }
+                self.path = take_bits(payload, 0, 32) as u32;
+                self.low = 1;
+                self.high = HEIGHT;
+                self.any_busy = false;
+                self.converged = false;
+                self.awaiting_first_feedback = true;
+                ChipAction::Silent
+            }
+            code if code == Opcode::Query as u8 => {
+                if payload.len() != 5 || self.converged {
+                    return ChipAction::Silent;
+                }
+                let mid = take_bits(payload, 0, 5) as u8;
+                if mid == 0 || mid > HEIGHT {
+                    return ChipAction::Silent;
+                }
+                if self.matches_prefix(mid) {
+                    ChipAction::Respond
+                } else {
+                    ChipAction::Silent
+                }
+            }
+            code if code == Opcode::Feedback as u8 => {
+                if payload.len() != 1 || self.converged {
+                    return ChipAction::Silent;
+                }
+                if self.awaiting_first_feedback {
+                    // The first feedback frame of a round carries no usable
+                    // history; it merely opens the first query slot.
+                    self.awaiting_first_feedback = false;
+                } else {
+                    self.apply_feedback(payload[0]);
+                    if self.converged {
+                        return ChipAction::Silent;
+                    }
+                }
+                if self.matches_prefix(self.own_mid()) {
+                    ChipAction::Respond
+                } else {
+                    ChipAction::Silent
+                }
+            }
+            code if code == Opcode::Probe as u8 => {
+                if payload.is_empty() {
+                    ChipAction::Respond
+                } else {
+                    ChipAction::Silent
+                }
+            }
+            _ => ChipAction::Silent,
+        }
+    }
+
+    /// Applies one broadcast busy/idle bit to the mirrored registers —
+    /// §4.6.2's "if tags keep high and low locally, they can compute a new
+    /// value of mid".
+    fn apply_feedback(&mut self, busy: bool) {
+        if self.low < self.high {
+            let mid = (self.low + self.high).div_ceil(2);
+            if busy {
+                self.low = mid;
+                self.any_busy = true;
+            } else {
+                self.high = mid - 1;
+            }
+            if self.low >= self.high && (self.low != 1 || self.any_busy) {
+                // Converged with a confirmed busy history: round over.
+                self.converged = true;
+            }
+        } else {
+            // This feedback answered the disambiguation query.
+            self.converged = true;
+        }
+    }
+
+    /// Bits of mutable state beyond the factory code: 32 (path latch)
+    /// + 2×6 (registers) + 3 flags.
+    #[must_use]
+    pub const fn working_state_bits() -> u32 {
+        32 + 6 + 6 + 3
+    }
+}
+
+/// CRC-5-EPC over a bit slice (identical to `pet-radio::crc::crc5_epc`,
+/// duplicated here because this crate is `no_std` and dependency-free).
+#[must_use]
+pub const fn crc5(bits: &[bool]) -> u8 {
+    let mut crc: u8 = 0b01001;
+    let mut i = 0;
+    while i < bits.len() {
+        let msb = (crc >> 4) & 1 == 1;
+        crc = (crc << 1) & 0x1F;
+        if msb != bits[i] {
+            crc ^= 0x09;
+        }
+        i += 1;
+    }
+    crc & 0x1F
+}
+
+/// Reads `len` bits MSB-first starting at `offset`.
+#[must_use]
+const fn take_bits(bits: &[bool], offset: usize, len: usize) -> u64 {
+    let mut value = 0u64;
+    let mut i = 0;
+    while i < len {
+        value = (value << 1) | bits[offset + i] as u64;
+        i += 1;
+    }
+    value
+}
+
+#[cfg(test)]
+extern crate std;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Frame bits built by hand: opcode ‖ payload ‖ CRC-5.
+    fn frame(opcode: Opcode, payload: &[bool]) -> std::vec::Vec<bool> {
+        let mut bits = std::vec::Vec::new();
+        for i in (0..4).rev() {
+            bits.push((opcode as u8 >> i) & 1 == 1);
+        }
+        bits.extend_from_slice(payload);
+        let crc = crc5(&bits);
+        for i in (0..5).rev() {
+            bits.push((crc >> i) & 1 == 1);
+        }
+        bits
+    }
+
+    fn path_payload(path: u32) -> std::vec::Vec<bool> {
+        (0..32).rev().map(|i| (path >> i) & 1 == 1).collect()
+    }
+
+    fn mid_payload(mid: u8) -> std::vec::Vec<bool> {
+        (0..5).rev().map(|i| (mid >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn fresh_chip_is_quiet() {
+        let mut chip = TagChip::new(0xDEAD_BEEF);
+        // No round started: queries are ignored (converged state).
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &mid_payload(5))),
+            ChipAction::Silent
+        );
+        // But the probe always answers (presence).
+        assert_eq!(chip.on_frame(&frame(Opcode::Probe, &[])), ChipAction::Respond);
+    }
+
+    #[test]
+    fn explicit_queries_match_prefixes() {
+        let mut chip = TagChip::new(0b1010 << 28); // top bits 1010…
+        chip.on_frame(&frame(Opcode::RoundStart, &path_payload(0b1011 << 28)));
+        // First two bits agree (10), third differs.
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &mid_payload(2))),
+            ChipAction::Respond
+        );
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &mid_payload(3))),
+            ChipAction::Respond,
+            "101 vs 101 still agree"
+        );
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &mid_payload(4))),
+            ChipAction::Silent,
+            "1010 vs 1011 differ"
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_are_ignored() {
+        let mut chip = TagChip::new(1);
+        let good = frame(Opcode::RoundStart, &path_payload(42));
+        let snapshot = chip;
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] = !bad[i];
+            assert_eq!(chip.on_frame(&bad), ChipAction::Silent);
+            assert_eq!(chip, snapshot, "state changed on corrupt frame (bit {i})");
+        }
+        // The intact frame is accepted.
+        chip.on_frame(&good);
+        assert_ne!(chip, snapshot);
+    }
+
+    #[test]
+    fn oversize_or_undersize_frames_ignored() {
+        let mut chip = TagChip::new(1);
+        assert_eq!(chip.on_frame(&[]), ChipAction::Silent);
+        assert_eq!(chip.on_frame(&[true; 8]), ChipAction::Silent);
+        // Query with a 32-bit payload is malformed for that opcode.
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &path_payload(7))),
+            ChipAction::Silent
+        );
+    }
+
+    #[test]
+    fn active_variant_roundstart_with_seed_is_accepted() {
+        let mut chip = TagChip::new(0);
+        let mut payload = path_payload(u32::MAX);
+        payload.extend(path_payload(0x1234_5678)); // seed, ignored by passive chip
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::RoundStart, &payload)),
+            ChipAction::Silent
+        );
+        // Path latched: a 1-bit query against an all-ones path.
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Query, &mid_payload(1))),
+            ChipAction::Silent,
+            "code 0 vs path 1…"
+        );
+    }
+
+    #[test]
+    fn working_state_is_tiny() {
+        assert_eq!(TagChip::working_state_bits(), 47);
+        // The whole chip state fits in 16 bytes (13 fields + padding).
+        assert!(core::mem::size_of::<TagChip>() <= 16);
+    }
+}

@@ -1,0 +1,185 @@
+//! The firmware chip must behave exactly like the simulator's tag model:
+//! a reader driving real [`TagChip`]s through bit-level frames measures the
+//! same gray node as the definitional reference tree, in both command
+//! encodings.
+
+use pet_core::bits::BitString;
+use pet_core::tree::Tree;
+use pet_firmware::{ChipAction, TagChip, HEIGHT};
+use pet_radio::command::CommandFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs one explicit-query (5-bit `mid`) round over real chips.
+fn chip_round_explicit(chips: &mut [TagChip], path: u32) -> (u8, u32) {
+    let start = CommandFrame::round_start(u64::from(path), 32, None);
+    for chip in chips.iter_mut() {
+        assert_eq!(chip.on_frame(start.bits()), ChipAction::Silent);
+    }
+    let mut low = 1u8;
+    let mut high = HEIGHT;
+    let mut any_busy = false;
+    let mut slots = 0u32;
+    let query = |chips: &mut [TagChip], mid: u8| -> bool {
+        let frame = CommandFrame::query_mid(u32::from(mid));
+        chips
+            .iter_mut()
+            .map(|c| c.on_frame(frame.bits()))
+            .filter(|a| *a == ChipAction::Respond)
+            .count()
+            > 0
+    };
+    while low < high {
+        let mid = (low + high).div_ceil(2);
+        slots += 1;
+        if query(chips, mid) {
+            low = mid;
+            any_busy = true;
+        } else {
+            high = mid - 1;
+        }
+    }
+    let l = if low == 1 && !any_busy {
+        slots += 1;
+        u8::from(query(chips, 1))
+    } else {
+        low
+    };
+    (l, slots)
+}
+
+/// Runs one feedback-encoded round over real chips: one RoundStart frame,
+/// then a 1-bit Feedback frame per slot; the chips compute `mid` themselves.
+fn chip_round_feedback(chips: &mut [TagChip], path: u32) -> (u8, u32) {
+    let start = CommandFrame::round_start(u64::from(path), 32, None);
+    for chip in chips.iter_mut() {
+        chip.on_frame(start.bits());
+    }
+    // Reader-side mirror of the search state (for the return value only —
+    // the chips drive themselves off the broadcast bits).
+    let mut low = 1u8;
+    let mut high = HEIGHT;
+    let mut any_busy = false;
+    let mut slots = 0u32;
+    let mut prev_busy = false; // dummy payload of the first frame
+    loop {
+        let searching = low < high;
+        let disambiguating = !searching && low == 1 && !any_busy;
+        if !searching && !disambiguating {
+            break;
+        }
+        let frame = CommandFrame::feedback(prev_busy);
+        let busy = chips
+            .iter_mut()
+            .map(|c| c.on_frame(frame.bits()))
+            .filter(|a| *a == ChipAction::Respond)
+            .count()
+            > 0;
+        slots += 1;
+        if searching {
+            let mid = (low + high).div_ceil(2);
+            if busy {
+                low = mid;
+                any_busy = true;
+            } else {
+                high = mid - 1;
+            }
+        } else {
+            // Disambiguation slot answered.
+            return (u8::from(busy), slots);
+        }
+        prev_busy = busy;
+    }
+    (low, slots)
+}
+
+fn random_codes(n: usize, rng: &mut StdRng) -> Vec<u32> {
+    (0..n).map(|_| rng.random()).collect()
+}
+
+#[test]
+fn explicit_rounds_match_reference_tree() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..50 {
+        let n = 1 + (trial % 40);
+        let codes = random_codes(n, &mut rng);
+        let mut chips: Vec<TagChip> = codes.iter().map(|&c| TagChip::new(c)).collect();
+        let code_bits: Vec<BitString> = codes
+            .iter()
+            .map(|&c| BitString::from_bits(u64::from(c), 32).unwrap())
+            .collect();
+        let tree = Tree::build(&code_bits, 32);
+        let path: u32 = rng.random();
+        let gray = tree
+            .gray_node(&BitString::from_bits(u64::from(path), 32).unwrap())
+            .unwrap();
+        let (l, slots) = chip_round_explicit(&mut chips, path);
+        assert_eq!(u32::from(l), gray.prefix_len, "trial {trial}");
+        assert!(slots <= 6, "slots {slots}");
+    }
+}
+
+#[test]
+fn feedback_rounds_match_reference_tree() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for trial in 0..50 {
+        let n = 1 + (trial % 40);
+        let codes = random_codes(n, &mut rng);
+        let mut chips: Vec<TagChip> = codes.iter().map(|&c| TagChip::new(c)).collect();
+        let code_bits: Vec<BitString> = codes
+            .iter()
+            .map(|&c| BitString::from_bits(u64::from(c), 32).unwrap())
+            .collect();
+        let tree = Tree::build(&code_bits, 32);
+        let path: u32 = rng.random();
+        let gray = tree
+            .gray_node(&BitString::from_bits(u64::from(path), 32).unwrap())
+            .unwrap();
+        let (l, slots) = chip_round_feedback(&mut chips, path);
+        assert_eq!(u32::from(l), gray.prefix_len, "trial {trial}");
+        assert!(slots <= 6, "slots {slots}");
+    }
+}
+
+/// Both encodings agree with each other round for round (same chips, same
+/// paths), and chips are reusable across many rounds without reset.
+#[test]
+fn encodings_agree_across_rounds() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let codes = random_codes(25, &mut rng);
+    let mut chips_a: Vec<TagChip> = codes.iter().map(|&c| TagChip::new(c)).collect();
+    let mut chips_b: Vec<TagChip> = codes.iter().map(|&c| TagChip::new(c)).collect();
+    for _ in 0..100 {
+        let path: u32 = rng.random();
+        let (la, _) = chip_round_explicit(&mut chips_a, path);
+        let (lb, _) = chip_round_feedback(&mut chips_b, path);
+        assert_eq!(la, lb, "path {path:#010x}");
+    }
+}
+
+/// An empty chip field: every query idles, the disambiguation slot fires,
+/// and the measured prefix is 0.
+#[test]
+fn empty_field_measures_zero() {
+    let mut chips: Vec<TagChip> = Vec::new();
+    let (l, slots) = chip_round_explicit(&mut chips, 0xABCD_EF01);
+    assert_eq!(l, 0);
+    assert_eq!(slots, 6, "5 search + 1 disambiguation");
+    let (l, slots) = chip_round_feedback(&mut chips, 0xABCD_EF01);
+    assert_eq!(l, 0);
+    assert_eq!(slots, 6);
+}
+
+/// The firmware's frame vocabulary matches `pet-radio`'s frame builders
+/// (shared opcodes, shared CRC) — a cross-crate wire-format pin.
+#[test]
+fn wire_format_compatibility() {
+    use pet_radio::crc::crc5_epc;
+    let frame = CommandFrame::query_mid(17);
+    assert_eq!(crc5_epc(frame.bits()), 0);
+    assert_eq!(pet_firmware::crc5(frame.bits()), 0);
+    // A chip accepts the pet-radio-built probe.
+    let mut chip = TagChip::new(7);
+    let probe = CommandFrame::new(pet_radio::command::PetCommandCode::Probe, &[]);
+    assert_eq!(chip.on_frame(probe.bits()), ChipAction::Respond);
+}

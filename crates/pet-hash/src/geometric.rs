@@ -1,0 +1,116 @@
+//! Geometric-distribution hashing for the LoF baseline.
+//!
+//! LoF (Qian et al., PerCom 2008) requires each tag to hash itself into a
+//! lottery-frame slot `i` with probability `2^-(i+1)` — the classic
+//! Flajolet–Martin geometric coding. The standard realization counts leading
+//! zeros of a uniform hash word, which is what we do here.
+
+use crate::family::HashFamily;
+
+/// Maps tag ids to geometrically distributed slot indices.
+///
+/// Slot `i` (0-based) is selected with probability `2^-(i+1)` for
+/// `i < max_slots - 1`; all remaining mass lands in the last slot, matching a
+/// finite lottery frame.
+///
+/// # Example
+///
+/// ```
+/// use pet_hash::{GeometricHasher, MixFamily};
+///
+/// let g = GeometricHasher::new(MixFamily::new(), 32);
+/// let slot = g.slot(7, 42);
+/// assert!(slot < 32);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricHasher<F> {
+    family: F,
+    max_slots: u32,
+}
+
+impl<F: HashFamily> GeometricHasher<F> {
+    /// Creates a hasher mapping into `max_slots` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slots` is 0 or greater than 64.
+    pub fn new(family: F, max_slots: u32) -> Self {
+        assert!(
+            (1..=64).contains(&max_slots),
+            "max_slots must be in 1..=64, got {max_slots}"
+        );
+        Self { family, max_slots }
+    }
+
+    /// Returns the frame size this hasher maps into.
+    pub fn max_slots(&self) -> u32 {
+        self.max_slots
+    }
+
+    /// The geometric slot for `id` under round `seed`.
+    pub fn slot(&self, seed: u64, id: u64) -> u32 {
+        let word = self.family.hash(seed, id);
+        // Leading zeros of a uniform word are geometric: P(lz = i) = 2^-(i+1)
+        // for i < 63. Clamp into the frame.
+        word.leading_zeros().min(self.max_slots - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::MixFamily;
+
+    #[test]
+    fn slots_within_frame() {
+        let g = GeometricHasher::new(MixFamily::new(), 8);
+        for id in 0..10_000u64 {
+            assert!(g.slot(3, id) < 8);
+        }
+    }
+
+    /// Empirical slot frequencies must follow 2^-(i+1).
+    #[test]
+    fn distribution_is_geometric() {
+        let g = GeometricHasher::new(MixFamily::new(), 32);
+        let n = 200_000u64;
+        let mut counts = [0u64; 32];
+        for id in 0..n {
+            counts[g.slot(11, id) as usize] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate().take(8) {
+            let expected = n as f64 * 0.5_f64.powi(i as i32 + 1);
+            let got = count as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.05, "slot {i}: got {got}, expected {expected}");
+        }
+    }
+
+    /// With the frame truncated, overflow mass accumulates in the last slot.
+    #[test]
+    fn truncation_accumulates_tail() {
+        let g = GeometricHasher::new(MixFamily::new(), 2);
+        let n = 100_000u64;
+        let mut last = 0u64;
+        for id in 0..n {
+            if g.slot(5, id) == 1 {
+                last += 1;
+            }
+        }
+        // P(slot 1) = 1 - P(slot 0) = 0.5 under truncation to 2 slots.
+        let frac = last as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "tail mass {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_slots must be in 1..=64")]
+    fn rejects_zero_slots() {
+        let _ = GeometricHasher::new(MixFamily::new(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = GeometricHasher::new(MixFamily::new(), 32);
+        assert_eq!(g.slot(1, 99), g.slot(1, 99));
+    }
+}

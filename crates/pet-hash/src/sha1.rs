@@ -1,0 +1,199 @@
+//! SHA-1 (FIPS 180-1 / RFC 3174), implemented from scratch.
+//!
+//! Like MD5, SHA-1 is named by the PET paper (§4.5) as a source of uniformly
+//! distributed tag codes. Only uniformity matters here, not collision
+//! resistance.
+
+/// Number of bytes in a SHA-1 digest.
+pub const DIGEST_LEN: usize = 20;
+
+/// Streaming SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use pet_hash::sha1::Sha1;
+///
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(
+///     pet_hash::md5::to_hex(&digest),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the FIPS 180-1 initial state.
+    pub fn new() -> Self {
+        Self {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("exactly 64 bytes"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.len = self.len.wrapping_sub(8);
+        // SHA-1 appends the length big-endian, unlike MD5.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience for hashing a complete message.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("exactly 4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5::to_hex;
+
+    /// RFC 3174 / FIPS 180-1 test vectors.
+    #[test]
+    fn standard_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"The quick brown fox jumps over the lazy dog",
+             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(&to_hex(&Sha1::digest(input)), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let msg: Vec<u8> = (0..777u32).map(|i| (i % 253) as u8).collect();
+        let oneshot = Sha1::digest(&msg);
+        for chunk in [1usize, 5, 64, 65, 200] {
+            let mut h = Sha1::new();
+            for piece in msg.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        for len in 50..=70 {
+            let msg = vec![0x5au8; len];
+            let d = Sha1::digest(&msg);
+            let mut h = Sha1::new();
+            for b in &msg {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d, "len {len}");
+        }
+    }
+}

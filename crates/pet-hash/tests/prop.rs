@@ -1,0 +1,85 @@
+//! Property-based tests for the hashing substrate.
+
+use pet_hash::family::{AnyFamily, HashFamily, HashKind, Md5Family, MixFamily, Sha1Family};
+use pet_hash::md5::Md5;
+use pet_hash::mix;
+use pet_hash::sha1::Sha1;
+use pet_hash::GeometricHasher;
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming any split of a message gives the one-shot digest (MD5).
+    #[test]
+    fn md5_split_invariance(msg in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(msg.len());
+        let mut h = Md5::new();
+        h.update(&msg[..split]);
+        h.update(&msg[split..]);
+        prop_assert_eq!(h.finalize(), Md5::digest(&msg));
+    }
+
+    /// Streaming any split of a message gives the one-shot digest (SHA-1).
+    #[test]
+    fn sha1_split_invariance(msg in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(msg.len());
+        let mut h = Sha1::new();
+        h.update(&msg[..split]);
+        h.update(&msg[split..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&msg));
+    }
+
+    /// Truncation keeps only the requested number of bits.
+    #[test]
+    fn truncate_within_range(hash in any::<u64>(), bits in 1u32..=64) {
+        let t = mix::truncate(hash, bits);
+        if bits < 64 {
+            prop_assert!(t < 1u64 << bits);
+            // Truncation must preserve the high bits verbatim.
+            prop_assert_eq!(t, hash >> (64 - bits));
+        } else {
+            prop_assert_eq!(t, hash);
+        }
+    }
+
+    /// hash_bits is consistent with hash + truncate for every family.
+    #[test]
+    fn hash_bits_consistent(seed in any::<u64>(), id in any::<u64>(), bits in 1u32..=64) {
+        for kind in [HashKind::Mix, HashKind::Md5, HashKind::Sha1] {
+            let fam = AnyFamily::new(kind);
+            prop_assert_eq!(fam.hash_bits(seed, id, bits), mix::truncate(fam.hash(seed, id), bits));
+        }
+    }
+
+    /// Distinct ids rarely collide on full 64-bit hashes (sanity: injective
+    /// in practice over random pairs).
+    #[test]
+    fn unlikely_collisions(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(MixFamily::new().hash(seed, a), MixFamily::new().hash(seed, b));
+    }
+
+    /// Geometric slots always land inside the frame.
+    #[test]
+    fn geometric_in_frame(seed in any::<u64>(), id in any::<u64>(), slots in 1u32..=64) {
+        let g = GeometricHasher::new(MixFamily::new(), slots);
+        prop_assert!(g.slot(seed, id) < slots);
+    }
+
+    /// MD5 and SHA-1 families agree with direct digest computation.
+    #[test]
+    fn families_match_digests(seed in any::<u64>(), id in any::<u64>()) {
+        let mut m = Vec::new();
+        m.extend_from_slice(&seed.to_le_bytes());
+        m.extend_from_slice(&id.to_le_bytes());
+        let md5 = Md5::digest(&m);
+        prop_assert_eq!(
+            Md5Family::new().hash(seed, id),
+            u64::from_le_bytes(md5[..8].try_into().unwrap())
+        );
+        let sha = Sha1::digest(&m);
+        prop_assert_eq!(
+            Sha1Family::new().hash(seed, id),
+            u64::from_le_bytes(sha[..8].try_into().unwrap())
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Dynamic framed slotted Aloha (DFSA) identification.
+//!
+//! The framed-Aloha inventory style the paper's §2 describes (Roberts \[26\];
+//! EPC C1G2's Q protocol is the hardware variant): the reader opens a frame,
+//! each unidentified tag draws a uniform slot, a singleton slot singulates
+//! its tag (which then stays silent), collisions retry in the next frame.
+//! Between frames the reader re-sizes the frame to the estimated backlog
+//! using Schoute's classic estimator (`backlog ≈ 2.39 × collisions`), which
+//! keeps the frame tracking the remaining population where throughput peaks
+//! (`1/e` success per slot). Total cost ≈ `e·n ≈ 2.72·n` slots — linear in
+//! `n`, the wall that motivates estimation.
+
+use crate::{IdentificationProtocol, IdentifyReport};
+use pet_radio::channel::ChannelModel;
+use pet_radio::slot::SlotOutcome;
+use pet_radio::Air;
+use rand::{Rng, RngCore};
+
+/// Schoute's expected colliders per collision slot at optimal load.
+const SCHOUTE_FACTOR: f64 = 2.392;
+
+/// Dynamic framed slotted Aloha with Schoute backlog estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramedAloha {
+    /// First frame size (before any backlog estimate exists).
+    pub initial_frame: usize,
+    /// Frame size bounds (Gen2 allows Q ∈ [0, 15] → up to 32,768 slots).
+    pub max_frame: usize,
+    /// Bits per slot-start command (Gen2 QueryRep is 4 bits).
+    pub command_bits: u32,
+    /// Safety cap on frames (a stuck inventory aborts rather than spins).
+    pub max_frames: u32,
+}
+
+impl FramedAloha {
+    /// Gen2-flavoured defaults: first frame 16 slots, frames up to 2¹⁵,
+    /// 4-bit QueryRep commands.
+    #[must_use]
+    pub fn gen2_defaults() -> Self {
+        Self {
+            initial_frame: 16,
+            max_frame: 1 << 15,
+            command_bits: 4,
+            max_frames: 1_000_000,
+        }
+    }
+}
+
+impl FramedAloha {
+    /// A software-reader configuration with no practical frame cap, for
+    /// studies beyond Gen2's Q ≤ 15 hardware limit (at populations ≫ 2¹⁵ the
+    /// capped frame saturates at load ≫ 1 and the inventory turns
+    /// superlinear — see `gen2_cap_is_superlinear_at_scale`).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            max_frame: 1 << 22,
+            ..Self::gen2_defaults()
+        }
+    }
+}
+
+impl Default for FramedAloha {
+    fn default() -> Self {
+        Self::gen2_defaults()
+    }
+}
+
+impl IdentificationProtocol for FramedAloha {
+    fn name(&self) -> &str {
+        "Aloha-ID"
+    }
+
+    fn identify(
+        &self,
+        keys: &[u64],
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> IdentifyReport {
+        assert!(self.initial_frame >= 1, "frame must be non-empty");
+        // Remaining (unidentified) tags.
+        let mut remaining: Vec<u64> = keys.to_vec();
+        let mut frame = self.initial_frame.min(self.max_frame);
+        let mut identified = 0u64;
+        let mut frames = 0u32;
+        while !remaining.is_empty() {
+            frames += 1;
+            if frames > self.max_frames {
+                break;
+            }
+            // Frame announcement: a Query command (Gen2: 22 bits).
+            air.broadcast(22);
+            // Each remaining tag draws a slot; bucket them so the frame walk
+            // is O(frame + remaining) rather than quadratic.
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); frame];
+            for i in 0..remaining.len() {
+                buckets[rng.random_range(0..frame)].push(i);
+            }
+            let mut singulated = vec![false; remaining.len()];
+            let mut collisions = 0u64;
+            for bucket in &buckets {
+                let outcome = air.slot(bucket.len() as u64, self.command_bits, rng);
+                match outcome {
+                    SlotOutcome::Singleton => {
+                        // Singulated: ACK + EPC exchange; the tag goes quiet.
+                        // (Under a lossy channel this also models capture:
+                        // one collider got through cleanly.)
+                        if let Some(&i) = bucket.first() {
+                            if !singulated[i] {
+                                singulated[i] = true;
+                                identified += 1;
+                            }
+                        }
+                    }
+                    SlotOutcome::Collision => collisions += 1,
+                    SlotOutcome::Idle => {}
+                }
+            }
+            remaining = remaining
+                .iter()
+                .zip(&singulated)
+                .filter(|(_, &gone)| !gone)
+                .map(|(&k, _)| k)
+                .collect();
+            // Schoute backlog estimate sizes the next frame.
+            let backlog = (SCHOUTE_FACTOR * collisions as f64).round() as usize;
+            frame = backlog.clamp(1, self.max_frame);
+        }
+        IdentifyReport {
+            identified,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(n: u64, seed: u64) -> IdentifyReport {
+        let keys: Vec<u64> = (0..n).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        FramedAloha::gen2_defaults().identify(&keys, &mut air, &mut rng)
+    }
+
+    #[test]
+    fn identifies_every_tag() {
+        for n in [0u64, 1, 17, 500, 5_000] {
+            let report = run(n, 3);
+            assert_eq!(report.identified, n, "n = {n}");
+        }
+    }
+
+    /// The classic throughput bound: slotted Aloha needs ≥ e·n slots
+    /// asymptotically; DFSA with Schoute lands close to it.
+    #[test]
+    fn cost_is_linear_near_e_times_n() {
+        for n in [2_000u64, 20_000] {
+            let report = run(n, 4);
+            let per_tag = report.metrics.slots as f64 / n as f64;
+            assert!(
+                (2.3..3.8).contains(&per_tag),
+                "n = {n}: slots per tag {per_tag} (expected ≈ e)"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_count_equals_population() {
+        let n = 2_000u64;
+        let report = run(n, 5);
+        assert_eq!(report.metrics.singleton, n, "one singleton per tag");
+        assert!(report.metrics.collision > 0, "collisions happen on the way");
+    }
+
+    #[test]
+    fn empty_population_is_cheap() {
+        let report = run(0, 6);
+        assert_eq!(report.identified, 0);
+        assert_eq!(report.metrics.slots, 0, "no frame is ever opened");
+    }
+
+    /// Tags far beyond the max frame still finish (the frame saturates and
+    /// the backlog drains linearly).
+    #[test]
+    fn huge_population_with_capped_frame() {
+        let n = 100_000u64;
+        let report = run(n, 7);
+        assert_eq!(report.identified, n);
+        let per_tag = report.metrics.slots as f64 / n as f64;
+        assert!(per_tag < 4.5, "slots per tag {per_tag}");
+    }
+
+    /// Gen2's Q ≤ 15 cap collapses throughput once the backlog dwarfs the
+    /// frame (load ≫ 1 ⇒ almost every slot collides) — the inventory turns
+    /// superlinear, while the unbounded software reader stays near e·n.
+    #[test]
+    fn gen2_cap_is_superlinear_at_scale() {
+        let n = 200_000u64;
+        let keys: Vec<u64> = (0..n).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(8);
+        let capped = FramedAloha::gen2_defaults().identify(&keys, &mut air, &mut rng);
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(8);
+        let free = FramedAloha::unbounded().identify(&keys, &mut air, &mut rng);
+        assert_eq!(capped.identified, n);
+        assert_eq!(free.identified, n);
+        let capped_per_tag = capped.metrics.slots as f64 / n as f64;
+        let free_per_tag = free.metrics.slots as f64 / n as f64;
+        assert!(capped_per_tag > 8.0, "capped {capped_per_tag}");
+        assert!((2.3..3.8).contains(&free_per_tag), "unbounded {free_per_tag}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the identification protocols.
+
+use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under a lossless channel, both protocols identify exactly the
+    /// population, whatever its size or key structure.
+    #[test]
+    fn everyone_is_identified(
+        n in 0u64..3_000,
+        stride in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(stride)).collect();
+        // Strided keys may collide after wrapping; dedup to the true set.
+        let mut unique = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for protocol in [
+            Box::new(FramedAloha::gen2_defaults()) as Box<dyn IdentificationProtocol>,
+            Box::new(TreeWalk::new()),
+        ] {
+            let mut air = Air::new(ChannelModel::Perfect);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = protocol.identify(&unique, &mut air, &mut rng);
+            prop_assert_eq!(
+                report.identified,
+                unique.len() as u64,
+                "{}",
+                protocol.name()
+            );
+            prop_assert!(report.metrics.is_consistent());
+            // Exactly one singleton per identified tag under TreeWalk; at
+            // least one per tag under Aloha (capture-free channel).
+            prop_assert!(report.metrics.singleton >= report.identified.min(1));
+        }
+    }
+
+    /// Tree walking's slot count is deterministic given the codes: two runs
+    /// over the same population agree exactly (no randomness in the walk).
+    #[test]
+    fn treewalk_is_deterministic(n in 1u64..2_000, seed in any::<u64>()) {
+        let keys: Vec<u64> = (0..n).collect();
+        let run = |s: u64| {
+            let mut air = Air::new(ChannelModel::Perfect);
+            let mut rng = StdRng::seed_from_u64(s);
+            TreeWalk::new().identify(&keys, &mut air, &mut rng).metrics.slots
+        };
+        prop_assert_eq!(run(seed), run(seed ^ 0xFFFF));
+    }
+
+    /// Identification never takes fewer slots than tags (each needs its own
+    /// singleton slot) — the Θ(n) lower bound in its crudest form.
+    #[test]
+    fn linear_lower_bound(n in 1u64..2_000, seed in any::<u64>()) {
+        let keys: Vec<u64> = (0..n).collect();
+        for protocol in [
+            Box::new(FramedAloha::gen2_defaults()) as Box<dyn IdentificationProtocol>,
+            Box::new(TreeWalk::new()),
+        ] {
+            let mut air = Air::new(ChannelModel::Perfect);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = protocol.identify(&keys, &mut air, &mut rng);
+            prop_assert!(
+                report.metrics.slots >= n,
+                "{}: {} slots for {n} tags",
+                protocol.name(),
+                report.metrics.slots
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Physical channel models.
+//!
+//! The paper evaluates under a lossless channel ("we assume that there is no
+//! transmission loss between RFID tags and the reader", §5.1) —
+//! [`PerfectChannel`]. [`LossyChannel`] is our robustness extension: it
+//! drops each tag response independently and can hallucinate busy slots,
+//! letting the benches quantify how PET's accuracy degrades off the paper's
+//! assumptions.
+
+use crate::slot::SlotOutcome;
+use rand::Rng;
+use std::fmt;
+
+/// Maps the true number of simultaneous tag responses to what the reader
+/// detects.
+pub trait Channel {
+    /// Simulates one slot with `responders` tags transmitting.
+    fn transmit<R: Rng + ?Sized>(&mut self, responders: u64, rng: &mut R) -> SlotOutcome;
+}
+
+/// The paper's lossless channel: every response is detected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfectChannel;
+
+impl Channel for PerfectChannel {
+    fn transmit<R: Rng + ?Sized>(&mut self, responders: u64, _rng: &mut R) -> SlotOutcome {
+        SlotOutcome::from_detected(responders)
+    }
+}
+
+/// A channel that loses responses and occasionally reports phantom energy.
+///
+/// Each responder's transmission is missed independently with probability
+/// `miss`; an idle slot is misread as a singleton with probability
+/// `false_busy` (reader-side noise floor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossyChannel {
+    miss: f64,
+    false_busy: f64,
+}
+
+/// Error constructing a [`LossyChannel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbabilityOutOfRange {
+    /// Name of the offending parameter.
+    pub parameter: &'static str,
+}
+
+impl fmt::Display for ProbabilityOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} must be a probability in [0, 1)", self.parameter)
+    }
+}
+
+impl std::error::Error for ProbabilityOutOfRange {}
+
+impl LossyChannel {
+    /// Creates a lossy channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either probability lies outside `[0, 1)`.
+    pub fn new(miss: f64, false_busy: f64) -> Result<Self, ProbabilityOutOfRange> {
+        if !(0.0..1.0).contains(&miss) || !miss.is_finite() {
+            return Err(ProbabilityOutOfRange { parameter: "miss" });
+        }
+        if !(0.0..1.0).contains(&false_busy) || !false_busy.is_finite() {
+            return Err(ProbabilityOutOfRange {
+                parameter: "false_busy",
+            });
+        }
+        Ok(Self { miss, false_busy })
+    }
+
+    /// Per-responder miss probability.
+    #[must_use]
+    pub fn miss(&self) -> f64 {
+        self.miss
+    }
+
+    /// Phantom-busy probability on idle slots.
+    #[must_use]
+    pub fn false_busy(&self) -> f64 {
+        self.false_busy
+    }
+}
+
+impl Channel for LossyChannel {
+    fn transmit<R: Rng + ?Sized>(&mut self, responders: u64, rng: &mut R) -> SlotOutcome {
+        // Detected responses ~ Binomial(responders, 1 − miss). Sample
+        // directly for small counts; for large counts we only need to know
+        // whether ≥2 survive, so short-circuit once the class is decided.
+        let mut detected: u64 = 0;
+        for _ in 0..responders {
+            if !rng.random_bool(self.miss) {
+                detected += 1;
+                if detected >= 2 {
+                    break;
+                }
+            }
+        }
+        if detected == 0 && self.false_busy > 0.0 && rng.random_bool(self.false_busy) {
+            detected = 1;
+        }
+        SlotOutcome::from_detected(detected)
+    }
+}
+
+/// A monomorphic channel choice, for code that needs to treat protocol
+/// implementations as trait objects (e.g. the experiment runner iterating
+/// over estimators).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ChannelModel {
+    /// The paper's lossless channel.
+    #[default]
+    Perfect,
+    /// A lossy channel with the given parameters.
+    Lossy(LossyChannel),
+}
+
+impl Channel for ChannelModel {
+    fn transmit<R: Rng + ?Sized>(&mut self, responders: u64, rng: &mut R) -> SlotOutcome {
+        match self {
+            Self::Perfect => PerfectChannel.transmit(responders, rng),
+            Self::Lossy(ch) => ch.transmit(responders, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn channel_model_dispatches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut perfect = ChannelModel::default();
+        assert_eq!(perfect.transmit(2, &mut rng), SlotOutcome::Collision);
+        let mut lossy = ChannelModel::Lossy(LossyChannel::new(0.0, 0.0).unwrap());
+        assert_eq!(lossy.transmit(1, &mut rng), SlotOutcome::Singleton);
+    }
+
+    #[test]
+    fn perfect_channel_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = PerfectChannel;
+        assert_eq!(ch.transmit(0, &mut rng), SlotOutcome::Idle);
+        assert_eq!(ch.transmit(1, &mut rng), SlotOutcome::Singleton);
+        assert_eq!(ch.transmit(100, &mut rng), SlotOutcome::Collision);
+    }
+
+    #[test]
+    fn lossy_validation() {
+        assert!(LossyChannel::new(0.0, 0.0).is_ok());
+        assert!(LossyChannel::new(0.99, 0.0).is_ok());
+        assert_eq!(
+            LossyChannel::new(1.0, 0.0).unwrap_err().parameter,
+            "miss"
+        );
+        assert_eq!(
+            LossyChannel::new(0.0, -0.1).unwrap_err().parameter,
+            "false_busy"
+        );
+        assert_eq!(
+            LossyChannel::new(f64::NAN, 0.0).unwrap_err().parameter,
+            "miss"
+        );
+    }
+
+    #[test]
+    fn lossy_with_zero_rates_equals_perfect() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = LossyChannel::new(0.0, 0.0).unwrap();
+        for n in [0u64, 1, 2, 50] {
+            assert_eq!(ch.transmit(n, &mut rng), SlotOutcome::from_detected(n));
+        }
+    }
+
+    #[test]
+    fn miss_rate_empirically_correct() {
+        // One responder, miss = 0.3 → idle with probability 0.3.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = LossyChannel::new(0.3, 0.0).unwrap();
+        let trials = 100_000;
+        let idle = (0..trials)
+            .filter(|_| ch.transmit(1, &mut rng) == SlotOutcome::Idle)
+            .count();
+        let frac = idle as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.01, "idle fraction {frac}");
+    }
+
+    #[test]
+    fn false_busy_empirically_correct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ch = LossyChannel::new(0.0, 0.05).unwrap();
+        let trials = 100_000;
+        let busy = (0..trials)
+            .filter(|_| ch.transmit(0, &mut rng).is_busy())
+            .count();
+        let frac = busy as f64 / trials as f64;
+        assert!((frac - 0.05).abs() < 0.005, "phantom-busy fraction {frac}");
+    }
+
+    #[test]
+    fn heavy_collisions_stay_collisions() {
+        // With many responders and mild loss, collisions survive.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ch = LossyChannel::new(0.1, 0.0).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(ch.transmit(1000, &mut rng), SlotOutcome::Collision);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LossyChannel::new(2.0, 0.0).unwrap_err();
+        assert!(e.to_string().contains("miss"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Conversion from slot counts to wall-clock air time.
+//!
+//! The paper abstracts estimating time as a slot count (§5.1). Real UHF
+//! readers spend different amounts of time on idle and busy slots — under
+//! EPC C1G2 an idle slot ends after a short no-reply timeout while a busy
+//! slot carries a tag reply — so we provide a configurable model with
+//! Gen2-flavoured defaults to report seconds alongside slots. This is an
+//! extension; all paper-facing comparisons remain in slots.
+
+use crate::metrics::AirMetrics;
+use std::time::Duration;
+
+/// Per-slot-type durations used to convert [`AirMetrics`] to air time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeModel {
+    /// Duration of an idle slot (reader command + no-reply timeout), µs.
+    pub idle_us: f64,
+    /// Duration of a busy slot (reader command + tag reply), µs.
+    pub busy_us: f64,
+    /// Additional reader transmission time per command bit, µs.
+    pub us_per_command_bit: f64,
+}
+
+impl TimeModel {
+    /// Gen2-inspired defaults: 40 kbps reader link (25 µs/bit), ~300 µs
+    /// no-reply timeout for idle slots, ~800 µs for a slot carrying an RN16
+    /// backscatter reply.
+    #[must_use]
+    pub fn gen2() -> Self {
+        Self {
+            idle_us: 300.0,
+            busy_us: 800.0,
+            us_per_command_bit: 25.0,
+        }
+    }
+
+    /// A model that charges every slot equally and commands nothing — the
+    /// paper's pure slot-count accounting, useful for ratio checks.
+    #[must_use]
+    pub fn uniform_slots(slot_us: f64) -> Self {
+        Self {
+            idle_us: slot_us,
+            busy_us: slot_us,
+            us_per_command_bit: 0.0,
+        }
+    }
+
+    /// Total air time for the recorded metrics.
+    #[must_use]
+    pub fn elapsed(&self, m: &AirMetrics) -> Duration {
+        let us = self.idle_us * m.idle as f64
+            + self.busy_us * (m.singleton + m.collision) as f64
+            + self.us_per_command_bit * m.command_bits as f64;
+        Duration::from_secs_f64(us.max(0.0) / 1e6)
+    }
+}
+
+impl Default for TimeModel {
+    fn default() -> Self {
+        Self::gen2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::SlotOutcome;
+
+    #[test]
+    fn uniform_model_counts_slots() {
+        let mut m = AirMetrics::default();
+        m.record(0, SlotOutcome::Idle);
+        m.record(0, SlotOutcome::Collision);
+        let t = TimeModel::uniform_slots(1000.0); // 1 ms per slot
+        assert_eq!(t.elapsed(&m), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn gen2_model_charges_components() {
+        let mut m = AirMetrics::default();
+        m.record(32, SlotOutcome::Idle); // 300 + 32·25 = 1100 µs
+        m.record(32, SlotOutcome::Collision); // 800 + 32·25 = 1600 µs
+        let t = TimeModel::gen2();
+        let us = t.elapsed(&m).as_secs_f64() * 1e6;
+        assert!((us - 2700.0).abs() < 1e-6, "got {us}");
+    }
+
+    #[test]
+    fn busy_slots_cost_more_than_idle_by_default() {
+        let t = TimeModel::default();
+        assert!(t.busy_us > t.idle_us);
+    }
+
+    #[test]
+    fn empty_metrics_take_no_time() {
+        assert_eq!(TimeModel::gen2().elapsed(&AirMetrics::default()), Duration::ZERO);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bit-faithful reader command frames (Gen2-flavoured framing for the PET
+//! queries of §4.6.2).
+//!
+//! The paper counts command *payload* bits (32-bit mask / 5-bit `mid` /
+//! 1-bit feedback). A real air interface adds a command code, length
+//! framing, and a checksum. This module builds those frames so overhead
+//! discussions can be had with framing included — without changing the
+//! paper-facing accounting (which stays payload-only, as in §4.6.2).
+
+use crate::crc::{bits_msb_first, crc5_epc};
+
+/// Command codes for the PET air interface (4 bits, private range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PetCommandCode {
+    /// Round start: carries the estimating path (and optional seed).
+    RoundStart = 0b1100,
+    /// Prefix query with an explicit mask or length.
+    Query = 0b1101,
+    /// 1-bit feedback broadcast.
+    Feedback = 0b1110,
+    /// Match-all presence probe.
+    Probe = 0b1111,
+}
+
+/// A fully framed reader command: code ‖ payload ‖ CRC-5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandFrame {
+    code: PetCommandCode,
+    bits: Vec<bool>,
+}
+
+impl CommandFrame {
+    /// Builds a frame from a code and payload bits (MSB first).
+    #[must_use]
+    pub fn new(code: PetCommandCode, payload: &[bool]) -> Self {
+        let mut bits = bits_msb_first(code as u64, 4);
+        bits.extend_from_slice(payload);
+        let crc = crc5_epc(&bits);
+        bits.extend(bits_msb_first(u64::from(crc), 5));
+        Self { code, bits }
+    }
+
+    /// A round-start frame carrying an `H`-bit estimating path and an
+    /// optional 32-bit seed (active-tag mode).
+    #[must_use]
+    pub fn round_start(path_bits: u64, height: u32, seed: Option<u32>) -> Self {
+        let mut payload = bits_msb_first(path_bits, height);
+        if let Some(seed) = seed {
+            payload.extend(bits_msb_first(u64::from(seed), 32));
+        }
+        Self::new(PetCommandCode::RoundStart, &payload)
+    }
+
+    /// A query frame carrying the 5-bit prefix length (the §4.6.2 `mid`
+    /// encoding).
+    #[must_use]
+    pub fn query_mid(mid: u32) -> Self {
+        Self::new(PetCommandCode::Query, &bits_msb_first(u64::from(mid), 5))
+    }
+
+    /// A feedback frame carrying the 1-bit busy indicator.
+    #[must_use]
+    pub fn feedback(busy: bool) -> Self {
+        Self::new(PetCommandCode::Feedback, &[busy])
+    }
+
+    /// The command code.
+    #[must_use]
+    pub fn code(&self) -> PetCommandCode {
+        self.code
+    }
+
+    /// Total bits on the air, framing included.
+    #[must_use]
+    pub fn len_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The raw bit stream (code ‖ payload ‖ CRC).
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Verifies the trailing CRC-5 (how a tag decides to honour the frame).
+    #[must_use]
+    pub fn check(&self) -> bool {
+        crc5_epc(&self.bits) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_self_check() {
+        assert!(CommandFrame::round_start(0xDEAD_BEEF, 32, None).check());
+        assert!(CommandFrame::round_start(0xDEAD_BEEF, 32, Some(7)).check());
+        assert!(CommandFrame::query_mid(17).check());
+        assert!(CommandFrame::feedback(true).check());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_check() {
+        let frame = CommandFrame::query_mid(17);
+        for i in 0..frame.len_bits() {
+            let mut bits = frame.bits().to_vec();
+            bits[i] = !bits[i];
+            assert_ne!(crc5_epc(&bits), 0, "undetected corruption at bit {i}");
+        }
+    }
+
+    /// Frame sizes: the §4.6.2 payload counts plus 9 framing bits
+    /// (4-bit code + 5-bit CRC).
+    #[test]
+    fn frame_sizes_match_spec() {
+        assert_eq!(CommandFrame::query_mid(5).len_bits(), 5 + 9);
+        assert_eq!(CommandFrame::feedback(false).len_bits(), 1 + 9);
+        assert_eq!(CommandFrame::round_start(0, 32, None).len_bits(), 32 + 9);
+        assert_eq!(
+            CommandFrame::round_start(0, 32, Some(1)).len_bits(),
+            32 + 32 + 9
+        );
+    }
+
+    #[test]
+    fn codes_are_distinct_on_air() {
+        let a = CommandFrame::new(PetCommandCode::Query, &[true]);
+        let b = CommandFrame::new(PetCommandCode::Feedback, &[true]);
+        assert_ne!(a.bits(), b.bits());
+        assert_eq!(a.code(), PetCommandCode::Query);
+        assert_eq!(b.code(), PetCommandCode::Feedback);
+    }
+}

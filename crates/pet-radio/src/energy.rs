@@ -1,0 +1,113 @@
+//! Energy accounting for readers and tags.
+//!
+//! An extension in the spirit of the paper's related work on energy-aware
+//! anticollision (Namboodiri & Gao, PerCom'07 \[22\]; Zhou et al., ISLPED'04
+//! \[38\]): convert [`AirMetrics`] into reader-side and tag-side energy. The
+//! interesting PET property this surfaces: with binary search the first
+//! query already uses a ~17-bit prefix, so almost *no* tags respond in a
+//! PET round, whereas LoF makes every tag backscatter in every round —
+//! PET's per-tag energy is orders of magnitude lower, which matters for
+//! battery-assisted tags and for RF regulatory duty cycles.
+
+use crate::metrics::AirMetrics;
+
+/// Converts air metrics to energy figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Reader transmit power while sending commands and CW, milliwatts.
+    pub reader_tx_mw: f64,
+    /// Reader receive/idle power while listening, milliwatts.
+    pub reader_rx_mw: f64,
+    /// Duration of one slot, microseconds (flat model; pair with
+    /// [`crate::clock::TimeModel`] for per-slot-type durations).
+    pub slot_us: f64,
+    /// Energy a tag spends per backscattered response, microjoules.
+    /// Zero for purely passive tags (the reader's CW pays for it) — use a
+    /// positive value for battery-assisted (semi-passive) tags.
+    pub tag_response_uj: f64,
+}
+
+impl EnergyModel {
+    /// A UHF reader at 1 W ERP with 100 µs slots and 1 µJ semi-passive tag
+    /// responses — round numbers for comparative studies.
+    #[must_use]
+    pub fn semi_passive_defaults() -> Self {
+        Self {
+            reader_tx_mw: 1_000.0,
+            reader_rx_mw: 100.0,
+            slot_us: 100.0,
+            tag_response_uj: 1.0,
+        }
+    }
+
+    /// Reader energy for the run, millijoules: TX during the command half of
+    /// each slot plus RX during the response half.
+    #[must_use]
+    pub fn reader_mj(&self, m: &AirMetrics) -> f64 {
+        let half_slot_s = self.slot_us / 2.0 / 1e6;
+        let slots = m.slots as f64;
+        (self.reader_tx_mw * half_slot_s + self.reader_rx_mw * half_slot_s) * slots
+    }
+
+    /// Total tag-side energy for the run, millijoules (semi-passive tags).
+    #[must_use]
+    pub fn tags_mj(&self, m: &AirMetrics) -> f64 {
+        m.tag_responses as f64 * self.tag_response_uj / 1_000.0
+    }
+
+    /// Mean responses (hence response energy events) per slot — a
+    /// model-free congestion/energy indicator.
+    #[must_use]
+    pub fn responses_per_slot(m: &AirMetrics) -> f64 {
+        if m.slots == 0 {
+            0.0
+        } else {
+            m.tag_responses as f64 / m.slots as f64
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::semi_passive_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::SlotOutcome;
+
+    fn metrics(slots: u64, responses: u64) -> AirMetrics {
+        let mut m = AirMetrics::default();
+        for i in 0..slots {
+            let r = if i == 0 { responses } else { 0 };
+            m.record_slot(0, r, SlotOutcome::from_detected(r));
+        }
+        m
+    }
+
+    #[test]
+    fn reader_energy_scales_with_slots() {
+        let model = EnergyModel::semi_passive_defaults();
+        let one = model.reader_mj(&metrics(1, 0));
+        let ten = model.reader_mj(&metrics(10, 0));
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+        // 1 slot: (1000 + 100) mW × 50 µs = 0.055 mJ.
+        assert!((one - 0.055).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_energy_scales_with_responses() {
+        let model = EnergyModel::semi_passive_defaults();
+        assert_eq!(model.tags_mj(&metrics(1, 0)), 0.0);
+        assert!((model.tags_mj(&metrics(1, 500)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responses_per_slot_indicator() {
+        assert_eq!(EnergyModel::responses_per_slot(&AirMetrics::default()), 0.0);
+        let m = metrics(4, 8);
+        assert_eq!(EnergyModel::responses_per_slot(&m), 2.0);
+    }
+}

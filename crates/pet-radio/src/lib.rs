@@ -1,0 +1,208 @@
+//! Slotted-MAC radio substrate for the PET RFID-estimation reproduction.
+//!
+//! The paper's system model (§3, §5.1): time is divided into slots; in each
+//! slot the reader talks first (broadcasting a command that also energizes
+//! passive tags) and tags respond in the second half of the slot. The reader
+//! cannot decode concurrent responses, but it can distinguish an *idle* slot
+//! from a *busy* one — and, for protocols that need it, a *singleton*
+//! response from a *collision*.
+//!
+//! This crate provides the pieces every protocol in the workspace shares:
+//!
+//! - [`SlotOutcome`]: what the reader hears in one slot.
+//! - [`channel`]: the physical channel — [`channel::PerfectChannel`] (the
+//!   paper's lossless assumption) and [`channel::LossyChannel`] (a
+//!   robustness extension with per-responder miss probability and spurious
+//!   busy detections).
+//! - [`Air`]: one reader's air interface, owning a channel plus
+//!   [`AirMetrics`] accounting of slots and command bits — the paper's two
+//!   cost metrics (estimating time in slots, §5.1; command overhead in bits,
+//!   §4.6.2).
+//! - [`TimeModel`]: an EPC Gen2-inspired conversion from slot counts to
+//!   wall-clock air time (extension; the paper reports slot counts only).
+//! - [`EnergyModel`]: reader/tag energy from the same metrics (extension,
+//!   after the paper's energy-aware related work).
+//! - [`command`]/[`crc`]: bit-faithful Gen2-style command frames with CRC-5
+//!   protection (extension; the paper-facing accounting stays payload-only).
+//!
+//! # Example
+//!
+//! ```
+//! use pet_radio::{Air, SlotOutcome};
+//! use pet_radio::channel::PerfectChannel;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut air = Air::new(PerfectChannel);
+//! // Broadcast a 32-bit command; three tags respond.
+//! let outcome = air.slot(3, 32, &mut rng);
+//! assert_eq!(outcome, SlotOutcome::Collision);
+//! assert_eq!(air.metrics().slots, 1);
+//! assert_eq!(air.metrics().command_bits, 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod clock;
+pub mod command;
+pub mod crc;
+pub mod energy;
+pub mod metrics;
+pub mod slot;
+pub mod transcript;
+
+pub use channel::Channel;
+pub use clock::TimeModel;
+pub use energy::EnergyModel;
+pub use metrics::AirMetrics;
+pub use slot::SlotOutcome;
+pub use transcript::{SlotRecord, Transcript};
+
+use rand::Rng;
+
+/// One reader's air interface: a channel plus cost accounting and an
+/// optional transcript.
+///
+/// Protocol code calls [`Air::slot`] once per time slot with the number of
+/// tags that chose to respond and the size of the command broadcast at the
+/// start of the slot; the channel decides what the reader hears.
+#[derive(Debug, Clone)]
+pub struct Air<C> {
+    channel: C,
+    metrics: AirMetrics,
+    transcript: Option<Transcript>,
+}
+
+impl<C: Channel> Air<C> {
+    /// Creates an air interface over the given channel.
+    pub fn new(channel: C) -> Self {
+        Self {
+            channel,
+            metrics: AirMetrics::default(),
+            transcript: None,
+        }
+    }
+
+    /// Enables transcript recording, keeping at most `cap` slot records
+    /// (older records are dropped first).
+    #[must_use]
+    pub fn with_transcript(mut self, cap: usize) -> Self {
+        self.transcript = Some(Transcript::with_capacity(cap));
+        self
+    }
+
+    /// Runs one slot: the reader broadcasts `command_bits` bits, then
+    /// `responders` tags transmit simultaneously. Returns what the reader
+    /// hears after the channel has had its say.
+    pub fn slot<R: Rng + ?Sized>(
+        &mut self,
+        responders: u64,
+        command_bits: u32,
+        rng: &mut R,
+    ) -> SlotOutcome {
+        let outcome = self.channel.transmit(responders, rng);
+        self.metrics.record_slot(command_bits, responders, outcome);
+        if let Some(t) = &mut self.transcript {
+            t.push(SlotRecord {
+                command_bits,
+                responders,
+                outcome,
+            });
+        }
+        outcome
+    }
+
+    /// Charges a reader broadcast that does not occupy a response slot —
+    /// e.g. PET's round-start transmission of the estimating path (and seed),
+    /// which the paper accounts as command overhead rather than a slot
+    /// (Table 3 counts 5 slots per round; §4.6.2 counts the bits).
+    pub fn broadcast(&mut self, bits: u32) {
+        self.metrics.command_bits += u64::from(bits);
+    }
+
+    /// Accumulated cost metrics.
+    pub fn metrics(&self) -> &AirMetrics {
+        &self.metrics
+    }
+
+    /// Resets the accounting (e.g. between independent experiments) while
+    /// keeping the channel.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = AirMetrics::default();
+        if let Some(t) = &mut self.transcript {
+            t.clear();
+        }
+    }
+
+    /// The recorded transcript, if enabled.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// The underlying channel.
+    pub fn channel(&self) -> &C {
+        &self.channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use channel::PerfectChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slot_accounting_accumulates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut air = Air::new(PerfectChannel);
+        assert_eq!(air.slot(0, 5, &mut rng), SlotOutcome::Idle);
+        assert_eq!(air.slot(1, 5, &mut rng), SlotOutcome::Singleton);
+        assert_eq!(air.slot(7, 32, &mut rng), SlotOutcome::Collision);
+        let m = air.metrics();
+        assert_eq!(m.slots, 3);
+        assert_eq!(m.idle, 1);
+        assert_eq!(m.singleton, 1);
+        assert_eq!(m.collision, 1);
+        assert_eq!(m.command_bits, 42);
+    }
+
+    #[test]
+    fn reset_clears_metrics_but_keeps_channel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut air = Air::new(PerfectChannel);
+        air.slot(3, 8, &mut rng);
+        air.reset_metrics();
+        assert_eq!(air.metrics().slots, 0);
+        assert_eq!(air.metrics().command_bits, 0);
+    }
+
+    #[test]
+    fn transcript_records_slots() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut air = Air::new(PerfectChannel).with_transcript(16);
+        air.slot(0, 4, &mut rng);
+        air.slot(2, 4, &mut rng);
+        let t = air.transcript().expect("transcript enabled");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].outcome, SlotOutcome::Idle);
+        assert_eq!(t.records()[1].responders, 2);
+    }
+
+    #[test]
+    fn broadcast_charges_bits_without_slots() {
+        let mut air = Air::new(PerfectChannel);
+        air.broadcast(32);
+        assert_eq!(air.metrics().slots, 0);
+        assert_eq!(air.metrics().command_bits, 32);
+        assert!(air.metrics().is_consistent());
+    }
+
+    #[test]
+    fn transcript_absent_by_default() {
+        let air = Air::new(PerfectChannel);
+        assert!(air.transcript().is_none());
+    }
+}

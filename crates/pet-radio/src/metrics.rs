@@ -1,0 +1,133 @@
+//! Air-time cost accounting.
+//!
+//! The paper's efficiency metric is the total number of time slots (§5.1);
+//! §4.6.2 additionally discusses reader command overhead in bits. Both are
+//! tracked here so every protocol reports comparable costs.
+
+use crate::slot::SlotOutcome;
+use std::ops::{Add, AddAssign};
+
+/// Accumulated reader-side costs for one protocol execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AirMetrics {
+    /// Total slots elapsed.
+    pub slots: u64,
+    /// Idle slots heard.
+    pub idle: u64,
+    /// Singleton slots heard.
+    pub singleton: u64,
+    /// Collision slots heard.
+    pub collision: u64,
+    /// Total command bits broadcast by the reader.
+    pub command_bits: u64,
+    /// Total tag transmissions across all slots (the tag-side energy
+    /// driver: every response costs the tag a backscatter).
+    pub tag_responses: u64,
+}
+
+impl AirMetrics {
+    /// Records one slot with the number of tags that transmitted.
+    pub fn record_slot(&mut self, command_bits: u32, responders: u64, outcome: SlotOutcome) {
+        self.tag_responses += responders;
+        self.record(command_bits, outcome);
+    }
+
+    /// Records one slot (legacy form without responder accounting).
+    pub fn record(&mut self, command_bits: u32, outcome: SlotOutcome) {
+        self.slots += 1;
+        self.command_bits += u64::from(command_bits);
+        match outcome {
+            SlotOutcome::Idle => self.idle += 1,
+            SlotOutcome::Singleton => self.singleton += 1,
+            SlotOutcome::Collision => self.collision += 1,
+        }
+    }
+
+    /// Busy (non-idle) slots heard.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.singleton + self.collision
+    }
+
+    /// Internal consistency: category counts must sum to `slots`.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.idle + self.singleton + self.collision == self.slots
+    }
+}
+
+impl Add for AirMetrics {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            slots: self.slots + rhs.slots,
+            idle: self.idle + rhs.idle,
+            singleton: self.singleton + rhs.singleton,
+            collision: self.collision + rhs.collision,
+            command_bits: self.command_bits + rhs.command_bits,
+            tag_responses: self.tag_responses + rhs.tag_responses,
+        }
+    }
+}
+
+impl AddAssign for AirMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_categorizes() {
+        let mut m = AirMetrics::default();
+        m.record(32, SlotOutcome::Idle);
+        m.record(5, SlotOutcome::Singleton);
+        m.record(1, SlotOutcome::Collision);
+        m.record(1, SlotOutcome::Collision);
+        assert_eq!(m.slots, 4);
+        assert_eq!(m.idle, 1);
+        assert_eq!(m.singleton, 1);
+        assert_eq!(m.collision, 2);
+        assert_eq!(m.busy(), 3);
+        assert_eq!(m.command_bits, 39);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn addition_is_componentwise() {
+        let mut a = AirMetrics::default();
+        a.record(8, SlotOutcome::Idle);
+        let mut b = AirMetrics::default();
+        b.record(16, SlotOutcome::Collision);
+        let c = a + b;
+        assert_eq!(c.slots, 2);
+        assert_eq!(c.idle, 1);
+        assert_eq!(c.collision, 1);
+        assert_eq!(c.command_bits, 24);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn responder_accounting() {
+        let mut m = AirMetrics::default();
+        m.record_slot(5, 0, SlotOutcome::Idle);
+        m.record_slot(5, 7, SlotOutcome::Collision);
+        m.record_slot(5, 1, SlotOutcome::Singleton);
+        assert_eq!(m.tag_responses, 8);
+        assert_eq!(m.slots, 3);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn default_is_zeroed_and_consistent() {
+        let m = AirMetrics::default();
+        assert_eq!(m.slots, 0);
+        assert!(m.is_consistent());
+    }
+}

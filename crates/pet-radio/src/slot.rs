@@ -1,0 +1,86 @@
+//! Slot outcomes as heard by the reader.
+
+use std::fmt;
+
+/// What the reader hears in one time slot.
+///
+/// The PET paper's reader only needs to tell idle from busy (§5.1: "The RFID
+/// reader is capable of detecting idle slots from singleton slots as well as
+/// collision slots"); the USE/UPE baselines additionally distinguish
+/// singletons from collisions, so the simulator models all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotOutcome {
+    /// No tag responded (or every response was lost).
+    Idle,
+    /// Exactly one response was detected.
+    Singleton,
+    /// Two or more responses collided.
+    Collision,
+}
+
+impl SlotOutcome {
+    /// Classifies a slot from the number of responses the reader detected.
+    #[must_use]
+    pub fn from_detected(count: u64) -> Self {
+        match count {
+            0 => Self::Idle,
+            1 => Self::Singleton,
+            _ => Self::Collision,
+        }
+    }
+
+    /// Whether any response was detected — the only bit PET, FNEB, and LoF
+    /// readers use.
+    #[must_use]
+    pub fn is_busy(self) -> bool {
+        !matches!(self, Self::Idle)
+    }
+
+    /// Whether the slot was idle.
+    #[must_use]
+    pub fn is_idle(self) -> bool {
+        matches!(self, Self::Idle)
+    }
+}
+
+impl fmt::Display for SlotOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Idle => "idle",
+            Self::Singleton => "singleton",
+            Self::Collision => "collision",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_from_counts() {
+        assert_eq!(SlotOutcome::from_detected(0), SlotOutcome::Idle);
+        assert_eq!(SlotOutcome::from_detected(1), SlotOutcome::Singleton);
+        assert_eq!(SlotOutcome::from_detected(2), SlotOutcome::Collision);
+        assert_eq!(SlotOutcome::from_detected(u64::MAX), SlotOutcome::Collision);
+    }
+
+    #[test]
+    fn busy_and_idle_are_complements() {
+        for outcome in [
+            SlotOutcome::Idle,
+            SlotOutcome::Singleton,
+            SlotOutcome::Collision,
+        ] {
+            assert_ne!(outcome.is_busy(), outcome.is_idle());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SlotOutcome::Idle.to_string(), "idle");
+        assert_eq!(SlotOutcome::Singleton.to_string(), "singleton");
+        assert_eq!(SlotOutcome::Collision.to_string(), "collision");
+    }
+}

@@ -1,0 +1,140 @@
+//! Slot-by-slot transcripts for debugging and protocol-trace tests.
+
+use crate::slot::SlotOutcome;
+use std::collections::VecDeque;
+
+/// One recorded slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRecord {
+    /// Bits broadcast by the reader at the head of the slot.
+    pub command_bits: u32,
+    /// True number of tags that transmitted.
+    pub responders: u64,
+    /// What the reader heard.
+    pub outcome: SlotOutcome,
+}
+
+/// A bounded ring of [`SlotRecord`]s (oldest dropped first).
+#[derive(Debug, Clone)]
+pub struct Transcript {
+    records: VecDeque<SlotRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Transcript {
+    /// Creates a transcript holding at most `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "transcript capacity must be positive");
+        Self {
+            records: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, record: SlotRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Records currently held, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<SlotRecord> {
+        self.records.iter().copied().collect()
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all records (the drop counter is reset too).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+
+    /// The outcome sequence, for compact protocol-trace assertions.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<SlotOutcome> {
+        self.records.iter().map(|r| r.outcome).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(responders: u64) -> SlotRecord {
+        SlotRecord {
+            command_bits: 1,
+            responders,
+            outcome: SlotOutcome::from_detected(responders),
+        }
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = Transcript::with_capacity(4);
+        assert!(t.is_empty());
+        t.push(rec(0));
+        t.push(rec(3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.outcomes(),
+            vec![SlotOutcome::Idle, SlotOutcome::Collision]
+        );
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn eviction_drops_oldest() {
+        let mut t = Transcript::with_capacity(2);
+        t.push(rec(0));
+        t.push(rec(1));
+        t.push(rec(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.records()[0].responders, 1);
+        assert_eq!(t.records()[1].responders, 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Transcript::with_capacity(1);
+        t.push(rec(0));
+        t.push(rec(1));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Transcript::with_capacity(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the radio substrate.
+
+use pet_radio::channel::{Channel, ChannelModel, LossyChannel, PerfectChannel};
+use pet_radio::command::{CommandFrame, PetCommandCode};
+use pet_radio::crc::{bits_msb_first, crc16_ccitt, crc5_epc};
+use pet_radio::energy::EnergyModel;
+use pet_radio::{Air, AirMetrics, SlotOutcome, TimeModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Metrics stay internally consistent under arbitrary slot sequences,
+    /// and addition composes them exactly.
+    #[test]
+    fn metrics_consistency(
+        slots in proptest::collection::vec((0u64..50, 0u32..64), 0..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(slots.len());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut whole = Air::new(PerfectChannel);
+        let mut first = Air::new(PerfectChannel);
+        let mut second = Air::new(PerfectChannel);
+        for (i, &(responders, bits)) in slots.iter().enumerate() {
+            whole.slot(responders, bits, &mut rng);
+            if i < split {
+                first.slot(responders, bits, &mut rng);
+            } else {
+                second.slot(responders, bits, &mut rng);
+            }
+        }
+        prop_assert!(whole.metrics().is_consistent());
+        let combined = *first.metrics() + *second.metrics();
+        prop_assert_eq!(combined, *whole.metrics());
+        let total: u64 = slots.iter().map(|&(r, _)| r).sum();
+        prop_assert_eq!(whole.metrics().tag_responses, total);
+    }
+
+    /// The perfect channel is deterministic; the channel-model wrapper
+    /// agrees with it.
+    #[test]
+    fn perfect_channel_determinism(responders in 0u64..1_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let direct = PerfectChannel.transmit(responders, &mut rng);
+        let wrapped = ChannelModel::Perfect.transmit(responders, &mut rng);
+        prop_assert_eq!(direct, SlotOutcome::from_detected(responders));
+        prop_assert_eq!(wrapped, direct);
+    }
+
+    /// A lossy channel can only demote an outcome (collision → singleton →
+    /// idle), never invent responders beyond phantom singletons.
+    #[test]
+    fn lossy_only_demotes(
+        responders in 0u64..200,
+        miss in 0.0f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ch = LossyChannel::new(miss, 0.0).unwrap();
+        let outcome = ch.transmit(responders, &mut rng);
+        match responders {
+            0 => prop_assert_eq!(outcome, SlotOutcome::Idle),
+            1 => prop_assert!(outcome != SlotOutcome::Collision),
+            _ => {} // any demotion possible
+        }
+    }
+
+    /// Air time is additive in the metrics and nonnegative for sane models.
+    #[test]
+    fn time_model_additivity(
+        a_slots in 0u64..1_000,
+        b_slots in 0u64..1_000,
+        bits in 0u64..10_000,
+    ) {
+        let model = TimeModel::gen2();
+        let mut a = AirMetrics::default();
+        let mut b = AirMetrics::default();
+        for _ in 0..a_slots { a.record(0, SlotOutcome::Idle); }
+        for _ in 0..b_slots { b.record(0, SlotOutcome::Collision); }
+        a.command_bits += bits;
+        let sum = a + b;
+        let t = model.elapsed(&a) + model.elapsed(&b);
+        let ts = model.elapsed(&sum);
+        prop_assert!((t.as_secs_f64() - ts.as_secs_f64()).abs() < 1e-9);
+    }
+
+    /// Energy accounting is linear in responses and slots.
+    #[test]
+    fn energy_linearity(slots in 1u64..1_000, responses in 0u64..100_000) {
+        let model = EnergyModel::semi_passive_defaults();
+        let mut m = AirMetrics::default();
+        m.record_slot(0, responses, SlotOutcome::from_detected(responses));
+        for _ in 1..slots { m.record(0, SlotOutcome::Idle); }
+        prop_assert!((model.tags_mj(&m) - responses as f64 * 1e-3).abs() < 1e-9);
+        prop_assert!(model.reader_mj(&m) > 0.0);
+    }
+
+    /// Every frame the builders emit passes its own CRC, and any single-bit
+    /// corruption fails it.
+    #[test]
+    fn frames_crc_protected(payload_bits in 0u64..(1 << 20), len in 1u32..20) {
+        let payload = bits_msb_first(payload_bits & ((1 << len) - 1), len);
+        let frame = CommandFrame::new(PetCommandCode::Query, &payload);
+        prop_assert!(frame.check());
+        for i in 0..frame.len_bits() {
+            let mut bits = frame.bits().to_vec();
+            bits[i] = !bits[i];
+            prop_assert_ne!(crc5_epc(&bits), 0, "flip at {} undetected", i);
+        }
+    }
+
+    /// CRC-16 detects all single-bit and single-byte corruptions.
+    #[test]
+    fn crc16_detects_corruption(data in proptest::collection::vec(any::<u8>(), 1..64), at in 0usize..64, flip in 1u8..=255) {
+        let at = at % data.len();
+        let base = crc16_ccitt(&data);
+        let mut corrupted = data.clone();
+        corrupted[at] ^= flip;
+        prop_assert_ne!(crc16_ccitt(&corrupted), base);
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal CSV output for regenerated tables and figures.
+//!
+//! Hand-rolled on purpose: the only consumers are plotting scripts and the
+//! EXPERIMENTS.md tables, and keeping the workspace's dependency set at
+//! `rand`/`proptest`/`criterion` was a design goal (see DESIGN.md).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A CSV file writer with a fixed header row.
+#[derive(Debug)]
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates the file (and any missing parent directories) and writes the
+    /// header row.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn create<P: AsRef<Path>>(path: P, header: &[&str]) -> io::Result<Self> {
+        assert!(!header.is_empty(), "CSV needs at least one column");
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(Self {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one row of numeric cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error; panics if the cell count does not match the
+    /// header.
+    pub fn row(&mut self, cells: &[f64]) -> io::Result<()> {
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "row width does not match header"
+        );
+        let line: Vec<String> = cells.iter().map(|c| format_cell(*c)).collect();
+        writeln!(self.out, "{}", line.join(","))
+    }
+
+    /// Writes one row of preformatted string cells (e.g. protocol names).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error; panics on width mismatch or cells containing
+    /// separators.
+    pub fn row_strings(&mut self, cells: &[String]) -> io::Result<()> {
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "row width does not match header"
+        );
+        for c in cells {
+            assert!(
+                !c.contains(',') && !c.contains('\n'),
+                "cell {c:?} needs quoting, which this writer does not support"
+            );
+        }
+        writeln!(self.out, "{}", cells.join(","))
+    }
+
+    /// Flushes buffered rows to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Formats a numeric cell: integers print without a decimal point, floats
+/// with six significant digits.
+fn format_cell(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pet-sim-csv-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_header_and_rows() {
+        let path = tmp("basic");
+        let mut w = CsvWriter::create(&path, &["m", "accuracy"]).unwrap();
+        w.row(&[16.0, 0.998_5]).unwrap();
+        w.row(&[64.0, 1.0]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "m,accuracy\n16,0.998500\n64,1\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn string_rows() {
+        let path = tmp("strings");
+        let mut w = CsvWriter::create(&path, &["protocol", "slots"]).unwrap();
+        w.row_strings(&["PET".to_string(), "23480".to_string()]).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("PET,23480\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let path = tmp("width");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        let _ = w.row(&[1.0]);
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let dir = tmp("nested-dir");
+        let path = dir.join("deep/fig.csv");
+        let w = CsvWriter::create(&path, &["x"]).unwrap();
+        w.finish().unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

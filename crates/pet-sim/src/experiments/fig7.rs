@@ -1,0 +1,127 @@
+//! Fig. 7: per-tag memory consumption for storing preloaded randomness
+//! (log scale in the paper), versus ε (7a, δ = 1%) and versus δ (7b,
+//! ε = 5%).
+//!
+//! PET preloads one 32-bit code used across every round (§4.5); FNEB and
+//! LoF on passive tags must preload one random value *per round*, so their
+//! memory grows with the round count the accuracy requirement demands.
+
+use pet_baselines::{CardinalityEstimator, Fneb, Lof, PetAdapter};
+use pet_stats::accuracy::Accuracy;
+
+/// One memory data point.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Protocol name.
+    pub protocol: String,
+    /// Confidence interval ε.
+    pub epsilon: f64,
+    /// Error probability δ.
+    pub delta: f64,
+    /// Bits of tag memory required.
+    pub memory_bits: u64,
+}
+
+fn protocols() -> Vec<Box<dyn CardinalityEstimator>> {
+    vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default()),
+        Box::new(Lof::paper_default()),
+    ]
+}
+
+/// Memory rows over an `(ε, δ)` grid.
+pub fn memory_grid(epsilons: &[f64], deltas: &[f64]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for &epsilon in epsilons {
+        for &delta in deltas {
+            let acc = Accuracy::new(epsilon, delta).expect("valid accuracy");
+            for p in protocols() {
+                rows.push(Fig7Row {
+                    protocol: p.name().to_string(),
+                    epsilon,
+                    delta,
+                    memory_bits: p.tag_memory_bits(&acc),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 7a: ε ∈ [5%, 20%], δ = 1%.
+pub fn fig7a() -> Vec<Fig7Row> {
+    let epsilons: Vec<f64> = (5..=20).map(|p| f64::from(p) / 100.0).collect();
+    memory_grid(&epsilons, &[0.01])
+}
+
+/// Fig. 7b: δ ∈ [1%, 15%], ε = 5%.
+pub fn fig7b() -> Vec<Fig7Row> {
+    let deltas: Vec<f64> = (1..=15).map(|p| f64::from(p) / 100.0).collect();
+    memory_grid(&[0.05], &deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 7 shape: PET's memory is constant and orders of magnitude
+    /// below both baselines at every requirement.
+    #[test]
+    fn pet_memory_is_flat_and_tiny() {
+        for rows in [fig7a(), fig7b()] {
+            let pet: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.protocol == "PET")
+                .map(|r| r.memory_bits)
+                .collect();
+            assert!(pet.windows(2).all(|w| w[0] == w[1]), "PET memory varies");
+            for r in rows.iter().filter(|r| r.protocol != "PET") {
+                assert!(
+                    r.memory_bits > 10 * pet[0],
+                    "{} at ε={} δ={}: {} bits vs PET {}",
+                    r.protocol,
+                    r.epsilon,
+                    r.delta,
+                    r.memory_bits,
+                    pet[0]
+                );
+            }
+        }
+    }
+
+    /// Baselines' memory shrinks as requirements loosen (fewer rounds).
+    #[test]
+    fn baseline_memory_tracks_round_count() {
+        let rows = fig7a();
+        for name in ["FNEB", "LoF"] {
+            let series: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.protocol == name)
+                .map(|r| r.memory_bits)
+                .collect();
+            assert!(
+                series.windows(2).all(|w| w[0] >= w[1]),
+                "{name} not monotone: {series:?}"
+            );
+            assert!(series[0] > series[series.len() - 1]);
+        }
+    }
+
+    /// FNEB stores log₂(2²⁴) = 24 bits/round vs LoF's 5 — at equal (ε, δ)
+    /// grids FNEB pays more per round but needs different round counts;
+    /// both must exceed PET's flat 42 bits everywhere (checked above), and
+    /// FNEB > LoF at the paper's default point.
+    #[test]
+    fn relative_order_at_default_point() {
+        let rows = memory_grid(&[0.05], &[0.01]);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.protocol == name)
+                .map(|r| r.memory_bits)
+                .unwrap()
+        };
+        assert!(get("FNEB") > get("LoF"));
+        assert_eq!(get("PET"), 42);
+    }
+}

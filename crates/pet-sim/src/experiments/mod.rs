@@ -1,0 +1,27 @@
+//! One module per table/figure of the paper's §5 evaluation, plus the
+//! ablations DESIGN.md calls out.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`fig4`] | Fig. 4a/b/c — accuracy, std-dev, normalized std-dev vs rounds |
+//! | [`table3`] | Table 3 — total PET slots vs rounds (5 per round) |
+//! | [`table45`] | Tables 4–5 and Fig. 5a/b — slots to meet (ε, δ), three protocols |
+//! | [`fig6`] | Fig. 6a/b/c — estimate distributions at equal time budget |
+//! | [`fig7`] | Fig. 7a/b — per-tag memory for preloaded randomness |
+//! | [`ablations`] | command encodings, lossy channel, linear-vs-binary, LoF early termination, hash families |
+//! | [`motivation`] | §1's claim measured: identification (Aloha/tree-walk) vs estimation cost as n grows |
+//! | [`energy`] | reader/tag energy per estimate across protocols (extension) |
+//! | [`detection`] | missing-tag alarm power curve: measured vs closed-form (extension) |
+//!
+//! Every experiment is a pure function of its parameter struct (which
+//! includes the seed), so regenerated numbers are reproducible bit-for-bit.
+
+pub mod ablations;
+pub mod detection;
+pub mod energy;
+pub mod fig4;
+pub mod motivation;
+pub mod fig6;
+pub mod fig7;
+pub mod table3;
+pub mod table45;

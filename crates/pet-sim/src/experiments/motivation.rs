@@ -1,0 +1,129 @@
+//! §1's motivating claim, measured: identifying every tag is `Θ(n)` while
+//! PET's estimation budget is constant in `n`, so "the processing time
+//! rapidly grows as the number of RFID tags increases" for identification
+//! and not at all for estimation.
+
+use pet_baselines::{CardinalityEstimator, PetAdapter};
+use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct MotivationParams {
+    /// Population sizes to sweep.
+    pub tag_counts: Vec<usize>,
+    /// Accuracy PET must deliver (identification is always exact).
+    pub epsilon: f64,
+    /// Error probability for PET.
+    pub delta: f64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for MotivationParams {
+    fn default() -> Self {
+        Self {
+            tag_counts: vec![1_000, 10_000, 100_000, 1_000_000],
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 0x1DEA,
+        }
+    }
+}
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct MotivationRow {
+    /// Population size.
+    pub n: usize,
+    /// Slots for DFSA Aloha identification (measured).
+    pub aloha_slots: u64,
+    /// Slots for tree-walking identification (measured).
+    pub treewalk_slots: u64,
+    /// Slots for a PET estimate at the configured accuracy (measured).
+    pub pet_slots: u64,
+}
+
+impl MotivationRow {
+    /// PET's advantage over the cheaper identification protocol.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.aloha_slots.min(self.treewalk_slots) as f64 / self.pet_slots as f64
+    }
+}
+
+/// Runs the sweep (single run per point; identification costs concentrate
+/// tightly and PET's slot count is deterministic).
+pub fn run(params: &MotivationParams) -> Vec<MotivationRow> {
+    let acc = Accuracy::new(params.epsilon, params.delta).expect("valid accuracy");
+    let pet = PetAdapter::paper_default();
+    // The unbounded software-reader frame keeps DFSA near e·n past Gen2's
+    // Q ≤ 15 cap (with the cap identification is even *worse* at scale).
+    let aloha = FramedAloha::unbounded();
+    let treewalk = TreeWalk::new();
+    params
+        .tag_counts
+        .iter()
+        .map(|&n| {
+            let keys: Vec<u64> = (0..n as u64).collect();
+            let mut rng = StdRng::seed_from_u64(params.seed ^ n as u64);
+
+            let mut air = Air::new(ChannelModel::Perfect);
+            let aloha_report = aloha.identify(&keys, &mut air, &mut rng);
+            assert_eq!(aloha_report.identified, n as u64);
+
+            let mut air = Air::new(ChannelModel::Perfect);
+            let tw_report = treewalk.identify(&keys, &mut air, &mut rng);
+            assert_eq!(tw_report.identified, n as u64);
+
+            let mut air = Air::new(ChannelModel::Perfect);
+            let pet_est = pet.estimate(&keys, &acc, &mut air, &mut rng);
+            let rel = (pet_est.estimate - n as f64).abs() / n as f64;
+            assert!(rel <= 2.0 * params.epsilon, "PET estimate off: {rel}");
+
+            MotivationRow {
+                n,
+                aloha_slots: aloha_report.metrics.slots,
+                treewalk_slots: tw_report.metrics.slots,
+                pet_slots: pet_est.metrics.slots,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identification_grows_linearly_pet_stays_flat() {
+        let rows = run(&MotivationParams {
+            tag_counts: vec![2_000, 20_000, 200_000],
+            epsilon: 0.10,
+            delta: 0.05,
+            seed: 1,
+        });
+        // Identification: 10× tags → ≈10× slots.
+        for pair in rows.windows(2) {
+            let aloha_growth = pair[1].aloha_slots as f64 / pair[0].aloha_slots as f64;
+            let tw_growth = pair[1].treewalk_slots as f64 / pair[0].treewalk_slots as f64;
+            assert!((7.0..13.0).contains(&aloha_growth), "aloha growth {aloha_growth}");
+            assert!((7.0..13.0).contains(&tw_growth), "treewalk growth {tw_growth}");
+            // PET: identical budget at every n.
+            assert_eq!(pair[0].pet_slots, pair[1].pet_slots);
+        }
+        // The crossover message: at 200k tags PET is already ~two orders of
+        // magnitude faster than any identification protocol.
+        let last = rows.last().unwrap();
+        assert!(
+            last.speedup() > 50.0,
+            "speedup {} at n = {}",
+            last.speedup(),
+            last.n
+        );
+    }
+}

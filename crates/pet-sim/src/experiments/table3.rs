@@ -1,0 +1,80 @@
+//! Table 3: total time slots needed for PET as a function of the round
+//! count `m` — exactly `5m` at `H = 32` ("PET only takes five time slots to
+//! complete each round of estimation").
+
+use pet_core::config::PetConfig;
+use pet_core::session::PetSession;
+use pet_tags::population::TagPopulation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Table3Params {
+    /// Population size used for the measurement.
+    pub n: usize,
+    /// Round counts to measure.
+    pub round_counts: Vec<u32>,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for Table3Params {
+    fn default() -> Self {
+        Self {
+            n: 50_000,
+            round_counts: vec![16, 32, 64, 128, 256, 512],
+            seed: 0x7AB3,
+        }
+    }
+}
+
+/// One table row.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    /// Rounds `m`.
+    pub rounds: u32,
+    /// Slots actually consumed by the protocol run.
+    pub measured_slots: u64,
+    /// The paper's nominal `5m`.
+    pub nominal_slots: u64,
+}
+
+/// Runs the measurement.
+pub fn run(params: &Table3Params) -> Vec<Table3Row> {
+    let config = PetConfig::paper_default();
+    let session = PetSession::new(config);
+    let population = TagPopulation::sequential(params.n);
+    params
+        .round_counts
+        .iter()
+        .map(|&rounds| {
+            let mut rng = StdRng::seed_from_u64(params.seed ^ u64::from(rounds));
+            let report = session.estimate_population_rounds(&population, rounds, &mut rng);
+            Table3Row {
+                rounds,
+                measured_slots: report.metrics.slots,
+                nominal_slots: u64::from(rounds) * u64::from(config.slots_per_round_nominal()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline of Table 3: measured = nominal = 5m.
+    #[test]
+    fn measured_equals_nominal_five_per_round() {
+        let rows = run(&Table3Params {
+            n: 10_000,
+            round_counts: vec![16, 64, 256],
+            seed: 1,
+        });
+        for row in rows {
+            assert_eq!(row.nominal_slots, u64::from(row.rounds) * 5);
+            assert_eq!(row.measured_slots, row.nominal_slots, "m = {}", row.rounds);
+        }
+    }
+}

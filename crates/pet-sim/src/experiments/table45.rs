@@ -1,0 +1,246 @@
+//! Tables 4–5 and Fig. 5a/b: total time slots each protocol needs to meet an
+//! `(ε, δ)` accuracy requirement, and the empirical validation that the
+//! budgets actually deliver the promised coverage.
+//!
+//! The slot budgets themselves are closed-form (each protocol's Eq. (20)
+//! analogue times its per-round cost); [`validate`] then *measures* the
+//! in-interval fraction at those budgets by simulation, which is how
+//! EXPERIMENTS.md checks that, e.g., PET's `P(|n̂ − n| ≤ εn)` really exceeds
+//! `1 − δ`.
+
+use crate::runner::run_trials;
+use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
+use pet_radio::channel::ChannelModel;
+use pet_radio::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One row of Table 4/5 or one point of Fig. 5a/b.
+#[derive(Debug, Clone)]
+pub struct SlotBudgetRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Confidence interval ε.
+    pub epsilon: f64,
+    /// Error probability δ.
+    pub delta: f64,
+    /// Rounds the protocol schedules.
+    pub rounds: u32,
+    /// Total slots (rounds × slots/round).
+    pub total_slots: u64,
+}
+
+/// The three §5.3 protocols with their paper-comparison configurations.
+fn protocols() -> Vec<Box<dyn CardinalityEstimator>> {
+    vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default()),
+        Box::new(Lof::paper_default()),
+    ]
+}
+
+/// Slot budgets for each protocol over an `(ε, δ)` grid; Table 4 fixes
+/// `δ = 1%` and sweeps ε, Table 5 fixes `ε = 5%` and sweeps δ, Fig. 5 uses
+/// finer grids of the same two sweeps.
+pub fn slot_budgets(epsilons: &[f64], deltas: &[f64]) -> Vec<SlotBudgetRow> {
+    let mut rows = Vec::new();
+    for &epsilon in epsilons {
+        for &delta in deltas {
+            let acc = Accuracy::new(epsilon, delta).expect("valid accuracy");
+            for p in protocols() {
+                rows.push(SlotBudgetRow {
+                    protocol: p.name().to_string(),
+                    epsilon,
+                    delta,
+                    rounds: p.rounds(&acc),
+                    total_slots: p.total_slots(&acc),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Table 4's grid: ε ∈ {5, 10, 15, 20}%, δ = 1%.
+pub fn table4() -> Vec<SlotBudgetRow> {
+    slot_budgets(&[0.05, 0.10, 0.15, 0.20], &[0.01])
+}
+
+/// Table 5's grid: δ ∈ {1, 5, 10, 20}%, ε = 5%.
+pub fn table5() -> Vec<SlotBudgetRow> {
+    slot_budgets(&[0.05], &[0.01, 0.05, 0.10, 0.20])
+}
+
+/// Fig. 5a's fine ε grid (δ = 1%).
+pub fn fig5a() -> Vec<SlotBudgetRow> {
+    let epsilons: Vec<f64> = (5..=20).map(|p| f64::from(p) / 100.0).collect();
+    slot_budgets(&epsilons, &[0.01])
+}
+
+/// Fig. 5b's fine δ grid (ε = 5%).
+pub fn fig5b() -> Vec<SlotBudgetRow> {
+    let deltas: Vec<f64> = (1..=20).map(|p| f64::from(p) / 100.0).collect();
+    slot_budgets(&[0.05], &deltas)
+}
+
+/// Empirical coverage of one protocol at its scheduled budget.
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Scheduled rounds.
+    pub rounds: u32,
+    /// Measured `P(|n̂ − n| ≤ εn)` over the validation runs.
+    pub within_interval: f64,
+    /// Mean accuracy `n̂/n`.
+    pub mean_accuracy: f64,
+}
+
+/// Validation parameters.
+#[derive(Debug, Clone)]
+pub struct ValidateParams {
+    /// True tag count.
+    pub n: usize,
+    /// Accuracy requirement under test.
+    pub epsilon: f64,
+    /// Error probability under test.
+    pub delta: f64,
+    /// Validation runs per protocol.
+    pub runs: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for ValidateParams {
+    fn default() -> Self {
+        Self {
+            n: 50_000,
+            epsilon: 0.05,
+            delta: 0.01,
+            runs: 300,
+            seed: 0x7AB45,
+        }
+    }
+}
+
+/// Measures each protocol's coverage at its own scheduled round budget.
+/// Baselines run in sampled fidelity (statistically exact; see
+/// `pet-baselines` docs) so the paper-scale budgets stay tractable.
+pub fn validate(params: &ValidateParams) -> Vec<CoverageRow> {
+    let acc = Accuracy::new(params.epsilon, params.delta).expect("valid accuracy");
+    let keys: Vec<u64> = (0..params.n as u64).collect();
+    let fast: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default().with_fidelity(Fidelity::Sampled)),
+        Box::new(Lof::paper_default().with_fidelity(Fidelity::Sampled)),
+    ];
+    fast.iter()
+        .enumerate()
+        .map(|(pi, protocol)| {
+            let rounds = protocol.rounds(&acc);
+            let summary = run_trials(
+                params.runs,
+                params.seed.wrapping_add(pi as u64),
+                |trial_seed| {
+                    let mut rng = StdRng::seed_from_u64(trial_seed);
+                    let mut air = Air::new(ChannelModel::Perfect);
+                    protocol
+                        .estimate_rounds(&keys, rounds, &mut air, &mut rng)
+                        .estimate
+                },
+            );
+            let truth = params.n as f64;
+            let within = pet_stats::histogram::fraction_within(
+                &summary.values,
+                (1.0 - params.epsilon) * truth,
+                (1.0 + params.epsilon) * truth,
+            );
+            CoverageRow {
+                protocol: protocol.name().to_string(),
+                rounds,
+                within_interval: within,
+                mean_accuracy: summary.mean / truth,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 4's headline: PET's budget is 35–50% of both baselines', and
+    /// every budget shrinks as ε loosens.
+    #[test]
+    fn table4_shape() {
+        let rows = table4();
+        assert_eq!(rows.len(), 12);
+        for eps in [0.05, 0.10, 0.15, 0.20] {
+            let slot = |name: &str| {
+                rows.iter()
+                    .find(|r| r.protocol == name && (r.epsilon - eps).abs() < 1e-9)
+                    .map(|r| r.total_slots)
+                    .expect("row")
+            };
+            let (pet, fneb, lof) = (slot("PET"), slot("FNEB"), slot("LoF"));
+            assert!(pet < fneb && pet < lof, "ε = {eps}");
+            let worst = (pet as f64 / fneb as f64).max(pet as f64 / lof as f64);
+            assert!(worst < 0.55, "ε = {eps}: PET fraction {worst}");
+        }
+        // Monotone in ε for PET.
+        let pet: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.protocol == "PET")
+            .map(|r| r.total_slots)
+            .collect();
+        assert!(pet.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn table5_shape() {
+        let rows = table5();
+        assert_eq!(rows.len(), 12);
+        let pet: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.protocol == "PET")
+            .map(|r| r.total_slots)
+            .collect();
+        // Looser δ → fewer slots.
+        assert!(pet.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn fig5_grids_are_fine() {
+        assert_eq!(fig5a().len(), 16 * 3);
+        assert_eq!(fig5b().len(), 20 * 3);
+    }
+
+    /// A reduced validation run: at a loose (ε, δ) the schedules must
+    /// deliver at least their promised coverage (with slack for the small
+    /// run count).
+    #[test]
+    fn budgets_deliver_coverage() {
+        let rows = validate(&ValidateParams {
+            n: 10_000,
+            epsilon: 0.10,
+            delta: 0.05,
+            runs: 60,
+            seed: 3,
+        });
+        for row in rows {
+            assert!(
+                row.within_interval >= 0.85,
+                "{}: coverage {}",
+                row.protocol,
+                row.within_interval
+            );
+            assert!(
+                (row.mean_accuracy - 1.0).abs() < 0.05,
+                "{}: accuracy {}",
+                row.protocol,
+                row.mean_accuracy
+            );
+        }
+    }
+}

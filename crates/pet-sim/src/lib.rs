@@ -1,0 +1,45 @@
+//! Simulation and experiment engine for the PET reproduction.
+//!
+//! This crate turns the protocol stack (`pet-core`, `pet-baselines`) into
+//! the paper's evaluation (§5):
+//!
+//! - [`multireader`]: the §4.6.3 deployment model — multiple readers with
+//!   overlapping zone coverage behind a back-end controller whose
+//!   duplicate-insensitive aggregation makes overlaps and mobile tags
+//!   harmless.
+//! - [`runner`]: a parallel, seeded trial runner (the paper averages 300
+//!   runs per data point).
+//! - [`csv`]: minimal CSV output for the regenerated tables/figures.
+//! - [`experiments`]: one module per table and figure of §5, plus the
+//!   ablations DESIGN.md calls out. Each module exposes parameters, a
+//!   `run()` entry point, and printable rows; the `pet-bench` crate drives
+//!   them from both Criterion benches and the `repro` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use pet_sim::experiments::fig4::{Fig4Params, run};
+//!
+//! // A miniature Fig. 4 sweep (the repro binary uses the paper's scales).
+//! let params = Fig4Params {
+//!     tag_counts: vec![1_000],
+//!     round_counts: vec![16, 64],
+//!     runs: 20,
+//!     seed: 7,
+//! };
+//! let result = run(&params);
+//! assert_eq!(result.rows.len(), 2);
+//! // More rounds → tighter normalized deviation (Fig. 4c's shape).
+//! assert!(result.rows[1].normalized_std_dev < result.rows[0].normalized_std_dev);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+pub mod multireader;
+pub mod runner;
+
+pub use multireader::{Deployment, MultiReaderReport};
+pub use runner::{run_trials, TrialSummary};

@@ -1,0 +1,293 @@
+//! Multi-reader deployments with a duplicate-insensitive controller
+//! (paper §4.6.3).
+//!
+//! Readers cover (possibly overlapping) sets of zones; a back-end controller
+//! broadcasts each round's estimating path through every reader, collects
+//! their per-slot busy/idle reports, and "takes a slot as idle only when no
+//! tag response is reported from any readers". A tag heard by three readers
+//! contributes exactly the same as a tag heard by one — the
+//! duplicate-insensitivity that makes overlapping coverage and mobile tags
+//! correct by construction.
+
+use pet_core::config::PetConfig;
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_core::session::PetSession;
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::{ChannelModel, PerfectChannel};
+use pet_radio::Air;
+use pet_tags::mobility::ZoneField;
+use pet_tags::population::TagPopulation;
+use rand::Rng;
+
+/// A fixed deployment: a population scattered over zones, and readers
+/// covering zone subsets.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    keys: Vec<u64>,
+    field: ZoneField,
+    coverages: Vec<Vec<u32>>,
+}
+
+/// Outcome of a multi-reader estimation.
+#[derive(Debug, Clone)]
+pub struct MultiReaderReport {
+    /// The controller's cardinality estimate.
+    pub estimate: f64,
+    /// Protocol slots elapsed (wall-clock slots; all readers operate in the
+    /// same slot concurrently).
+    pub controller_slots: u64,
+    /// Total reader-slot activations (`controller_slots × readers`).
+    pub reader_slot_total: u64,
+    /// Tags visible to at least one reader — what the controller can
+    /// possibly count.
+    pub covered_tags: u64,
+}
+
+impl Deployment {
+    /// Builds a deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not track exactly the population, no readers
+    /// are given, or a coverage references a zone outside the field.
+    #[must_use]
+    pub fn new(
+        population: &TagPopulation,
+        field: ZoneField,
+        coverages: Vec<Vec<u32>>,
+    ) -> Self {
+        assert_eq!(
+            field.len(),
+            population.len(),
+            "zone field must track every tag"
+        );
+        assert!(!coverages.is_empty(), "need at least one reader");
+        for (i, cov) in coverages.iter().enumerate() {
+            for &z in cov {
+                assert!(
+                    z < field.zone_count(),
+                    "reader {i} covers nonexistent zone {z}"
+                );
+            }
+        }
+        Self {
+            keys: population.keys().collect(),
+            field,
+            coverages,
+        }
+    }
+
+    /// Number of readers deployed.
+    #[must_use]
+    pub fn reader_count(&self) -> usize {
+        self.coverages.len()
+    }
+
+    /// Keys of tags visible to reader `i`.
+    fn visible_keys(&self, reader: usize) -> Vec<u64> {
+        self.field
+            .visible_to(&self.coverages[reader])
+            .into_iter()
+            .map(|idx| self.keys[idx])
+            .collect()
+    }
+
+    /// Keys visible to at least one reader (the union the controller
+    /// effectively estimates).
+    #[must_use]
+    pub fn covered_keys(&self) -> Vec<u64> {
+        let mut all_zones: Vec<u32> = self.coverages.iter().flatten().copied().collect();
+        all_zones.sort_unstable();
+        all_zones.dedup();
+        self.field
+            .visible_to(&all_zones)
+            .into_iter()
+            .map(|idx| self.keys[idx])
+            .collect()
+    }
+
+    /// Runs a controller-coordinated PET estimation over this deployment.
+    ///
+    /// Each reader may have its own (lossy) channel; the controller's
+    /// aggregation happens *after* per-reader detection, exactly as §4.6.3
+    /// describes.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        config: &PetConfig,
+        rounds: u32,
+        per_reader_channel: ChannelModel,
+        rng: &mut R,
+    ) -> MultiReaderReport {
+        let session = PetSession::new(*config);
+        let mut controller = ControllerOracle::new(self, config, per_reader_channel);
+        // The controller-side Air must not re-apply loss: per-reader
+        // channels already did.
+        let mut air = Air::new(PerfectChannel);
+        let report = session.run_rounds(rounds, &mut controller, &mut air, rng);
+        MultiReaderReport {
+            estimate: report.estimate,
+            controller_slots: report.metrics.slots,
+            reader_slot_total: report.metrics.slots * self.coverages.len() as u64,
+            covered_tags: self.covered_keys().len() as u64,
+        }
+    }
+}
+
+/// The back-end controller as a [`ResponderOracle`]: fans a query out to
+/// every reader, applies each reader's channel to its own visible responders,
+/// and reports how many readers heard energy (0 ⇒ idle slot).
+struct ControllerOracle {
+    readers: Vec<CodeRoster>,
+    channels: Vec<ChannelModel>,
+    rng: rand::rngs::StdRng,
+}
+
+impl ControllerOracle {
+    fn new(deployment: &Deployment, config: &PetConfig, channel: ChannelModel) -> Self {
+        use rand::SeedableRng;
+        let readers = (0..deployment.reader_count())
+            .map(|i| CodeRoster::new(&deployment.visible_keys(i), config, AnyFamily::default()))
+            .collect();
+        let channels = vec![channel; deployment.reader_count()];
+        Self {
+            readers,
+            channels,
+            // Channel noise stream; deterministic per deployment run.
+            rng: rand::rngs::StdRng::seed_from_u64(0x5EED_C0DE),
+        }
+    }
+}
+
+impl ResponderOracle for ControllerOracle {
+    fn begin_round(&mut self, start: &RoundStart) {
+        for r in &mut self.readers {
+            r.begin_round(start);
+        }
+    }
+
+    fn responders(&mut self, prefix_len: u32) -> u64 {
+        use pet_radio::channel::Channel;
+        let mut busy_readers = 0u64;
+        for (reader, channel) in self.readers.iter_mut().zip(&mut self.channels) {
+            let heard = channel.transmit(reader.responders(prefix_len), &mut self.rng);
+            if heard.is_busy() {
+                busy_readers += 1;
+            }
+        }
+        busy_readers
+    }
+
+    fn population(&self) -> u64 {
+        // Not duplicate-free; only used for presence probing where any
+        // positive count is equivalent.
+        self.readers.iter().map(ResponderOracle::population).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pet_radio::channel::LossyChannel;
+    use pet_stats::accuracy::Accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> PetConfig {
+        PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn grid_deployment(n: usize, zones: u32, coverages: Vec<Vec<u32>>, seed: u64) -> (TagPopulation, Deployment) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = TagPopulation::sequential(n);
+        let field = ZoneField::uniform(n, zones, &mut rng);
+        let deployment = Deployment::new(&pop, field, coverages);
+        (pop, deployment)
+    }
+
+    /// Overlapping coverage must not inflate the estimate — §4.6.3's
+    /// duplicate-insensitivity claim.
+    #[test]
+    fn overlapping_readers_do_not_double_count() {
+        let n = 5_000;
+        // Four readers, each covering *all* four zones: every tag heard by
+        // four readers at once.
+        let coverages = vec![vec![0, 1, 2, 3]; 4];
+        let (_, deployment) = grid_deployment(n, 4, coverages, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = deployment.estimate(&config(), 512, ChannelModel::Perfect, &mut rng);
+        let rel = (report.estimate - n as f64).abs() / n as f64;
+        assert!(rel < 0.2, "estimate {} vs true {n}", report.estimate);
+        assert_eq!(report.covered_tags, n as u64);
+    }
+
+    /// Disjoint coverage stitches the region together at the controller.
+    #[test]
+    fn disjoint_readers_cover_the_union() {
+        let n = 4_000;
+        let coverages = vec![vec![0], vec![1], vec![2], vec![3]];
+        let (_, deployment) = grid_deployment(n, 4, coverages, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = deployment.estimate(&config(), 512, ChannelModel::Perfect, &mut rng);
+        let rel = (report.estimate - n as f64).abs() / n as f64;
+        assert!(rel < 0.2, "estimate {}", report.estimate);
+    }
+
+    /// Partial coverage estimates the covered subpopulation, not the world.
+    #[test]
+    fn partial_coverage_estimates_visible_tags() {
+        let n = 8_000;
+        let coverages = vec![vec![0, 1]]; // half the zones
+        let (_, deployment) = grid_deployment(n, 4, coverages, 5);
+        let covered = deployment.covered_keys().len() as f64;
+        assert!(covered < n as f64 * 0.7, "sanity: partial coverage");
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = deployment.estimate(&config(), 512, ChannelModel::Perfect, &mut rng);
+        let rel = (report.estimate - covered).abs() / covered;
+        assert!(
+            rel < 0.2,
+            "estimate {} should track covered {covered}",
+            report.estimate
+        );
+    }
+
+    /// One reader with a single fully-covering zone equals the single-reader
+    /// protocol.
+    #[test]
+    fn single_reader_reduces_to_plain_pet() {
+        let n = 3_000;
+        let (pop, deployment) = grid_deployment(n, 1, vec![vec![0]], 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let multi = deployment.estimate(&config(), 256, ChannelModel::Perfect, &mut rng);
+        let mut rng = StdRng::seed_from_u64(8);
+        let single = PetSession::new(config()).estimate_population_rounds(&pop, 256, &mut rng);
+        // Same seed, same rounds — identical statistic path.
+        assert!((multi.estimate - single.estimate).abs() < 1e-9);
+        assert_eq!(multi.controller_slots, single.metrics.slots);
+        assert_eq!(multi.reader_slot_total, multi.controller_slots);
+    }
+
+    /// Mildly lossy per-reader channels still yield usable estimates (loss
+    /// only ever turns busy → idle, biasing the gray node slightly down).
+    #[test]
+    fn lossy_readers_degrade_gracefully() {
+        let n = 5_000;
+        let coverages = vec![vec![0, 1], vec![2, 3]];
+        let (_, deployment) = grid_deployment(n, 4, coverages, 9);
+        let lossy = ChannelModel::Lossy(LossyChannel::new(0.05, 0.0).unwrap());
+        let mut rng = StdRng::seed_from_u64(10);
+        let report = deployment.estimate(&config(), 512, lossy, &mut rng);
+        let rel = (report.estimate - n as f64).abs() / n as f64;
+        assert!(rel < 0.3, "estimate {} under loss", report.estimate);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent zone")]
+    fn coverage_validation() {
+        let pop = TagPopulation::sequential(10);
+        let field = ZoneField::clustered(10, 2);
+        let _ = Deployment::new(&pop, field, vec![vec![5]]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Parallel, seeded trial execution.
+//!
+//! Every §5 data point is an average over independent runs ("we take 300
+//! runs and measure the average"). Trials are deterministic functions of a
+//! per-trial seed derived from the experiment seed, so results are
+//! reproducible regardless of thread scheduling.
+
+use pet_stats::describe::Describe;
+
+/// Summary over a set of trial outputs.
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Raw per-trial values, in trial order.
+    pub values: Vec<f64>,
+    /// Mean of the values.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl TrialSummary {
+    fn from_values(values: Vec<f64>) -> Self {
+        let mut d = Describe::new();
+        d.extend(values.iter().copied());
+        Self {
+            mean: d.mean(),
+            std_dev: d.population_std_dev(),
+            min: d.min(),
+            max: d.max(),
+            values,
+        }
+    }
+}
+
+/// Runs `trials` independent executions of `trial` (a function of the
+/// per-trial seed), fanned out over the available cores, and returns the
+/// values in deterministic trial order.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or a worker thread panics.
+pub fn run_trials<F>(trials: usize, base_seed: u64, trial: F) -> TrialSummary
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    assert!(trials > 0, "at least one trial is required");
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(trials);
+    let mut values = vec![0.0f64; trials];
+    if threads <= 1 {
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = trial(trial_seed(base_seed, i as u64));
+        }
+        return TrialSummary::from_values(values);
+    }
+    std::thread::scope(|scope| {
+        let chunk = trials.div_ceil(threads);
+        for (t, slice) in values.chunks_mut(chunk).enumerate() {
+            let trial = &trial;
+            scope.spawn(move || {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    let index = (t * chunk + i) as u64;
+                    *v = trial(trial_seed(base_seed, index));
+                }
+            });
+        }
+    });
+    TrialSummary::from_values(values)
+}
+
+/// Derives the seed of trial `index` from the experiment seed (SplitMix-style
+/// stream split so neighbouring trials are statistically independent).
+#[must_use]
+pub fn trial_seed(base_seed: u64, index: u64) -> u64 {
+    pet_hash::mix::mix2(base_seed, index ^ 0x7121_7E57)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The same (seed, index) mapping must hold regardless of scheduling;
+        // run twice and compare.
+        let f = |seed: u64| (seed % 1000) as f64;
+        let a = run_trials(97, 42, f);
+        let b = run_trials(97, 42, f);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn seeds_are_distinct_per_trial() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(trial_seed(1, i)));
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = run_trials(4, 0, |seed| (seed % 2) as f64);
+        assert_eq!(s.values.len(), 4);
+        assert!(s.mean >= 0.0 && s.mean <= 1.0);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn single_trial_works() {
+        let s = run_trials(1, 9, |_| 5.0);
+        assert_eq!(s.values, vec![5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = run_trials(0, 0, |_| 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The `(ε, δ)` accuracy requirement and round sizing (paper Eq. (17)–(20)).
+//!
+//! An estimator is *(ε, δ)-accurate* when `P(|n̂ − n| ≤ εn) ≥ 1 − δ`.
+//! Section 4.2 derives the number of independent rounds `m` a
+//! `2^statistic`-shaped estimator needs:
+//!
+//! ```text
+//! m ≥ max{ (−c·σ / log₂(1−ε))², (c·σ / log₂(1+ε))² },  erf(c/√2) = 1 − δ
+//! ```
+//!
+//! where `σ` is the per-round standard deviation of the exponent statistic
+//! (PET: `σ(h) ≈ 1.87271`; LoF's FM statistic: `σ(R) ≈ 1.12127`). `m`
+//! depends only on `(ε, δ)` — not on `n` — which is what lets PET's total
+//! time stay `O(m·log log n)`.
+
+use crate::erf::two_sided_quantile;
+use crate::gray::SIGMA_H;
+use std::fmt;
+
+/// Error constructing an [`Accuracy`] requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyError {
+    /// The confidence interval ε was outside `(0, 1)`.
+    EpsilonOutOfRange,
+    /// The error probability δ was outside `(0, 1)`.
+    DeltaOutOfRange,
+}
+
+impl fmt::Display for AccuracyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EpsilonOutOfRange => {
+                write!(f, "confidence interval epsilon must lie in (0, 1)")
+            }
+            Self::DeltaOutOfRange => {
+                write!(f, "error probability delta must lie in (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccuracyError {}
+
+/// An `(ε, δ)` accuracy requirement: `P(|n̂ − n| ≤ εn) ≥ 1 − δ`.
+///
+/// # Example
+///
+/// ```
+/// use pet_stats::accuracy::Accuracy;
+///
+/// let acc = Accuracy::new(0.05, 0.01).unwrap();
+/// // 99% two-sided quantile.
+/// assert!((acc.quantile() - 2.5758).abs() < 1e-3);
+/// // The paper's 50,000-tag example: CI is [47,500, 52,500].
+/// assert!(acc.satisfied_by(50_000.0, 47_500.0));
+/// assert!(!acc.satisfied_by(50_000.0, 47_499.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl Accuracy {
+    /// Creates the requirement, validating `ε, δ ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter lies outside `(0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, AccuracyError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(AccuracyError::EpsilonOutOfRange);
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(AccuracyError::DeltaOutOfRange);
+        }
+        Ok(Self { epsilon, delta })
+    }
+
+    /// The confidence interval ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The error probability δ.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The quantile `c` with `erf(c/√2) = 1 − δ` (paper Eq. (17)).
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        two_sided_quantile(self.delta)
+    }
+
+    /// Rounds needed for an estimator of the form `φ·2^(statistic mean)`
+    /// whose per-round statistic has standard deviation `sigma`
+    /// (paper Eq. (20)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and positive.
+    #[must_use]
+    pub fn rounds_for_sigma(&self, sigma: f64) -> u32 {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "sigma must be positive and finite, got {sigma}"
+        );
+        let c = self.quantile();
+        let lo = -c * sigma / (1.0 - self.epsilon).log2();
+        let hi = c * sigma / (1.0 + self.epsilon).log2();
+        let m = lo.powi(2).max(hi.powi(2));
+        m.ceil() as u32
+    }
+
+    /// Rounds needed by PET (`σ(h) ≈ 1.87271`).
+    #[must_use]
+    pub fn pet_rounds(&self) -> u32 {
+        self.rounds_for_sigma(SIGMA_H)
+    }
+
+    /// Whether an estimate satisfies the interval for true cardinality `n`:
+    /// `|n̂ − n| ≤ εn`.
+    #[must_use]
+    pub fn satisfied_by(&self, n: f64, n_hat: f64) -> bool {
+        (n_hat - n).abs() <= self.epsilon * n
+    }
+
+    /// The confidence interval `[(1−ε)n, (1+ε)n]` around a true count.
+    #[must_use]
+    pub fn interval(&self, n: f64) -> (f64, f64) {
+        ((1.0 - self.epsilon) * n, (1.0 + self.epsilon) * n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gray::FM_SIGMA_R;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Accuracy::new(0.0, 0.01),
+            Err(AccuracyError::EpsilonOutOfRange)
+        );
+        assert_eq!(
+            Accuracy::new(1.0, 0.01),
+            Err(AccuracyError::EpsilonOutOfRange)
+        );
+        assert_eq!(
+            Accuracy::new(0.05, 0.0),
+            Err(AccuracyError::DeltaOutOfRange)
+        );
+        assert_eq!(
+            Accuracy::new(0.05, 1.0),
+            Err(AccuracyError::DeltaOutOfRange)
+        );
+        assert!(Accuracy::new(0.05, 0.01).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_useful() {
+        assert!(AccuracyError::EpsilonOutOfRange.to_string().contains("epsilon"));
+        assert!(AccuracyError::DeltaOutOfRange.to_string().contains("delta"));
+    }
+
+    /// The binding side of Eq. (20) is the (1+ε) branch since
+    /// log₂(1+ε) < |log₂(1−ε)|.
+    #[test]
+    fn upper_branch_binds() {
+        let acc = Accuracy::new(0.05, 0.01).unwrap();
+        let c = acc.quantile();
+        let hi = (c * SIGMA_H / (1.05f64).log2()).powi(2);
+        assert_eq!(acc.pet_rounds(), hi.ceil() as u32);
+    }
+
+    /// §5.3 reconciliation (see DESIGN.md): at ε = 5%, δ = 1%, PET needs
+    /// ~4.7k rounds and LoF ~1.7k; with 5 vs 32 slots per round this gives
+    /// the paper's "PET uses ≈43% of LoF's time".
+    #[test]
+    fn reproduces_papers_pet_vs_lof_ratio() {
+        let acc = Accuracy::new(0.05, 0.01).unwrap();
+        let m_pet = acc.pet_rounds();
+        let m_lof = acc.rounds_for_sigma(FM_SIGMA_R);
+        assert!((4000..6000).contains(&m_pet), "m_pet = {m_pet}");
+        assert!((1400..2200).contains(&m_lof), "m_lof = {m_lof}");
+        let ratio = f64::from(5 * m_pet) / f64::from(32 * m_lof);
+        assert!(
+            (0.35..=0.48).contains(&ratio),
+            "PET/LoF time ratio {ratio} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn rounds_monotone_in_requirements() {
+        let base = Accuracy::new(0.05, 0.01).unwrap().pet_rounds();
+        // Looser ε → fewer rounds.
+        assert!(Accuracy::new(0.10, 0.01).unwrap().pet_rounds() < base);
+        // Looser δ → fewer rounds.
+        assert!(Accuracy::new(0.05, 0.10).unwrap().pet_rounds() < base);
+        // Tighter ε → more rounds.
+        assert!(Accuracy::new(0.01, 0.01).unwrap().pet_rounds() > base);
+    }
+
+    #[test]
+    fn interval_and_membership_agree() {
+        let acc = Accuracy::new(0.05, 0.01).unwrap();
+        let (lo, hi) = acc.interval(50_000.0);
+        assert_eq!((lo, hi), (47_500.0, 52_500.0));
+        assert!(acc.satisfied_by(50_000.0, lo));
+        assert!(acc.satisfied_by(50_000.0, hi));
+        assert!(!acc.satisfied_by(50_000.0, hi + 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_bad_sigma() {
+        let _ = Accuracy::new(0.05, 0.01).unwrap().rounds_for_sigma(0.0);
+    }
+}

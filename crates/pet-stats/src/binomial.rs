@@ -1,0 +1,107 @@
+//! Binomial sampling for the statistically-exact protocol fast paths.
+//!
+//! LoF's lottery frame can be simulated without touching individual tags by
+//! sampling per-slot occupancy counts through a binomial chain (see
+//! `pet-baselines::lof`); this module provides the sampler. Small cases are
+//! sampled exactly as Bernoulli sums; large cases use the normal
+//! approximation with continuity correction, which is indistinguishable for
+//! the order statistics the estimators consume (|skew| < 1e-2 at the
+//! crossover size).
+
+use rand::Rng;
+
+/// Threshold above which the normal approximation is used. Chosen so both
+/// `np` and `n(1-p)` comfortably exceed 30 at `p = 1/2`, the only load the
+/// estimators draw at.
+const EXACT_LIMIT: u64 = 256;
+
+/// Samples `Binomial(n, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= EXACT_LIMIT {
+        (0..n).filter(|_| rng.random_bool(p)).count() as u64
+    } else {
+        // Normal approximation with continuity correction, clamped to the
+        // support. Box–Muller from two uniforms.
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let x = (mean + sd * z + 0.5).floor();
+        x.clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
+    }
+
+    #[test]
+    fn support_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(sample_binomial(100, 0.3, &mut rng) <= 100);
+            assert!(sample_binomial(100_000, 0.5, &mut rng) <= 100_000);
+        }
+    }
+
+    fn check_moments(n: u64, p: f64, trials: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+        let expected_mean = n as f64 * p;
+        let expected_var = n as f64 * p * (1.0 - p);
+        let mean_tol = 4.0 * (expected_var / trials as f64).sqrt();
+        assert!(
+            (mean - expected_mean).abs() < mean_tol,
+            "n={n} p={p}: mean {mean} vs {expected_mean}"
+        );
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.15,
+            "n={n} p={p}: var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn exact_branch_moments() {
+        check_moments(100, 0.5, 20_000, 3);
+        check_moments(200, 0.1, 20_000, 4);
+    }
+
+    #[test]
+    fn approx_branch_moments() {
+        check_moments(10_000, 0.5, 20_000, 5);
+        check_moments(50_000, 0.5, 10_000, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = sample_binomial(10, 1.5, &mut rng);
+    }
+}

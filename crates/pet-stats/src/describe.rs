@@ -1,0 +1,288 @@
+//! Streaming descriptive statistics (Welford's algorithm) and summaries.
+//!
+//! The experiment runner aggregates hundreds of simulation runs per data
+//! point (§5.1: "we take 300 runs and measure the average"); this module
+//! provides the numerically stable accumulator it feeds.
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+///
+/// # Example
+///
+/// ```
+/// use pet_stats::describe::Describe;
+///
+/// let mut d = Describe::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     d.push(x);
+/// }
+/// assert_eq!(d.mean(), 5.0);
+/// assert!((d.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Describe {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Describe {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Describe) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divisor `n`); 0 when fewer than one observation.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divisor `n − 1`); 0 when fewer than two observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation; `+∞` if empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `−∞` if empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Immutable snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.population_std_dev(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// A frozen summary of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Root-mean-square error of estimates against a true value — the paper's
+/// Eq. (23) precision metric `σ = √E[(n̂ − n)²]`.
+#[must_use]
+pub fn rmse(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = estimates.iter().map(|e| (e - truth).powi(2)).sum();
+    (sum / estimates.len() as f64).sqrt()
+}
+
+/// The paper's Eq. (22) accuracy metric: mean of `n̂ / n` (→ 1 when unbiased).
+#[must_use]
+pub fn mean_accuracy(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().map(|e| e / truth).sum::<f64>() / estimates.len() as f64
+}
+
+/// `p`-th percentile (0–100) by linear interpolation on a copy of the data.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let d = Describe::new();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.population_variance(), 0.0);
+        assert_eq!(d.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = Describe::new();
+        d.push(3.5);
+        assert_eq!(d.mean(), 3.5);
+        assert_eq!(d.population_variance(), 0.0);
+        assert_eq!(d.min(), 3.5);
+        assert_eq!(d.max(), 3.5);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut d = Describe::new();
+        d.extend(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((d.mean() - mean).abs() < 1e-9);
+        assert!((d.population_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
+        let mut whole = Describe::new();
+        whole.extend(xs.iter().copied());
+        for split in [0usize, 1, 250, 499, 500] {
+            let mut a = Describe::new();
+            a.extend(xs[..split].iter().copied());
+            let mut b = Describe::new();
+            b.extend(xs[split..].iter().copied());
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-9, "split {split}");
+            assert!(
+                (a.population_variance() - whole.population_variance()).abs() < 1e-9,
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn rmse_and_accuracy_metrics() {
+        let est = [90.0, 110.0];
+        assert!((rmse(&est, 100.0) - 10.0).abs() < 1e-12);
+        assert!((mean_accuracy(&est, 100.0) - 1.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], 100.0), 0.0);
+        assert_eq!(mean_accuracy(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0), 4.0);
+        assert_eq!(percentile(&data, 50.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty data")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_snapshot() {
+        let mut d = Describe::new();
+        d.extend([1.0, 2.0, 3.0]);
+        let s = d.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

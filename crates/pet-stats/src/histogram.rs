@@ -1,0 +1,209 @@
+//! Fixed-bin histograms for the Fig. 6 estimate-distribution plots.
+
+/// A histogram with uniform bins over `[lo, hi)`; out-of-range samples are
+/// counted in saturating edge bins so nothing is silently dropped.
+///
+/// # Example
+///
+/// ```
+/// use pet_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(42.0); // clamps into the last bin
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.counts()[4], 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramError {
+    /// `hi` was not strictly greater than `lo`, or a bound was not finite.
+    InvalidRange,
+    /// Zero bins requested.
+    NoBins,
+}
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRange => write!(f, "histogram range must be finite with lo < hi"),
+            Self::NoBins => write!(f, "histogram needs at least one bin"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// Creates a histogram of `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the range is invalid or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, HistogramError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(HistogramError::InvalidRange);
+        }
+        if bins == 0 {
+            return Err(HistogramError::NoBins);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Records one sample, clamping out-of-range values to the edge bins.
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Records every sample in `xs`.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Fraction of samples in each bin (empty histogram → all zeros).
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// `(bin center, fraction)` rows, the series a Fig. 6-style plot needs.
+    #[must_use]
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.fractions()
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (self.bin_center(i), f))
+            .collect()
+    }
+}
+
+/// Fraction of `samples` lying inside the closed interval `[lo, hi]` — the
+/// Fig. 6 "portion within the confidence interval" statistic.
+#[must_use]
+pub fn fraction_within(samples: &[f64], lo: f64, hi: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let hits = samples.iter().filter(|&&x| x >= lo && x <= hi).count();
+    hits as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(
+            Histogram::new(1.0, 1.0, 4).unwrap_err(),
+            HistogramError::InvalidRange
+        );
+        assert_eq!(
+            Histogram::new(0.0, f64::INFINITY, 4).unwrap_err(),
+            HistogramError::InvalidRange
+        );
+        assert_eq!(
+            Histogram::new(0.0, 1.0, 0).unwrap_err(),
+            HistogramError::NoBins
+        );
+    }
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clamping_at_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-5.0);
+        h.record(5.0);
+        h.record(1.0); // hi itself is out of the half-open range → last bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn centers_and_series() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+        h.extend([0.1, 0.2, 3.9, 3.8]);
+        let s = h.series();
+        assert_eq!(s.len(), 4);
+        assert!((s[0].1 - 0.5).abs() < 1e-12);
+        assert!((s[3].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_within_interval() {
+        let samples = [47_000.0, 48_000.0, 50_000.0, 52_400.0, 53_000.0];
+        let f = fraction_within(&samples, 47_500.0, 52_500.0);
+        assert!((f - 0.6).abs() < 1e-12);
+        assert_eq!(fraction_within(&[], 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+        h.extend((0..100).map(|i| i as f64 / 100.0));
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

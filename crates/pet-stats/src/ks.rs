@@ -1,0 +1,147 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the test suite to check, rigorously rather than by eyeballing
+//! means, that the baselines' sampled fast paths draw from the same
+//! distribution as their per-tag reference implementations (the
+//! random-oracle equivalence claimed in `pet-baselines`).
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F₁ − F₂|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution; good for n ≳ 25 each).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Whether the samples are consistent with one distribution at level
+    /// `alpha` (i.e. the test does *not* reject).
+    #[must_use]
+    pub fn same_distribution_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Two-sample KS test.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+#[must_use]
+pub fn two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| !v.is_nan()),
+        "KS is undefined on NaN"
+    );
+    xs.sort_by(|p, q| p.total_cmp(q));
+    ys.sort_by(|p, q| p.total_cmp(q));
+    let (n1, n2) = (xs.len(), ys.len());
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = xs[i].min(ys[j]);
+        while i < n1 && xs[i] <= x {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(en * d),
+    }
+}
+
+/// Kolmogorov survival function `Q(λ) = 2 Σ (−1)^(k−1) e^(−2k²λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 1e-6 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_sample(n: usize, seed: u64, shift: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random::<f64>() + shift).collect()
+    }
+
+    #[test]
+    fn identical_samples_have_statistic_zero() {
+        let a = uniform_sample(100, 1, 0.0);
+        let r = two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_distribution_passes() {
+        let a = uniform_sample(500, 1, 0.0);
+        let b = uniform_sample(500, 2, 0.0);
+        let r = two_sample(&a, &b);
+        assert!(
+            r.same_distribution_at(0.01),
+            "false rejection: D = {}, p = {}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn shifted_distribution_rejects() {
+        let a = uniform_sample(500, 1, 0.0);
+        let b = uniform_sample(500, 2, 0.3);
+        let r = two_sample(&a, &b);
+        assert!(!r.same_distribution_at(0.01), "missed shift: p = {}", r.p_value);
+        assert!(r.statistic > 0.2);
+    }
+
+    #[test]
+    fn disjoint_supports_give_statistic_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0, 12.0];
+        let r = two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Q(1.36) ≈ 0.049 (the classic 5% critical value).
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.002);
+        // Q(1.63) ≈ 0.010.
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.002);
+        assert!((kolmogorov_sf(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        let _ = two_sample(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistics substrate for the PET RFID-estimation reproduction.
+//!
+//! Everything §4.2 of the paper needs, from scratch:
+//!
+//! - [`erf`]: the Gaussian error function, its complement, and inverse
+//!   (Eq. (16)–(17) map the error probability `δ` to a quantile `c` via
+//!   `erf(c/√2) = 1 − δ`).
+//! - [`accuracy`]: the `(ε, δ)` accuracy requirement and the round count `m`
+//!   of Eq. (20).
+//! - [`gray`]: the exact and asymptotic distribution of the gray-node height
+//!   (Eq. (5)–(11)), including the constants `φ = e^γ/√2 ≈ 1.25941` and
+//!   `σ(h) ≈ 1.87271`.
+//! - [`describe`]: Welford accumulators and summaries for simulation output.
+//! - [`binomial`]: a binomial sampler for the statistically-exact protocol
+//!   fast paths.
+//! - [`histogram`]: fixed-bin histograms for the Fig. 6 reproductions.
+//! - [`ks`]: a two-sample Kolmogorov–Smirnov test for distributional
+//!   equivalence checks in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use pet_stats::accuracy::Accuracy;
+//!
+//! // ±5% with 99% confidence, the paper's running example.
+//! let acc = Accuracy::new(0.05, 0.01).unwrap();
+//! let m = acc.pet_rounds();
+//! // §5.3 reconciliation: thousands of rounds are required at this accuracy.
+//! assert!(m > 1000 && m < 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod binomial;
+pub mod describe;
+pub mod erf;
+pub mod gray;
+pub mod histogram;
+pub mod ks;
+
+pub use accuracy::{Accuracy, AccuracyError};
+pub use describe::{Describe, Summary};
+pub use histogram::Histogram;

@@ -1,0 +1,159 @@
+//! Property-based tests for the statistics substrate.
+
+use pet_stats::accuracy::Accuracy;
+use pet_stats::binomial::sample_binomial;
+use pet_stats::describe::{percentile, Describe};
+use pet_stats::erf::{erf, erf_inv, normal_cdf, two_sided_quantile};
+use pet_stats::gray::{estimate_from_mean_prefix, prefix_survival, GrayDistribution};
+use pet_stats::histogram::Histogram;
+use pet_stats::ks;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// erf is odd, bounded, and monotone.
+    #[test]
+    fn erf_shape(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        prop_assert!((erf(a) + erf(-a)).abs() < 1e-12);
+        prop_assert!(erf(a).abs() <= 1.0);
+        if a < b {
+            prop_assert!(erf(a) <= erf(b));
+        }
+    }
+
+    /// erf_inv round-trips through erf across the usable range.
+    #[test]
+    fn erf_inv_round_trip(y in -0.9999f64..0.9999) {
+        let x = erf_inv(y);
+        prop_assert!((erf(x) - y).abs() < 1e-9, "y = {y}, erf(erf_inv) = {}", erf(x));
+    }
+
+    /// The normal CDF is a CDF: monotone, with symmetric tails.
+    #[test]
+    fn normal_cdf_is_cdf(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        prop_assert!((0.0..=1.0).contains(&normal_cdf(a)));
+        if a < b {
+            prop_assert!(normal_cdf(a) <= normal_cdf(b));
+        }
+        prop_assert!((normal_cdf(a) + normal_cdf(-a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Quantiles invert the two-sided coverage: P(|Z| ≤ c(δ)) = 1 − δ.
+    #[test]
+    fn quantile_inverts_coverage(delta in 0.0005f64..0.9995) {
+        let c = two_sided_quantile(delta);
+        let coverage = normal_cdf(c) - normal_cdf(-c);
+        prop_assert!((coverage - (1.0 - delta)).abs() < 1e-9);
+    }
+
+    /// Eq. (20) rounds: monotone in σ, ε, δ; and at least 1.
+    #[test]
+    fn rounds_monotonicity(
+        eps in 0.01f64..0.5,
+        delta in 0.01f64..0.5,
+        sigma in 0.1f64..5.0,
+    ) {
+        let acc = Accuracy::new(eps, delta).unwrap();
+        let m = acc.rounds_for_sigma(sigma);
+        prop_assert!(m >= 1);
+        prop_assert!(acc.rounds_for_sigma(sigma * 2.0) >= m);
+        let tighter = Accuracy::new(eps / 2.0, delta).unwrap();
+        prop_assert!(tighter.rounds_for_sigma(sigma) >= m);
+    }
+
+    /// The survival function is a survival function, and the pmf derived
+    /// from it is a distribution whose estimator inverts the mean.
+    #[test]
+    fn gray_distribution_consistency(n in 1u64..200_000, height in 8u32..=40) {
+        for l in 0..height {
+            prop_assert!(prefix_survival(n, l) >= prefix_survival(n, l + 1) - 1e-12);
+        }
+        let d = GrayDistribution::new(n, height);
+        let total: f64 = (0..=height).map(|l| d.pmf_prefix(l)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!((d.mean_prefix() + d.mean_height() - f64::from(height)).abs() < 1e-9);
+        // For n comfortably inside the tree, the estimator is unbiased at
+        // the exact mean.
+        if f64::from(n as u32) < 2f64.powi(height as i32 - 6) && n >= 64 {
+            let n_hat = estimate_from_mean_prefix(d.mean_prefix());
+            let rel = (n_hat - n as f64).abs() / (n as f64);
+            prop_assert!(rel < 0.02, "n = {n}, H = {height}: n̂ = {n_hat}");
+        }
+    }
+
+    /// Welford merge is order-independent and matches concatenation.
+    #[test]
+    fn describe_merge_associativity(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        ys in proptest::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let mut ab = Describe::new();
+        ab.extend(xs.iter().copied().chain(ys.iter().copied()));
+        let mut a = Describe::new();
+        a.extend(xs.iter().copied());
+        let mut b = Describe::new();
+        b.extend(ys.iter().copied());
+        a.merge(&b);
+        prop_assert_eq!(a.count(), ab.count());
+        prop_assert!((a.mean() - ab.mean()).abs() < 1e-6 * (1.0 + ab.mean().abs()));
+        prop_assert!(
+            (a.population_variance() - ab.population_variance()).abs()
+                < 1e-5 * (1.0 + ab.population_variance())
+        );
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(
+        data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        p in 0.0f64..100.0,
+        q in 0.0f64..100.0,
+    ) {
+        let lo = percentile(&data, 0.0);
+        let hi = percentile(&data, 100.0);
+        let vp = percentile(&data, p);
+        prop_assert!(lo <= vp && vp <= hi);
+        if p <= q {
+            prop_assert!(vp <= percentile(&data, q) + 1e-12);
+        }
+    }
+
+    /// Histograms never lose samples, whatever the inputs.
+    #[test]
+    fn histogram_conserves_mass(
+        samples in proptest::collection::vec(-1e4f64..1e4, 0..200),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(-100.0, 100.0, bins).unwrap();
+        h.extend(samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let frac_sum: f64 = h.fractions().iter().sum();
+        if !samples.is_empty() {
+            prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Binomial samples stay in the support for any size/probability.
+    #[test]
+    fn binomial_support(n in 0u64..100_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sample_binomial(n, p, &mut rng);
+        prop_assert!(x <= n);
+    }
+
+    /// KS statistic is symmetric and within [0, 1]; identical samples give 0.
+    #[test]
+    fn ks_basic_properties(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..80),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..80),
+    ) {
+        let r1 = ks::two_sample(&a, &b);
+        let r2 = ks::two_sample(&b, &a);
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1.statistic));
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        let same = ks::two_sample(&a, &a);
+        prop_assert_eq!(same.statistic, 0.0);
+    }
+}

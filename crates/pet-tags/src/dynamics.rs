@@ -1,0 +1,143 @@
+//! Join/leave schedules for dynamic tag sets.
+//!
+//! §4.6.3: "the tags are attached to mobile objects" and may enter or leave
+//! the region between estimation runs. Because every PET estimate is a
+//! fresh, anonymous snapshot, the protocol handles churn without any state
+//! migration; these schedules let the examples and integration tests drive
+//! such scenarios reproducibly.
+
+use crate::epc::Epc96;
+use crate::population::TagPopulation;
+use crate::tag::{Tag, TagKind};
+
+/// One churn event applied between estimation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// `count` new tags enter the region.
+    Join(usize),
+    /// `count` tags leave the region.
+    Leave(usize),
+}
+
+/// A reproducible timeline of churn events over a population.
+///
+/// # Example
+///
+/// ```
+/// use pet_tags::dynamics::{ChurnEvent, Timeline};
+/// use pet_tags::population::TagPopulation;
+///
+/// let mut t = Timeline::new(TagPopulation::sequential(100));
+/// t.apply(ChurnEvent::Join(50));
+/// t.apply(ChurnEvent::Leave(25));
+/// assert_eq!(t.population().len(), 125);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    population: TagPopulation,
+    /// Monotone counter so joined tags always get fresh EPCs.
+    next_serial: u64,
+    history: Vec<(ChurnEvent, usize)>,
+}
+
+impl Timeline {
+    /// Starts a timeline from an initial population.
+    #[must_use]
+    pub fn new(initial: TagPopulation) -> Self {
+        Self {
+            population: initial,
+            next_serial: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The current population.
+    #[must_use]
+    pub fn population(&self) -> &TagPopulation {
+        &self.population
+    }
+
+    /// Applies one event, returning the resulting population size.
+    ///
+    /// Joins mint fresh EPCs under a dedicated "visitor" manager number so
+    /// they can never collide with the initial population; leaves remove
+    /// from the tail (the most recently joined leave first, a turnstile
+    /// pattern).
+    pub fn apply(&mut self, event: ChurnEvent) -> usize {
+        match event {
+            ChurnEvent::Join(count) => {
+                for _ in 0..count {
+                    let epc = Epc96::new(0x30, 0x0D15EA5E & ((1 << 28) - 1), 0x7777, self.next_serial)
+                        .expect("fields in range");
+                    self.next_serial += 1;
+                    self.population.push(Tag::new(epc, TagKind::Passive));
+                }
+            }
+            ChurnEvent::Leave(count) => {
+                self.population.remove_last(count);
+            }
+        }
+        self.history.push((event, self.population.len()));
+        self.population.len()
+    }
+
+    /// Applies every event in order, returning the size after each.
+    pub fn run(&mut self, events: &[ChurnEvent]) -> Vec<usize> {
+        events.iter().map(|&e| self.apply(e)).collect()
+    }
+
+    /// The `(event, size-after)` history.
+    #[must_use]
+    pub fn history(&self) -> &[(ChurnEvent, usize)] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_then_leave_sizes() {
+        let mut t = Timeline::new(TagPopulation::sequential(10));
+        let sizes = t.run(&[
+            ChurnEvent::Join(5),
+            ChurnEvent::Leave(3),
+            ChurnEvent::Join(1),
+        ]);
+        assert_eq!(sizes, vec![15, 12, 13]);
+        assert_eq!(t.history().len(), 3);
+    }
+
+    #[test]
+    fn joins_mint_unique_epcs() {
+        let mut t = Timeline::new(TagPopulation::sequential(100));
+        t.apply(ChurnEvent::Join(200));
+        let mut keys: Vec<u64> = t.population().keys().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 300);
+    }
+
+    #[test]
+    fn leave_saturates_at_empty() {
+        let mut t = Timeline::new(TagPopulation::sequential(2));
+        assert_eq!(t.apply(ChurnEvent::Leave(10)), 0);
+        assert_eq!(t.apply(ChurnEvent::Join(1)), 1);
+    }
+
+    #[test]
+    fn rejoining_after_leave_still_unique() {
+        // Tags that leave and new tags that join must not collide even
+        // though leaves pop from the tail.
+        let mut t = Timeline::new(TagPopulation::sequential(5));
+        t.apply(ChurnEvent::Join(3));
+        t.apply(ChurnEvent::Leave(3));
+        t.apply(ChurnEvent::Join(3));
+        let mut keys: Vec<u64> = t.population().keys().collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

@@ -1,0 +1,221 @@
+//! EPC-96 tag identities.
+//!
+//! The paper assumes "EPC global Class-1 Gen-2" tags (§3). We model the
+//! common SGTIN-96-shaped layout: an 8-bit header, a 28-bit company (tag
+//! manager) number, a 24-bit object class, and a 36-bit serial — 96 bits
+//! total. The estimation protocols never transmit the EPC (that is the whole
+//! anonymity point, §4.6.4); they only need a stable per-tag key to hash.
+
+use pet_hash::mix;
+use std::fmt;
+
+/// A 96-bit EPC identity.
+///
+/// # Example
+///
+/// ```
+/// use pet_tags::epc::Epc96;
+///
+/// let epc = Epc96::new(0x30, 0x0ABCDEF, 0x1234, 42).unwrap();
+/// assert_eq!(epc.header(), 0x30);
+/// assert_eq!(epc.serial(), 42);
+/// let hex = epc.to_string();
+/// assert_eq!(Epc96::parse(&hex).unwrap(), epc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epc96(u128);
+
+/// Error constructing or parsing an [`Epc96`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpcError {
+    /// The company/manager number exceeded 28 bits.
+    ManagerTooLarge,
+    /// The object class exceeded 24 bits.
+    ClassTooLarge,
+    /// The serial exceeded 36 bits.
+    SerialTooLarge,
+    /// A hex string had the wrong length or invalid characters.
+    MalformedHex,
+}
+
+impl fmt::Display for EpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ManagerTooLarge => write!(f, "manager number exceeds 28 bits"),
+            Self::ClassTooLarge => write!(f, "object class exceeds 24 bits"),
+            Self::SerialTooLarge => write!(f, "serial exceeds 36 bits"),
+            Self::MalformedHex => write!(f, "EPC hex string must be 24 hex digits"),
+        }
+    }
+}
+
+impl std::error::Error for EpcError {}
+
+const MANAGER_BITS: u32 = 28;
+const CLASS_BITS: u32 = 24;
+const SERIAL_BITS: u32 = 36;
+
+impl Epc96 {
+    /// Builds an EPC from its fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a field exceeds its bit width
+    /// (manager: 28 bits, class: 24 bits, serial: 36 bits).
+    pub fn new(header: u8, manager: u32, class: u32, serial: u64) -> Result<Self, EpcError> {
+        if manager >= 1 << MANAGER_BITS {
+            return Err(EpcError::ManagerTooLarge);
+        }
+        if class >= 1 << CLASS_BITS {
+            return Err(EpcError::ClassTooLarge);
+        }
+        if serial >= 1 << SERIAL_BITS {
+            return Err(EpcError::SerialTooLarge);
+        }
+        let raw = (u128::from(header) << 88)
+            | (u128::from(manager) << 60)
+            | (u128::from(class) << 36)
+            | u128::from(serial);
+        Ok(Self(raw))
+    }
+
+    /// The 8-bit header field.
+    #[must_use]
+    pub fn header(&self) -> u8 {
+        (self.0 >> 88) as u8
+    }
+
+    /// The 28-bit company/manager number.
+    #[must_use]
+    pub fn manager(&self) -> u32 {
+        ((self.0 >> 60) & ((1 << MANAGER_BITS) - 1)) as u32
+    }
+
+    /// The 24-bit object class.
+    #[must_use]
+    pub fn class(&self) -> u32 {
+        ((self.0 >> 36) & ((1 << CLASS_BITS) - 1)) as u32
+    }
+
+    /// The 36-bit serial.
+    #[must_use]
+    pub fn serial(&self) -> u64 {
+        (self.0 & ((1 << SERIAL_BITS) - 1)) as u64
+    }
+
+    /// The raw 96 bits, right-aligned in a `u128`.
+    #[must_use]
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// The 12-byte big-endian wire representation.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 12] {
+        let all = self.0.to_be_bytes();
+        all[4..16].try_into().expect("12 bytes")
+    }
+
+    /// Reconstructs an EPC from its wire representation.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 12]) -> Self {
+        let mut all = [0u8; 16];
+        all[4..16].copy_from_slice(&bytes);
+        Self(u128::from_be_bytes(all))
+    }
+
+    /// Parses the 24-hex-digit form produced by [`fmt::Display`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpcError::MalformedHex`] for wrong lengths or non-hex input.
+    pub fn parse(s: &str) -> Result<Self, EpcError> {
+        if s.len() != 24 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(EpcError::MalformedHex);
+        }
+        let raw = u128::from_str_radix(s, 16).map_err(|_| EpcError::MalformedHex)?;
+        Ok(Self(raw))
+    }
+
+    /// A stable 64-bit key for hashing, mixing all 96 bits so tags differing
+    /// only in high fields still get distinct, well-spread keys.
+    #[must_use]
+    pub fn tag_key(&self) -> u64 {
+        mix::mix2((self.0 >> 64) as u64, self.0 as u64)
+    }
+}
+
+impl fmt::Display for Epc96 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:024x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_round_trip() {
+        let epc = Epc96::new(0x30, 0x0FFFFFF, 0x00ABCD, 0x0000000FF).unwrap();
+        assert_eq!(epc.header(), 0x30);
+        assert_eq!(epc.manager(), 0x0FFFFFF);
+        assert_eq!(epc.class(), 0x00ABCD);
+        assert_eq!(epc.serial(), 0xFF);
+    }
+
+    #[test]
+    fn field_bounds_enforced() {
+        assert_eq!(
+            Epc96::new(0, 1 << 28, 0, 0).unwrap_err(),
+            EpcError::ManagerTooLarge
+        );
+        assert_eq!(
+            Epc96::new(0, 0, 1 << 24, 0).unwrap_err(),
+            EpcError::ClassTooLarge
+        );
+        assert_eq!(
+            Epc96::new(0, 0, 0, 1 << 36).unwrap_err(),
+            EpcError::SerialTooLarge
+        );
+        // Maximum legal values are accepted.
+        assert!(Epc96::new(0xFF, (1 << 28) - 1, (1 << 24) - 1, (1 << 36) - 1).is_ok());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let epc = Epc96::new(0x30, 12345, 678, 90123).unwrap();
+        assert_eq!(Epc96::from_bytes(epc.to_bytes()), epc);
+        assert_eq!(epc.to_bytes().len(), 12);
+        assert_eq!(epc.to_bytes()[0], 0x30, "header is the first wire byte");
+    }
+
+    #[test]
+    fn hex_round_trip_and_errors() {
+        let epc = Epc96::new(0x30, 1, 2, 3).unwrap();
+        let s = epc.to_string();
+        assert_eq!(s.len(), 24);
+        assert_eq!(Epc96::parse(&s).unwrap(), epc);
+        assert_eq!(Epc96::parse("abc").unwrap_err(), EpcError::MalformedHex);
+        assert_eq!(
+            Epc96::parse("zzzzzzzzzzzzzzzzzzzzzzzz").unwrap_err(),
+            EpcError::MalformedHex
+        );
+    }
+
+    #[test]
+    fn tag_keys_distinct_for_sequential_serials() {
+        let mut keys = std::collections::HashSet::new();
+        for serial in 0..10_000u64 {
+            let epc = Epc96::new(0x30, 42, 7, serial).unwrap();
+            assert!(keys.insert(epc.tag_key()), "collision at serial {serial}");
+        }
+    }
+
+    #[test]
+    fn tag_key_uses_high_bits_too() {
+        let a = Epc96::new(0x30, 1, 0, 0).unwrap();
+        let b = Epc96::new(0x30, 2, 0, 0).unwrap();
+        assert_ne!(a.tag_key(), b.tag_key());
+    }
+}

@@ -1,0 +1,41 @@
+//! RFID tag substrate for the PET reproduction.
+//!
+//! The paper's system model (§3): a vast number of tags, each carrying a
+//! unique ID, attached to physical objects; tags may be *active* (on-board
+//! power, can run hash computations per round, Algorithm 2) or *passive*
+//! (reader-energized, limited to bitwise comparisons against a preloaded
+//! code, Algorithm 4 / §4.5). Tags can join, leave, and move between reader
+//! interrogation zones (§4.6.3).
+//!
+//! - [`epc`]: EPC-96 identity encoding (GS1 SGTIN-96-flavoured).
+//! - [`tag`]: the tag model — identity, capability class, memory budget.
+//! - [`population`]: generators for large tag sets.
+//! - [`dynamics`]: join/leave schedules for dynamic tag sets.
+//! - [`mobility`]: zone-based movement across multiple readers' coverage.
+//!
+//! # Example
+//!
+//! ```
+//! use pet_tags::population::TagPopulation;
+//!
+//! let pop = TagPopulation::sequential(1_000);
+//! assert_eq!(pop.len(), 1_000);
+//! // Every tag key is unique — the substrate guarantee the estimator needs.
+//! let mut keys: Vec<u64> = pop.keys().collect();
+//! keys.sort_unstable();
+//! keys.dedup();
+//! assert_eq!(keys.len(), 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod epc;
+pub mod mobility;
+pub mod population;
+pub mod tag;
+
+pub use epc::Epc96;
+pub use population::TagPopulation;
+pub use tag::{Tag, TagKind};

@@ -1,0 +1,196 @@
+//! Zone mobility across multiple readers' coverage areas.
+//!
+//! §4.6.3: tags move across the interrogation regions of different readers,
+//! and a tag in an overlap responds to several readers at once. We model
+//! space as a set of zones; each reader covers a subset of zones and each
+//! tag occupies one zone per round. A simple memoryless hop model moves tags
+//! between zones, which is all the duplicate-insensitivity experiments need.
+
+use rand::Rng;
+
+/// Assignment of every tag to a zone, with a hop dynamic.
+///
+/// # Example
+///
+/// ```
+/// use pet_tags::mobility::ZoneField;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut field = ZoneField::uniform(100, 4, &mut rng);
+/// assert_eq!(field.len(), 100);
+/// field.step(0.5, &mut rng);
+/// assert!(field.zones().iter().all(|&z| z < 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneField {
+    zone_count: u32,
+    /// `zone_of[i]` is tag `i`'s current zone.
+    zone_of: Vec<u32>,
+}
+
+impl ZoneField {
+    /// Places `tags` tags uniformly at random over `zone_count` zones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_count` is zero.
+    #[must_use]
+    pub fn uniform<R: Rng + ?Sized>(tags: usize, zone_count: u32, rng: &mut R) -> Self {
+        assert!(zone_count > 0, "need at least one zone");
+        let zone_of = (0..tags).map(|_| rng.random_range(0..zone_count)).collect();
+        Self { zone_count, zone_of }
+    }
+
+    /// Places every tag in zone 0 (e.g. a dock door staging area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_count` is zero.
+    #[must_use]
+    pub fn clustered(tags: usize, zone_count: u32) -> Self {
+        assert!(zone_count > 0, "need at least one zone");
+        Self {
+            zone_count,
+            zone_of: vec![0; tags],
+        }
+    }
+
+    /// Number of tags tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.zone_of.len()
+    }
+
+    /// Whether no tags are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zone_of.is_empty()
+    }
+
+    /// Number of zones.
+    #[must_use]
+    pub fn zone_count(&self) -> u32 {
+        self.zone_count
+    }
+
+    /// Current zone of each tag, indexed like the population.
+    #[must_use]
+    pub fn zones(&self) -> &[u32] {
+        &self.zone_of
+    }
+
+    /// Advances one round: each tag independently hops to a uniformly random
+    /// *other* zone with probability `hop_prob` (memoryless waypoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_prob` is not in `[0, 1]`.
+    pub fn step<R: Rng + ?Sized>(&mut self, hop_prob: f64, rng: &mut R) {
+        assert!(
+            (0.0..=1.0).contains(&hop_prob),
+            "hop probability out of range"
+        );
+        if self.zone_count == 1 {
+            return;
+        }
+        for z in &mut self.zone_of {
+            if rng.random_bool(hop_prob) {
+                // Sample a different zone uniformly.
+                let mut target = rng.random_range(0..self.zone_count - 1);
+                if target >= *z {
+                    target += 1;
+                }
+                *z = target;
+            }
+        }
+    }
+
+    /// Indices of tags currently visible in any of `covered` zones — the set
+    /// one reader can hear.
+    #[must_use]
+    pub fn visible_to(&self, covered: &[u32]) -> Vec<usize> {
+        self.zone_of
+            .iter()
+            .enumerate()
+            .filter(|(_, z)| covered.contains(z))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Tags per zone, for load inspection.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.zone_count as usize];
+        for &z in &self.zone_of {
+            counts[z as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_spread_is_roughly_even() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let field = ZoneField::uniform(40_000, 4, &mut rng);
+        for &c in &field.occupancy() {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "occupancy {c}");
+        }
+    }
+
+    #[test]
+    fn clustered_starts_in_zone_zero() {
+        let field = ZoneField::clustered(10, 3);
+        assert!(field.zones().iter().all(|&z| z == 0));
+        assert_eq!(field.occupancy(), vec![10, 0, 0]);
+    }
+
+    #[test]
+    fn step_with_zero_prob_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut field = ZoneField::uniform(100, 5, &mut rng);
+        let before = field.zones().to_vec();
+        field.step(0.0, &mut rng);
+        assert_eq!(field.zones(), &before[..]);
+    }
+
+    #[test]
+    fn step_with_prob_one_moves_everyone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut field = ZoneField::clustered(100, 4);
+        field.step(1.0, &mut rng);
+        assert!(field.zones().iter().all(|&z| z != 0), "all must hop away");
+    }
+
+    #[test]
+    fn single_zone_never_moves() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut field = ZoneField::clustered(10, 1);
+        field.step(1.0, &mut rng);
+        assert!(field.zones().iter().all(|&z| z == 0));
+    }
+
+    #[test]
+    fn visibility_filters_by_zone() {
+        let mut field = ZoneField::clustered(4, 3);
+        // Manually scatter: tags 0,1 in zone 0; tag 2 in zone 1; tag 3 in 2.
+        field.zone_of = vec![0, 0, 1, 2];
+        assert_eq!(field.visible_to(&[0]), vec![0, 1]);
+        assert_eq!(field.visible_to(&[1, 2]), vec![2, 3]);
+        assert_eq!(field.visible_to(&[0, 1, 2]).len(), 4);
+        assert!(field.visible_to(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "hop probability out of range")]
+    fn rejects_bad_hop_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        ZoneField::clustered(1, 2).step(1.5, &mut rng);
+    }
+}

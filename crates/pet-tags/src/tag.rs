@@ -1,0 +1,115 @@
+//! The tag model: identity, capability class, and memory budget.
+//!
+//! Section 3 of the paper distinguishes *active* tags ("capable of doing
+//! complex computations with self-energy supply but … expensive and bulky")
+//! from *passive* tags ("instantly energized by the reader to carry out
+//! extremely limited computations but … cheap"). PET's §4.5 passive variant
+//! only requires a preloaded 32-bit code and bitwise comparison; the
+//! baselines' per-round hashing requires active tags (or per-round preloaded
+//! randomness, whose memory cost Fig. 7 charges).
+
+use crate::epc::Epc96;
+
+/// Tag capability class (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagKind {
+    /// Reader-energized; can only compare a preloaded code bitwise.
+    Passive,
+    /// Self-powered; can evaluate a hash function every round.
+    Active,
+}
+
+impl TagKind {
+    /// Whether this tag class can compute fresh hashes during a round
+    /// (required by PET Algorithm 2 and by FNEB/LoF without preloading).
+    #[must_use]
+    pub fn can_hash_online(self) -> bool {
+        matches!(self, Self::Active)
+    }
+}
+
+/// One RFID tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tag {
+    epc: Epc96,
+    kind: TagKind,
+}
+
+impl Tag {
+    /// Creates a tag.
+    #[must_use]
+    pub fn new(epc: Epc96, kind: TagKind) -> Self {
+        Self { epc, kind }
+    }
+
+    /// The tag's EPC identity.
+    #[must_use]
+    pub fn epc(&self) -> Epc96 {
+        self.epc
+    }
+
+    /// The tag's capability class.
+    #[must_use]
+    pub fn kind(&self) -> TagKind {
+        self.kind
+    }
+
+    /// The stable 64-bit hashing key derived from the EPC.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.epc.tag_key()
+    }
+}
+
+/// Per-tag memory cost of running an estimation protocol (paper Fig. 7).
+///
+/// PET preloads a single `H`-bit code used across all rounds (§4.5); FNEB
+/// and LoF on passive tags must preload one random value *per round*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Bits of preloaded randomness the tag must store.
+    pub preload_bits: u64,
+    /// Bits of mutable working state during a round (e.g. the `high`/`low`
+    /// registers of the 1-bit-feedback optimization, §4.6.2).
+    pub working_bits: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bits of tag memory required.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.preload_bits + self.working_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epc(serial: u64) -> Epc96 {
+        Epc96::new(0x30, 1, 1, serial).unwrap()
+    }
+
+    #[test]
+    fn capability_classes() {
+        assert!(TagKind::Active.can_hash_online());
+        assert!(!TagKind::Passive.can_hash_online());
+    }
+
+    #[test]
+    fn tag_accessors() {
+        let t = Tag::new(epc(9), TagKind::Passive);
+        assert_eq!(t.epc().serial(), 9);
+        assert_eq!(t.kind(), TagKind::Passive);
+        assert_eq!(t.key(), epc(9).tag_key());
+    }
+
+    #[test]
+    fn memory_footprint_totals() {
+        let m = MemoryFootprint {
+            preload_bits: 32,
+            working_bits: 10,
+        };
+        assert_eq!(m.total_bits(), 42);
+    }
+}

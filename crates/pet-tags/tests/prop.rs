@@ -1,0 +1,126 @@
+//! Property-based tests for the tag substrate.
+
+use pet_tags::dynamics::{ChurnEvent, Timeline};
+use pet_tags::epc::Epc96;
+use pet_tags::mobility::ZoneField;
+use pet_tags::population::TagPopulation;
+use pet_tags::tag::{Tag, TagKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// EPC field packing round-trips for every legal field combination.
+    #[test]
+    fn epc_round_trip(
+        header in any::<u8>(),
+        manager in 0u32..(1 << 28),
+        class in 0u32..(1 << 24),
+        serial in 0u64..(1 << 36),
+    ) {
+        let epc = Epc96::new(header, manager, class, serial).unwrap();
+        prop_assert_eq!(epc.header(), header);
+        prop_assert_eq!(epc.manager(), manager);
+        prop_assert_eq!(epc.class(), class);
+        prop_assert_eq!(epc.serial(), serial);
+        prop_assert_eq!(Epc96::from_bytes(epc.to_bytes()), epc);
+        prop_assert_eq!(Epc96::parse(&epc.to_string()).unwrap(), epc);
+    }
+
+    /// Distinct EPCs get distinct tag keys over dense random samples.
+    #[test]
+    fn epc_keys_injective_on_samples(
+        serial_a in 0u64..(1 << 36),
+        serial_b in 0u64..(1 << 36),
+        manager in 0u32..(1 << 28),
+    ) {
+        prop_assume!(serial_a != serial_b);
+        let a = Epc96::new(0x30, manager, 1, serial_a).unwrap();
+        let b = Epc96::new(0x30, manager, 1, serial_b).unwrap();
+        prop_assert_ne!(a.tag_key(), b.tag_key());
+    }
+
+    /// Population invariants survive arbitrary churn schedules: size
+    /// arithmetic matches the events and keys stay unique.
+    #[test]
+    fn churn_preserves_invariants(
+        initial in 0usize..300,
+        events in proptest::collection::vec((any::<bool>(), 0usize..200), 0..20),
+    ) {
+        let mut timeline = Timeline::new(TagPopulation::sequential(initial));
+        let mut expected = initial;
+        for (join, count) in events {
+            let event = if join { ChurnEvent::Join(count) } else { ChurnEvent::Leave(count) };
+            let size = timeline.apply(event);
+            expected = if join { expected + count } else { expected.saturating_sub(count) };
+            prop_assert_eq!(size, expected);
+        }
+        let mut keys: Vec<u64> = timeline.population().keys().collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate keys after churn");
+    }
+
+    /// Mobility preserves the population: hops never lose or duplicate
+    /// tags, and occupancy always sums to the population.
+    #[test]
+    fn mobility_conserves_tags(
+        n in 0usize..500,
+        zones in 1u32..10,
+        hops in proptest::collection::vec(0.0f64..=1.0, 0..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut field = ZoneField::uniform(n, zones, &mut rng);
+        for p in hops {
+            field.step(p, &mut rng);
+            let occupancy: usize = field.occupancy().iter().sum();
+            prop_assert_eq!(occupancy, n);
+            prop_assert!(field.zones().iter().all(|&z| z < zones));
+        }
+        // Full-coverage visibility sees everyone exactly once.
+        let all: Vec<u32> = (0..zones).collect();
+        prop_assert_eq!(field.visible_to(&all).len(), n);
+    }
+
+    /// Zone visibility partitions the population: disjoint zone sets see
+    /// disjoint tag sets whose union is everyone.
+    #[test]
+    fn visibility_partitions(n in 0usize..300, zones in 2u32..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let field = ZoneField::uniform(n, zones, &mut rng);
+        let split = zones / 2;
+        let left: Vec<u32> = (0..split).collect();
+        let right: Vec<u32> = (split..zones).collect();
+        let a = field.visible_to(&left);
+        let b = field.visible_to(&right);
+        prop_assert_eq!(a.len() + b.len(), n);
+        for i in &a {
+            prop_assert!(!b.contains(i));
+        }
+    }
+
+    /// take_prefix never fabricates tags and preserves order.
+    #[test]
+    fn take_prefix_is_a_prefix(n in 0usize..200, k in 0usize..300) {
+        let pop = TagPopulation::sequential(n);
+        let head = pop.take_prefix(k);
+        prop_assert_eq!(head.len(), k.min(n));
+        for (a, b) in head.tags().iter().zip(pop.tags()) {
+            prop_assert_eq!(a.epc(), b.epc());
+        }
+    }
+
+    /// from_tags accepts any duplicate-free set and preserves it.
+    #[test]
+    fn from_tags_round_trips(serials in proptest::collection::btree_set(0u64..(1 << 36), 0..100)) {
+        let tags: Vec<Tag> = serials
+            .iter()
+            .map(|&s| Tag::new(Epc96::new(0x30, 5, 5, s).unwrap(), TagKind::Active))
+            .collect();
+        let pop = TagPopulation::from_tags(tags.clone());
+        prop_assert_eq!(pop.len(), tags.len());
+        prop_assert_eq!(pop.tags(), &tags[..]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Why estimate at all? Identification vs estimation, measured — the
+//! paper's §1 argument as a runnable demo.
+//!
+//! Inventorying every tag (slotted Aloha or tree walking) costs Θ(n) slots
+//! and makes every tag transmit its ID; PET answers "how many?" in a budget
+//! that does not depend on n at all, with almost no tag ever transmitting.
+//!
+//! ```sh
+//! cargo run --release --example estimate_vs_identify
+//! ```
+
+use pet::baselines::{CardinalityEstimator, PetAdapter};
+use pet::ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet::prelude::*;
+use pet::radio::energy::EnergyModel;
+
+fn main() {
+    let accuracy = Accuracy::new(0.05, 0.01).expect("valid accuracy");
+    let pet = PetAdapter::paper_default();
+    let aloha = FramedAloha::unbounded();
+    let treewalk = TreeWalk::new();
+
+    println!("Counting tags: identify everyone vs PET estimate (±5%, 99%)\n");
+    println!(
+        "{:>10} {:>13} {:>13} {:>10} {:>9} {:>14}",
+        "tags", "Aloha-ID", "TreeWalk-ID", "PET", "speedup", "PET resp/tag"
+    );
+
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut rng = StdRng::seed_from_u64(0x1D ^ n as u64);
+
+        let mut air = Air::new(ChannelModel::Perfect);
+        let a = aloha.identify(&keys, &mut air, &mut rng);
+
+        let mut air = Air::new(ChannelModel::Perfect);
+        let t = treewalk.identify(&keys, &mut air, &mut rng);
+
+        let mut air = Air::new(ChannelModel::Perfect);
+        let p = pet.estimate(&keys, &accuracy, &mut air, &mut rng);
+
+        let best_ident = a.metrics.slots.min(t.metrics.slots);
+        println!(
+            "{:>10} {:>13} {:>13} {:>10} {:>8.0}× {:>14.3}",
+            n,
+            a.metrics.slots,
+            t.metrics.slots,
+            p.metrics.slots,
+            best_ident as f64 / p.metrics.slots as f64,
+            EnergyModel::responses_per_slot(&p.metrics) * p.metrics.slots as f64 / n as f64,
+        );
+    }
+
+    println!(
+        "\nIdentification is Θ(n); PET's budget is fixed by (ε, δ) alone — at a\n\
+         million tags the estimate is ~120× faster than the best inventory,\n\
+         and each tag transmitted less than twice in total (vs once per tag\n\
+         per inventory, ID bits and all, for identification)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Bit-level demo: a reader estimating a field of *firmware* tag chips.
+//!
+//! Everything crosses the air as real frames — 4-bit opcode, payload,
+//! CRC-5 — and the chips (`pet-firmware`, `no_std`, 47 bits of working
+//! state) do nothing but XOR/shift comparisons, exactly the §4.5 passivity
+//! claim. The estimate comes out the same as the simulator's.
+//!
+//! ```sh
+//! cargo run --release --example firmware_chip
+//! ```
+
+use pet::firmware::{ChipAction, TagChip, HEIGHT};
+use pet::prelude::*;
+use pet::radio::command::CommandFrame;
+use pet_hash::family::{AnyFamily, HashFamily};
+
+fn main() {
+    let n = 2_000usize;
+    let rounds = 512u32;
+    let mut rng = StdRng::seed_from_u64(0xF1F1);
+
+    // Factory: burn a 32-bit PET code into each chip (hash of its EPC key).
+    let family = AnyFamily::default();
+    let mut chips: Vec<TagChip> = (0..n as u64)
+        .map(|key| TagChip::new(family.hash_bits(0x9e37_79b9_7f4a_7c15, key, 32) as u32))
+        .collect();
+
+    println!("Field of {n} firmware chips (no_std, 47 bits of state each)");
+    println!("Running {rounds} binary-search rounds with CRC-5-framed commands…\n");
+
+    let mut sum_prefix = 0u64;
+    let mut frame_bits = 0usize;
+    let mut slots = 0u64;
+    for _ in 0..rounds {
+        let path: u32 = rand::Rng::random(&mut rng);
+        let start = CommandFrame::round_start(u64::from(path), 32, None);
+        frame_bits += start.len_bits();
+        for chip in &mut chips {
+            chip.on_frame(start.bits());
+        }
+        // Reader-side binary search with explicit 5-bit mid frames.
+        let mut low = 1u8;
+        let mut high = HEIGHT;
+        let mut any_busy = false;
+        let query = |chips: &mut [TagChip], mid: u8, bits: &mut usize| {
+            let frame = CommandFrame::query_mid(u32::from(mid));
+            *bits += frame.len_bits();
+            chips
+                .iter_mut()
+                .map(|c| c.on_frame(frame.bits()))
+                .filter(|a| *a == ChipAction::Respond)
+                .count()
+                > 0
+        };
+        while low < high {
+            let mid = (low + high).div_ceil(2);
+            slots += 1;
+            if query(&mut chips, mid, &mut frame_bits) {
+                low = mid;
+                any_busy = true;
+            } else {
+                high = mid - 1;
+            }
+        }
+        let l = if low == 1 && !any_busy {
+            slots += 1;
+            u8::from(query(&mut chips, 1, &mut frame_bits))
+        } else {
+            low
+        };
+        sum_prefix += u64::from(l);
+    }
+
+    let mean_prefix = sum_prefix as f64 / f64::from(rounds);
+    let estimate = pet::stats::gray::estimate_from_mean_prefix(mean_prefix);
+    println!("slots used          : {slots} ({:.2} per round)", slots as f64 / f64::from(rounds));
+    println!("framed command bits : {frame_bits} (opcode + payload + CRC-5)");
+    println!("mean prefix L̄       : {mean_prefix:.3}");
+    println!("estimate            : {estimate:.0}   (true: {n})");
+    println!(
+        "relative error      : {:+.2}%",
+        (estimate / n as f64 - 1.0) * 100.0
+    );
+    println!(
+        "\nEvery chip decision was an XOR and a shift against a latched path —\n\
+         no hashing, no arithmetic, no memory beyond 47 bits of state."
+    );
+}

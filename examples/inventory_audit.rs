@@ -1,0 +1,81 @@
+//! Continuous inventory auditing with the application layer: a warehouse
+//! runs anonymous PET estimates every hour and feeds them into
+//!
+//! - a [`MissingTagMonitor`] (calibrated theft/loss alarm),
+//! - a [`CapacityGuard`] (dock-occupancy limit), and
+//! - a [`TrendTracker`] (is stock draining faster than shipments explain?).
+//!
+//! ```sh
+//! cargo run --release --example inventory_audit
+//! ```
+
+use pet::apps::guard::{CapacityGuard, CapacityVerdict};
+use pet::apps::monitor::MissingTagMonitor;
+use pet::apps::trend::{TrendPoint, TrendTracker};
+use pet::prelude::*;
+
+fn main() {
+    let book_inventory: u64 = 40_000;
+    let dock_limit: u64 = 45_000;
+    let accuracy = Accuracy::new(0.05, 0.05).expect("valid accuracy");
+    let config = PetConfig::builder().accuracy(accuracy).build().expect("valid config");
+    let monitor = MissingTagMonitor::new(book_inventory, 0.01, config)
+        .expect("valid monitor parameters");
+    let guard = CapacityGuard::new(dock_limit, 0.05, config);
+    let mut trend = TrendTracker::new();
+    let mut rng = StdRng::seed_from_u64(0xA0D1);
+
+    println!(
+        "Warehouse audit — book inventory {book_inventory}, dock limit {dock_limit}"
+    );
+    println!(
+        "Monitor can detect a deficit of {:.1}% with 95% power per check.\n",
+        monitor.detectable_fraction(0.95) * 100.0
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>16} {:>12} {:>12}",
+        "hour", "true", "estimate", "missing check", "capacity", "95% CI"
+    );
+
+    // Overnight pilferage: 1.5% of stock walks away every hour after 02:00.
+    let mut actual = book_inventory as usize;
+    for hour in 0..8 {
+        if hour >= 2 {
+            actual = (actual as f64 * 0.985) as usize;
+        }
+        let stock = TagPopulation::sequential(actual);
+        let verdict = monitor.check(&stock, &mut rng);
+        let capacity = guard.check(&stock, &mut rng);
+        trend.push(TrendPoint {
+            time: f64::from(hour),
+            estimate: verdict.estimate,
+            rounds: config.rounds(),
+        });
+        let (lo, hi) = trend.points().last().unwrap().confidence_interval(0.05);
+        println!(
+            "{:<6} {:>10} {:>10.0} {:>16} {:>12} {:>6.0}–{:<6.0}",
+            format!("{:02}:00", hour),
+            actual,
+            verdict.estimate,
+            if verdict.alarm { "ALARM" } else { "ok" },
+            match capacity {
+                CapacityVerdict::Under => "under",
+                CapacityVerdict::Over => "OVER",
+                CapacityVerdict::Uncertain => "uncertain",
+            },
+            lo,
+            hi
+        );
+    }
+
+    println!(
+        "\ntrend over the shift: {:?} (weighted log-slope {:+.4} bits/hour)",
+        trend.drift(0.05),
+        trend.log2_slope().map(|(s, _)| s).unwrap_or(0.0)
+    );
+    println!(
+        "→ each check is anonymous ({} slots, no tag IDs on the air), yet the\n\
+         shrinkage alarm and the declining trend are both statistically sound.",
+        config.rounds() * 5
+    );
+}

@@ -1,0 +1,69 @@
+//! Multi-reader dock with overlapping coverage and mobile pallets (§4.6.3).
+//!
+//! Four readers cover a 6-zone receiving dock with deliberate overlaps; a
+//! back-end controller coordinates the estimating path and aggregates
+//! per-slot reports duplicate-insensitively — a pallet heard by three
+//! readers counts exactly once. Pallets then shuffle between zones (fork-
+//! lift traffic) and the controller re-estimates: mobility has no effect as
+//! long as coverage stays complete, and partial coverage degrades to
+//! "estimate what you can hear".
+//!
+//! ```sh
+//! cargo run --release --example multi_reader_dock
+//! ```
+
+use pet::prelude::*;
+use pet::sim::Deployment;
+use pet::tags::mobility::ZoneField;
+
+fn main() {
+    let n = 20_000;
+    let zones = 6;
+    let accuracy = Accuracy::new(0.10, 0.05).expect("valid accuracy");
+    let config = PetConfig::builder().accuracy(accuracy).build().expect("valid config");
+    let rounds = config.rounds();
+    let mut rng = StdRng::seed_from_u64(0xD0CC);
+
+    let population = TagPopulation::sequential(n);
+    let mut field = ZoneField::uniform(n, zones, &mut rng);
+
+    // Overlapping coverage: zones 2 and 3 are heard by two readers each.
+    let coverages = vec![
+        vec![0, 1, 2],
+        vec![2, 3],
+        vec![3, 4],
+        vec![4, 5],
+    ];
+
+    println!("Dock: {n} pallets over {zones} zones, 4 readers, overlapping coverage");
+    println!("Controller runs {rounds} PET rounds (5 slots each)\n");
+
+    for step in 0..3 {
+        let deployment = Deployment::new(&population, field.clone(), coverages.clone());
+        let report = deployment.estimate(&config, rounds, ChannelModel::Perfect, &mut rng);
+        println!(
+            "shuffle {step}: covered={} estimate={:.0} ({:+.2}% vs covered), \
+             {} controller slots, {} reader-slot activations",
+            report.covered_tags,
+            report.estimate,
+            (report.estimate / report.covered_tags as f64 - 1.0) * 100.0,
+            report.controller_slots,
+            report.reader_slot_total
+        );
+        // Forklifts move ~30% of pallets to other zones between estimates.
+        field.step(0.3, &mut rng);
+    }
+
+    // Knock out the last reader: zone 5 goes dark; the controller now
+    // estimates only the covered subpopulation.
+    let partial = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4]];
+    let deployment = Deployment::new(&population, field.clone(), partial);
+    let report = deployment.estimate(&config, rounds, ChannelModel::Perfect, &mut rng);
+    println!(
+        "\nreader 4 offline: covered={} (zone 5 dark), estimate={:.0} ({:+.2}% vs covered)",
+        report.covered_tags,
+        report.estimate,
+        (report.estimate / report.covered_tags as f64 - 1.0) * 100.0
+    );
+    println!("→ the controller faithfully reports what its readers can hear.");
+}

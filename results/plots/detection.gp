@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'detection.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Missing-tag detection power'
+set xlabel 'True missing fraction'
+set ylabel 'Alarm probability'
+set yrange [0:1.05]
+plot 'results/detection.csv' using 1:2 every ::1 with linespoints title 'measured', \
+  'results/detection.csv' using 1:3 every ::1 with lines title 'normal theory'

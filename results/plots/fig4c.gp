@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'fig4c.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Normalized standard deviation vs estimating rounds (Fig. 4)'
+set xlabel 'Estimating rounds m'
+set ylabel 'Normalized standard deviation'
+set logscale x 2
+plot for [n in "5000 10000 50000 100000"] \
+  'results/fig4.csv' using 2:(strcol(1) eq n ? $5 : 1/0) every ::1 \
+  with linespoints title sprintf('n = %s', n)

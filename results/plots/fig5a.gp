@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'fig5a.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Slots to meet the accuracy requirement (Fig. 5)'
+set xlabel 'Confidence interval ε'
+set ylabel 'Total time slots'
+set logscale y
+plot for [p in "PET FNEB LoF"] \
+  'results/fig5a.csv' using 2:(strcol(1) eq p ? $5 : 1/0) every ::1 \
+  with linespoints title p

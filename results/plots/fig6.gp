@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'fig6.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Estimate distributions at equal slot budget (Fig. 6)'
+set xlabel 'Estimated number of tags'
+set ylabel 'Fraction of runs'
+plot for [s in "PET-theory PET 'Enhanced FNEB' LoF"] \
+  'results/fig6.csv' using 2:(strcol(1) eq s ? $3 : 1/0) every ::1 \
+  with linespoints title s

@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'fig7a.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Per-tag memory for preloaded randomness (Fig. 7)'
+set xlabel 'Confidence interval ε'
+set ylabel 'Tag memory (bits)'
+set logscale y
+plot for [p in "PET FNEB LoF"] \
+  'results/fig7a.csv' using 2:(strcol(1) eq p ? $4 : 1/0) every ::1 \
+  with linespoints title p

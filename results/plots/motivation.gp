@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,600 enhanced
+set output 'motivation.png'
+set datafile separator ','
+set key top right
+set grid
+set title 'Identification vs estimation cost'
+set xlabel 'Number of tags'
+set ylabel 'Total time slots'
+set logscale xy
+plot 'results/motivation.csv' using 1:2 every ::1 with linespoints title 'Aloha-ID', \
+  'results/motivation.csv' using 1:3 every ::1 with linespoints title 'TreeWalk-ID', \
+  'results/motivation.csv' using 1:4 every ::1 with linespoints title 'PET (5%%, 1%%)'

@@ -1,0 +1,145 @@
+//! Cross-protocol comparisons — the §5.3 claims, end to end.
+
+use pet::baselines::{CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, Upe,
+                     UnifiedSimpleEstimator};
+use pet::prelude::*;
+use pet_sim::run_trials;
+
+/// Every protocol in the workspace estimates the same workload correctly.
+#[test]
+fn all_protocols_estimate_the_same_world() {
+    let n = 8_000usize;
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let protocols: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default()),
+        Box::new(Fneb::enhanced(Fidelity::Sampled)),
+        Box::new(Lof::paper_default()),
+        Box::new(UnifiedSimpleEstimator::with_prior(n as f64)),
+        Box::new(Upe::with_prior(n as f64)),
+        Box::new(Ezb::paper_default()),
+    ];
+    for p in &protocols {
+        let summary = run_trials(30, 0x0C01 ^ p.name().len() as u64, |trial_seed| {
+            let mut rng = StdRng::seed_from_u64(trial_seed);
+            let mut air = Air::new(ChannelModel::Perfect);
+            p.estimate_rounds(&keys, 80, &mut air, &mut rng).estimate
+        });
+        let acc = summary.mean / n as f64;
+        assert!(
+            (acc - 1.0).abs() < 0.08,
+            "{}: mean accuracy {acc}",
+            p.name()
+        );
+    }
+}
+
+/// Table 4/5, measured end to end at a reduced requirement: every protocol
+/// meets its coverage promise at its own budget, and PET's budget is the
+/// smallest by a wide margin.
+#[test]
+fn pet_meets_accuracy_with_fewest_slots() {
+    let n = 10_000usize;
+    let accuracy = Accuracy::new(0.10, 0.05).unwrap();
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let protocols: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(PetAdapter::paper_default()),
+        Box::new(Fneb::paper_default().with_fidelity(Fidelity::Sampled)),
+        Box::new(Lof::paper_default().with_fidelity(Fidelity::Sampled)),
+    ];
+    let mut budgets = Vec::new();
+    for p in &protocols {
+        let rounds = p.rounds(&accuracy);
+        let summary = run_trials(100, 0x0C02, |trial_seed| {
+            let mut rng = StdRng::seed_from_u64(trial_seed);
+            let mut air = Air::new(ChannelModel::Perfect);
+            p.estimate_rounds(&keys, rounds, &mut air, &mut rng).estimate
+        });
+        let (lo, hi) = accuracy.interval(n as f64);
+        let within = pet_stats::histogram::fraction_within(&summary.values, lo, hi);
+        assert!(
+            within >= 0.90,
+            "{}: coverage {within} at its own budget",
+            p.name()
+        );
+        budgets.push((p.name().to_string(), p.total_slots(&accuracy)));
+    }
+    let pet = budgets[0].1;
+    for (name, slots) in &budgets[1..] {
+        let ratio = pet as f64 / *slots as f64;
+        assert!(
+            ratio < 0.55,
+            "PET budget {pet} not clearly below {name}'s {slots} (ratio {ratio})"
+        );
+    }
+}
+
+/// Fig. 6's equal-budget comparison at reduced scale: give all three
+/// protocols PET's slot budget; PET's estimates concentrate hardest.
+#[test]
+fn equal_budget_concentration() {
+    let n = 10_000usize;
+    let accuracy = Accuracy::new(0.10, 0.05).unwrap();
+    let keys: Vec<u64> = (0..n as u64).collect();
+    let pet = PetAdapter::paper_default();
+    let budget = pet.total_slots(&accuracy);
+
+    let spread = |values: &[f64]| {
+        pet_stats::describe::rmse(values, n as f64) / n as f64
+    };
+
+    let pet_vals = run_trials(80, 0x0C03, |trial_seed| {
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        let mut air = Air::new(ChannelModel::Perfect);
+        pet.estimate_rounds(&keys, pet.rounds(&accuracy), &mut air, &mut rng)
+            .estimate
+    })
+    .values;
+
+    let lof = Lof::paper_default().with_fidelity(Fidelity::Sampled);
+    let lof_rounds = (budget / lof.slots_per_round()).max(1) as u32;
+    let lof_vals = run_trials(80, 0x0C04, |trial_seed| {
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        let mut air = Air::new(ChannelModel::Perfect);
+        lof.estimate_rounds(&keys, lof_rounds, &mut air, &mut rng).estimate
+    })
+    .values;
+
+    let fneb = Fneb::paper_default().with_fidelity(Fidelity::Sampled);
+    let fneb_rounds = (budget / fneb.slots_per_round()).max(1) as u32;
+    let fneb_vals = run_trials(80, 0x0C05, |trial_seed| {
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        let mut air = Air::new(ChannelModel::Perfect);
+        fneb.estimate_rounds(&keys, fneb_rounds, &mut air, &mut rng).estimate
+    })
+    .values;
+
+    let (s_pet, s_lof, s_fneb) = (spread(&pet_vals), spread(&lof_vals), spread(&fneb_vals));
+    assert!(
+        s_pet < s_lof && s_pet < s_fneb,
+        "PET spread {s_pet} vs LoF {s_lof} vs FNEB {s_fneb}"
+    );
+}
+
+/// Identical slot accounting across fidelities (the sampled fast path must
+/// not cheat on costs).
+#[test]
+fn fidelities_agree_on_costs() {
+    let keys: Vec<u64> = (0..3_000).collect();
+    let fneb_a = Fneb::paper_default();
+    let fneb_b = Fneb::paper_default().with_fidelity(Fidelity::Sampled);
+    let run = |p: &Fneb, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut air = Air::new(ChannelModel::Perfect);
+        p.estimate_rounds(&keys, 25, &mut air, &mut rng).metrics
+    };
+    assert_eq!(run(&fneb_a, 1).slots, run(&fneb_b, 2).slots);
+    let lof_a = Lof::paper_default();
+    let lof_b = Lof::paper_default().with_fidelity(Fidelity::Sampled);
+    let run = |p: &Lof, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut air = Air::new(ChannelModel::Perfect);
+        p.estimate_rounds(&keys, 25, &mut air, &mut rng).metrics
+    };
+    assert_eq!(run(&lof_a, 1).slots, run(&lof_b, 2).slots);
+}

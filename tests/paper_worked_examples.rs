@@ -1,0 +1,141 @@
+//! The paper's worked examples, reproduced exactly.
+//!
+//! Fig. 1 (§4.1): H = 4, tags coded 0001/0110/1011/1110, estimating path
+//! 0011 → gray node A at height 2, found after the 001* query comes back
+//! idle.
+//!
+//! Fig. 3 (§4.4): H = 6, 16 tags, estimating path 000011 → the basic
+//! protocol takes five slots, the binary-search protocol two.
+
+use pet::prelude::*;
+use pet_core::bits::BitString;
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_core::reader::{binary_round, linear_round};
+use pet_core::tree::{NodeColor, Tree};
+use pet_radio::channel::PerfectChannel;
+
+fn bits(s: &str) -> BitString {
+    let v = u64::from_str_radix(s, 2).expect("binary literal");
+    BitString::from_bits(v, s.len() as u32).expect("in range")
+}
+
+#[test]
+fn fig1_gray_node_at_height_two() {
+    let codes = vec![bits("0001"), bits("0110"), bits("1011"), bits("1110")];
+    let tree = Tree::build(&codes, 4);
+    let path = bits("0011");
+    let gray = tree.gray_node(&path).expect("tree is non-empty");
+    assert_eq!(gray.height, 2, "node A sits at height 2");
+    assert_eq!(gray.prefix_len, 2, "node A's path prefix is 00");
+    // The node colors the figure shows: root black, 0 black, 00 black
+    // (gray), 001 white, 0011 white.
+    assert_eq!(
+        tree.colors_along(&path),
+        vec![
+            NodeColor::Black,
+            NodeColor::Black,
+            NodeColor::Black,
+            NodeColor::White,
+            NodeColor::White
+        ]
+    );
+}
+
+#[test]
+fn fig1_protocol_trace() {
+    // "First the reader requests those tags whose random codes match prefix
+    // 0*** … the ones with 0001 and 0110 will respond … the reader then …
+    // requests … 00** … the tag with 0001 responds … when the reader
+    // queries 001*, … no response is made."
+    let codes = vec![bits("0001"), bits("0110"), bits("1011"), bits("1110")];
+    let mut roster = CodeRoster::from_codes(&codes, 4);
+    let path = bits("0011");
+    roster.begin_round(&RoundStart { path, seed: None });
+    assert_eq!(roster.responders(1), 2, "0***: two tags respond");
+    assert_eq!(roster.responders(2), 1, "00**: one tag responds");
+    assert_eq!(roster.responders(3), 0, "001*: idle slot");
+}
+
+/// The 16-tag Fig. 3 population: 8 codes under prefix 0 (four under 00,
+/// exactly one under 0000, none under 00001), 8 under prefix 1.
+fn fig3_codes() -> Vec<BitString> {
+    [
+        "000000", // the lone tag under 0000 (and not under 00001)
+        "001000", "001100", "001110", // the rest of the 00 group
+        "010000", "010101", "011011", "011111", // the 01 group
+        "100000", "100111", "101010", "101101", // the 1 group
+        "110011", "110110", "111001", "111100",
+    ]
+    .iter()
+    .map(|s| bits(s))
+    .collect()
+}
+
+#[test]
+fn fig3a_basic_protocol_takes_five_slots() {
+    let config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .search(pet_core::config::SearchStrategy::Linear)
+        .build()
+        .unwrap();
+    let mut roster = CodeRoster::from_codes(&fig3_codes(), 6);
+    let path = bits("000011");
+    roster.begin_round(&RoundStart { path, seed: None });
+    let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
+    let mut rng = StdRng::seed_from_u64(0);
+    let record = linear_round(&config, &mut roster, &mut air, &mut rng);
+    assert_eq!(record.slots, 5, "the entire process contains five time slots");
+    assert_eq!(record.prefix_len, 4, "longest responsive prefix is 0000");
+    assert_eq!(record.gray_height, 2);
+    // Slot-by-slot responder counts from the figure: 8, 4, 1, 1, 0.
+    let responders: Vec<u64> = air
+        .transcript()
+        .unwrap()
+        .records()
+        .iter()
+        .map(|r| r.responders)
+        .collect();
+    assert_eq!(responders, vec![8, 4, 1, 1, 0]);
+}
+
+#[test]
+fn fig3b_binary_search_takes_two_slots() {
+    let config = pet_core::config::PetConfig::builder().height(6).build().unwrap();
+    let mut roster = CodeRoster::from_codes(&fig3_codes(), 6);
+    let path = bits("000011");
+    roster.begin_round(&RoundStart { path, seed: None });
+    let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
+    let mut rng = StdRng::seed_from_u64(0);
+    let record = binary_round(&config, &mut roster, &mut air, &mut rng);
+    assert_eq!(record.slots, 2, "the entire process contains only two time slots");
+    assert_eq!(record.prefix_len, 4);
+    assert_eq!(record.gray_height, 2);
+    // Slot 0: mid = ⌈(1+6)/2⌉ = 4, prefix 0000** → one tag responds.
+    // Slot 1: mid = ⌈(4+6)/2⌉ = 5, prefix 00001* → idle.
+    let records = air.transcript().unwrap().records();
+    assert_eq!(records[0].responders, 1);
+    assert_eq!(records[1].responders, 0);
+}
+
+/// §3's accuracy-definition example: 50,000 tags at ε = 5%, δ = 1% must be
+/// reported within [47,500, 52,500] with ≥99% probability — checked here as
+/// the interval arithmetic, with the statistical validation living in the
+/// bench harness (its 300-run validation is too slow for a unit test at the
+/// paper's full budget).
+#[test]
+fn section3_interval_example() {
+    let acc = Accuracy::new(0.05, 0.01).unwrap();
+    assert_eq!(acc.interval(50_000.0), (47_500.0, 52_500.0));
+}
+
+/// Table 3's row values: m rounds cost exactly 5m slots at H = 32.
+#[test]
+fn table3_slot_arithmetic() {
+    let rows = pet_sim::experiments::table3::run(&pet_sim::experiments::table3::Table3Params {
+        n: 50_000,
+        round_counts: vec![16, 32, 64, 128, 256, 512],
+        seed: 42,
+    });
+    let measured: Vec<u64> = rows.iter().map(|r| r.measured_slots).collect();
+    assert_eq!(measured, vec![80, 160, 320, 640, 1_280, 2_560]);
+}
