@@ -4,9 +4,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pet_core::bits::BitString;
 use pet_core::config::PetConfig;
+use pet_core::kernel::{locate_prefix_len, round_record};
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_core::reader::run_round;
 use pet_hash::family::{AnyFamily, HashFamily, HashKind};
 use pet_hash::{GeometricHasher, MixFamily};
+use pet_radio::channel::PerfectChannel;
+use pet_radio::Air;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -69,6 +73,40 @@ fn bench_roster(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: gray-node location per round, slot-by-slot
+/// oracle reader vs the single-search kernel, at paper scales.
+fn bench_round_location(c: &mut Criterion) {
+    let config = PetConfig::paper_default();
+    let rounds = 64u64;
+    let mut group = c.benchmark_group("round_location");
+    group.throughput(Throughput::Elements(rounds));
+    for &n in &[1_000u64, 100_000, 1_000_000] {
+        let keys: Vec<u64> = (0..n).collect();
+        let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let codes = roster.codes().to_vec();
+        group.bench_function(BenchmarkId::new("oracle", n), |b| {
+            let mut air = Air::new(PerfectChannel);
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                for _ in 0..rounds {
+                    black_box(run_round(&config, &mut roster, &mut air, &mut rng));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &codes, |b, codes| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                for _ in 0..rounds {
+                    let path = BitString::random(config.height(), &mut rng);
+                    let l = locate_prefix_len(codes, &path);
+                    black_box(round_record(config.height(), config.search(), l));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_firmware(c: &mut Criterion) {
     use pet_firmware::TagChip;
     use pet_radio::command::CommandFrame;
@@ -86,6 +124,7 @@ criterion_group!(
     bench_hash_families,
     bench_geometric,
     bench_roster,
+    bench_round_location,
     bench_firmware
 );
 criterion_main!(benches);

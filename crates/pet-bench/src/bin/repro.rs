@@ -9,15 +9,79 @@
 //!
 //! Printed tables mirror the paper's rows; CSV files land in `results/`.
 
+use pet_core::bits::BitString;
+use pet_core::config::{PetConfig, SearchStrategy};
+use pet_core::kernel::{locate_prefix_len, round_record};
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_core::reader::{binary_round, linear_round};
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::PerfectChannel;
+use pet_radio::Air;
 use pet_sim::experiments::{ablations, detection, energy, fig4, fig6, fig7, motivation, table3, table45};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeSet;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "fig4", "table3", "table4", "table5", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
-    "validate", "ablations", "motivation", "energy", "detection",
+    "validate", "ablations", "motivation", "energy", "detection", "bench-kernel",
 ];
+
+/// Measures round throughput of the slot-by-slot oracle reader against the
+/// single-search kernel at paper scale and writes
+/// `results/BENCH_kernel.json`.
+fn bench_kernel(out_dir: &Path, quick: bool) {
+    let n = 100_000u64;
+    let config = PetConfig::paper_default();
+    let keys: Vec<u64> = (0..n).collect();
+    let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+    let codes = roster.codes().to_vec();
+
+    // The estimating path is an *input* to gray-node location, so both arms
+    // consume the same pre-drawn path stream and time only the per-round
+    // search work.
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let paths: Vec<BitString> = (0..4096)
+        .map(|_| BitString::random(config.height(), &mut rng))
+        .collect();
+
+    let oracle_rounds: usize = if quick { 20_000 } else { 100_000 };
+    let mut air = Air::new(PerfectChannel);
+    let clock = Instant::now();
+    for i in 0..oracle_rounds {
+        let path = paths[i % paths.len()];
+        roster.begin_round(&RoundStart { path, seed: None });
+        let rec = match config.search() {
+            SearchStrategy::Linear => linear_round(&config, &mut roster, &mut air, &mut rng),
+            SearchStrategy::Binary => binary_round(&config, &mut roster, &mut air, &mut rng),
+        };
+        std::hint::black_box(rec);
+    }
+    let rounds_per_sec_oracle = oracle_rounds as f64 / clock.elapsed().as_secs_f64();
+
+    let kernel_rounds: usize = if quick { 200_000 } else { 1_000_000 };
+    let clock = Instant::now();
+    for i in 0..kernel_rounds {
+        let path = paths[i % paths.len()];
+        let l = locate_prefix_len(&codes, &path);
+        std::hint::black_box(round_record(config.height(), config.search(), l));
+    }
+    let rounds_per_sec_kernel = kernel_rounds as f64 / clock.elapsed().as_secs_f64();
+
+    std::fs::create_dir_all(out_dir).expect("results dir");
+    let json = format!(
+        "{{\"n\": {n}, \"rounds_per_sec_oracle\": {rounds_per_sec_oracle:.1}, \
+         \"rounds_per_sec_kernel\": {rounds_per_sec_kernel:.1}}}\n"
+    );
+    std::fs::write(out_dir.join("BENCH_kernel.json"), json).expect("write BENCH_kernel.json");
+    println!(
+        "bench-kernel: n = {n}: oracle {rounds_per_sec_oracle:.0} rounds/s, \
+         kernel {rounds_per_sec_kernel:.0} rounds/s ({:.1}x)",
+        rounds_per_sec_kernel / rounds_per_sec_oracle
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -190,6 +254,10 @@ fn main() {
         pet_bench::figures::loss(&loss, &out_dir).expect("loss svg");
         let adaptive = ablations::adaptive_stopping(50_000, 0.05, 0.01, runs.min(100), 0xAB6);
         pet_bench::print_adaptive(&adaptive);
+    }
+
+    if want("bench-kernel") {
+        bench_kernel(&out_dir, quick);
     }
 
     pet_bench::plots::write_all(&out_dir).expect("write plot scripts");

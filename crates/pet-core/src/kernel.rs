@@ -1,0 +1,480 @@
+//! Batched estimation kernel: one binary search per round.
+//!
+//! The reference reader ([`crate::reader`]) locates the gray node by
+//! querying the oracle slot by slot; with the [`crate::oracle::CodeRoster`]
+//! oracle each of the ~5 queries costs two `partition_point` searches over
+//! the sorted code array — ten searches per round. This module computes the
+//! same round outcome from the sorted codes with a **single** search:
+//!
+//! 1. Find the estimating path's insertion point in the sorted array.
+//! 2. The longest responsive prefix is `L = max(lcp(path, pred),
+//!    lcp(path, succ))`, computed with one `XOR` + `leading_zeros` per
+//!    neighbor.
+//! 3. Replay the configured search strategy *arithmetically*: given `L`,
+//!    every slot's busy/idle answer is `L >= queried_len`, so the slot
+//!    count, the disambiguation flag, and the final prefix length follow
+//!    from pure register arithmetic — no further array access.
+//!
+//! **Why step 2 is exact.** Codes sharing a `j`-bit prefix with the path
+//! form one contiguous range of the sorted array, and that range contains
+//! the path's insertion point (every member is `>=` the smallest and `<=`
+//! the largest value with that prefix, and the path itself sorts inside the
+//! prefix's span). Hence if *any* code shares a `j`-bit prefix with the
+//! path, so does one of the two codes adjacent to the insertion point, and
+//! the maximum lcp over the whole array equals the maximum over
+//! `{pred, succ}`. A query at length `j` is busy iff `j <= L`, which is
+//! exactly the responder-count criterion `count_prefix(path, j) > 0` the
+//! reference reader applies over a lossless channel.
+//!
+//! [`apply_round_metrics`] additionally reproduces the full
+//! [`AirMetrics`] accounting (idle/singleton/collision tallies, command
+//! bits, tag responses) bit-for-bit: idle queries have zero responders by
+//! definition of `L`, and busy queries are replayed against nested,
+//! monotonically narrowing sub-ranges of the code array (busy lengths are
+//! visited in increasing order by both search strategies), so each count
+//! after the first searches a small window. The equivalence suite in
+//! `tests/kernel_equivalence.rs` and `crates/pet-core/tests/prop.rs` pins
+//! all of this against [`crate::reader::run_round`] over both oracles.
+
+use crate::bits::BitString;
+use crate::config::{PetConfig, SearchStrategy, TagMode};
+use crate::reader::RoundRecord;
+use pet_hash::bulk::{hash_codes_par, radix_sort_codes};
+use pet_hash::family::AnyFamily;
+use pet_radio::{AirMetrics, SlotOutcome};
+use std::sync::Arc;
+
+/// Longest prefix of `path` shared by any code, via one binary search.
+///
+/// Returns 0 for an empty roster (every query idles). `codes` must be
+/// sorted ascending and hold `path.height()`-bit values.
+#[must_use]
+pub fn locate_prefix_len(codes: &[u64], path: &BitString) -> u32 {
+    if codes.is_empty() {
+        return 0;
+    }
+    let height = path.height();
+    let bits = path.bits();
+    let idx = codes.partition_point(|&c| c < bits);
+    let mut l = 0;
+    if idx < codes.len() {
+        l = common_bits(codes[idx], bits, height);
+    }
+    if idx > 0 {
+        l = l.max(common_bits(codes[idx - 1], bits, height));
+    }
+    l
+}
+
+/// Length of the common prefix of two right-aligned `height`-bit values.
+#[inline]
+#[must_use]
+fn common_bits(a: u64, b: u64, height: u32) -> u32 {
+    let diff = a ^ b;
+    if diff == 0 {
+        height
+    } else {
+        // Both values fit in `height` bits, so `leading_zeros >= 64 - height`
+        // and the result lands in `0..height`.
+        diff.leading_zeros() - (64 - height)
+    }
+}
+
+/// Synthesizes the round outcome for a known longest responsive prefix
+/// `prefix_len`, replaying the strategy's register arithmetic. Bit-for-bit
+/// identical to [`crate::reader::linear_round`] / `binary_round` over a
+/// lossless channel.
+#[must_use]
+pub fn round_record(height: u32, search: SearchStrategy, prefix_len: u32) -> RoundRecord {
+    debug_assert!(prefix_len <= height);
+    match search {
+        SearchStrategy::Linear => linear_record(height, prefix_len),
+        SearchStrategy::Binary => binary_record(height, prefix_len),
+    }
+}
+
+fn linear_record(height: u32, l: u32) -> RoundRecord {
+    // Algorithm 1 stops at the first idle query, j = L + 1 (or exhausts all
+    // H queries when every one is busy).
+    let slots = if l >= height { height } else { l + 1 };
+    RoundRecord {
+        prefix_len: l,
+        gray_height: height - l,
+        slots,
+        disambiguated: false,
+    }
+}
+
+fn binary_record(height: u32, l: u32) -> RoundRecord {
+    let mut low = 1u32;
+    let mut high = height;
+    let mut slots = 0;
+    let mut any_busy = false;
+    while low < high {
+        let mid = (low + high).div_ceil(2);
+        slots += 1;
+        if l >= mid {
+            low = mid;
+            any_busy = true;
+        } else {
+            high = mid - 1;
+        }
+    }
+    let mut disambiguated = false;
+    let prefix_len = if low == 1 && !any_busy {
+        disambiguated = true;
+        slots += 1;
+        u32::from(l >= 1)
+    } else {
+        low
+    };
+    debug_assert_eq!(prefix_len, l, "binary replay must converge on L");
+    RoundRecord {
+        prefix_len: l,
+        gray_height: height - l,
+        slots,
+        disambiguated,
+    }
+}
+
+/// Replays one round's slot accounting into `metrics`, bit-for-bit equal
+/// to what [`crate::reader::run_round`] records through [`pet_radio::Air`]
+/// over a [`pet_radio::channel::PerfectChannel`] — including the
+/// round-start broadcast, per-query command bits, outcome tallies, and
+/// per-slot responder counts.
+///
+/// `prefix_len` must be `locate_prefix_len(codes, path)`.
+pub fn apply_round_metrics(
+    codes: &[u64],
+    path: &BitString,
+    config: &PetConfig,
+    prefix_len: u32,
+    metrics: &mut AirMetrics,
+) {
+    let height = config.height();
+    let bits = config.encoding().bits_per_query(height);
+    metrics.command_bits += u64::from(config.round_start_bits());
+    // Busy queries narrow this window; see `narrow_to_prefix`.
+    let mut window = 0..codes.len();
+    let mut slot = |queried_len: u32, metrics: &mut AirMetrics| {
+        let responders = if queried_len <= prefix_len {
+            narrow_to_prefix(codes, &mut window, path, queried_len)
+        } else {
+            0
+        };
+        metrics.record_slot(bits, responders, SlotOutcome::from_detected(responders));
+    };
+    match config.search() {
+        SearchStrategy::Linear => {
+            let last = if prefix_len >= height { height } else { prefix_len + 1 };
+            for j in 1..=last {
+                slot(j, metrics);
+            }
+        }
+        SearchStrategy::Binary => {
+            let mut low = 1u32;
+            let mut high = height;
+            let mut any_busy = false;
+            while low < high {
+                let mid = (low + high).div_ceil(2);
+                slot(mid, metrics);
+                if prefix_len >= mid {
+                    low = mid;
+                    any_busy = true;
+                } else {
+                    high = mid - 1;
+                }
+            }
+            if low == 1 && !any_busy {
+                slot(1, metrics);
+            }
+        }
+    }
+}
+
+/// Narrows `window` to the codes matching the first `len` bits of `path`
+/// and returns their count. Successive calls must use non-decreasing `len`
+/// (prefix ranges nest), which both search strategies guarantee for their
+/// busy queries.
+fn narrow_to_prefix(
+    codes: &[u64],
+    window: &mut std::ops::Range<usize>,
+    path: &BitString,
+    len: u32,
+) -> u64 {
+    debug_assert!(len >= 1);
+    let height = path.height();
+    let shift = height - len; // <= 63 since len >= 1
+    let lo = (path.bits() >> shift) << shift;
+    let slice = &codes[window.clone()];
+    let start = window.start + slice.partition_point(|&c| c < lo);
+    // The exclusive bound lo + 2^shift overflows at the top of a height-64
+    // tree; that range extends past every code (same edge as count_prefix).
+    let end = match lo.checked_add(1u64 << shift) {
+        Some(hi_excl) => window.start + slice.partition_point(|&c| c < hi_excl),
+        None => window.end,
+    };
+    *window = start..end;
+    (end - start) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Code banks: the kernel-side replacement for per-trial oracles.
+// ---------------------------------------------------------------------------
+
+/// Sorted code storage for fast sessions.
+///
+/// Passive banks hold one immutable sorted array (shareable across trials
+/// via [`Arc`] — see `pet-sim`'s roster cache); active banks re-hash and
+/// re-sort their key set every round with the bulk primitives from
+/// `pet_hash::bulk`, reusing both buffers.
+#[derive(Debug, Clone)]
+pub enum CodeBank {
+    /// Preloaded codes (`TagMode::PassivePreloaded`): fixed for the session.
+    Passive {
+        /// Sorted manufacture-time codes.
+        codes: Arc<Vec<u64>>,
+    },
+    /// Per-round codes (`TagMode::ActivePerRound`): rebuilt from keys.
+    Active {
+        /// Tag hashing keys.
+        keys: Arc<Vec<u64>>,
+        /// Current round's sorted codes (empty until the first round).
+        codes: Vec<u64>,
+        /// Radix-sort scratch buffer, reused across rounds.
+        scratch: Vec<u64>,
+    },
+}
+
+impl CodeBank {
+    /// Builds the bank matching `config.tag_mode()` for `keys`, hashing
+    /// passive codes with the manufacture seed.
+    #[must_use]
+    pub fn for_config(keys: Arc<Vec<u64>>, config: &PetConfig, family: AnyFamily) -> Self {
+        match config.tag_mode() {
+            TagMode::PassivePreloaded => {
+                let codes = build_passive_codes(&keys, config, family);
+                Self::Passive { codes: Arc::new(codes) }
+            }
+            TagMode::ActivePerRound => Self::Active {
+                keys,
+                codes: Vec::new(),
+                scratch: Vec::new(),
+            },
+        }
+    }
+
+    /// Wraps already-hashed, already-sorted passive codes (e.g. from a
+    /// cross-trial cache).
+    #[must_use]
+    pub fn passive_shared(codes: Arc<Vec<u64>>) -> Self {
+        debug_assert!(codes.windows(2).all(|w| w[0] <= w[1]), "codes must be sorted");
+        Self::Passive { codes }
+    }
+
+    /// Tags energized in the region (the zero probe's responder count).
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        match self {
+            Self::Passive { codes } => codes.len() as u64,
+            Self::Active { keys, .. } => keys.len() as u64,
+        }
+    }
+
+    /// The sorted codes of the current round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an active bank has not begun a round yet.
+    #[must_use]
+    pub fn codes(&self) -> &[u64] {
+        match self {
+            Self::Passive { codes } => codes,
+            Self::Active { keys, codes, .. } => {
+                assert!(
+                    keys.is_empty() || !codes.is_empty(),
+                    "active bank queried before begin_round"
+                );
+                codes
+            }
+        }
+    }
+
+    /// Starts a round: active banks re-hash and re-sort under `seed`.
+    pub fn begin_round(&mut self, seed: Option<u64>, family: AnyFamily, height: u32) {
+        if let Self::Active { keys, codes, scratch } = self {
+            let seed = seed.expect("active mode requires a per-round seed");
+            hash_codes_par(&family, seed, keys, height, codes);
+            radix_sort_codes(codes, height, scratch);
+        }
+    }
+}
+
+/// Hash + sort the manufacture-time codes for a passive population.
+#[must_use]
+pub fn build_passive_codes(keys: &[u64], config: &PetConfig, family: AnyFamily) -> Vec<u64> {
+    let mut codes = Vec::new();
+    let mut scratch = Vec::new();
+    hash_codes_par(&family, config.manufacture_seed(), keys, config.height(), &mut codes);
+    radix_sort_codes(&mut codes, config.height(), &mut scratch);
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CodeRoster, ResponderOracle, RoundStart};
+    use crate::reader::{binary_round, linear_round};
+    use pet_radio::channel::PerfectChannel;
+    use pet_radio::Air;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roster_codes(keys: &[u64], config: &PetConfig) -> Vec<u64> {
+        CodeRoster::new(keys, config, AnyFamily::default())
+            .codes()
+            .to_vec()
+    }
+
+    #[test]
+    fn locate_matches_count_prefix_definition() {
+        let config = PetConfig::builder().height(16).build().unwrap();
+        let keys: Vec<u64> = (0..300).collect();
+        let roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let codes = roster.codes().to_vec();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let path = BitString::random(16, &mut rng);
+            let l = locate_prefix_len(&codes, &path);
+            // Definitional check: busy up to L, idle beyond.
+            if l > 0 {
+                assert!(roster.count_prefix(&path, l) > 0, "L = {l} must be busy");
+            }
+            if l < 16 {
+                assert_eq!(roster.count_prefix(&path, l + 1), 0, "L + 1 must idle");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_empty_roster_is_zero() {
+        let path = BitString::from_bits(0b1010, 4).unwrap();
+        assert_eq!(locate_prefix_len(&[], &path), 0);
+    }
+
+    #[test]
+    fn locate_exact_match_is_full_height() {
+        for height in [1u32, 7, 32, 64] {
+            let bits = if height == 64 { u64::MAX } else { (1 << height) - 1 };
+            let path = BitString::from_bits(bits, height).unwrap();
+            assert_eq!(locate_prefix_len(&[bits], &path), height);
+        }
+    }
+
+    /// Height-64 top-of-tree edge: codes near u64::MAX must not overflow
+    /// the metric synthesis (same edge count_prefix guards).
+    #[test]
+    fn height_64_overflow_edge() {
+        let config = PetConfig::builder().height(64).build().unwrap();
+        let codes = vec![u64::MAX - 3, u64::MAX - 1, u64::MAX];
+        let path = BitString::from_bits(u64::MAX - 2, 64).unwrap();
+        let l = locate_prefix_len(&codes, &path);
+        assert!(l >= 62, "L = {l}");
+        let rec = round_record(64, SearchStrategy::Binary, l);
+        let mut metrics = AirMetrics::default();
+        apply_round_metrics(&codes, &path, &config, l, &mut metrics);
+        assert_eq!(metrics.slots, u64::from(rec.slots));
+        assert!(metrics.is_consistent());
+    }
+
+    /// Every (height, L) pair replays to the same record the reference
+    /// reader produces when driven by an oracle with that L.
+    #[test]
+    fn record_replay_matches_reader_for_all_lengths() {
+        for height in 1..=64u32 {
+            let config = PetConfig::builder().height(height).build().unwrap();
+            let lin_config = PetConfig::builder()
+                .height(height)
+                .search(SearchStrategy::Linear)
+                .build()
+                .unwrap();
+            for l in 0..=height {
+                // A roster holding exactly one code equal to the first l
+                // bits of the all-ones path, then a zero bit, yields L = l.
+                let path_bits = if height == 64 { u64::MAX } else { (1u64 << height) - 1 };
+                let path = BitString::from_bits(path_bits, height).unwrap();
+                let code = if l == height {
+                    path_bits
+                } else {
+                    // Shares exactly l leading bits with the path.
+                    path_bits & !(1u64 << (height - l - 1))
+                };
+                let mut roster = CodeRoster::from_codes(
+                    &[BitString::from_bits(code, height).unwrap()],
+                    height,
+                );
+                assert_eq!(locate_prefix_len(roster.codes(), &path), l);
+
+                let mut air = Air::new(PerfectChannel);
+                let mut rng = StdRng::seed_from_u64(0);
+                roster.begin_round(&RoundStart { path, seed: None });
+                let bin = binary_round(&config, &mut roster, &mut air, &mut rng);
+                assert_eq!(bin, round_record(height, SearchStrategy::Binary, l));
+                let lin = linear_round(&lin_config, &mut roster, &mut air, &mut rng);
+                assert_eq!(lin, round_record(height, SearchStrategy::Linear, l));
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_match_air_for_random_rounds() {
+        for (height, n) in [(8u32, 40u64), (32, 1_000), (32, 3)] {
+            let config = PetConfig::builder().height(height).build().unwrap();
+            let keys: Vec<u64> = (0..n).collect();
+            let codes = roster_codes(&keys, &config);
+            let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut air = Air::new(PerfectChannel);
+            let mut fast = AirMetrics::default();
+            for _ in 0..200 {
+                let path = BitString::random(height, &mut rng);
+                roster.begin_round(&RoundStart { path, seed: None });
+                air.broadcast(config.round_start_bits());
+                let rec = binary_round(&config, &mut roster, &mut air, &mut rng);
+                let l = locate_prefix_len(&codes, &path);
+                assert_eq!(rec, round_record(height, SearchStrategy::Binary, l));
+                apply_round_metrics(&codes, &path, &config, l, &mut fast);
+            }
+            assert_eq!(&fast, air.metrics(), "H = {height}, n = {n}");
+        }
+    }
+
+    #[test]
+    fn active_bank_matches_roster_rebuild() {
+        let config = PetConfig::builder()
+            .height(32)
+            .tag_mode(TagMode::ActivePerRound)
+            .build()
+            .unwrap();
+        let keys: Vec<u64> = (0..2_000).collect();
+        let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let mut bank = CodeBank::for_config(Arc::new(keys), &config, AnyFamily::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let path = BitString::random(32, &mut rng);
+            let seed = Some(rng.random::<u64>());
+            roster.begin_round(&RoundStart { path, seed });
+            bank.begin_round(seed, AnyFamily::default(), 32);
+            assert_eq!(bank.codes(), roster.codes());
+        }
+    }
+
+    #[test]
+    fn passive_bank_matches_roster_codes() {
+        let config = PetConfig::builder().height(32).build().unwrap();
+        let keys: Vec<u64> = (0..5_000).collect();
+        let bank = CodeBank::for_config(Arc::new(keys.clone()), &config, AnyFamily::default());
+        assert_eq!(bank.codes(), roster_codes(&keys, &config));
+        assert_eq!(bank.population(), 5_000);
+    }
+}

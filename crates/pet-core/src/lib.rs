@@ -47,6 +47,7 @@ pub mod adaptive;
 pub mod bits;
 pub mod config;
 pub mod estimator;
+pub mod kernel;
 pub mod oracle;
 pub mod reader;
 pub mod session;
@@ -56,6 +57,7 @@ pub use adaptive::AdaptiveSession;
 pub use bits::BitString;
 pub use config::{CommandEncoding, PetConfig, SearchStrategy, TagMode};
 pub use estimator::PetEstimator;
+pub use kernel::CodeBank;
 pub use oracle::{CodeRoster, ResponderOracle, TagFleet};
 pub use reader::RoundRecord;
-pub use session::{EstimateReport, PetSession};
+pub use session::{EstimateReport, PetSession, SessionEngine};

@@ -105,8 +105,10 @@ impl CodeRoster {
             })
             .collect();
         sorted.sort_unstable();
+        // Passive rosters never rebuild from keys, so the key vector stays
+        // empty; population queries count codes instead (one allocation).
         Self {
-            keys: sorted.clone(),
+            keys: Vec::new(),
             codes: sorted,
             height,
             family: AnyFamily::default(),
@@ -132,6 +134,7 @@ impl CodeRoster {
 
     /// Exact number of codes matching the first `len` bits of `path`,
     /// by range counting on the sorted array.
+    #[inline]
     #[must_use]
     pub fn count_prefix(&self, path: &BitString, len: u32) -> u64 {
         if len == 0 {
@@ -165,14 +168,19 @@ impl ResponderOracle for CodeRoster {
         if prefix_len == 0 {
             // Presence probe: every energized tag responds; valid even
             // before the first round starts.
-            return self.keys.len() as u64;
+            return self.population();
         }
         let path = self.path.expect("begin_round not called");
         self.count_prefix(&path, prefix_len)
     }
 
     fn population(&self) -> u64 {
-        self.keys.len() as u64
+        // Passive rosters may be code-only (see `from_codes`); active
+        // rosters may not have hashed their first round yet.
+        match self.mode {
+            TagMode::PassivePreloaded => self.codes.len() as u64,
+            TagMode::ActivePerRound => self.keys.len() as u64,
+        }
     }
 }
 

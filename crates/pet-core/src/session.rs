@@ -6,15 +6,18 @@
 //! channel; [`PetSession::estimate_population`] is the one-call convenience
 //! path over a lossless channel.
 
-use crate::config::PetConfig;
+use crate::bits::BitString;
+use crate::config::{PetConfig, TagMode};
 use crate::estimator::PetEstimator;
+use crate::kernel::{self, CodeBank};
 use crate::oracle::{CodeRoster, ResponderOracle};
 use crate::reader::{run_round, RoundRecord};
 use pet_hash::family::AnyFamily;
 use pet_radio::channel::{Channel, PerfectChannel};
-use pet_radio::{Air, AirMetrics};
+use pet_radio::{Air, AirMetrics, SlotOutcome};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Result of one complete estimation.
 #[derive(Debug, Clone)]
@@ -199,6 +202,122 @@ impl PetSession {
     }
 }
 
+/// The batched-kernel session driver.
+///
+/// Produces [`EstimateReport`]s **bit-for-bit identical** to
+/// [`PetSession::run_rounds`] over a lossless channel and the
+/// [`CodeRoster`] oracle for the same RNG stream — estimate, per-round
+/// records, and [`AirMetrics`] — while locating each round's gray node
+/// with a single binary search (see [`crate::kernel`]) and reusing
+/// hash/sort work through [`CodeBank`]s. Experiments opt in for
+/// paper-scale sweeps; anything that needs a lossy channel or transcript
+/// capture stays on the oracle path.
+#[derive(Debug, Clone)]
+pub struct SessionEngine {
+    session: PetSession,
+}
+
+impl SessionEngine {
+    /// Engine with the default fast hash family.
+    #[must_use]
+    pub fn new(config: PetConfig) -> Self {
+        Self { session: PetSession::new(config) }
+    }
+
+    /// Engine with an explicit hash family.
+    #[must_use]
+    pub fn with_family(config: PetConfig, family: AnyFamily) -> Self {
+        Self { session: PetSession::with_family(config, family) }
+    }
+
+    /// Wraps an existing session configuration.
+    #[must_use]
+    pub fn from_session(session: PetSession) -> Self {
+        Self { session }
+    }
+
+    /// The wrapped session (configuration + family).
+    #[must_use]
+    pub fn session(&self) -> &PetSession {
+        &self.session
+    }
+
+    /// Builds the [`CodeBank`] matching this engine's configuration.
+    #[must_use]
+    pub fn bank_for_keys(&self, keys: Arc<Vec<u64>>) -> CodeBank {
+        CodeBank::for_config(keys, self.session.config(), self.session.family())
+    }
+
+    /// Runs `rounds` kernel rounds against `bank`, consuming `rng` exactly
+    /// as [`PetSession::run_rounds`] does (one path draw, plus one seed
+    /// draw per round in active mode; the lossless channel draws nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn run_fast<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        assert!(rounds > 0, "at least one round is required");
+        let config = self.session.config();
+        let family = self.session.family();
+        let height = config.height();
+        let mut metrics = AirMetrics::default();
+        if config.zero_probe() {
+            let responders = bank.population();
+            let outcome = SlotOutcome::from_detected(responders);
+            metrics.record_slot(1, responders, outcome);
+            if outcome.is_idle() {
+                return EstimateReport {
+                    estimate: 0.0,
+                    rounds: 0,
+                    mean_prefix_len: 0.0,
+                    metrics,
+                    zero_detected: true,
+                    records: Vec::new(),
+                };
+            }
+        }
+        let mut estimator = PetEstimator::new(height);
+        let mut records = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let path = BitString::random(height, rng);
+            let seed = match config.tag_mode() {
+                TagMode::ActivePerRound => Some(rng.random::<u64>()),
+                TagMode::PassivePreloaded => None,
+            };
+            bank.begin_round(seed, family, height);
+            let l = kernel::locate_prefix_len(bank.codes(), &path);
+            let record = kernel::round_record(height, config.search(), l);
+            kernel::apply_round_metrics(bank.codes(), &path, config, l, &mut metrics);
+            estimator.push(record);
+            records.push(record);
+        }
+        EstimateReport {
+            estimate: estimator.estimate(),
+            rounds,
+            mean_prefix_len: estimator.mean_prefix_len(),
+            metrics,
+            zero_detected: false,
+            records,
+        }
+    }
+
+    /// One-call convenience over a key slice (bank built ad hoc).
+    pub fn estimate_keys_rounds<R: Rng + ?Sized>(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        let mut bank = self.bank_for_keys(Arc::new(keys.to_vec()));
+        self.run_fast(&mut bank, rounds, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +483,55 @@ mod tests {
         let report =
             PetSession::new(config).estimate_population(&TagPopulation::new(), &mut rng);
         assert_eq!(report.confidence_interval(0.05), (0.0, 0.0));
+    }
+
+    /// The engine's report must equal the oracle-path report field by
+    /// field (estimate bits, records, metrics) for the same RNG stream.
+    #[test]
+    fn engine_matches_session_bit_for_bit() {
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            for zero_probe in [false, true] {
+                let config = PetConfig::builder()
+                    .tag_mode(mode)
+                    .zero_probe(zero_probe)
+                    .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                    .build()
+                    .unwrap();
+                let pop = TagPopulation::sequential(700);
+                let session = PetSession::new(config);
+                let engine = SessionEngine::from_session(session.clone());
+                let mut rng_a = StdRng::seed_from_u64(77);
+                let mut rng_b = StdRng::seed_from_u64(77);
+                let slow = session.estimate_population_rounds(&pop, 48, &mut rng_a);
+                let keys: Vec<u64> = pop.keys().collect();
+                let fast = engine.estimate_keys_rounds(&keys, 48, &mut rng_b);
+                assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
+                assert_eq!(slow.mean_prefix_len.to_bits(), fast.mean_prefix_len.to_bits());
+                assert_eq!(slow.records, fast.records, "mode {mode:?}");
+                assert_eq!(slow.metrics, fast.metrics, "mode {mode:?}");
+                assert_eq!(slow.rounds, fast.rounds);
+                assert_eq!(slow.zero_detected, fast.zero_detected);
+            }
+        }
+    }
+
+    /// Zero probe over an empty bank short-circuits identically.
+    #[test]
+    fn engine_zero_probe_detects_empty_region() {
+        let config = PetConfig::builder()
+            .zero_probe(true)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let session = PetSession::new(config);
+        let engine = SessionEngine::from_session(session.clone());
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let slow = session.estimate_population(&TagPopulation::new(), &mut rng_a);
+        let fast = engine.estimate_keys_rounds(&[], config.rounds(), &mut rng_b);
+        assert!(fast.zero_detected);
+        assert_eq!(slow.metrics, fast.metrics);
+        assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod family;
 pub mod geometric;
 pub mod md5;

@@ -1,0 +1,235 @@
+//! Cross-trial roster cache.
+//!
+//! Every experiment cell runs hundreds of independent trials over the *same*
+//! sequential population, and (for fixed-manufacture-seed configurations)
+//! the same preloaded code array. Before this cache, each trial rebuilt the
+//! `TagPopulation`, re-hashed every key, and re-sorted the codes from
+//! scratch. The cache shares two immutable artifacts across trials and
+//! cells, behind `Arc`s so concurrent trial workers clone pointers, not
+//! arrays:
+//!
+//! - **Sequential key vectors** keyed by `n` — the EPC-derived `u64` keys of
+//!   `TagPopulation::sequential(n)`, which every sweep reuses for each of
+//!   its round counts and runs.
+//! - **Passive code arrays** keyed by `(n, manufacture_seed, family, mode,
+//!   height)` — hashed and radix-sorted once, then shared by every trial of
+//!   every cell with the same configuration.
+//!
+//! Reuse rules: cached codes are immutable and only valid for
+//! `TagMode::PassivePreloaded` banks (active mode re-hashes per round and
+//! never caches codes — each trial gets its own rebuild buffers). Trials
+//! with per-trial manufacture seeds (e.g. fig4's fresh-deployment model)
+//! miss by construction — the key includes the seed — and fall through to a
+//! bounded insert, so the cache never changes any experiment's output, only
+//! its cost. Both maps are FIFO-bounded, so paper-scale sweeps with unique
+//! seeds cannot grow memory without bound.
+
+use pet_core::config::{PetConfig, TagMode};
+use pet_core::kernel::CodeBank;
+use pet_hash::bulk::{hash_codes_into, radix_sort_codes};
+use pet_hash::family::{AnyFamily, HashKind};
+use pet_tags::population::TagPopulation;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key for a passive preloaded code array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CodesKey {
+    n: usize,
+    seed: u64,
+    family: HashKind,
+    mode: TagMode,
+    height: u32,
+}
+
+/// Hit/miss counters (for tests and tuning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+}
+
+struct Shelf<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+// Manual impl: the derive would demand `K: Default` needlessly.
+impl<K, V> Default for Shelf<K, V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + std::hash::Hash, V: Clone> Shelf<K, V> {
+    fn get_or_insert_with(&mut self, key: K, cap: usize, build: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.map.get(&key) {
+            return (v.clone(), true);
+        }
+        let v = build();
+        if self.order.len() >= cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, v.clone());
+        (v, false)
+    }
+}
+
+/// The process-wide roster cache. Obtain it with [`RosterCache::global`].
+#[derive(Default)]
+pub struct RosterCache {
+    keys: Mutex<Shelf<usize, Arc<Vec<u64>>>>,
+    codes: Mutex<Shelf<CodesKey, Arc<Vec<u64>>>>,
+    stats: Mutex<CacheStats>,
+}
+
+/// Distinct key vectors kept (keys are ~8 B × n each).
+const KEYS_CAP: usize = 8;
+/// Distinct code arrays kept. Unique-seed workloads churn through this
+/// FIFO without benefit, but also without unbounded growth.
+const CODES_CAP: usize = 32;
+
+impl RosterCache {
+    /// The process-wide instance.
+    pub fn global() -> &'static RosterCache {
+        static CACHE: OnceLock<RosterCache> = OnceLock::new();
+        CACHE.get_or_init(RosterCache::default)
+    }
+
+    /// The `u64` hashing keys of `TagPopulation::sequential(n)`, shared.
+    pub fn sequential_keys(&self, n: usize) -> Arc<Vec<u64>> {
+        let (keys, _hit) = self
+            .keys
+            .lock()
+            .expect("cache poisoned")
+            .get_or_insert_with(n, KEYS_CAP, || {
+                Arc::new(TagPopulation::sequential(n).keys().collect())
+            });
+        keys
+    }
+
+    /// A [`CodeBank`] for `n` sequential tags under `config`: passive banks
+    /// share one cached hash+sort; active banks share only the key vector.
+    pub fn sequential_bank(&self, n: usize, config: &PetConfig, family: AnyFamily) -> CodeBank {
+        let keys = self.sequential_keys(n);
+        match config.tag_mode() {
+            TagMode::PassivePreloaded => {
+                let cache_key = CodesKey {
+                    n,
+                    seed: config.manufacture_seed(),
+                    family: family.kind(),
+                    mode: config.tag_mode(),
+                    height: config.height(),
+                };
+                let (codes, hit) = self
+                    .codes
+                    .lock()
+                    .expect("cache poisoned")
+                    .get_or_insert_with(cache_key, CODES_CAP, || {
+                        // Sequential hashing: trial workers already saturate
+                        // the cores, so nested fan-out would oversubscribe.
+                        let mut codes = Vec::new();
+                        let mut scratch = Vec::new();
+                        hash_codes_into(
+                            &family,
+                            config.manufacture_seed(),
+                            &keys,
+                            config.height(),
+                            &mut codes,
+                        );
+                        radix_sort_codes(&mut codes, config.height(), &mut scratch);
+                        Arc::new(codes)
+                    });
+                let mut stats = self.stats.lock().expect("cache poisoned");
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                CodeBank::passive_shared(codes)
+            }
+            TagMode::ActivePerRound => CodeBank::Active {
+                keys,
+                codes: Vec::new(),
+                scratch: Vec::new(),
+            },
+        }
+    }
+
+    /// Snapshot of the hit/miss counters (passive code lookups only).
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("cache poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pet_core::session::{PetSession, SessionEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cached_bank_estimates_match_oracle_path() {
+        let config = PetConfig::builder().manufacture_seed(0xCAFE).build().unwrap();
+        let cache = RosterCache::default();
+        let session = PetSession::new(config);
+        let engine = SessionEngine::from_session(session.clone());
+        let pop = TagPopulation::sequential(1_500);
+        for round in 0..3 {
+            let mut bank = cache.sequential_bank(1_500, &config, session.family());
+            let mut rng_a = StdRng::seed_from_u64(round);
+            let mut rng_b = StdRng::seed_from_u64(round);
+            let slow = session.estimate_population_rounds(&pop, 16, &mut rng_a);
+            let fast = engine.run_fast(&mut bank, 16, &mut rng_b);
+            assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
+            assert_eq!(slow.metrics, fast.metrics);
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn distinct_seeds_do_not_share_codes() {
+        let cache = RosterCache::default();
+        let fam = AnyFamily::default();
+        let a = PetConfig::builder().manufacture_seed(1).build().unwrap();
+        let b = PetConfig::builder().manufacture_seed(2).build().unwrap();
+        let bank_a = cache.sequential_bank(500, &a, fam);
+        let bank_b = cache.sequential_bank(500, &b, fam);
+        assert_ne!(bank_a.codes(), bank_b.codes());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn eviction_bounds_the_cache() {
+        let cache = RosterCache::default();
+        let fam = AnyFamily::default();
+        for seed in 0..(CODES_CAP as u64 + 10) {
+            let config = PetConfig::builder().manufacture_seed(seed).build().unwrap();
+            let _ = cache.sequential_bank(64, &config, fam);
+        }
+        let shelf = cache.codes.lock().unwrap();
+        assert!(shelf.map.len() <= CODES_CAP);
+        assert_eq!(shelf.map.len(), shelf.order.len());
+    }
+
+    #[test]
+    fn sequential_keys_match_population() {
+        let cache = RosterCache::default();
+        let keys = cache.sequential_keys(123);
+        let expect: Vec<u64> = TagPopulation::sequential(123).keys().collect();
+        assert_eq!(*keys, expect);
+        // Second lookup shares the same allocation.
+        let again = cache.sequential_keys(123);
+        assert!(Arc::ptr_eq(&keys, &again));
+    }
+}

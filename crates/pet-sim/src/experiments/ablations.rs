@@ -5,17 +5,20 @@
 //! command-encoding bit budgets, channel-loss sensitivity, LoF's
 //! early-termination option, and hash-family interchangeability.
 
+use crate::cache::RosterCache;
 use crate::runner::run_trials;
 use pet_baselines::{CardinalityEstimator, Fidelity, Lof};
 use pet_core::config::{CommandEncoding, PetConfig, SearchStrategy};
+use pet_core::kernel::CodeBank;
 use pet_core::oracle::CodeRoster;
-use pet_core::session::PetSession;
+use pet_core::session::{PetSession, SessionEngine};
+use pet_hash::bulk::{hash_codes_into, radix_sort_codes};
 use pet_hash::family::{AnyFamily, HashKind};
 use pet_radio::channel::{ChannelModel, LossyChannel};
 use pet_radio::Air;
-use pet_tags::population::TagPopulation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Linear vs binary search cost (Fig. 3's comparison, measured).
 #[derive(Debug, Clone, Copy)]
@@ -33,17 +36,19 @@ pub fn search_strategy(tag_counts: &[usize], rounds: u32, seed: u64) -> Vec<Sear
     tag_counts
         .iter()
         .map(|&n| {
-            let population = TagPopulation::sequential(n);
             let mut per_round = [0.0f64; 2];
             for (i, strategy) in [SearchStrategy::Linear, SearchStrategy::Binary]
                 .into_iter()
                 .enumerate()
             {
                 let config = PetConfig::builder().search(strategy).build().unwrap();
-                let session = PetSession::new(config);
+                // Both strategies read the same preloaded codes, so the
+                // cached bank is hashed and sorted once per `n`.
+                let engine = SessionEngine::new(config);
+                let mut bank =
+                    RosterCache::global().sequential_bank(n, &config, AnyFamily::default());
                 let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
-                let report =
-                    session.estimate_population_rounds(&population, rounds, &mut rng);
+                let report = engine.run_fast(&mut bank, rounds, &mut rng);
                 per_round[i] = report.metrics.slots as f64 / f64::from(rounds);
             }
             SearchCostRow {
@@ -76,12 +81,10 @@ pub fn command_encoding(n: usize, rounds: u32, seed: u64) -> Vec<EncodingRow> {
     .into_iter()
     .map(|(label, encoding)| {
         let config = PetConfig::builder().encoding(encoding).build().unwrap();
-        let session = PetSession::new(config);
+        let engine = SessionEngine::new(config);
         let keys: Vec<u64> = (0..n as u64).collect();
-        let mut oracle = CodeRoster::new(&keys, &config, session.family());
-        let mut air = Air::new(ChannelModel::Perfect);
         let mut rng = StdRng::seed_from_u64(seed);
-        let report = session.run_rounds(rounds, &mut oracle, &mut air, &mut rng);
+        let report = engine.estimate_keys_rounds(&keys, rounds, &mut rng);
         EncodingRow {
             encoding: label.to_string(),
             slots: report.metrics.slots,
@@ -211,17 +214,23 @@ pub fn hash_families(n: usize, rounds: u32, runs: usize, seed: u64) -> Vec<HashF
     ]
     .into_iter()
     .map(|(label, kind)| {
+        let keys: Vec<u64> = (0..n as u64).collect();
         let summary = run_trials(runs, seed ^ label.len() as u64, |trial_seed| {
             let config = PetConfig::builder()
                 .manufacture_seed(trial_seed)
                 .build()
                 .unwrap();
-            let session = PetSession::with_family(config, AnyFamily::new(kind));
-            let keys: Vec<u64> = (0..n as u64).collect();
-            let mut oracle = CodeRoster::new(&keys, &config, session.family());
-            let mut air = Air::new(ChannelModel::Perfect);
+            let family = AnyFamily::new(kind);
+            let engine = SessionEngine::with_family(config, family);
+            // Per-trial manufacture seeds defeat caching, and the trial
+            // workers already hold every core, so hash sequentially here.
+            let mut codes = Vec::new();
+            let mut scratch = Vec::new();
+            hash_codes_into(&family, config.manufacture_seed(), &keys, config.height(), &mut codes);
+            radix_sort_codes(&mut codes, config.height(), &mut scratch);
+            let mut bank = CodeBank::passive_shared(Arc::new(codes));
             let mut rng = StdRng::seed_from_u64(trial_seed);
-            session.run_rounds(rounds, &mut oracle, &mut air, &mut rng).estimate
+            engine.run_fast(&mut bank, rounds, &mut rng).estimate
         });
         HashFamilyRow {
             family: label.to_string(),

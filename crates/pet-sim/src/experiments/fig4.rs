@@ -7,10 +7,11 @@
 //! 64 rounds, independent of `n` (4c — analytically
 //! `ln2·σ(h)/√m = 0.693·1.87/8 ≈ 0.16`, plus the `2^x` convexity bump).
 
+use crate::cache::RosterCache;
 use crate::runner::run_trials;
 use pet_core::config::PetConfig;
-use pet_core::session::PetSession;
-use pet_tags::population::TagPopulation;
+use pet_core::session::SessionEngine;
+use pet_hash::family::AnyFamily;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -68,12 +69,14 @@ pub fn pet_trial(n: usize, rounds: u32, trial_seed: u64) -> f64 {
         .manufacture_seed(trial_seed ^ 0x4D41_4E55) // "MANU"
         .build()
         .expect("valid config");
-    let session = PetSession::new(config);
-    let population = TagPopulation::sequential(n);
+    // Batched-kernel path, bit-for-bit equal to the oracle session for the
+    // same seeds (pinned by the kernel equivalence suite). Per-trial
+    // manufacture seeds mean the code cache misses by design; the shared
+    // key vector and radix sort still drop most of the per-trial setup.
+    let engine = SessionEngine::new(config);
+    let mut bank = RosterCache::global().sequential_bank(n, &config, AnyFamily::default());
     let mut rng = StdRng::seed_from_u64(trial_seed);
-    session
-        .estimate_population_rounds(&population, rounds, &mut rng)
-        .estimate
+    engine.run_fast(&mut bank, rounds, &mut rng).estimate
 }
 
 /// Runs the sweep.

@@ -2,9 +2,10 @@
 //! count `m` — exactly `5m` at `H = 32` ("PET only takes five time slots to
 //! complete each round of estimation").
 
+use crate::cache::RosterCache;
 use pet_core::config::PetConfig;
-use pet_core::session::PetSession;
-use pet_tags::population::TagPopulation;
+use pet_core::session::SessionEngine;
+use pet_hash::family::AnyFamily;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,14 +44,16 @@ pub struct Table3Row {
 /// Runs the measurement.
 pub fn run(params: &Table3Params) -> Vec<Table3Row> {
     let config = PetConfig::paper_default();
-    let session = PetSession::new(config);
-    let population = TagPopulation::sequential(params.n);
+    // Fixed manufacture seed: every row reuses one cached hash+sort.
+    let engine = SessionEngine::new(config);
     params
         .round_counts
         .iter()
         .map(|&rounds| {
+            let mut bank =
+                RosterCache::global().sequential_bank(params.n, &config, AnyFamily::default());
             let mut rng = StdRng::seed_from_u64(params.seed ^ u64::from(rounds));
-            let report = session.estimate_population_rounds(&population, rounds, &mut rng);
+            let report = engine.run_fast(&mut bank, rounds, &mut rng);
             Table3Row {
                 rounds,
                 measured_slots: report.metrics.slots,

@@ -36,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod csv;
 pub mod experiments;
 pub mod multireader;
 pub mod runner;
 
+pub use cache::RosterCache;
 pub use multireader::{Deployment, MultiReaderReport};
 pub use runner::{run_trials, TrialSummary};

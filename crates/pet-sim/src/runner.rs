@@ -59,18 +59,38 @@ where
         }
         return TrialSummary::from_values(values);
     }
-    std::thread::scope(|scope| {
-        let chunk = trials.div_ceil(threads);
-        for (t, slice) in values.chunks_mut(chunk).enumerate() {
-            let trial = &trial;
-            scope.spawn(move || {
-                for (i, v) in slice.iter_mut().enumerate() {
-                    let index = (t * chunk + i) as u64;
-                    *v = trial(trial_seed(base_seed, index));
-                }
-            });
-        }
+    // Workers pull trial indices from a shared counter instead of owning a
+    // static chunk: with heterogeneous trial costs (small-n next to large-n
+    // cells) static partitioning leaves tail threads idle. The value for
+    // trial `i` is always `trial(trial_seed(base_seed, i))`, so results are
+    // byte-identical regardless of thread count or scheduling.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let trial = &trial;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        out.push((i, trial(trial_seed(base_seed, i as u64))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
     });
+    for (i, v) in per_thread.drain(..).flatten() {
+        values[i] = v;
+    }
     TrialSummary::from_values(values)
 }
 

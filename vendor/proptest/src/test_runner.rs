@@ -1,0 +1,61 @@
+//! Test-runner plumbing for the vendored `proptest!` macro.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; keep that unless a test overrides.
+        Self { cases: 256 }
+    }
+}
+
+/// A deterministic RNG derived from the test's module path, so runs are
+/// reproducible without a persisted failure file. `PROPTEST_RNG_SEED`
+/// perturbs the seed for exploratory runs.
+pub fn deterministic_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+        if let Ok(v) = extra.trim().parse::<u64>() {
+            h ^= v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! ChaCha12 block function, matching `rand_chacha`'s `ChaCha12Core`
+//! word-for-word: "expand 32-byte k" constants, 8-word key from the
+//! 32-byte seed (little-endian), a 64-bit block counter in state words
+//! 12–13, and a zero stream nonce in words 14–15. Each refill emits
+//! four consecutive blocks (64 words), advancing the counter by four.
+
+use crate::block::{BlockRngCore, BUF_WORDS};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 12;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha12Core {
+    key: [u32; 8],
+    counter: u64,
+}
+
+impl ChaCha12Core {
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self { key, counter: 0 }
+    }
+
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), 16);
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // state[14..16] stays zero: stream id / nonce.
+
+        let mut x = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = x[i].wrapping_add(state[i]);
+        }
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl BlockRngCore for ChaCha12Core {
+    fn generate(&mut self, results: &mut [u32; BUF_WORDS]) {
+        for i in 0..4 {
+            let counter = self.counter.wrapping_add(i as u64);
+            self.block(counter, &mut results[i * 16..(i + 1) * 16]);
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline vendored subset of the `rand` 0.9 API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow slice of `rand` it actually uses. The
+//! one hard requirement is **stream compatibility**: `StdRng` must
+//! produce the exact byte stream of upstream `rand` 0.9 (ChaCha12 with
+//! the rand_core PCG32-based `seed_from_u64` expansion), because golden
+//! tests pin fixed-seed protocol transcripts. Everything here follows
+//! the published upstream algorithms; no behavioural shortcuts are
+//! taken on the value-generation paths.
+
+pub mod rngs;
+
+mod chacha;
+
+/// The core RNG trait: raw 32/64-bit words and byte fill.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, matching `rand_core`'s seed expansion.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via PCG32, exactly as
+    /// `rand_core` does (so fixed-seed streams match upstream).
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let block = pcg32(&mut state);
+            chunk.copy_from_slice(&block[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Marker for types samplable from the uniform "standard" distribution.
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u16 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u8 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for usize {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for i32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl StandardSample for f64 {
+    /// 53 random mantissa bits into `[0, 1)`, upstream's `StandardUniform`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream samples a u32 and tests the low bit.
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// A range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integers via widening-multiply rejection (unbiased).
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let u: f64 = StandardSample::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let u: f64 = StandardSample::sample(rng);
+        self.start() + u * (self.end() - self.start())
+    }
+}
+
+/// Uniform draw from `[0, span)` (`span > 0`) by Lemire's
+/// multiply-shift with rejection.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including trait objects).
+pub trait Rng: RngCore {
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli(p). Uses the `p * 2^64` threshold construction of
+    /// upstream's `Bernoulli`, so fixed-seed decisions match.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        if p == 1.0 {
+            self.next_u64();
+            return true;
+        }
+        let threshold = (p * SCALE) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+mod block {
+    //! `BlockRng` word-pairing semantics from `rand_core`, which define
+    //! how 64-bit values are drawn from a 32-bit block stream. Upstream
+    //! `rand_chacha` refills four ChaCha blocks (64 words) at a time, so
+    //! the buffer length here is 64 — the cross-refill pairing edge must
+    //! land on the same word index as upstream for stream equality.
+
+    pub const BUF_WORDS: usize = 64;
+
+    pub trait BlockRngCore {
+        fn generate(&mut self, results: &mut [u32; BUF_WORDS]);
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct BlockRng<C: BlockRngCore> {
+        pub core: C,
+        results: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    impl<C: BlockRngCore> BlockRng<C> {
+        pub fn new(core: C) -> Self {
+            Self {
+                core,
+                results: [0; BUF_WORDS],
+                index: BUF_WORDS, // force generation on first use
+            }
+        }
+
+        #[inline]
+        fn generate_and_set(&mut self, index: usize) {
+            let mut results = [0u32; BUF_WORDS];
+            self.core.generate(&mut results);
+            self.results = results;
+            self.index = index;
+        }
+
+        #[inline]
+        pub fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let read_u64 = |results: &[u32; BUF_WORDS], index: usize| -> u64 {
+                u64::from(results[index]) | (u64::from(results[index + 1]) << 32)
+            };
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.results, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.results, 0)
+            } else {
+                // Low half from the buffer's last word, high half from
+                // the first word of the next refill.
+                let low = u64::from(self.results[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                low | (u64::from(self.results[0]) << 32)
+            }
+        }
+
+        #[inline]
+        pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut written = 0;
+            while written < dest.len() {
+                if self.index >= BUF_WORDS {
+                    self.generate_and_set(0);
+                }
+                // Consume whole words; emit little-endian bytes.
+                while self.index < BUF_WORDS && written < dest.len() {
+                    let bytes = self.results[self.index].to_le_bytes();
+                    let take = (dest.len() - written).min(4);
+                    dest[written..written + take].copy_from_slice(&bytes[..take]);
+                    written += take;
+                    self.index += 1;
+                }
+            }
+        }
+    }
+}
+
+pub(crate) use block::BlockRng;
