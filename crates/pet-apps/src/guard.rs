@@ -118,16 +118,12 @@ mod tests {
             let guard = CapacityGuard::new(10_000, 0.05, config(t));
             let mut rng = StdRng::seed_from_u64(t);
             // 20% under the limit.
-            if guard.check(&TagPopulation::sequential(8_000), &mut rng)
-                == CapacityVerdict::Under
-            {
+            if guard.check(&TagPopulation::sequential(8_000), &mut rng) == CapacityVerdict::Under {
                 under += 1;
             }
             // 20% over the limit.
             let mut rng = StdRng::seed_from_u64(t ^ 0xFF);
-            if guard.check(&TagPopulation::sequential(12_000), &mut rng)
-                == CapacityVerdict::Over
-            {
+            if guard.check(&TagPopulation::sequential(12_000), &mut rng) == CapacityVerdict::Over {
                 over += 1;
             }
         }

@@ -145,8 +145,8 @@ impl MissingTagMonitor {
         // Alarm when z < z_α; detection of fraction θ needs the mean shift
         // |log₂(1−θ)| to exceed (|z_α| + z_power)·se, with the one-sided
         // quantiles Φ⁻¹(α) and Φ⁻¹(power).
-        let z_alpha = std::f64::consts::SQRT_2
-            * pet_stats::erf::erf_inv(2.0 * self.false_alarm_rate - 1.0);
+        let z_alpha =
+            std::f64::consts::SQRT_2 * pet_stats::erf::erf_inv(2.0 * self.false_alarm_rate - 1.0);
         let z_power = std::f64::consts::SQRT_2 * pet_stats::erf::erf_inv(2.0 * power - 1.0);
         let shift = (z_alpha.abs() + z_power) * se;
         1.0 - 2f64.powf(-shift)

@@ -119,7 +119,9 @@ impl CardinalityEstimator for Ezb {
         let rho = OPTIMAL_LOAD;
         let sigma_rel = (rho.exp() - rho - 1.0).sqrt() / (rho * (self.frame as f64).sqrt());
         let c = accuracy.quantile();
-        ((c * sigma_rel / accuracy.epsilon()).powi(2)).ceil().max(1.0) as u32
+        ((c * sigma_rel / accuracy.epsilon()).powi(2))
+            .ceil()
+            .max(1.0) as u32
     }
 
     fn slots_per_round(&self) -> u64 {

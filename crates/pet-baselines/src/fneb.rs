@@ -124,11 +124,20 @@ impl Fneb {
                     "sampled fidelity requires the lossless channel"
                 );
                 let n = keys.len() as u64;
-                let x = if n == 0 { None } else { Some(sample_first_nonempty(n, frame, rng)) };
+                let x = if n == 0 {
+                    None
+                } else {
+                    Some(sample_first_nonempty(n, frame, rng))
+                };
                 // Drive the same binary search so slot accounting is honest;
                 // the responder count is synthetic (1 = busy) which the
                 // perfect channel maps to the correct busy/idle outcome.
-                self.search(frame, &mut |k| u64::from(x.is_some_and(|x| x <= k)), air, rng)
+                self.search(
+                    frame,
+                    &mut |k| u64::from(x.is_some_and(|x| x <= k)),
+                    air,
+                    rng,
+                )
             }
         }
     }

@@ -223,7 +223,12 @@ mod tests {
             2,
         );
         let rel = (a.estimate - b.estimate).abs() / n as f64;
-        assert!(rel < 0.12, "per-tag {} vs sampled {}", a.estimate, b.estimate);
+        assert!(
+            rel < 0.12,
+            "per-tag {} vs sampled {}",
+            a.estimate,
+            b.estimate
+        );
     }
 
     /// The paper's accounting: 32 slots per round, regardless of R.

@@ -111,9 +111,6 @@ mod tests {
         let adapter = PetAdapter::paper_default();
         assert_eq!(adapter.slots_per_round(), 5);
         let acc = Accuracy::new(0.05, 0.01).unwrap();
-        assert_eq!(
-            adapter.total_slots(&acc),
-            u64::from(acc.pet_rounds()) * 5
-        );
+        assert_eq!(adapter.total_slots(&acc), u64::from(acc.pet_rounds()) * 5);
     }
 }

@@ -257,10 +257,7 @@ mod tests {
         };
         let upe_sd = spread(true);
         let use_sd = spread(false);
-        assert!(
-            upe_sd < 1.25 * use_sd,
-            "UPE σ {upe_sd} vs USE σ {use_sd}"
-        );
+        assert!(upe_sd < 1.25 * use_sd, "UPE σ {upe_sd} vs USE σ {use_sd}");
     }
 
     #[test]

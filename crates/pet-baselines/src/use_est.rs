@@ -121,7 +121,9 @@ impl CardinalityEstimator for UnifiedSimpleEstimator {
         let rho = OPTIMAL_LOAD;
         let sigma_rel = (rho.exp() - rho - 1.0).sqrt() / (rho * (self.frame as f64).sqrt());
         let c = accuracy.quantile();
-        ((c * sigma_rel / accuracy.epsilon()).powi(2)).ceil().max(1.0) as u32
+        ((c * sigma_rel / accuracy.epsilon()).powi(2))
+            .ceil()
+            .max(1.0) as u32
     }
 
     fn slots_per_round(&self) -> u64 {
@@ -149,8 +151,7 @@ impl CardinalityEstimator for UnifiedSimpleEstimator {
         let q = self.persistence();
         let mut sum = 0.0;
         for _ in 0..rounds {
-            let empties =
-                Self::frame_empties(self.frame, q, &self.family, keys, air, rng);
+            let empties = Self::frame_empties(self.frame, q, &self.family, keys, air, rng);
             sum += Self::zero_estimate(self.frame, q, empties);
         }
         Estimate {

@@ -1,7 +1,8 @@
 //! Property-based tests for the baseline estimators.
 
-use pet_baselines::{CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, Upe,
-                    UnifiedSimpleEstimator};
+use pet_baselines::{
+    CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, UnifiedSimpleEstimator, Upe,
+};
 use pet_radio::channel::ChannelModel;
 use pet_radio::Air;
 use pet_stats::accuracy::Accuracy;

@@ -11,7 +11,10 @@ fn bench_fig7(c: &mut Criterion) {
     let b = fig7::fig7b();
     println!("\nFig. 7a (δ = 1%): protocol, ε, memory bits");
     for r in a.iter().step_by(3 * 5) {
-        println!("  {:<6} {:>5.2} {:>10}", r.protocol, r.epsilon, r.memory_bits);
+        println!(
+            "  {:<6} {:>5.2} {:>10}",
+            r.protocol, r.epsilon, r.memory_bits
+        );
     }
     let pet_bits = a.iter().find(|r| r.protocol == "PET").unwrap().memory_bits;
     let fneb_bits = a.iter().find(|r| r.protocol == "FNEB").unwrap().memory_bits;

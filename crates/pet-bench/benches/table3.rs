@@ -2,10 +2,10 @@
 //! round at H = 32 (the paper's "five time slots" unit of work).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pet_core::bits::BitString;
 use pet_core::config::PetConfig;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::binary_round;
-use pet_core::bits::BitString;
 use pet_hash::family::AnyFamily;
 use pet_radio::channel::PerfectChannel;
 use pet_radio::Air;
@@ -18,7 +18,10 @@ fn bench_table3(c: &mut Criterion) {
     let rows = table3::run(&table3::Table3Params::default());
     println!("\nTable 3: rounds, measured slots, nominal 5m");
     for r in &rows {
-        println!("  {:>4} {:>6} {:>6}", r.rounds, r.measured_slots, r.nominal_slots);
+        println!(
+            "  {:>4} {:>6} {:>6}",
+            r.rounds, r.measured_slots, r.nominal_slots
+        );
     }
 
     let config = PetConfig::paper_default();

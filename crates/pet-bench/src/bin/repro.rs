@@ -5,6 +5,8 @@
 //! cargo run -p pet-bench --release --bin repro -- fig4 table3 table4 table5 \
 //!     fig5a fig5b fig6 fig7a fig7b validate ablations
 //! cargo run -p pet-bench --release --bin repro -- --quick all   # reduced runs
+//! cargo run -p pet-bench --release --bin repro -- \
+//!     --telemetry results/repro.jsonl fig4          # stream pet-obs events
 //! ```
 //!
 //! Printed tables mirror the paper's rows; CSV files land in `results/`.
@@ -17,7 +19,9 @@ use pet_core::reader::{binary_round, linear_round};
 use pet_hash::family::AnyFamily;
 use pet_radio::channel::PerfectChannel;
 use pet_radio::Air;
-use pet_sim::experiments::{ablations, detection, energy, fig4, fig6, fig7, motivation, table3, table45};
+use pet_sim::experiments::{
+    ablations, detection, energy, fig4, fig6, fig7, motivation, table3, table45,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -25,8 +29,21 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig4", "table3", "table4", "table5", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
-    "validate", "ablations", "motivation", "energy", "detection", "bench-kernel",
+    "fig4",
+    "table3",
+    "table4",
+    "table5",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "validate",
+    "ablations",
+    "motivation",
+    "energy",
+    "detection",
+    "bench-kernel",
 ];
 
 /// Measures round throughput of the slot-by-slot oracle reader against the
@@ -86,19 +103,56 @@ fn bench_kernel(out_dir: &Path, quick: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // `--telemetry <path.jsonl>`: stream pet-obs events (per-round spans,
+    // slot counters, cache hit rates, trial-runner wall time) for the whole
+    // reproduction run; summarize with `pet telemetry --file <path>`.
+    let telemetry_path = args.iter().position(|a| a == "--telemetry").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--telemetry requires a file path");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    if let Some(path) = &telemetry_path {
+        match pet_obs::JsonlSink::create(path) {
+            Ok(sink) => pet_obs::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("--telemetry {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut skip_next = false;
     let requested: BTreeSet<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--telemetry" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(|a| a.to_lowercase())
         .collect();
     if requested.is_empty() {
-        eprintln!("usage: repro [--quick] [all | {}]", EXPERIMENTS.join(" | "));
+        eprintln!(
+            "usage: repro [--quick] [--telemetry out.jsonl] [all | {}]",
+            EXPERIMENTS.join(" | ")
+        );
         std::process::exit(2);
     }
     let want = |name: &str| requested.contains("all") || requested.contains(name);
     for name in &requested {
         if name != "all" && !EXPERIMENTS.contains(&name.as_str()) {
-            eprintln!("unknown experiment {name:?}; known: all {}", EXPERIMENTS.join(" "));
+            eprintln!(
+                "unknown experiment {name:?}; known: all {}",
+                EXPERIMENTS.join(" ")
+            );
             std::process::exit(2);
         }
     }
@@ -261,6 +315,10 @@ fn main() {
     }
 
     pet_bench::plots::write_all(&out_dir).expect("write plot scripts");
+    if let Some(path) = &telemetry_path {
+        pet_obs::shutdown();
+        println!("telemetry events written to {path}");
+    }
     println!(
         "\ndone in {secs:.1}s — CSVs under {dir}/, SVGs under {dir}/svg/, \
          gnuplot scripts under {dir}/plots/",

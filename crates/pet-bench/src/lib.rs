@@ -55,7 +55,10 @@ pub fn report_fig4(result: &fig4::Fig4Result, out_dir: &Path) -> io::Result<()> 
 /// Returns any I/O error from the CSV writer.
 pub fn report_table3(rows: &[table3::Table3Row], out_dir: &Path) -> io::Result<()> {
     println!("\n== Table 3: total time slots needed for PET (H = 32) ==");
-    println!("{:>8} {:>16} {:>16}", "rounds", "measured slots", "nominal 5m");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "rounds", "measured slots", "nominal 5m"
+    );
     for r in rows {
         println!(
             "{:>8} {:>16} {:>16}",
@@ -99,8 +102,7 @@ pub fn report_budgets(
         );
     }
     // PET-vs-baseline ratios, the paper's headline claim.
-    let pet: Vec<&table45::SlotBudgetRow> =
-        rows.iter().filter(|r| r.protocol == "PET").collect();
+    let pet: Vec<&table45::SlotBudgetRow> = rows.iter().filter(|r| r.protocol == "PET").collect();
     for p in &pet {
         for other in rows.iter().filter(|r| {
             r.protocol != "PET"
@@ -173,8 +175,10 @@ pub fn report_validation(rows: &[table45::CoverageRow], out_dir: &Path) -> io::R
 ///
 /// Returns any I/O error from the CSV writer.
 pub fn report_fig6(result: &fig6::Fig6Result, out_dir: &Path) -> io::Result<()> {
-    println!("\n== Fig. 6: estimate distributions at equal slot budget ({} slots) ==",
-             result.slot_budget);
+    println!(
+        "\n== Fig. 6: estimate distributions at equal slot budget ({} slots) ==",
+        result.slot_budget
+    );
     println!(
         "confidence interval: [{:.0}, {:.0}]",
         result.interval.0, result.interval.1
@@ -275,7 +279,10 @@ pub fn report_ablations(
         println!("{:<16} {:>10} {:>14}", r.encoding, r.slots, r.command_bits);
     }
     println!("\n== Ablation: lossy channel ==");
-    println!("{:>10} {:>12} {:>16}", "miss prob", "accuracy", "normalized rmse");
+    println!(
+        "{:>10} {:>12} {:>16}",
+        "miss prob", "accuracy", "normalized rmse"
+    );
     for r in loss {
         println!(
             "{:>10.2} {:>12.4} {:>16.4}",
@@ -343,7 +350,6 @@ pub fn report_ablations(
     csv.finish()
 }
 
-
 /// Renders the motivation sweep (identification vs estimation) and writes
 /// `motivation.csv`.
 ///
@@ -406,7 +412,14 @@ pub fn report_energy(
     }
     let mut csv = CsvWriter::create(
         out_dir.join("energy.csv"),
-        &["protocol", "slots", "tag_responses", "responses_per_tag", "reader_mj", "tags_mj"],
+        &[
+            "protocol",
+            "slots",
+            "tag_responses",
+            "responses_per_tag",
+            "reader_mj",
+            "tags_mj",
+        ],
     )?;
     for r in rows {
         csv.row_strings(&[
@@ -434,7 +447,6 @@ pub fn print_adaptive(rows: &[pet_sim::experiments::ablations::AdaptiveRow]) {
         );
     }
 }
-
 
 /// Renders the detection power curve and writes `detection.csv`.
 ///
@@ -500,7 +512,9 @@ mod tests {
 /// Returns any I/O error from writing the files.
 pub mod figures {
     use crate::svg::{Scale, SvgChart};
-    use pet_sim::experiments::{ablations, detection, energy, fig4, fig6, fig7, motivation, table45};
+    use pet_sim::experiments::{
+        ablations, detection, energy, fig4, fig6, fig7, motivation, table45,
+    };
     use std::io;
     use std::path::Path;
 
@@ -515,8 +529,18 @@ pub mod figures {
     pub fn fig4(result: &fig4::Fig4Result, out_dir: &Path) -> io::Result<()> {
         let dir = svg_dir(out_dir);
         let charts: [(&str, &str, Fig4Value, Scale); 3] = [
-            ("fig4a", "Estimation accuracy (n̂/n)", |r| r.accuracy, Scale::Linear),
-            ("fig4b", "Standard deviation", |r| r.std_dev.max(1e-9), Scale::Log),
+            (
+                "fig4a",
+                "Estimation accuracy (n̂/n)",
+                |r| r.accuracy,
+                Scale::Linear,
+            ),
+            (
+                "fig4b",
+                "Standard deviation",
+                |r| r.std_dev.max(1e-9),
+                Scale::Log,
+            ),
             (
                 "fig4c",
                 "Normalized standard deviation",
@@ -557,7 +581,11 @@ pub mod figures {
     ) -> io::Result<()> {
         let mut chart = SvgChart::new(
             "Slots to meet the accuracy requirement",
-            if x_is_epsilon { "confidence interval ε" } else { "error probability δ" },
+            if x_is_epsilon {
+                "confidence interval ε"
+            } else {
+                "error probability δ"
+            },
             "total time slots",
         )
         .scales(Scale::Linear, Scale::Log);
@@ -600,7 +628,11 @@ pub mod figures {
     ) -> io::Result<()> {
         let mut chart = SvgChart::new(
             "Per-tag memory for preloaded randomness",
-            if x_is_epsilon { "confidence interval ε" } else { "error probability δ" },
+            if x_is_epsilon {
+                "confidence interval ε"
+            } else {
+                "error probability δ"
+            },
             "tag memory (bits)",
         )
         .scales(Scale::Linear, Scale::Log);
@@ -621,10 +653,7 @@ pub mod figures {
     }
 
     /// Motivation sweep as a log-log SVG.
-    pub fn motivation(
-        rows: &[motivation::MotivationRow],
-        out_dir: &Path,
-    ) -> io::Result<()> {
+    pub fn motivation(rows: &[motivation::MotivationRow], out_dir: &Path) -> io::Result<()> {
         let chart = SvgChart::new(
             "Identification vs estimation cost",
             "number of tags",
@@ -633,24 +662,27 @@ pub mod figures {
         .scales(Scale::Log, Scale::Log)
         .series(
             "Aloha-ID",
-            rows.iter().map(|r| (r.n as f64, r.aloha_slots as f64)).collect(),
+            rows.iter()
+                .map(|r| (r.n as f64, r.aloha_slots as f64))
+                .collect(),
         )
         .series(
             "TreeWalk-ID",
-            rows.iter().map(|r| (r.n as f64, r.treewalk_slots as f64)).collect(),
+            rows.iter()
+                .map(|r| (r.n as f64, r.treewalk_slots as f64))
+                .collect(),
         )
         .series(
             "PET (ε=5%, δ=1%)",
-            rows.iter().map(|r| (r.n as f64, r.pet_slots as f64)).collect(),
+            rows.iter()
+                .map(|r| (r.n as f64, r.pet_slots as f64))
+                .collect(),
         );
         chart.save(&svg_dir(out_dir).join("motivation.svg"))
     }
 
     /// Detection power curve as an SVG.
-    pub fn detection(
-        rows: &[detection::DetectionRow],
-        out_dir: &Path,
-    ) -> io::Result<()> {
+    pub fn detection(rows: &[detection::DetectionRow], out_dir: &Path) -> io::Result<()> {
         let chart = SvgChart::new(
             "Missing-tag detection power",
             "true missing fraction",
@@ -658,11 +690,15 @@ pub mod figures {
         )
         .series(
             "measured",
-            rows.iter().map(|r| (r.missing_fraction, r.alarm_rate)).collect(),
+            rows.iter()
+                .map(|r| (r.missing_fraction, r.alarm_rate))
+                .collect(),
         )
         .series(
             "normal theory",
-            rows.iter().map(|r| (r.missing_fraction, r.predicted_rate)).collect(),
+            rows.iter()
+                .map(|r| (r.missing_fraction, r.predicted_rate))
+                .collect(),
         );
         chart.save(&svg_dir(out_dir).join("detection.svg"))
     }
@@ -677,10 +713,7 @@ pub mod figures {
         )
         .scales(Scale::Linear, Scale::Log);
         for (i, r) in rows.iter().enumerate() {
-            chart = chart.series(
-                &r.protocol,
-                vec![(i as f64, r.responses_per_tag.max(1e-3))],
-            );
+            chart = chart.series(&r.protocol, vec![(i as f64, r.responses_per_tag.max(1e-3))]);
         }
         chart.save(&svg_dir(out_dir).join("energy.svg"))
     }
@@ -698,7 +731,9 @@ pub mod figures {
         )
         .series(
             "normalized RMSE",
-            rows.iter().map(|r| (r.miss_prob, r.normalized_rmse)).collect(),
+            rows.iter()
+                .map(|r| (r.miss_prob, r.normalized_rmse))
+                .collect(),
         );
         chart.save(&svg_dir(out_dir).join("loss.svg"))
     }

@@ -15,17 +15,40 @@ pub fn write_all(out_dir: &Path) -> io::Result<()> {
     let dir = out_dir.join("plots");
     fs::create_dir_all(&dir)?;
     let scripts: &[(&str, String)] = &[
-        ("fig4a.gp", fig4(out_dir, "accuracy", "Estimation accuracy (n̂/n)", "fig4a")),
-        ("fig4b.gp", fig4(out_dir, "std_dev", "Standard deviation", "fig4b")),
+        (
+            "fig4a.gp",
+            fig4(out_dir, "accuracy", "Estimation accuracy (n̂/n)", "fig4a"),
+        ),
+        (
+            "fig4b.gp",
+            fig4(out_dir, "std_dev", "Standard deviation", "fig4b"),
+        ),
         (
             "fig4c.gp",
-            fig4(out_dir, "normalized_std_dev", "Normalized standard deviation", "fig4c"),
+            fig4(
+                out_dir,
+                "normalized_std_dev",
+                "Normalized standard deviation",
+                "fig4c",
+            ),
         ),
-        ("fig5a.gp", fig5(out_dir, "fig5a", "epsilon", "Confidence interval ε")),
-        ("fig5b.gp", fig5(out_dir, "fig5b", "delta", "Error probability δ")),
+        (
+            "fig5a.gp",
+            fig5(out_dir, "fig5a", "epsilon", "Confidence interval ε"),
+        ),
+        (
+            "fig5b.gp",
+            fig5(out_dir, "fig5b", "delta", "Error probability δ"),
+        ),
         ("fig6.gp", fig6(out_dir)),
-        ("fig7a.gp", fig7(out_dir, "fig7a", "epsilon", "Confidence interval ε")),
-        ("fig7b.gp", fig7(out_dir, "fig7b", "delta", "Error probability δ")),
+        (
+            "fig7a.gp",
+            fig7(out_dir, "fig7a", "epsilon", "Confidence interval ε"),
+        ),
+        (
+            "fig7b.gp",
+            fig7(out_dir, "fig7b", "delta", "Error probability δ"),
+        ),
         ("motivation.gp", motivation(out_dir)),
         ("detection.gp", detection(out_dir)),
     ];
@@ -123,8 +146,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pet-plots-{}", std::process::id()));
         write_all(&dir).unwrap();
         for name in [
-            "fig4a.gp", "fig4b.gp", "fig4c.gp", "fig5a.gp", "fig5b.gp", "fig6.gp",
-            "fig7a.gp", "fig7b.gp", "motivation.gp", "detection.gp",
+            "fig4a.gp",
+            "fig4b.gp",
+            "fig4c.gp",
+            "fig5a.gp",
+            "fig5b.gp",
+            "fig6.gp",
+            "fig7a.gp",
+            "fig7b.gp",
+            "motivation.gp",
+            "detection.gp",
         ] {
             let path = dir.join("plots").join(name);
             assert!(path.exists(), "{name} missing");

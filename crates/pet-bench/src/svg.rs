@@ -76,7 +76,10 @@ impl SvgChart {
     #[must_use]
     pub fn series(mut self, label: &str, points: Vec<(f64, f64)>) -> Self {
         for &(x, y) in &points {
-            assert!(x.is_finite() && y.is_finite(), "non-finite point in {label}");
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "non-finite point in {label}"
+            );
             if self.x_scale == Scale::Log {
                 assert!(x > 0.0, "log x-axis needs positive data ({label})");
             }
@@ -133,7 +136,8 @@ impl SvgChart {
         y1 += pad;
 
         let px = |tx: f64| MARGIN_L + (tx - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R);
-        let py = |ty: f64| HEIGHT - MARGIN_B - (ty - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+        let py =
+            |ty: f64| HEIGHT - MARGIN_B - (ty - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
 
         let mut svg = String::new();
         let _ = write!(
@@ -197,7 +201,11 @@ impl SvgChart {
             for &(x, y) in &series.points {
                 let gx = px(Self::transform(self.x_scale, x));
                 let gy = py(Self::transform(self.y_scale, y));
-                let _ = write!(path, "{}{gx:.1},{gy:.1}", if path.is_empty() { "" } else { " " });
+                let _ = write!(
+                    path,
+                    "{}{gx:.1},{gy:.1}",
+                    if path.is_empty() { "" } else { " " }
+                );
                 let _ = writeln!(
                     svg,
                     "<circle cx='{gx:.1}' cy='{gy:.1}' r='3' fill='{color}'/>"
@@ -258,7 +266,9 @@ fn tick_label(scale: Scale, transformed: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

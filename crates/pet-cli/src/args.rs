@@ -83,9 +83,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                ArgError(format!("--{name}: cannot parse {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {raw:?}"))),
         }
     }
 
@@ -142,7 +142,15 @@ mod tests {
 
     #[test]
     fn command_and_flags() {
-        let a = parse(&["estimate", "--tags", "5000", "--epsilon", "0.1", "--adaptive"]).unwrap();
+        let a = parse(&[
+            "estimate",
+            "--tags",
+            "5000",
+            "--epsilon",
+            "0.1",
+            "--adaptive",
+        ])
+        .unwrap();
         assert_eq!(a.command, "estimate");
         assert_eq!(a.require::<u64>("tags").unwrap(), 5000);
         assert_eq!(a.get_or("epsilon", 0.05).unwrap(), 0.1);
@@ -154,15 +162,29 @@ mod tests {
     #[test]
     fn errors_are_user_facing() {
         assert!(parse(&[]).unwrap_err().0.contains("missing command"));
-        assert!(parse(&["--tags"]).unwrap_err().0.contains("expected a command"));
-        assert!(parse(&["run", "loose"]).unwrap_err().0.contains("positional"));
+        assert!(parse(&["--tags"])
+            .unwrap_err()
+            .0
+            .contains("expected a command"));
+        assert!(parse(&["run", "loose"])
+            .unwrap_err()
+            .0
+            .contains("positional"));
         assert!(parse(&["run", "--x", "1", "--x", "2"])
             .unwrap_err()
             .0
             .contains("duplicate"));
         let a = parse(&["run", "--tags", "many"]).unwrap();
-        assert!(a.require::<u64>("tags").unwrap_err().0.contains("cannot parse"));
-        assert!(a.require::<f64>("absent").unwrap_err().0.contains("missing required"));
+        assert!(a
+            .require::<u64>("tags")
+            .unwrap_err()
+            .0
+            .contains("cannot parse"));
+        assert!(a
+            .require::<f64>("absent")
+            .unwrap_err()
+            .0
+            .contains("missing required"));
     }
 
     #[test]

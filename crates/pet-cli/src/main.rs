@@ -9,7 +9,12 @@
 //! pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
 //! pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
 //! pet info     [--epsilon 0.05] [--delta 0.01]
+//! pet telemetry --file events.jsonl
 //! ```
+//!
+//! Every command accepts `--telemetry <path.jsonl>`: protocol-level
+//! counters, gauges, and span timings (see `pet-obs`) stream to the file as
+//! JSON Lines, which `pet telemetry --file <path.jsonl>` summarizes.
 
 mod args;
 
@@ -18,8 +23,8 @@ use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Lof, PetAdapter};
 use pet_core::adaptive::AdaptiveSession;
 use pet_core::bits::BitString;
 use pet_core::config::{PetConfig, SearchStrategy};
+use pet_core::front::Estimator;
 use pet_core::oracle::CodeRoster;
-use pet_core::session::PetSession;
 use pet_core::tree::Tree;
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
 use pet_radio::channel::ChannelModel;
@@ -38,7 +43,9 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
   pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
   pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
   pet trace    --tags 16 [--height 6] [--rounds 2] [--linear] [--seed S]
-  pet info     [--epsilon 0.05] [--delta 0.01]";
+  pet info     [--epsilon 0.05] [--delta 0.01]
+  pet telemetry --file events.jsonl
+(every command also accepts --telemetry <path.jsonl> to stream pet-obs events)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +66,7 @@ fn accuracy_from(args: &Args) -> Result<Accuracy, ArgError> {
 
 fn run(argv: &[String]) -> Result<(), ArgError> {
     let args = Args::parse(argv.iter().cloned())?;
+    let _telemetry = TelemetryGuard::from_args(&args)?;
     match args.command.as_str() {
         "estimate" => cmd_estimate(&args),
         "identify" => cmd_identify(&args),
@@ -67,13 +75,76 @@ fn run(argv: &[String]) -> Result<(), ArgError> {
         "tree" => cmd_tree(&args),
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),
+        "telemetry" => cmd_telemetry(&args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
 }
 
+/// Installs the JSONL telemetry sink for the lifetime of one command when
+/// `--telemetry <path.jsonl>` is given, and flushes it on the way out (both
+/// success and error paths).
+struct TelemetryGuard {
+    installed: bool,
+}
+
+impl TelemetryGuard {
+    fn from_args(args: &Args) -> Result<Self, ArgError> {
+        let Some(path) = args.get("telemetry") else {
+            return Ok(Self { installed: false });
+        };
+        // A bare `--telemetry` parses as the boolean sentinel "true"; don't
+        // silently write a telemetry file named `true` into the cwd.
+        if path == "true" {
+            return Err(ArgError(
+                "--telemetry requires a file path (e.g. --telemetry run.jsonl)".into(),
+            ));
+        }
+        let sink = pet_obs::JsonlSink::create(path)
+            .map_err(|e| ArgError(format!("--telemetry {path}: {e}")))?;
+        pet_obs::install(std::sync::Arc::new(sink));
+        Ok(Self { installed: true })
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            pet_obs::shutdown();
+        }
+    }
+}
+
+/// `pet telemetry --file events.jsonl`: parse a JSONL event stream written
+/// by `--telemetry` back into an aggregate report.
+fn cmd_telemetry(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["file"])?;
+    let path: String = args.require("file")?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("--file {path}: {e}")))?;
+    let mut summary = pet_obs::Summary::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = pet_obs::Event::parse_jsonl(line)
+            .map_err(|e| ArgError(format!("{path}:{}: {e}", i + 1)))?;
+        summary.accumulate(&event);
+    }
+    print!("{}", summary.render());
+    Ok(())
+}
+
 fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "tags", "epsilon", "delta", "protocol", "linear", "adaptive", "rounds", "seed",
+        "tags",
+        "epsilon",
+        "delta",
+        "protocol",
+        "linear",
+        "adaptive",
+        "rounds",
+        "seed",
+        "telemetry",
     ])?;
     let n: usize = args.require("tags")?;
     let accuracy = accuracy_from(args)?;
@@ -92,17 +163,23 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
             })
             .build()
             .map_err(|e| ArgError(e.to_string()))?;
-        let mut oracle = CodeRoster::new(&keys, &config, pet_hash_family());
-        let mut air = Air::new(ChannelModel::Perfect);
         let report = if args.switch("adaptive") {
+            let mut oracle = CodeRoster::new(&keys, &config, pet_hash_family());
+            let mut air = Air::new(ChannelModel::Perfect);
             AdaptiveSession::new(config).run(&mut oracle, &mut air, &mut rng)
-        } else if let Some(rounds) = args.get("rounds") {
-            let rounds: u32 = rounds
-                .parse()
-                .map_err(|_| ArgError("--rounds: not an integer".into()))?;
-            PetSession::new(config).run_rounds(rounds, &mut oracle, &mut air, &mut rng)
         } else {
-            PetSession::new(config).run(&mut oracle, &mut air, &mut rng)
+            // The unified front door: the configured backend (kernel by
+            // default) produces reports bit-for-bit equal to the oracle
+            // reader.
+            let rounds = match args.get("rounds") {
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| ArgError("--rounds: not an integer".into()))?,
+                None => config.rounds(),
+            };
+            Estimator::with_family(config, pet_hash_family())
+                .try_estimate_keys_rounds(&keys, rounds, &mut rng)
+                .map_err(|e| ArgError(e.to_string()))?
         };
         println!("protocol      : PET (H = {})", config.height());
         println!("estimate      : {:.0}   (true: {n})", report.estimate);
@@ -146,7 +223,7 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_identify(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["tags", "protocol", "seed"])?;
+    args.expect_only(&["tags", "protocol", "seed", "telemetry"])?;
     let n: usize = args.require("tags")?;
     let seed: u64 = args.get_or("seed", 0x1DE)?;
     let keys: Vec<u64> = (0..n as u64).collect();
@@ -174,7 +251,7 @@ fn cmd_identify(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["tags", "epsilon", "delta", "seed"])?;
+    args.expect_only(&["tags", "epsilon", "delta", "seed", "telemetry"])?;
     let n: usize = args.require("tags")?;
     let accuracy = accuracy_from(args)?;
     let seed: u64 = args.get_or("seed", 0xC0)?;
@@ -206,7 +283,7 @@ fn cmd_compare(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_monitor(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["expected", "present", "alpha", "seed"])?;
+    args.expect_only(&["expected", "present", "alpha", "seed", "telemetry"])?;
     let expected: u64 = args.require("expected")?;
     let present: usize = args.require("present")?;
     let alpha: f64 = args.get_or("alpha", 0.01)?;
@@ -242,7 +319,7 @@ fn cmd_monitor(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_tree(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["tags", "height", "path", "seed"])?;
+    args.expect_only(&["tags", "height", "path", "seed", "telemetry"])?;
     let n: usize = args.require("tags")?;
     let height: u32 = args.get_or("height", 4)?;
     if !(1..=6).contains(&height) {
@@ -267,9 +344,7 @@ fn cmd_tree(args: &Args) -> Result<(), ArgError> {
             let v = u64::from_str_radix(bits, 2)
                 .map_err(|_| ArgError("--path must be a binary string".into()))?;
             if bits.len() != height as usize {
-                return Err(ArgError(format!(
-                    "--path must have exactly {height} bits"
-                )));
+                return Err(ArgError(format!("--path must have exactly {height} bits")));
             }
             Some(BitString::from_bits(v, height).map_err(|e| ArgError(e.to_string()))?)
         }
@@ -298,7 +373,7 @@ fn cmd_tree(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["tags", "height", "rounds", "linear", "seed"])?;
+    args.expect_only(&["tags", "height", "rounds", "linear", "seed", "telemetry"])?;
     let n: usize = args.require("tags")?;
     let height: u32 = args.get_or("height", 6)?;
     let rounds: u32 = args.get_or("rounds", 2)?;
@@ -320,7 +395,11 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
     let mut estimator = pet_core::estimator::PetEstimator::new(height);
     println!(
         "PET protocol trace — {n} tags, H = {height}, {} search\n",
-        if args.switch("linear") { "linear" } else { "binary" }
+        if args.switch("linear") {
+            "linear"
+        } else {
+            "binary"
+        }
     );
     let mut slot_base = 0usize;
     for round in 0..rounds {
@@ -358,7 +437,7 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_info(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["epsilon", "delta"])?;
+    args.expect_only(&["epsilon", "delta", "telemetry"])?;
     let accuracy = accuracy_from(args)?;
     println!("PET constants (paper §4.2):");
     println!("  φ    = e^γ/√2          = {PHI:.5}");
@@ -409,8 +488,15 @@ mod cli_tests {
     fn estimate_all_protocols() {
         for proto in ["pet", "fneb", "lof", "ezb"] {
             exec(&[
-                "estimate", "--tags", "500", "--protocol", proto, "--rounds", "16",
-                "--seed", "1",
+                "estimate",
+                "--tags",
+                "500",
+                "--protocol",
+                proto,
+                "--rounds",
+                "16",
+                "--seed",
+                "1",
             ])
             .unwrap_or_else(|e| panic!("{proto}: {e}"));
         }
@@ -420,7 +506,14 @@ mod cli_tests {
     fn estimate_variants() {
         exec(&["estimate", "--tags", "300", "--linear", "--rounds", "8"]).unwrap();
         exec(&[
-            "estimate", "--tags", "300", "--adaptive", "--epsilon", "0.3", "--delta", "0.3",
+            "estimate",
+            "--tags",
+            "300",
+            "--adaptive",
+            "--epsilon",
+            "0.3",
+            "--delta",
+            "0.3",
         ])
         .unwrap();
     }
@@ -434,24 +527,91 @@ mod cli_tests {
 
     #[test]
     fn compare_monitor_tree_trace_info() {
-        exec(&["compare", "--tags", "1000", "--epsilon", "0.3", "--delta", "0.3"]).unwrap();
-        exec(&["monitor", "--expected", "500", "--present", "400", "--alpha", "0.05"]).unwrap();
+        exec(&[
+            "compare",
+            "--tags",
+            "1000",
+            "--epsilon",
+            "0.3",
+            "--delta",
+            "0.3",
+        ])
+        .unwrap();
+        exec(&[
+            "monitor",
+            "--expected",
+            "500",
+            "--present",
+            "400",
+            "--alpha",
+            "0.05",
+        ])
+        .unwrap();
         exec(&["tree", "--tags", "4", "--path", "0011"]).unwrap();
         exec(&["tree", "--tags", "8", "--height", "5"]).unwrap();
         exec(&["trace", "--tags", "16", "--height", "6", "--rounds", "2"]).unwrap();
-        exec(&["trace", "--tags", "16", "--height", "6", "--linear", "--rounds", "1"]).unwrap();
+        exec(&[
+            "trace", "--tags", "16", "--height", "6", "--linear", "--rounds", "1",
+        ])
+        .unwrap();
         exec(&["info"]).unwrap();
         exec(&["info", "--epsilon", "0.1", "--delta", "0.1"]).unwrap();
+    }
+
+    /// One end-to-end telemetry loop: stream a run to JSONL, read it back
+    /// with the `telemetry` command, and check the events parse into the
+    /// expected aggregates. Single test — the pet-obs sink handle is
+    /// process-global.
+    #[test]
+    fn telemetry_round_trips_through_jsonl() {
+        let path = std::env::temp_dir().join(format!("pet-cli-tel-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        exec(&[
+            "estimate",
+            "--tags",
+            "400",
+            "--rounds",
+            "16",
+            "--seed",
+            "3",
+            "--telemetry",
+            path_str,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut summary = pet_obs::Summary::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            summary.accumulate(&pet_obs::Event::parse_jsonl(line).unwrap());
+        }
+        // `>=`: the sink is process-global, so concurrently running CLI
+        // tests may stream extra rounds into the same file.
+        assert!(summary.counter("core.rounds") >= 16);
+        assert!(summary.counter("core.round.slots") >= 16 * 5);
+        assert!(
+            summary.span_stats("core.round").is_some(),
+            "round spans present"
+        );
+        // The summarize command accepts the same file.
+        exec(&["telemetry", "--file", path_str]).unwrap();
+        assert!(exec(&["telemetry", "--file", "/nonexistent/x.jsonl"]).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn errors_surface_cleanly() {
         assert!(exec(&["bogus"]).is_err());
         assert!(exec(&["estimate"]).is_err(), "missing --tags");
+        assert!(
+            exec(&["estimate", "--tags", "10", "--telemetry"]).is_err(),
+            "bare --telemetry must not write a file named `true`"
+        );
         assert!(exec(&["estimate", "--tags", "10", "--frobnicate"]).is_err());
         assert!(exec(&["estimate", "--tags", "10", "--protocol", "upx"]).is_err());
         assert!(exec(&["tree", "--tags", "4", "--height", "9"]).is_err());
-        assert!(exec(&["tree", "--tags", "4", "--path", "01"]).is_err(), "path width");
+        assert!(
+            exec(&["tree", "--tags", "4", "--path", "01"]).is_err(),
+            "path width"
+        );
         assert!(exec(&["monitor", "--expected", "0", "--present", "1"]).is_err());
     }
 }

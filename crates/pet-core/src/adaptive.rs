@@ -161,9 +161,10 @@ mod tests {
         let mut oracle = CodeRoster::new(&keys, &config, AnyFamily::default());
         let mut air = Air::new(PerfectChannel);
         let mut rng = StdRng::seed_from_u64(9);
-        let report = AdaptiveSession::new(config)
-            .with_min_rounds(8)
-            .run(&mut oracle, &mut air, &mut rng);
+        let report =
+            AdaptiveSession::new(config)
+                .with_min_rounds(8)
+                .run(&mut oracle, &mut air, &mut rng);
         assert!(report.rounds >= 8);
     }
 

@@ -200,8 +200,8 @@ mod tests {
     #[test]
     fn fig1_prefix_relations() {
         let path = BitString::from_bits(0b0011, 4).unwrap();
-        let codes = [0b0001u64, 0b0110, 0b1011, 0b1110]
-            .map(|b| BitString::from_bits(b, 4).unwrap());
+        let codes =
+            [0b0001u64, 0b0110, 0b1011, 0b1110].map(|b| BitString::from_bits(b, 4).unwrap());
         // Prefix 0: tags 0001 and 0110 respond.
         let l1: Vec<bool> = codes.iter().map(|c| c.matches_prefix(&path, 1)).collect();
         assert_eq!(l1, vec![true, true, false, false]);

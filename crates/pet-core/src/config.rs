@@ -26,6 +26,23 @@ pub enum TagMode {
     PassivePreloaded,
 }
 
+/// Which execution backend the unified [`crate::Estimator`] front door
+/// drives. Both produce **bit-for-bit identical** [`crate::EstimateReport`]s
+/// for the same configuration and RNG stream (pinned by the kernel
+/// equivalence suite); they differ only in speed and generality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The slot-by-slot oracle reader ([`crate::PetSession`]): every query
+    /// goes through the [`crate::oracle::ResponderOracle`] trait and the
+    /// radio [`pet_radio::Air`], so transcripts and lossy channels work.
+    Oracle,
+    /// The batched gray-node kernel ([`crate::SessionEngine`]): one binary
+    /// search per round over sorted codes — ~5× faster at paper scale, the
+    /// default for sweeps.
+    #[default]
+    Kernel,
+}
+
 /// Reader command encoding for each prefix query (paper §4.6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CommandEncoding {
@@ -104,6 +121,7 @@ pub struct PetConfig {
     encoding: CommandEncoding,
     manufacture_seed: u64,
     zero_probe: bool,
+    backend: Backend,
 }
 
 impl PetConfig {
@@ -165,6 +183,12 @@ impl PetConfig {
         self.zero_probe
     }
 
+    /// The execution backend the unified [`crate::Estimator`] selects.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// Rounds `m` required by the accuracy requirement (paper Eq. (20)).
     #[must_use]
     pub fn rounds(&self) -> u32 {
@@ -210,6 +234,7 @@ pub struct PetConfigBuilder {
     encoding: CommandEncoding,
     manufacture_seed: u64,
     zero_probe: bool,
+    backend: Backend,
 }
 
 impl Default for PetConfigBuilder {
@@ -222,6 +247,7 @@ impl Default for PetConfigBuilder {
             encoding: CommandEncoding::default(),
             manufacture_seed: 0x9e37_79b9_7f4a_7c15,
             zero_probe: false,
+            backend: Backend::default(),
         }
     }
 }
@@ -277,6 +303,14 @@ impl PetConfigBuilder {
         self
     }
 
+    /// Selects the execution backend for [`crate::Estimator`] (default
+    /// [`Backend::Kernel`]).
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -287,9 +321,7 @@ impl PetConfigBuilder {
         if !(1..=64).contains(&self.height) {
             return Err(ConfigError::HeightOutOfRange);
         }
-        if self.encoding == CommandEncoding::FeedbackBit
-            && self.search != SearchStrategy::Binary
-        {
+        if self.encoding == CommandEncoding::FeedbackBit && self.search != SearchStrategy::Binary {
             return Err(ConfigError::FeedbackRequiresBinarySearch);
         }
         Ok(PetConfig {
@@ -300,6 +332,7 @@ impl PetConfigBuilder {
             encoding: self.encoding,
             manufacture_seed: self.manufacture_seed,
             zero_probe: self.zero_probe,
+            backend: self.backend,
         })
     }
 }
@@ -317,6 +350,7 @@ mod tests {
         assert_eq!(c.slots_per_round_nominal(), 5);
         assert_eq!(c.round_start_bits(), 32);
         assert!(!c.zero_probe());
+        assert_eq!(c.backend(), Backend::Kernel);
         assert!((c.accuracy().epsilon() - 0.05).abs() < 1e-12);
     }
 
@@ -328,12 +362,14 @@ mod tests {
             .tag_mode(TagMode::ActivePerRound)
             .encoding(CommandEncoding::FullMask)
             .zero_probe(true)
+            .backend(Backend::Oracle)
             .build()
             .unwrap();
         assert_eq!(c.height(), 16);
         assert_eq!(c.slots_per_round_nominal(), 16);
         assert_eq!(c.round_start_bits(), 16 + 32);
         assert!(c.zero_probe());
+        assert_eq!(c.backend(), Backend::Oracle);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! The unified estimation front door.
+//!
+//! Historically callers picked an execution engine by hand: the slot-by-slot
+//! oracle reader through [`PetSession`], or the batched gray-node kernel
+//! through [`SessionEngine`]. Both produce bit-for-bit identical
+//! [`EstimateReport`]s for the same RNG stream, so the choice is purely an
+//! execution detail — and now lives in the configuration as
+//! [`Backend`](crate::config::Backend). [`Estimator`] reads it and routes
+//! every call accordingly; experiments, the CLI, and doc examples all go
+//! through this one type.
+
+use crate::bits::BitString;
+use crate::config::{Backend, PetConfig};
+use crate::error::PetError;
+use crate::kernel::CodeBank;
+use crate::oracle::CodeRoster;
+use crate::session::{EstimateReport, PetSession, SessionEngine};
+use pet_hash::family::AnyFamily;
+use pet_radio::channel::PerfectChannel;
+use pet_radio::Air;
+use pet_tags::population::TagPopulation;
+use rand::Rng;
+use std::sync::Arc;
+
+/// One entry point for PET estimation, dispatching on
+/// [`PetConfig::backend`].
+///
+/// # Example
+///
+/// ```
+/// use pet_core::{Estimator, PetConfig};
+/// use pet_tags::population::TagPopulation;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let warehouse = TagPopulation::sequential(25_000);
+/// let estimator = Estimator::new(PetConfig::paper_default());
+/// let report = estimator.estimate_population(&warehouse, &mut rng);
+/// assert!((report.estimate - 25_000.0).abs() < 0.05 * 25_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    engine: SessionEngine,
+}
+
+impl Estimator {
+    /// Creates an estimator with the default fast hash family.
+    #[must_use]
+    pub fn new(config: PetConfig) -> Self {
+        Self {
+            engine: SessionEngine::new(config),
+        }
+    }
+
+    /// Creates an estimator with an explicit hash family.
+    #[must_use]
+    pub fn with_family(config: PetConfig, family: AnyFamily) -> Self {
+        Self {
+            engine: SessionEngine::with_family(config, family),
+        }
+    }
+
+    /// Wraps an existing session (configuration + family).
+    #[must_use]
+    pub fn from_session(session: PetSession) -> Self {
+        Self {
+            engine: SessionEngine::from_session(session),
+        }
+    }
+
+    /// The estimator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PetConfig {
+        self.engine.session().config()
+    }
+
+    /// The estimator's hash family.
+    #[must_use]
+    pub fn family(&self) -> AnyFamily {
+        self.engine.session().family()
+    }
+
+    /// The configured execution backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.config().backend()
+    }
+
+    /// Builds the [`CodeBank`] matching this estimator's configuration
+    /// (reusable across [`Self::run_bank`] calls and shareable across
+    /// trials).
+    #[must_use]
+    pub fn bank_for_keys(&self, keys: Arc<Vec<u64>>) -> CodeBank {
+        self.engine.bank_for_keys(keys)
+    }
+
+    /// Estimates a population with the configured number of rounds
+    /// (Eq. (20)).
+    pub fn estimate_population<R: Rng + ?Sized>(
+        &self,
+        population: &TagPopulation,
+        rng: &mut R,
+    ) -> EstimateReport {
+        self.estimate_population_rounds(population, self.config().rounds(), rng)
+    }
+
+    /// Like [`Self::estimate_population`] with an explicit round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn estimate_population_rounds<R: Rng + ?Sized>(
+        &self,
+        population: &TagPopulation,
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        let keys: Vec<u64> = population.keys().collect();
+        self.estimate_keys_rounds(&keys, rounds, rng)
+    }
+
+    /// Estimates over a key slice with an explicit round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn estimate_keys_rounds<R: Rng + ?Sized>(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        match self.try_estimate_keys_rounds(keys, rounds, rng) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Self::estimate_keys_rounds`].
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_estimate_keys_rounds<R: Rng + ?Sized>(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError> {
+        match self.backend() {
+            Backend::Kernel => {
+                let mut bank = self.engine.bank_for_keys(Arc::new(keys.to_vec()));
+                self.engine.try_run_fast(&mut bank, rounds, rng)
+            }
+            Backend::Oracle => {
+                let mut oracle = CodeRoster::new(keys, self.config(), self.family());
+                let mut air = Air::new(PerfectChannel);
+                self.engine
+                    .session()
+                    .try_run_rounds(rounds, &mut oracle, &mut air, rng)
+            }
+        }
+    }
+
+    /// Runs `rounds` against a prebuilt bank (the experiments' hot path:
+    /// banks come from `pet-sim`'s roster cache and amortize hashing and
+    /// sorting across trials).
+    ///
+    /// On the oracle backend the bank is lowered to a [`CodeRoster`] first,
+    /// so both backends consume `rng` identically and return identical
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn run_bank<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        rng: &mut R,
+    ) -> EstimateReport {
+        match self.try_run_bank(bank, rounds, rng) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Self::run_bank`].
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_bank<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError> {
+        match self.backend() {
+            Backend::Kernel => self.engine.try_run_fast(bank, rounds, rng),
+            Backend::Oracle => {
+                let mut oracle = self.roster_from_bank(bank);
+                let mut air = Air::new(PerfectChannel);
+                self.engine
+                    .session()
+                    .try_run_rounds(rounds, &mut oracle, &mut air, rng)
+            }
+        }
+    }
+
+    /// Lowers a bank to the equivalent slot-by-slot oracle: passive banks
+    /// already hold the manufacture-time codes, active banks re-hash from
+    /// their keys exactly as the roster does.
+    fn roster_from_bank(&self, bank: &CodeBank) -> CodeRoster {
+        let height = self.config().height();
+        match bank {
+            CodeBank::Passive { codes } => {
+                let codes: Vec<BitString> = codes
+                    .iter()
+                    .map(|&c| BitString::from_bits(c, height).expect("bank codes fit the height"))
+                    .collect();
+                CodeRoster::from_codes(&codes, height)
+            }
+            CodeBank::Active { keys, .. } => CodeRoster::new(keys, self.config(), self.family()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TagMode;
+    use pet_stats::accuracy::Accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config_for(backend: Backend, mode: TagMode) -> PetConfig {
+        PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .backend(backend)
+            .tag_mode(mode)
+            .build()
+            .unwrap()
+    }
+
+    /// The headline guarantee: flipping `Backend` changes nothing about the
+    /// result — estimate bits, per-round records, and air metrics all match.
+    #[test]
+    fn backends_are_bit_for_bit_identical() {
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            let keys: Vec<u64> = (0..900).collect();
+            let oracle = Estimator::new(config_for(Backend::Oracle, mode));
+            let kernel = Estimator::new(config_for(Backend::Kernel, mode));
+            let mut rng_a = StdRng::seed_from_u64(31);
+            let mut rng_b = StdRng::seed_from_u64(31);
+            let a = oracle.estimate_keys_rounds(&keys, 48, &mut rng_a);
+            let b = kernel.estimate_keys_rounds(&keys, 48, &mut rng_b);
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "mode {mode:?}");
+            assert_eq!(a.mean_prefix_len.to_bits(), b.mean_prefix_len.to_bits());
+            assert_eq!(a.records, b.records, "mode {mode:?}");
+            assert_eq!(a.metrics, b.metrics, "mode {mode:?}");
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    /// Same guarantee through the prebuilt-bank path the experiments use.
+    #[test]
+    fn run_bank_is_backend_invariant() {
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            let keys = Arc::new((0..700u64).collect::<Vec<_>>());
+            let oracle = Estimator::new(config_for(Backend::Oracle, mode));
+            let kernel = Estimator::new(config_for(Backend::Kernel, mode));
+            let mut bank_a = oracle.bank_for_keys(Arc::clone(&keys));
+            let mut bank_b = kernel.bank_for_keys(Arc::clone(&keys));
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let a = oracle.run_bank(&mut bank_a, 32, &mut rng_a);
+            let b = kernel.run_bank(&mut bank_b, 32, &mut rng_b);
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "mode {mode:?}");
+            assert_eq!(a.records, b.records, "mode {mode:?}");
+            assert_eq!(a.metrics, b.metrics, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn default_backend_matches_engine_path() {
+        let config = config_for(Backend::Kernel, TagMode::PassivePreloaded);
+        let estimator = Estimator::new(config);
+        let engine = SessionEngine::new(config);
+        let keys: Vec<u64> = (0..500).collect();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let a = estimator.estimate_keys_rounds(&keys, 16, &mut rng_a);
+        let b = engine.estimate_keys_rounds(&keys, 16, &mut rng_b);
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn zero_rounds_surface_as_error() {
+        for backend in [Backend::Oracle, Backend::Kernel] {
+            let estimator = Estimator::new(config_for(backend, TagMode::PassivePreloaded));
+            let mut rng = StdRng::seed_from_u64(1);
+            let err = estimator
+                .try_estimate_keys_rounds(&[1, 2, 3], 0, &mut rng)
+                .unwrap_err();
+            assert_eq!(err, PetError::ZeroRounds, "backend {backend:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panic_via_wrapper() {
+        let estimator = Estimator::new(config_for(Backend::Kernel, TagMode::PassivePreloaded));
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = estimator.estimate_keys_rounds(&[1, 2, 3], 0, &mut rng);
+    }
+}

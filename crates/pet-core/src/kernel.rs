@@ -166,7 +166,11 @@ pub fn apply_round_metrics(
     };
     match config.search() {
         SearchStrategy::Linear => {
-            let last = if prefix_len >= height { height } else { prefix_len + 1 };
+            let last = if prefix_len >= height {
+                height
+            } else {
+                prefix_len + 1
+            };
             for j in 1..=last {
                 slot(j, metrics);
             }
@@ -254,7 +258,9 @@ impl CodeBank {
         match config.tag_mode() {
             TagMode::PassivePreloaded => {
                 let codes = build_passive_codes(&keys, config, family);
-                Self::Passive { codes: Arc::new(codes) }
+                Self::Passive {
+                    codes: Arc::new(codes),
+                }
             }
             TagMode::ActivePerRound => Self::Active {
                 keys,
@@ -268,7 +274,10 @@ impl CodeBank {
     /// cross-trial cache).
     #[must_use]
     pub fn passive_shared(codes: Arc<Vec<u64>>) -> Self {
-        debug_assert!(codes.windows(2).all(|w| w[0] <= w[1]), "codes must be sorted");
+        debug_assert!(
+            codes.windows(2).all(|w| w[0] <= w[1]),
+            "codes must be sorted"
+        );
         Self::Passive { codes }
     }
 
@@ -302,7 +311,12 @@ impl CodeBank {
 
     /// Starts a round: active banks re-hash and re-sort under `seed`.
     pub fn begin_round(&mut self, seed: Option<u64>, family: AnyFamily, height: u32) {
-        if let Self::Active { keys, codes, scratch } = self {
+        if let Self::Active {
+            keys,
+            codes,
+            scratch,
+        } = self
+        {
             let seed = seed.expect("active mode requires a per-round seed");
             hash_codes_par(&family, seed, keys, height, codes);
             radix_sort_codes(codes, height, scratch);
@@ -315,7 +329,13 @@ impl CodeBank {
 pub fn build_passive_codes(keys: &[u64], config: &PetConfig, family: AnyFamily) -> Vec<u64> {
     let mut codes = Vec::new();
     let mut scratch = Vec::new();
-    hash_codes_par(&family, config.manufacture_seed(), keys, config.height(), &mut codes);
+    hash_codes_par(
+        &family,
+        config.manufacture_seed(),
+        keys,
+        config.height(),
+        &mut codes,
+    );
     radix_sort_codes(&mut codes, config.height(), &mut scratch);
     codes
 }
@@ -365,7 +385,11 @@ mod tests {
     #[test]
     fn locate_exact_match_is_full_height() {
         for height in [1u32, 7, 32, 64] {
-            let bits = if height == 64 { u64::MAX } else { (1 << height) - 1 };
+            let bits = if height == 64 {
+                u64::MAX
+            } else {
+                (1 << height) - 1
+            };
             let path = BitString::from_bits(bits, height).unwrap();
             assert_eq!(locate_prefix_len(&[bits], &path), height);
         }
@@ -401,7 +425,11 @@ mod tests {
             for l in 0..=height {
                 // A roster holding exactly one code equal to the first l
                 // bits of the all-ones path, then a zero bit, yields L = l.
-                let path_bits = if height == 64 { u64::MAX } else { (1u64 << height) - 1 };
+                let path_bits = if height == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << height) - 1
+                };
                 let path = BitString::from_bits(path_bits, height).unwrap();
                 let code = if l == height {
                     path_bits
@@ -409,10 +437,8 @@ mod tests {
                     // Shares exactly l leading bits with the path.
                     path_bits & !(1u64 << (height - l - 1))
                 };
-                let mut roster = CodeRoster::from_codes(
-                    &[BitString::from_bits(code, height).unwrap()],
-                    height,
-                );
+                let mut roster =
+                    CodeRoster::from_codes(&[BitString::from_bits(code, height).unwrap()], height);
                 assert_eq!(locate_prefix_len(roster.codes(), &path), l);
 
                 let mut air = Air::new(PerfectChannel);

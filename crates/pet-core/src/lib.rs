@@ -21,6 +21,9 @@
 //! - [`reader`]: Algorithm 1 (linear) and Algorithm 3 (binary search).
 //! - [`estimator`]: Eq. (12)–(14) aggregation.
 //! - [`session`]: end-to-end `m`-round estimation with air-cost accounting.
+//! - [`front`]: the unified [`Estimator`] entry point dispatching on the
+//!   configured [`Backend`].
+//! - [`error`]: [`PetError`] for the fallible (`try_*`) API surface.
 //! - [`adaptive`]: sequential early-stopping sessions (extension).
 //!
 //! # Quick start
@@ -46,7 +49,9 @@
 pub mod adaptive;
 pub mod bits;
 pub mod config;
+pub mod error;
 pub mod estimator;
+pub mod front;
 pub mod kernel;
 pub mod oracle;
 pub mod reader;
@@ -55,8 +60,10 @@ pub mod tree;
 
 pub use adaptive::AdaptiveSession;
 pub use bits::BitString;
-pub use config::{CommandEncoding, PetConfig, SearchStrategy, TagMode};
+pub use config::{Backend, CommandEncoding, PetConfig, SearchStrategy, TagMode};
+pub use error::PetError;
 pub use estimator::PetEstimator;
+pub use front::Estimator;
 pub use kernel::CodeBank;
 pub use oracle::{CodeRoster, ResponderOracle, TagFleet};
 pub use reader::RoundRecord;

@@ -156,9 +156,7 @@ impl CodeRoster {
 impl ResponderOracle for CodeRoster {
     fn begin_round(&mut self, start: &RoundStart) {
         if self.mode == TagMode::ActivePerRound {
-            let seed = start
-                .seed
-                .expect("active mode requires a per-round seed");
+            let seed = start.seed.expect("active mode requires a per-round seed");
             self.rebuild_codes(seed);
         }
         self.path = Some(start.path);
@@ -296,9 +294,7 @@ impl TagFleet {
 impl ResponderOracle for TagFleet {
     fn begin_round(&mut self, start: &RoundStart) {
         if self.mode == TagMode::ActivePerRound {
-            let seed = start
-                .seed
-                .expect("active mode requires a per-round seed");
+            let seed = start.seed.expect("active mode requires a per-round seed");
             for t in &mut self.tags {
                 t.code = self.family.hash_bits(seed, t.key, self.height);
             }
@@ -327,10 +323,7 @@ impl ResponderOracle for TagFleet {
                     // The tag computes the query length itself; it must agree
                     // with the reader or the protocol has desynchronized.
                     let mid = t.expected_mid(self.height);
-                    debug_assert_eq!(
-                        mid, prefix_len,
-                        "feedback tag desynchronized from reader"
-                    );
+                    debug_assert_eq!(mid, prefix_len, "feedback tag desynchronized from reader");
                     mid
                 }
             };
@@ -400,9 +393,7 @@ mod tests {
                 let slow = roster
                     .codes()
                     .iter()
-                    .filter(|&&c| {
-                        len == 0 || (c >> (16 - len)) == path.prefix(len)
-                    })
+                    .filter(|&&c| len == 0 || (c >> (16 - len)) == path.prefix(len))
                     .count() as u64;
                 assert_eq!(fast, slow, "len {len} path {path}");
             }
@@ -439,13 +430,22 @@ mod tests {
             .unwrap();
         let mut roster = CodeRoster::new(&keys, &cfg, family());
         let path = BitString::from_bits(0, 16).unwrap();
-        roster.begin_round(&RoundStart { path, seed: Some(1) });
+        roster.begin_round(&RoundStart {
+            path,
+            seed: Some(1),
+        });
         let codes1 = roster.codes().to_vec();
-        roster.begin_round(&RoundStart { path, seed: Some(2) });
+        roster.begin_round(&RoundStart {
+            path,
+            seed: Some(2),
+        });
         let codes2 = roster.codes().to_vec();
         assert_ne!(codes1, codes2);
         // Same seed reproduces the same codes.
-        roster.begin_round(&RoundStart { path, seed: Some(1) });
+        roster.begin_round(&RoundStart {
+            path,
+            seed: Some(1),
+        });
         assert_eq!(roster.codes(), &codes1[..]);
     }
 

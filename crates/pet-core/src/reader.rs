@@ -52,6 +52,7 @@ where
     C: Channel,
     R: Rng + ?Sized,
 {
+    let span = pet_obs::span("core.round");
     let path = BitString::random(config.height(), rng);
     let seed = match config.tag_mode() {
         TagMode::ActivePerRound => Some(rng.random::<u64>()),
@@ -59,10 +60,28 @@ where
     };
     oracle.begin_round(&RoundStart { path, seed });
     air.broadcast(config.round_start_bits());
-    match config.search() {
+    let record = match config.search() {
         SearchStrategy::Linear => linear_round(config, oracle, air, rng),
         SearchStrategy::Binary => binary_round(config, oracle, air, rng),
+    };
+    drop(span);
+    record_round_telemetry(config, &record);
+    record
+}
+
+/// Emits the per-round slot/bit counters shared by the oracle reader and
+/// the batched kernel (`SessionEngine::run_fast`), so traces from either
+/// backend aggregate under the same names. Costs one branch when telemetry
+/// is disabled.
+pub(crate) fn record_round_telemetry(config: &PetConfig, record: &RoundRecord) {
+    if !pet_obs::enabled() {
+        return;
     }
+    pet_obs::counter("core.rounds", 1);
+    pet_obs::counter("core.round.slots", u64::from(record.slots));
+    let command_bits = u64::from(config.round_start_bits())
+        + u64::from(record.slots) * u64::from(config.encoding().bits_per_query(config.height()));
+    pet_obs::counter("core.round.command_bits", command_bits);
 }
 
 /// Algorithm 1: additively growing prefix queries until the first idle slot.
@@ -168,12 +187,7 @@ mod tests {
         AnyFamily::new(HashKind::Mix)
     }
 
-    fn run_many(
-        config: &PetConfig,
-        keys: &[u64],
-        rounds: usize,
-        seed: u64,
-    ) -> Vec<RoundRecord> {
+    fn run_many(config: &PetConfig, keys: &[u64], rounds: usize, seed: u64) -> Vec<RoundRecord> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut oracle = CodeRoster::new(keys, config, family());
         let mut air = Air::new(PerfectChannel);
@@ -250,8 +264,14 @@ mod tests {
             .build()
             .unwrap();
         let bin_cfg = PetConfig::builder().height(32).build().unwrap();
-        let lin: u32 = run_many(&lin_cfg, &keys, 100, 6).iter().map(|r| r.slots).sum();
-        let bin: u32 = run_many(&bin_cfg, &keys, 100, 6).iter().map(|r| r.slots).sum();
+        let lin: u32 = run_many(&lin_cfg, &keys, 100, 6)
+            .iter()
+            .map(|r| r.slots)
+            .sum();
+        let bin: u32 = run_many(&bin_cfg, &keys, 100, 6)
+            .iter()
+            .map(|r| r.slots)
+            .sum();
         // Linear ≈ log₂(10k) + 1 ≈ 14.6 slots/round; binary = 5.
         assert!(
             lin > 2 * bin,

@@ -8,6 +8,7 @@
 
 use crate::bits::BitString;
 use crate::config::{PetConfig, TagMode};
+use crate::error::PetError;
 use crate::estimator::PetEstimator;
 use crate::kernel::{self, CodeBank};
 use crate::oracle::{CodeRoster, ResponderOracle};
@@ -47,19 +48,39 @@ impl EstimateReport {
     /// # Panics
     ///
     /// Panics if `delta` lies outside `(0, 1)` or no rounds were run on a
-    /// non-empty region.
+    /// non-empty region. [`Self::try_confidence_interval`] reports the same
+    /// conditions as values.
     #[must_use]
     pub fn confidence_interval(&self, delta: f64) -> (f64, f64) {
-        if self.zero_detected {
-            return (0.0, 0.0);
+        match self.try_confidence_interval(delta) {
+            Ok(interval) => interval,
+            Err(e) => panic!("{e}"),
         }
-        assert!(self.rounds > 0, "no rounds were run");
+    }
+
+    /// Fallible form of [`Self::confidence_interval`].
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::InvalidDelta`] when `delta` lies outside `(0, 1)`, and
+    /// [`PetError::NoRoundsRun`] when the report holds no rounds on a
+    /// non-empty region.
+    pub fn try_confidence_interval(&self, delta: f64) -> Result<(f64, f64), PetError> {
+        if self.zero_detected {
+            return Ok((0.0, 0.0));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(PetError::InvalidDelta(delta));
+        }
+        if self.rounds == 0 {
+            return Err(PetError::NoRoundsRun);
+        }
         let c = pet_stats::erf::two_sided_quantile(delta);
         let half = c * pet_stats::gray::SIGMA_H / f64::from(self.rounds).sqrt();
-        (
+        Ok((
             self.estimate * 2f64.powf(-half),
             self.estimate * 2f64.powf(half),
-        )
+        ))
     }
 }
 
@@ -130,7 +151,8 @@ impl PetSession {
     ///
     /// # Panics
     ///
-    /// Panics if `rounds` is zero.
+    /// Panics if `rounds` is zero. [`Self::try_run_rounds`] reports that
+    /// condition as a value instead.
     pub fn run_rounds<O, C, R>(
         &self,
         rounds: u32,
@@ -143,19 +165,45 @@ impl PetSession {
         C: Channel,
         R: Rng + ?Sized,
     {
-        assert!(rounds > 0, "at least one round is required");
+        match self.try_run_rounds(rounds, oracle, air, rng) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Self::run_rounds`].
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_rounds<O, C, R>(
+        &self,
+        rounds: u32,
+        oracle: &mut O,
+        air: &mut Air<C>,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError>
+    where
+        O: ResponderOracle,
+        C: Channel,
+        R: Rng + ?Sized,
+    {
+        if rounds == 0 {
+            return Err(PetError::ZeroRounds);
+        }
+        let _session_span = pet_obs::span("core.session.oracle");
         if self.config.zero_probe() {
             // One match-all slot: if nobody answers, the region is empty.
             let outcome = air.slot(oracle.responders(0), 1, rng);
             if outcome.is_idle() {
-                return EstimateReport {
+                return Ok(EstimateReport {
                     estimate: 0.0,
                     rounds: 0,
                     mean_prefix_len: 0.0,
                     metrics: *air.metrics(),
                     zero_detected: true,
                     records: Vec::new(),
-                };
+                });
             }
         }
         let mut estimator = PetEstimator::new(self.config.height());
@@ -165,14 +213,14 @@ impl PetSession {
             estimator.push(record);
             records.push(record);
         }
-        EstimateReport {
+        Ok(EstimateReport {
             estimate: estimator.estimate(),
             rounds,
             mean_prefix_len: estimator.mean_prefix_len(),
             metrics: *air.metrics(),
             zero_detected: false,
             records,
-        }
+        })
     }
 
     /// One-call convenience: estimates a population over a lossless channel
@@ -221,13 +269,17 @@ impl SessionEngine {
     /// Engine with the default fast hash family.
     #[must_use]
     pub fn new(config: PetConfig) -> Self {
-        Self { session: PetSession::new(config) }
+        Self {
+            session: PetSession::new(config),
+        }
     }
 
     /// Engine with an explicit hash family.
     #[must_use]
     pub fn with_family(config: PetConfig, family: AnyFamily) -> Self {
-        Self { session: PetSession::with_family(config, family) }
+        Self {
+            session: PetSession::with_family(config, family),
+        }
     }
 
     /// Wraps an existing session configuration.
@@ -254,14 +306,35 @@ impl SessionEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `rounds` is zero.
+    /// Panics if `rounds` is zero. [`Self::try_run_fast`] reports that
+    /// condition as a value instead.
     pub fn run_fast<R: Rng + ?Sized>(
         &self,
         bank: &mut CodeBank,
         rounds: u32,
         rng: &mut R,
     ) -> EstimateReport {
-        assert!(rounds > 0, "at least one round is required");
+        match self.try_run_fast(bank, rounds, rng) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Self::run_fast`].
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_fast<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError> {
+        if rounds == 0 {
+            return Err(PetError::ZeroRounds);
+        }
+        let _session_span = pet_obs::span("core.session.kernel");
         let config = self.session.config();
         let family = self.session.family();
         let height = config.height();
@@ -271,19 +344,20 @@ impl SessionEngine {
             let outcome = SlotOutcome::from_detected(responders);
             metrics.record_slot(1, responders, outcome);
             if outcome.is_idle() {
-                return EstimateReport {
+                return Ok(EstimateReport {
                     estimate: 0.0,
                     rounds: 0,
                     mean_prefix_len: 0.0,
                     metrics,
                     zero_detected: true,
                     records: Vec::new(),
-                };
+                });
             }
         }
         let mut estimator = PetEstimator::new(height);
         let mut records = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
+            let round_span = pet_obs::span("core.round");
             let path = BitString::random(height, rng);
             let seed = match config.tag_mode() {
                 TagMode::ActivePerRound => Some(rng.random::<u64>()),
@@ -293,17 +367,19 @@ impl SessionEngine {
             let l = kernel::locate_prefix_len(bank.codes(), &path);
             let record = kernel::round_record(height, config.search(), l);
             kernel::apply_round_metrics(bank.codes(), &path, config, l, &mut metrics);
+            drop(round_span);
+            crate::reader::record_round_telemetry(config, &record);
             estimator.push(record);
             records.push(record);
         }
-        EstimateReport {
+        Ok(EstimateReport {
             estimate: estimator.estimate(),
             rounds,
             mean_prefix_len: estimator.mean_prefix_len(),
             metrics,
             zero_detected: false,
             records,
-        }
+        })
     }
 
     /// One-call convenience over a key slice (bank built ad hoc).
@@ -343,7 +419,11 @@ mod tests {
             let pop = TagPopulation::sequential(n);
             let report = session.estimate_population_rounds(&pop, 256, &mut rng);
             let rel = (report.estimate - n as f64).abs() / n as f64;
-            assert!(rel < 0.3, "n = {n}: estimate {} off by {rel}", report.estimate);
+            assert!(
+                rel < 0.3,
+                "n = {n}: estimate {} off by {rel}",
+                report.estimate
+            );
         }
     }
 
@@ -412,8 +492,7 @@ mod tests {
     fn without_zero_probe_empty_region_estimates_below_one() {
         let mut rng = StdRng::seed_from_u64(6);
         let session = PetSession::new(quick_config());
-        let report =
-            session.estimate_population_rounds(&TagPopulation::new(), 16, &mut rng);
+        let report = session.estimate_population_rounds(&TagPopulation::new(), 16, &mut rng);
         assert!(!report.zero_detected);
         assert!(report.estimate < 1.0);
     }
@@ -437,7 +516,12 @@ mod tests {
             estimates.push(report.estimate);
         }
         let rel = (estimates[0] - estimates[1]).abs() / n as f64;
-        assert!(rel < 0.15, "passive {} vs active {}", estimates[0], estimates[1]);
+        assert!(
+            rel < 0.15,
+            "passive {} vs active {}",
+            estimates[0],
+            estimates[1]
+        );
     }
 
     #[test]
@@ -480,8 +564,7 @@ mod tests {
             .accuracy(Accuracy::new(0.2, 0.2).unwrap())
             .build()
             .unwrap();
-        let report =
-            PetSession::new(config).estimate_population(&TagPopulation::new(), &mut rng);
+        let report = PetSession::new(config).estimate_population(&TagPopulation::new(), &mut rng);
         assert_eq!(report.confidence_interval(0.05), (0.0, 0.0));
     }
 
@@ -506,7 +589,10 @@ mod tests {
                 let keys: Vec<u64> = pop.keys().collect();
                 let fast = engine.estimate_keys_rounds(&keys, 48, &mut rng_b);
                 assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
-                assert_eq!(slow.mean_prefix_len.to_bits(), fast.mean_prefix_len.to_bits());
+                assert_eq!(
+                    slow.mean_prefix_len.to_bits(),
+                    fast.mean_prefix_len.to_bits()
+                );
                 assert_eq!(slow.records, fast.records, "mode {mode:?}");
                 assert_eq!(slow.metrics, fast.metrics, "mode {mode:?}");
                 assert_eq!(slow.rounds, fast.rounds);
@@ -535,14 +621,43 @@ mod tests {
     }
 
     #[test]
+    fn try_confidence_interval_reports_errors() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let session = PetSession::new(quick_config());
+        let pop = TagPopulation::sequential(100);
+        let report = session.estimate_population_rounds(&pop, 16, &mut rng);
+        let (lo, hi) = report.try_confidence_interval(0.05).unwrap();
+        assert_eq!((lo, hi), report.confidence_interval(0.05));
+        assert_eq!(
+            report.try_confidence_interval(0.0).unwrap_err(),
+            crate::PetError::InvalidDelta(0.0)
+        );
+        let mut unrun = report.clone();
+        unrun.rounds = 0;
+        assert_eq!(
+            unrun.try_confidence_interval(0.05).unwrap_err(),
+            crate::PetError::NoRoundsRun
+        );
+    }
+
+    #[test]
+    fn try_run_rounds_rejects_zero_as_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let session = PetSession::new(quick_config());
+        let keys: Vec<u64> = (0..10).collect();
+        let mut oracle = CodeRoster::new(&keys, session.config(), session.family());
+        let mut air = Air::new(PerfectChannel);
+        let err = session
+            .try_run_rounds(0, &mut oracle, &mut air, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, crate::PetError::ZeroRounds);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
         let mut rng = StdRng::seed_from_u64(9);
         let session = PetSession::new(quick_config());
-        let _ = session.estimate_population_rounds(
-            &TagPopulation::sequential(10),
-            0,
-            &mut rng,
-        );
+        let _ = session.estimate_population_rounds(&TagPopulation::sequential(10), 0, &mut rng);
     }
 }

@@ -91,11 +91,7 @@ impl Tree {
     #[must_use]
     pub fn node_color(&self, path: &BitString, depth: u32) -> NodeColor {
         assert!(depth <= self.height, "depth exceeds tree height");
-        if self
-            .codes
-            .iter()
-            .any(|c| c.matches_prefix(path, depth))
-        {
+        if self.codes.iter().any(|c| c.matches_prefix(path, depth)) {
             NodeColor::Black
         } else {
             NodeColor::White
@@ -151,11 +147,8 @@ impl Tree {
             let cell = width / nodes as usize;
             for prefix in 0..nodes {
                 // Color of the node addressed by `prefix` at this depth.
-                let probe = BitString::from_bits(
-                    prefix << (self.height - depth),
-                    self.height,
-                )
-                .expect("in range");
+                let probe = BitString::from_bits(prefix << (self.height - depth), self.height)
+                    .expect("in range");
                 let color = self.node_color(&probe, depth);
                 let on_path = path.is_some_and(|p| p.prefix(depth) == prefix);
                 let is_gray = on_path && gray.is_some_and(|g| g.prefix_len == depth);
@@ -212,7 +205,13 @@ mod tests {
         let tree = fig1_tree();
         let path = BitString::from_bits(0b0011, 4).unwrap();
         let gray = tree.gray_node(&path).unwrap();
-        assert_eq!(gray, GrayNode { prefix_len: 2, height: 2 });
+        assert_eq!(
+            gray,
+            GrayNode {
+                prefix_len: 2,
+                height: 2
+            }
+        );
     }
 
     #[test]
@@ -242,8 +241,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..200 {
             let n = rng.random_range(1..60);
-            let codes: Vec<BitString> =
-                (0..n).map(|_| BitString::random(8, &mut rng)).collect();
+            let codes: Vec<BitString> = (0..n).map(|_| BitString::random(8, &mut rng)).collect();
             let tree = Tree::build(&codes, 8);
             let path = BitString::random(8, &mut rng);
             let colors = tree.colors_along(&path);
@@ -258,10 +256,7 @@ mod tests {
             }
             // Transition depth equals the gray node's prefix length + 1.
             let gray = tree.gray_node(&path).unwrap();
-            assert_eq!(
-                tree.node_color(&path, gray.prefix_len),
-                NodeColor::Black
-            );
+            assert_eq!(tree.node_color(&path, gray.prefix_len), NodeColor::Black);
             if gray.prefix_len < 8 {
                 assert_eq!(
                     tree.node_color(&path, gray.prefix_len + 1),

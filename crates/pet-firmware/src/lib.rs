@@ -279,7 +279,10 @@ mod tests {
             ChipAction::Silent
         );
         // But the probe always answers (presence).
-        assert_eq!(chip.on_frame(&frame(Opcode::Probe, &[])), ChipAction::Respond);
+        assert_eq!(
+            chip.on_frame(&frame(Opcode::Probe, &[])),
+            ChipAction::Respond
+        );
     }
 
     #[test]

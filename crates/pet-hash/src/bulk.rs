@@ -28,7 +28,26 @@ const RADIX_THRESHOLD: usize = 128;
 
 /// Hashes `keys` under `(family, seed)` truncated to `bits`, writing into
 /// `out` (cleared and refilled; capacity is reused across rounds).
-pub fn hash_codes_into<F: HashFamily>(family: &F, seed: u64, keys: &[u64], bits: u32, out: &mut Vec<u64>) {
+pub fn hash_codes_into<F: HashFamily>(
+    family: &F,
+    seed: u64,
+    keys: &[u64],
+    bits: u32,
+    out: &mut Vec<u64>,
+) {
+    let _span = pet_obs::span("hash.bulk_hash");
+    fill_sequential(family, seed, keys, bits, out);
+}
+
+/// Sequential hashing body, shared by both public entry points so their
+/// `hash.bulk_hash` spans never nest (nesting would double-count).
+fn fill_sequential<F: HashFamily>(
+    family: &F,
+    seed: u64,
+    keys: &[u64],
+    bits: u32,
+    out: &mut Vec<u64>,
+) {
     out.clear();
     out.extend(keys.iter().map(|&k| family.hash_bits(seed, k, bits)));
 }
@@ -42,9 +61,10 @@ pub fn hash_codes_par<F: HashFamily + Sync>(
     bits: u32,
     out: &mut Vec<u64>,
 ) {
+    let _span = pet_obs::span("hash.bulk_hash");
     let threads = available_threads();
     if keys.len() < PAR_THRESHOLD || threads < 2 {
-        hash_codes_into(family, seed, keys, bits, out);
+        fill_sequential(family, seed, keys, bits, out);
         return;
     }
     out.clear();
@@ -74,6 +94,7 @@ fn available_threads() -> usize {
 /// Panics if `key_bits` is 0 or greater than 64.
 pub fn radix_sort_codes(codes: &mut Vec<u64>, key_bits: u32, scratch: &mut Vec<u64>) {
     assert!((1..=64).contains(&key_bits), "key_bits must be in 1..=64");
+    let _span = pet_obs::span("hash.radix_sort");
     if codes.len() < RADIX_THRESHOLD {
         codes.sort_unstable();
         return;
@@ -126,7 +147,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for bits in [1u32, 7, 8, 9, 16, 31, 32, 33, 63, 64] {
             for n in [0usize, 1, 5, 127, 128, 1000, 4096] {
-                let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let mask = if bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 let mut a: Vec<u64> = (0..n).map(|_| rng.random::<u64>() & mask).collect();
                 let mut b = a.clone();
                 let mut scratch = Vec::new();

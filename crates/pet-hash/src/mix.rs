@@ -50,7 +50,10 @@ pub fn mix2(seed: u64, id: u64) -> u64 {
 #[inline]
 #[must_use]
 pub fn truncate(hash: u64, bits: u32) -> u64 {
-    assert!((1..=64).contains(&bits), "bits must be in 1..=64, got {bits}");
+    assert!(
+        (1..=64).contains(&bits),
+        "bits must be in 1..=64, got {bits}"
+    );
     if bits == 64 {
         hash
     } else {

@@ -150,8 +150,10 @@ mod tests {
                 b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
                 "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
             ),
-            (b"The quick brown fox jumps over the lazy dog",
-             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
         ];
         for (input, expected) in cases {
             assert_eq!(&to_hex(&Sha1::digest(input)), expected, "input {input:?}");

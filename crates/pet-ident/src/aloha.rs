@@ -212,6 +212,9 @@ mod tests {
         let capped_per_tag = capped.metrics.slots as f64 / n as f64;
         let free_per_tag = free.metrics.slots as f64 / n as f64;
         assert!(capped_per_tag > 8.0, "capped {capped_per_tag}");
-        assert!((2.3..3.8).contains(&free_per_tag), "unbounded {free_per_tag}");
+        assert!(
+            (2.3..3.8).contains(&free_per_tag),
+            "unbounded {free_per_tag}"
+        );
     }
 }

@@ -1,0 +1,249 @@
+//! The event vocabulary and its JSONL wire form.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// One telemetry sample.
+///
+/// Names are dot-separated `subsystem.detail` strings (`"cache.codes.hit"`,
+/// `"core.round"`); emission sites use `&'static str` so the hot path never
+/// allocates, while parsed events carry owned names — hence the [`Cow`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A monotonically accumulating count (`delta` is added to the total).
+    Counter {
+        /// Metric name.
+        name: Cow<'static, str>,
+        /// Increment to add.
+        delta: u64,
+    },
+    /// A point-in-time measurement; aggregation keeps the last value.
+    Gauge {
+        /// Metric name.
+        name: Cow<'static, str>,
+        /// Observed value.
+        value: f64,
+    },
+    /// A completed timed scope.
+    Span {
+        /// Span name.
+        name: Cow<'static, str>,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u64,
+    },
+}
+
+/// Failure to parse a JSONL telemetry line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad telemetry line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Event {
+    /// The event's metric name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Counter { name, .. } | Self::Gauge { name, .. } | Self::Span { name, .. } => name,
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    ///
+    /// Schema (one object per line):
+    ///
+    /// ```text
+    /// {"t":"counter","name":"cache.codes.hit","v":1}
+    /// {"t":"gauge","name":"runner.threads","v":8}
+    /// {"t":"span","name":"runner.cell","ns":1234567}
+    /// ```
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            Self::Counter { name, delta } => {
+                format!(
+                    "{{\"t\":\"counter\",\"name\":\"{}\",\"v\":{delta}}}",
+                    escape(name)
+                )
+            }
+            Self::Gauge { name, value } => {
+                // `{:?}` prints f64 with enough digits to round-trip.
+                format!(
+                    "{{\"t\":\"gauge\",\"name\":\"{}\",\"v\":{value:?}}}",
+                    escape(name)
+                )
+            }
+            Self::Span { name, nanos } => {
+                format!(
+                    "{{\"t\":\"span\",\"name\":\"{}\",\"ns\":{nanos}}}",
+                    escape(name)
+                )
+            }
+        }
+    }
+
+    /// Parses one JSONL line produced by [`Self::to_jsonl`].
+    ///
+    /// The parser is strict about the schema (three known keys, object per
+    /// line) but tolerant of surrounding whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] when the line is not a telemetry event.
+    pub fn parse_jsonl(line: &str) -> Result<Self, ParseError> {
+        let err = |msg: &str| ParseError(format!("{msg} in {line:?}"));
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| err("not a JSON object"))?;
+        let kind = field(body, "t").ok_or_else(|| err("missing \"t\""))?;
+        let kind = unquote(kind).ok_or_else(|| err("\"t\" must be a string"))?;
+        let name = field(body, "name").ok_or_else(|| err("missing \"name\""))?;
+        let name = unescape(unquote(name).ok_or_else(|| err("\"name\" must be a string"))?);
+        match kind {
+            "counter" => {
+                let v = field(body, "v").ok_or_else(|| err("missing \"v\""))?;
+                let delta = v.parse().map_err(|_| err("\"v\" must be a u64"))?;
+                Ok(Self::Counter {
+                    name: name.into(),
+                    delta,
+                })
+            }
+            "gauge" => {
+                let v = field(body, "v").ok_or_else(|| err("missing \"v\""))?;
+                let value = v.parse().map_err(|_| err("\"v\" must be an f64"))?;
+                Ok(Self::Gauge {
+                    name: name.into(),
+                    value,
+                })
+            }
+            "span" => {
+                let ns = field(body, "ns").ok_or_else(|| err("missing \"ns\""))?;
+                let nanos = ns.parse().map_err(|_| err("\"ns\" must be a u64"))?;
+                Ok(Self::Span {
+                    name: name.into(),
+                    nanos,
+                })
+            }
+            other => Err(err(&format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+/// Escapes a metric name for embedding in a JSON string. Names are
+/// programmer-chosen identifiers, so only the two structurally dangerous
+/// characters need care.
+fn escape(name: &str) -> Cow<'_, str> {
+    if name.contains(['"', '\\']) {
+        Cow::Owned(name.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        Cow::Borrowed(name)
+    }
+}
+
+fn unescape(raw: &str) -> String {
+    if raw.contains('\\') {
+        raw.replace("\\\"", "\"").replace("\\\\", "\\")
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Extracts the raw value of `"key":` from a flat JSON object body.
+fn field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let end = if rest.starts_with('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in rest.char_indices().skip(1) {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i + 1);
+                break;
+            }
+        }
+        close?
+    } else {
+        rest.find(',').unwrap_or(rest.len())
+    };
+    Some(&rest[..end])
+}
+
+fn unquote(raw: &str) -> Option<&str> {
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = [
+            Event::Counter {
+                name: "cache.codes.hit".into(),
+                delta: 17,
+            },
+            Event::Gauge {
+                name: "runner.threads".into(),
+                value: 8.0,
+            },
+            Event::Gauge {
+                name: "x".into(),
+                value: 0.333_333_333_333,
+            },
+            Event::Span {
+                name: "runner.cell".into(),
+                nanos: 123_456_789,
+            },
+            Event::Counter {
+                name: "weird\"name\\".into(),
+                delta: 0,
+            },
+        ];
+        for e in &events {
+            let line = e.to_jsonl();
+            assert_eq!(&Event::parse_jsonl(&line).unwrap(), e, "line {line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"t\":\"counter\"}",
+            "{\"t\":\"counter\",\"name\":\"x\",\"v\":-1}",
+            "{\"t\":\"blob\",\"name\":\"x\",\"v\":1}",
+            "{\"t\":\"span\",\"name\":\"x\",\"v\":1}",
+        ] {
+            assert!(Event::parse_jsonl(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        let e = Event::parse_jsonl("  {\"t\":\"counter\",\"name\":\"a\",\"v\":2}\n").unwrap();
+        assert_eq!(
+            e,
+            Event::Counter {
+                name: "a".into(),
+                delta: 2
+            }
+        );
+    }
+}

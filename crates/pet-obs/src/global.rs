@@ -1,0 +1,180 @@
+//! The process-wide telemetry handle.
+//!
+//! The design constraint (ISSUE 2, and the `bench-kernel` acceptance
+//! bound): with telemetry disabled, an instrumentation site must cost one
+//! relaxed atomic load and a predictable branch — no allocation, no lock,
+//! no clock read. The [`enabled`] flag is that static branch; the sink
+//! pointer behind it is only touched once the flag says so.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// The static branch every instrumentation site checks first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink. Only consulted when `ENABLED` is true, so the
+/// disabled path never takes this lock.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Whether a sink is installed. One relaxed load — this is the whole cost
+/// of an instrumentation site when telemetry is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-wide telemetry destination and enables
+/// emission. Replaces (and flushes) any previously installed sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut slot = SINK.write().expect("telemetry handle poisoned");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disables emission, flushes, and drops the installed sink.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Release);
+    let mut slot = SINK.write().expect("telemetry handle poisoned");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+}
+
+/// Sends an already-built event to the installed sink (if any).
+pub fn record(event: &Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(sink) = SINK.read().expect("telemetry handle poisoned").as_ref() {
+        sink.record(event);
+    }
+}
+
+/// Flushes the installed sink (if any).
+pub fn flush() {
+    if let Some(sink) = SINK.read().expect("telemetry handle poisoned").as_ref() {
+        sink.flush();
+    }
+}
+
+/// Increments counter `name` by `delta`. Free when telemetry is disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if enabled() {
+        record(&Event::Counter {
+            name: name.into(),
+            delta,
+        });
+    }
+}
+
+/// Sets gauge `name` to `value`. Free when telemetry is disabled.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if enabled() {
+        record(&Event::Gauge {
+            name: name.into(),
+            value,
+        });
+    }
+}
+
+/// Opens a timed scope; the span's duration is recorded when the returned
+/// guard drops. When telemetry is disabled at open time the guard is inert
+/// (no clock read at either end).
+#[inline]
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Guard returned by [`span`]; records its lifetime on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Whether this span is live (telemetry was enabled when it opened).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            record(&Event::Span {
+                name: self.name.into(),
+                nanos,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    /// One test exercises the whole global lifecycle: the handle is
+    /// process-wide state, so splitting these assertions across parallel
+    /// test threads would race on install/shutdown.
+    #[test]
+    fn global_handle_lifecycle() {
+        // Disabled: everything is inert.
+        assert!(!enabled());
+        counter("t.disabled", 1);
+        assert!(!span("t.idle").is_recording());
+
+        // Install: events flow.
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        assert!(enabled());
+        counter("t.counter", 2);
+        counter("t.counter", 3);
+        gauge("t.gauge", 9.5);
+        {
+            let s = span("t.span");
+            assert!(s.is_recording());
+            std::hint::black_box(17u64);
+        }
+        let summary = sink.summary();
+        assert_eq!(summary.counter("t.counter"), 5);
+        assert_eq!(summary.gauge("t.gauge"), Some(9.5));
+        assert_eq!(summary.span_stats("t.span").unwrap().count, 1);
+
+        // Replace: the new sink gets subsequent events.
+        let second = Arc::new(MemorySink::new());
+        install(second.clone());
+        counter("t.counter", 1);
+        assert_eq!(second.summary().counter("t.counter"), 1);
+        assert_eq!(sink.summary().counter("t.counter"), 5, "old sink detached");
+
+        // Shutdown: inert again.
+        shutdown();
+        assert!(!enabled());
+        counter("t.counter", 100);
+        assert_eq!(second.summary().counter("t.counter"), 1);
+
+        // A span opened while enabled but dropped after shutdown records
+        // nothing (the sink is gone) without panicking.
+        install(Arc::new(MemorySink::new()));
+        let s = span("t.late");
+        shutdown();
+        drop(s);
+    }
+}

@@ -1,0 +1,185 @@
+//! Event destinations.
+
+use crate::event::Event;
+use crate::summary::Summary;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Where telemetry events go.
+///
+/// Implementations must be cheap and thread-safe: hot paths call
+/// [`Sink::record`] from trial worker threads concurrently. Errors are
+/// swallowed by design — telemetry must never take down an experiment.
+pub trait Sink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output (a no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Installing this is equivalent to disabling
+/// telemetry except that [`crate::enabled`] stays `true` (useful for
+/// overhead measurements of the *enabled* branch itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Accumulates events in memory — the test and in-process-summary sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything recorded so far.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().expect("sink poisoned").clear();
+    }
+
+    /// Aggregates everything recorded so far into a [`Summary`].
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let mut summary = Summary::default();
+        for e in self.events.lock().expect("sink poisoned").iter() {
+            summary.accumulate(e);
+        }
+        summary
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams events to a file, one JSON object per line (see
+/// [`Event::to_jsonl`] for the schema). Buffered; flushed on
+/// [`Sink::flush`] and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // Telemetry I/O failures must not disturb the experiment.
+        let _ = writeln!(w, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> [Event; 3] {
+        [
+            Event::Counter {
+                name: "a".into(),
+                delta: 1,
+            },
+            Event::Gauge {
+                name: "b".into(),
+                value: 2.5,
+            },
+            Event::Span {
+                name: "c".into(),
+                nanos: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_sink_accumulates_and_summarizes() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        for e in sample() {
+            sink.record(&e);
+            sink.record(&e);
+        }
+        assert_eq!(sink.len(), 6);
+        let summary = sink.summary();
+        assert_eq!(summary.counter("a"), 2);
+        assert_eq!(summary.gauge("b"), Some(2.5));
+        assert_eq!(summary.span_stats("c").unwrap().count, 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("pet-obs-test-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for e in sample() {
+                sink.record(&e);
+            }
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| Event::parse_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed, sample());
+        std::fs::remove_file(&path).ok();
+    }
+}

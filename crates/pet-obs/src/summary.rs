@@ -1,0 +1,205 @@
+//! Aggregating an event stream back into named metrics.
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Completed spans seen.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_nanos: u64,
+    /// Log-2 distribution of the individual durations.
+    pub histogram: Histogram,
+}
+
+impl SpanStats {
+    /// Mean duration in nanoseconds, or 0 when empty.
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated view of a telemetry stream: summed counters, last-value
+/// gauges, and per-name span statistics. This is both what
+/// [`crate::MemorySink::summary`] returns in-process and what
+/// `pet telemetry summarize` reconstructs from a JSONL file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanStats>,
+    events: u64,
+}
+
+impl Summary {
+    /// Folds one event into the aggregate.
+    pub fn accumulate(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::Counter { name, delta } => {
+                *self.counters.entry(name.to_string()).or_default() += delta;
+            }
+            Event::Gauge { name, value } => {
+                self.gauges.insert(name.to_string(), *value);
+            }
+            Event::Span { name, nanos } => {
+                let stats = self
+                    .spans
+                    .entry(name.to_string())
+                    .or_insert_with(|| SpanStats {
+                        count: 0,
+                        total_nanos: 0,
+                        histogram: Histogram::new(),
+                    });
+                stats.count += 1;
+                stats.total_nanos = stats.total_nanos.saturating_add(*nanos);
+                stats.histogram.record(*nanos);
+            }
+        }
+    }
+
+    /// Total events accumulated (all kinds).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Accumulated value of a counter (0 when never seen).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last value of a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Statistics for a span name.
+    #[must_use]
+    pub fn span_stats(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// All counter names seen, sorted.
+    #[must_use]
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+
+    /// All span names seen, sorted.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.keys().map(String::as_str).collect()
+    }
+
+    /// Renders a human-readable report (what `pet telemetry summarize`
+    /// prints).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} events", self.events);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {total:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges (last value):");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {value:>14.3}");
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nspans:\n  {:<32} {:>10} {:>12} {:>12} {:>12}",
+                "name", "count", "total ms", "mean µs", "p99 ≤ µs"
+            );
+            for (name, s) in &self.spans {
+                let p99 = s.histogram.quantile_bound(0.99).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} {:>10} {:>12.3} {:>12.3} {:>12.3}",
+                    s.count,
+                    s.total_nanos as f64 / 1e6,
+                    s.mean_nanos() / 1e3,
+                    p99 as f64 / 1e3,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_kind() {
+        let mut s = Summary::default();
+        s.accumulate(&Event::Counter {
+            name: "c".into(),
+            delta: 2,
+        });
+        s.accumulate(&Event::Counter {
+            name: "c".into(),
+            delta: 3,
+        });
+        s.accumulate(&Event::Gauge {
+            name: "g".into(),
+            value: 1.0,
+        });
+        s.accumulate(&Event::Gauge {
+            name: "g".into(),
+            value: 4.0,
+        });
+        s.accumulate(&Event::Span {
+            name: "s".into(),
+            nanos: 1_000,
+        });
+        s.accumulate(&Event::Span {
+            name: "s".into(),
+            nanos: 3_000,
+        });
+        assert_eq!(s.events(), 6);
+        assert_eq!(s.counter("c"), 5);
+        assert_eq!(s.counter("absent"), 0);
+        assert_eq!(s.gauge("g"), Some(4.0), "gauges keep the last value");
+        let span = s.span_stats("s").unwrap();
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_nanos, 4_000);
+        assert_eq!(span.mean_nanos(), 2_000.0);
+        assert_eq!(s.counter_names(), vec!["c"]);
+        assert_eq!(s.span_names(), vec!["s"]);
+    }
+
+    #[test]
+    fn render_mentions_every_metric() {
+        let mut s = Summary::default();
+        s.accumulate(&Event::Counter {
+            name: "cache.codes.hit".into(),
+            delta: 7,
+        });
+        s.accumulate(&Event::Span {
+            name: "runner.cell".into(),
+            nanos: 5_000_000,
+        });
+        let text = s.render();
+        assert!(text.contains("cache.codes.hit"));
+        assert!(text.contains("runner.cell"));
+        assert!(text.contains("2 events"));
+    }
+}

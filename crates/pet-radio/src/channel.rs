@@ -155,10 +155,7 @@ mod tests {
     fn lossy_validation() {
         assert!(LossyChannel::new(0.0, 0.0).is_ok());
         assert!(LossyChannel::new(0.99, 0.0).is_ok());
-        assert_eq!(
-            LossyChannel::new(1.0, 0.0).unwrap_err().parameter,
-            "miss"
-        );
+        assert_eq!(LossyChannel::new(1.0, 0.0).unwrap_err().parameter, "miss");
         assert_eq!(
             LossyChannel::new(0.0, -0.1).unwrap_err().parameter,
             "false_busy"

@@ -93,6 +93,9 @@ mod tests {
 
     #[test]
     fn empty_metrics_take_no_time() {
-        assert_eq!(TimeModel::gen2().elapsed(&AirMetrics::default()), Duration::ZERO);
+        assert_eq!(
+            TimeModel::gen2().elapsed(&AirMetrics::default()),
+            Duration::ZERO
+        );
     }
 }

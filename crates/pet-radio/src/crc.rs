@@ -43,10 +43,7 @@ pub fn crc16_ccitt(data: &[u8]) -> u16 {
 #[must_use]
 pub fn bits_msb_first(value: u64, len: u32) -> Vec<bool> {
     assert!(len <= 64, "at most 64 bits");
-    (0..len)
-        .rev()
-        .map(|i| (value >> i) & 1 == 1)
-        .collect()
+    (0..len).rev().map(|i| (value >> i) & 1 == 1).collect()
 }
 
 #[cfg(test)]

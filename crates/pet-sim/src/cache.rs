@@ -42,13 +42,22 @@ struct CodesKey {
     height: u32,
 }
 
-/// Hit/miss counters (for tests and tuning).
+/// Hit/miss/eviction counters (for tests and tuning).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to build the artifact.
     pub misses: u64,
+    /// Entries pushed out by the FIFO bound.
+    pub evictions: u64,
+}
+
+/// Result of one shelf lookup.
+struct Lookup<V> {
+    value: V,
+    hit: bool,
+    evicted: bool,
 }
 
 struct Shelf<K, V> {
@@ -67,25 +76,47 @@ impl<K, V> Default for Shelf<K, V> {
 }
 
 impl<K: Clone + Eq + std::hash::Hash, V: Clone> Shelf<K, V> {
-    fn get_or_insert_with(&mut self, key: K, cap: usize, build: impl FnOnce() -> V) -> (V, bool) {
+    fn get_or_insert_with(&mut self, key: K, cap: usize, build: impl FnOnce() -> V) -> Lookup<V> {
         if let Some(v) = self.map.get(&key) {
-            return (v.clone(), true);
+            return Lookup {
+                value: v.clone(),
+                hit: true,
+                evicted: false,
+            };
         }
         let v = build();
+        // Capacity 0 disables storage entirely: without this guard the old
+        // FIFO logic would insert then immediately evict on every lookup,
+        // silently thrashing (build + churn) while caching nothing.
+        if cap == 0 {
+            return Lookup {
+                value: v,
+                hit: false,
+                evicted: false,
+            };
+        }
+        let mut evicted = false;
         if self.order.len() >= cap {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
+                evicted = true;
             }
         }
         self.order.push_back(key.clone());
         self.map.insert(key, v.clone());
-        (v, false)
+        Lookup {
+            value: v,
+            hit: false,
+            evicted,
+        }
     }
 }
 
-/// The process-wide roster cache. Obtain it with [`RosterCache::global`].
-#[derive(Default)]
+/// The process-wide roster cache. Obtain it with [`RosterCache::global`],
+/// or build a locally scoped one with [`RosterCache::with_capacities`].
 pub struct RosterCache {
+    keys_cap: usize,
+    codes_cap: usize,
     keys: Mutex<Shelf<usize, Arc<Vec<u64>>>>,
     codes: Mutex<Shelf<CodesKey, Arc<Vec<u64>>>>,
     stats: Mutex<CacheStats>,
@@ -97,6 +128,12 @@ const KEYS_CAP: usize = 8;
 /// FIFO without benefit, but also without unbounded growth.
 const CODES_CAP: usize = 32;
 
+impl Default for RosterCache {
+    fn default() -> Self {
+        Self::with_capacities(KEYS_CAP, CODES_CAP)
+    }
+}
+
 impl RosterCache {
     /// The process-wide instance.
     pub fn global() -> &'static RosterCache {
@@ -104,16 +141,43 @@ impl RosterCache {
         CACHE.get_or_init(RosterCache::default)
     }
 
+    /// A cache bounded to `keys_cap` key vectors and `codes_cap` code
+    /// arrays. A capacity of 0 disables that shelf: every lookup builds
+    /// fresh and nothing is stored (no FIFO churn).
+    #[must_use]
+    pub fn with_capacities(keys_cap: usize, codes_cap: usize) -> Self {
+        Self {
+            keys_cap,
+            codes_cap,
+            keys: Mutex::default(),
+            codes: Mutex::default(),
+            stats: Mutex::default(),
+        }
+    }
+
     /// The `u64` hashing keys of `TagPopulation::sequential(n)`, shared.
     pub fn sequential_keys(&self, n: usize) -> Arc<Vec<u64>> {
-        let (keys, _hit) = self
+        let lookup = self
             .keys
             .lock()
             .expect("cache poisoned")
-            .get_or_insert_with(n, KEYS_CAP, || {
+            .get_or_insert_with(n, self.keys_cap, || {
                 Arc::new(TagPopulation::sequential(n).keys().collect())
             });
-        keys
+        if pet_obs::enabled() {
+            pet_obs::counter(
+                if lookup.hit {
+                    "cache.keys.hit"
+                } else {
+                    "cache.keys.miss"
+                },
+                1,
+            );
+            if lookup.evicted {
+                pet_obs::counter("cache.keys.evict", 1);
+            }
+        }
+        lookup.value
     }
 
     /// A [`CodeBank`] for `n` sequential tags under `config`: passive banks
@@ -129,11 +193,11 @@ impl RosterCache {
                     mode: config.tag_mode(),
                     height: config.height(),
                 };
-                let (codes, hit) = self
+                let lookup = self
                     .codes
                     .lock()
                     .expect("cache poisoned")
-                    .get_or_insert_with(cache_key, CODES_CAP, || {
+                    .get_or_insert_with(cache_key, self.codes_cap, || {
                         // Sequential hashing: trial workers already saturate
                         // the cores, so nested fan-out would oversubscribe.
                         let mut codes = Vec::new();
@@ -148,13 +212,31 @@ impl RosterCache {
                         radix_sort_codes(&mut codes, config.height(), &mut scratch);
                         Arc::new(codes)
                     });
-                let mut stats = self.stats.lock().expect("cache poisoned");
-                if hit {
-                    stats.hits += 1;
-                } else {
-                    stats.misses += 1;
+                {
+                    let mut stats = self.stats.lock().expect("cache poisoned");
+                    if lookup.hit {
+                        stats.hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                    if lookup.evicted {
+                        stats.evictions += 1;
+                    }
                 }
-                CodeBank::passive_shared(codes)
+                if pet_obs::enabled() {
+                    pet_obs::counter(
+                        if lookup.hit {
+                            "cache.codes.hit"
+                        } else {
+                            "cache.codes.miss"
+                        },
+                        1,
+                    );
+                    if lookup.evicted {
+                        pet_obs::counter("cache.codes.evict", 1);
+                    }
+                }
+                CodeBank::passive_shared(lookup.value)
             }
             TagMode::ActivePerRound => CodeBank::Active {
                 keys,
@@ -164,7 +246,8 @@ impl RosterCache {
         }
     }
 
-    /// Snapshot of the hit/miss counters (passive code lookups only).
+    /// Snapshot of the hit/miss/eviction counters (passive code lookups
+    /// only).
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock().expect("cache poisoned")
     }
@@ -179,7 +262,10 @@ mod tests {
 
     #[test]
     fn cached_bank_estimates_match_oracle_path() {
-        let config = PetConfig::builder().manufacture_seed(0xCAFE).build().unwrap();
+        let config = PetConfig::builder()
+            .manufacture_seed(0xCAFE)
+            .build()
+            .unwrap();
         let cache = RosterCache::default();
         let session = PetSession::new(config);
         let engine = SessionEngine::from_session(session.clone());
@@ -206,7 +292,14 @@ mod tests {
         let bank_a = cache.sequential_bank(500, &a, fam);
         let bank_b = cache.sequential_bank(500, &b, fam);
         assert_ne!(bank_a.codes(), bank_b.codes());
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -217,9 +310,94 @@ mod tests {
             let config = PetConfig::builder().manufacture_seed(seed).build().unwrap();
             let _ = cache.sequential_bank(64, &config, fam);
         }
-        let shelf = cache.codes.lock().unwrap();
-        assert!(shelf.map.len() <= CODES_CAP);
-        assert_eq!(shelf.map.len(), shelf.order.len());
+        {
+            let shelf = cache.codes.lock().unwrap();
+            assert!(shelf.map.len() <= CODES_CAP);
+            assert_eq!(shelf.map.len(), shelf.order.len());
+        }
+        assert_eq!(
+            cache.stats().evictions,
+            10,
+            "one eviction per overflow insert"
+        );
+    }
+
+    /// FIFO order: filling a capacity-2 cache with a third key must evict
+    /// the *oldest* entry, not the most recent one.
+    #[test]
+    fn eviction_is_fifo_ordered() {
+        let cache = RosterCache::with_capacities(KEYS_CAP, 2);
+        let fam = AnyFamily::default();
+        let config_for = |seed: u64| PetConfig::builder().manufacture_seed(seed).build().unwrap();
+        let _ = cache.sequential_bank(64, &config_for(1), fam); // miss, stored
+        let _ = cache.sequential_bank(64, &config_for(2), fam); // miss, stored
+        let _ = cache.sequential_bank(64, &config_for(3), fam); // miss, evicts seed 1
+        let _ = cache.sequential_bank(64, &config_for(2), fam); // hit (still resident)
+        let _ = cache.sequential_bank(64, &config_for(3), fam); // hit (newest)
+        let _ = cache.sequential_bank(64, &config_for(1), fam); // miss again (was evicted)
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.evictions),
+            (2, 4, 2),
+            "seed 1 must be the FIFO victim"
+        );
+    }
+
+    /// Capacity 0 disables the shelf instead of thrashing insert/evict on
+    /// every trial: lookups all miss, nothing is stored, nothing is
+    /// evicted, and the results stay correct.
+    #[test]
+    fn zero_capacity_disables_storage_without_thrash() {
+        let cache = RosterCache::with_capacities(0, 0);
+        let fam = AnyFamily::default();
+        let config = PetConfig::builder().manufacture_seed(9).build().unwrap();
+        let expect = RosterCache::default()
+            .sequential_bank(200, &config, fam)
+            .codes()
+            .to_vec();
+        for _ in 0..3 {
+            let bank = cache.sequential_bank(200, &config, fam);
+            assert_eq!(bank.codes(), expect, "disabled cache must stay correct");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 3, 0));
+        assert!(cache.codes.lock().unwrap().map.is_empty(), "nothing stored");
+        assert!(
+            cache.codes.lock().unwrap().order.is_empty(),
+            "no FIFO churn"
+        );
+        assert!(cache.keys.lock().unwrap().map.is_empty());
+    }
+
+    /// Concurrent trial workers share one cached artifact: every thread
+    /// gets a pointer to the same allocation, and the build happens at
+    /// most a handful of times (once per losing racer at worst).
+    #[test]
+    fn cross_thread_sharing_returns_one_allocation() {
+        let cache = std::sync::Arc::new(RosterCache::default());
+        let config = PetConfig::builder()
+            .manufacture_seed(0xBEEF)
+            .build()
+            .unwrap();
+        let fam = AnyFamily::default();
+        let reference = cache.sequential_keys(512);
+        let banks: Vec<CodeBank> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = std::sync::Arc::clone(&cache);
+                    scope.spawn(move || cache.sequential_bank(512, &config, fam))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for bank in &banks {
+            assert_eq!(bank.codes(), banks[0].codes());
+        }
+        // The keys shelf is shared: same Arc for every later request.
+        assert!(Arc::ptr_eq(&reference, &cache.sequential_keys(512)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert!(stats.misses >= 1, "someone built it");
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl CsvWriter {
     /// Returns any I/O error; panics if the cell count does not match the
     /// header.
     pub fn row(&mut self, cells: &[f64]) -> io::Result<()> {
-        assert_eq!(
-            cells.len(),
-            self.columns,
-            "row width does not match header"
-        );
+        assert_eq!(cells.len(), self.columns, "row width does not match header");
         let line: Vec<String> = cells.iter().map(|c| format_cell(*c)).collect();
         writeln!(self.out, "{}", line.join(","))
     }
@@ -60,11 +56,7 @@ impl CsvWriter {
     /// Returns any I/O error; panics on width mismatch or cells containing
     /// separators.
     pub fn row_strings(&mut self, cells: &[String]) -> io::Result<()> {
-        assert_eq!(
-            cells.len(),
-            self.columns,
-            "row width does not match header"
-        );
+        assert_eq!(cells.len(), self.columns, "row width does not match header");
         for c in cells {
             assert!(
                 !c.contains(',') && !c.contains('\n'),
@@ -118,7 +110,8 @@ mod tests {
     fn string_rows() {
         let path = tmp("strings");
         let mut w = CsvWriter::create(&path, &["protocol", "slots"]).unwrap();
-        w.row_strings(&["PET".to_string(), "23480".to_string()]).unwrap();
+        w.row_strings(&["PET".to_string(), "23480".to_string()])
+            .unwrap();
         w.finish().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.ends_with("PET,23480\n"));

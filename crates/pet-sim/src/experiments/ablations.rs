@@ -133,7 +133,9 @@ pub fn lossy_channel(
                 };
                 let mut air = Air::new(channel);
                 let mut rng = StdRng::seed_from_u64(trial_seed);
-                session.run_rounds(rounds, &mut oracle, &mut air, &mut rng).estimate
+                session
+                    .run_rounds(rounds, &mut oracle, &mut air, &mut rng)
+                    .estimate
             });
             let truth = n as f64;
             LossRow {
@@ -173,7 +175,8 @@ pub fn lof_early_termination(
                     .with_early_termination(early);
                 let mut rng = StdRng::seed_from_u64(trial_seed);
                 let mut air = Air::new(ChannelModel::Perfect);
-                lof.estimate_rounds(&keys, rounds, &mut air, &mut rng).estimate
+                lof.estimate_rounds(&keys, rounds, &mut air, &mut rng)
+                    .estimate
             });
             // Re-measure slots once (deterministic enough in expectation).
             let slot_sum = {
@@ -226,7 +229,13 @@ pub fn hash_families(n: usize, rounds: u32, runs: usize, seed: u64) -> Vec<HashF
             // workers already hold every core, so hash sequentially here.
             let mut codes = Vec::new();
             let mut scratch = Vec::new();
-            hash_codes_into(&family, config.manufacture_seed(), &keys, config.height(), &mut codes);
+            hash_codes_into(
+                &family,
+                config.manufacture_seed(),
+                &keys,
+                config.height(),
+                &mut codes,
+            );
             radix_sort_codes(&mut codes, config.height(), &mut scratch);
             let mut bank = CodeBank::passive_shared(Arc::new(codes));
             let mut rng = StdRng::seed_from_u64(trial_seed);
@@ -357,9 +366,13 @@ pub fn adaptive_stopping(
         });
         let coverage = pet_stats::histogram::fraction_within(&summary.values, lo, hi);
         rows.push(AdaptiveRow {
-            mode: if adaptive { "adaptive" } else { "fixed (Eq. 20)" }.to_string(),
-            mean_rounds: rounds_sum.load(std::sync::atomic::Ordering::Relaxed) as f64
-                / runs as f64,
+            mode: if adaptive {
+                "adaptive"
+            } else {
+                "fixed (Eq. 20)"
+            }
+            .to_string(),
+            mean_rounds: rounds_sum.load(std::sync::atomic::Ordering::Relaxed) as f64 / runs as f64,
             coverage,
         });
     }

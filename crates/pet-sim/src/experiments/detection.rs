@@ -60,8 +60,7 @@ pub struct DetectionRow {
 
 /// Runs the sweep.
 pub fn run(params: &DetectionParams) -> Vec<DetectionRow> {
-    let accuracy =
-        Accuracy::new(params.epsilon, params.delta).expect("valid accuracy");
+    let accuracy = Accuracy::new(params.epsilon, params.delta).expect("valid accuracy");
     let rounds = accuracy.pet_rounds();
     let se = SIGMA_H / f64::from(rounds).sqrt();
     // z_α (lower tail critical value).
@@ -85,7 +84,11 @@ pub fn run(params: &DetectionParams) -> Vec<DetectionRow> {
             });
             // Predicted: the statistic shifts by log₂(1−θ); alarm when
             // Z < z_α + |shift|/se.
-            let shift = if theta > 0.0 { -(1.0 - theta).log2() } else { 0.0 };
+            let shift = if theta > 0.0 {
+                -(1.0 - theta).log2()
+            } else {
+                0.0
+            };
             let predicted = normal_cdf(z_alpha + shift / se);
             DetectionRow {
                 missing_fraction: theta,
@@ -112,7 +115,11 @@ mod tests {
             seed: 9,
         });
         // θ = 0: alarm rate ≈ α.
-        assert!(rows[0].alarm_rate < 0.15, "false alarms {}", rows[0].alarm_rate);
+        assert!(
+            rows[0].alarm_rate < 0.15,
+            "false alarms {}",
+            rows[0].alarm_rate
+        );
         // Monotone power.
         assert!(rows[1].alarm_rate >= rows[0].alarm_rate);
         assert!(rows[2].alarm_rate >= rows[1].alarm_rate);

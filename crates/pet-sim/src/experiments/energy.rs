@@ -109,9 +109,7 @@ mod tests {
         let get = |name: &str| rows.iter().find(|r| r.protocol == name).unwrap();
         let (pet, fneb, lof) = (get("PET"), get("FNEB"), get("LoF"));
         // LoF: every tag responds every round.
-        let m_lof = f64::from(
-            Lof::paper_default().rounds(&Accuracy::new(0.10, 0.05).unwrap()),
-        );
+        let m_lof = f64::from(Lof::paper_default().rounds(&Accuracy::new(0.10, 0.05).unwrap()));
         assert!(
             (lof.responses_per_tag - m_lof).abs() < 1e-9,
             "LoF responses/tag {} vs rounds {m_lof}",

@@ -10,7 +10,7 @@
 use crate::cache::RosterCache;
 use crate::runner::run_trials;
 use pet_core::config::PetConfig;
-use pet_core::session::SessionEngine;
+use pet_core::front::Estimator;
 use pet_hash::family::AnyFamily;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,14 +69,15 @@ pub fn pet_trial(n: usize, rounds: u32, trial_seed: u64) -> f64 {
         .manufacture_seed(trial_seed ^ 0x4D41_4E55) // "MANU"
         .build()
         .expect("valid config");
-    // Batched-kernel path, bit-for-bit equal to the oracle session for the
-    // same seeds (pinned by the kernel equivalence suite). Per-trial
-    // manufacture seeds mean the code cache misses by design; the shared
-    // key vector and radix sort still drop most of the per-trial setup.
-    let engine = SessionEngine::new(config);
+    // Default backend is the batched kernel, bit-for-bit equal to the oracle
+    // session for the same seeds (pinned by the kernel equivalence suite).
+    // Per-trial manufacture seeds mean the code cache misses by design; the
+    // shared key vector and radix sort still drop most of the per-trial
+    // setup.
+    let estimator = Estimator::new(config);
     let mut bank = RosterCache::global().sequential_bank(n, &config, AnyFamily::default());
     let mut rng = StdRng::seed_from_u64(trial_seed);
-    engine.run_fast(&mut bank, rounds, &mut rng).estimate
+    estimator.run_bank(&mut bank, rounds, &mut rng).estimate
 }
 
 /// Runs the sweep.
@@ -86,7 +87,10 @@ pub fn pet_trial(n: usize, rounds: u32, trial_seed: u64) -> f64 {
 /// Panics if any parameter list is empty or `runs` is zero.
 pub fn run(params: &Fig4Params) -> Fig4Result {
     assert!(!params.tag_counts.is_empty(), "need at least one tag count");
-    assert!(!params.round_counts.is_empty(), "need at least one round count");
+    assert!(
+        !params.round_counts.is_empty(),
+        "need at least one round count"
+    );
     let mut rows = Vec::new();
     for (ni, &n) in params.tag_counts.iter().enumerate() {
         for (mi, &rounds) in params.round_counts.iter().enumerate() {

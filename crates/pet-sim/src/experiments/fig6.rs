@@ -140,8 +140,7 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
         pet_trial(params.n, m_pet, trial_seed)
     })
     .values;
-    let pet_series =
-        histogram_series(&pet_values, lo, hi, params.bins, "PET", m_pet, interval);
+    let pet_series = histogram_series(&pet_values, lo, hi, params.bins, "PET", m_pet, interval);
     let pet_theory = pet_theory_series(params.n as u64, m_pet, lo, hi, params.bins);
 
     // --- 6b/6c: baselines at the SAME slot budget -----------------------
@@ -159,7 +158,8 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
     let fneb_values = run_trials(params.runs, params.seed ^ 0xB, |trial_seed| {
         let mut rng = StdRng::seed_from_u64(trial_seed);
         let mut air = Air::new(ChannelModel::Perfect);
-        fneb.estimate_rounds(&keys, m_fneb, &mut air, &mut rng).estimate
+        fneb.estimate_rounds(&keys, m_fneb, &mut air, &mut rng)
+            .estimate
     })
     .values;
     let fneb_series = histogram_series(
@@ -177,11 +177,11 @@ pub fn run(params: &Fig6Params) -> Fig6Result {
     let lof_values = run_trials(params.runs, params.seed ^ 0xC, |trial_seed| {
         let mut rng = StdRng::seed_from_u64(trial_seed);
         let mut air = Air::new(ChannelModel::Perfect);
-        lof.estimate_rounds(&keys, m_lof, &mut air, &mut rng).estimate
+        lof.estimate_rounds(&keys, m_lof, &mut air, &mut rng)
+            .estimate
     })
     .values;
-    let lof_series =
-        histogram_series(&lof_values, lo, hi, params.bins, "LoF", m_lof, interval);
+    let lof_series = histogram_series(&lof_values, lo, hi, params.bins, "LoF", m_lof, interval);
 
     Fig6Result {
         interval,

@@ -20,8 +20,8 @@ pub mod ablations;
 pub mod detection;
 pub mod energy;
 pub mod fig4;
-pub mod motivation;
 pub mod fig6;
 pub mod fig7;
+pub mod motivation;
 pub mod table3;
 pub mod table45;

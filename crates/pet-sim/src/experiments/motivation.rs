@@ -111,8 +111,14 @@ mod tests {
         for pair in rows.windows(2) {
             let aloha_growth = pair[1].aloha_slots as f64 / pair[0].aloha_slots as f64;
             let tw_growth = pair[1].treewalk_slots as f64 / pair[0].treewalk_slots as f64;
-            assert!((7.0..13.0).contains(&aloha_growth), "aloha growth {aloha_growth}");
-            assert!((7.0..13.0).contains(&tw_growth), "treewalk growth {tw_growth}");
+            assert!(
+                (7.0..13.0).contains(&aloha_growth),
+                "aloha growth {aloha_growth}"
+            );
+            assert!(
+                (7.0..13.0).contains(&tw_growth),
+                "treewalk growth {tw_growth}"
+            );
             // PET: identical budget at every n.
             assert_eq!(pair[0].pet_slots, pair[1].pet_slots);
         }

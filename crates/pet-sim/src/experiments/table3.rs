@@ -4,7 +4,7 @@
 
 use crate::cache::RosterCache;
 use pet_core::config::PetConfig;
-use pet_core::session::SessionEngine;
+use pet_core::front::Estimator;
 use pet_hash::family::AnyFamily;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,7 +45,7 @@ pub struct Table3Row {
 pub fn run(params: &Table3Params) -> Vec<Table3Row> {
     let config = PetConfig::paper_default();
     // Fixed manufacture seed: every row reuses one cached hash+sort.
-    let engine = SessionEngine::new(config);
+    let estimator = Estimator::new(config);
     params
         .round_counts
         .iter()
@@ -53,7 +53,7 @@ pub fn run(params: &Table3Params) -> Vec<Table3Row> {
             let mut bank =
                 RosterCache::global().sequential_bank(params.n, &config, AnyFamily::default());
             let mut rng = StdRng::seed_from_u64(params.seed ^ u64::from(rounds));
-            let report = engine.run_fast(&mut bank, rounds, &mut rng);
+            let report = estimator.run_bank(&mut bank, rounds, &mut rng);
             Table3Row {
                 rounds,
                 measured_slots: report.metrics.slots,

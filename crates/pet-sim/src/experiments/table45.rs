@@ -10,7 +10,7 @@
 
 use crate::runner::run_trials;
 use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
-use pet_core::session::SessionEngine;
+use pet_core::front::Estimator;
 use pet_radio::channel::ChannelModel;
 use pet_radio::Air;
 use pet_stats::accuracy::Accuracy;
@@ -141,8 +141,8 @@ pub fn validate(params: &ValidateParams) -> Vec<CoverageRow> {
     // path for the same RNG stream): hash + sort the preloaded codes once,
     // then every trial clones the Arc'd bank instead of rebuilding it.
     let pet = PetAdapter::paper_default();
-    let pet_engine = SessionEngine::new(*pet.config());
-    let pet_bank = pet_engine.bank_for_keys(Arc::new(keys.clone()));
+    let pet_estimator = Estimator::new(*pet.config());
+    let pet_bank = pet_estimator.bank_for_keys(Arc::new(keys.clone()));
     fast.iter()
         .enumerate()
         .map(|(pi, protocol)| {
@@ -152,7 +152,7 @@ pub fn validate(params: &ValidateParams) -> Vec<CoverageRow> {
                 run_trials(params.runs, cell_seed, |trial_seed| {
                     let mut bank = pet_bank.clone();
                     let mut rng = StdRng::seed_from_u64(trial_seed);
-                    pet_engine.run_fast(&mut bank, rounds, &mut rng).estimate
+                    pet_estimator.run_bank(&mut bank, rounds, &mut rng).estimate
                 })
             } else {
                 run_trials(params.runs, cell_seed, |trial_seed| {

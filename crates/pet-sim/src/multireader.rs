@@ -51,11 +51,7 @@ impl Deployment {
     /// Panics if the field does not track exactly the population, no readers
     /// are given, or a coverage references a zone outside the field.
     #[must_use]
-    pub fn new(
-        population: &TagPopulation,
-        field: ZoneField,
-        coverages: Vec<Vec<u32>>,
-    ) -> Self {
+    pub fn new(population: &TagPopulation, field: ZoneField, coverages: Vec<Vec<u32>>) -> Self {
         assert_eq!(
             field.len(),
             population.len(),
@@ -199,7 +195,12 @@ mod tests {
             .unwrap()
     }
 
-    fn grid_deployment(n: usize, zones: u32, coverages: Vec<Vec<u32>>, seed: u64) -> (TagPopulation, Deployment) {
+    fn grid_deployment(
+        n: usize,
+        zones: u32,
+        coverages: Vec<Vec<u32>>,
+        seed: u64,
+    ) -> (TagPopulation, Deployment) {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = TagPopulation::sequential(n);
         let field = ZoneField::uniform(n, zones, &mut rng);

@@ -48,14 +48,23 @@ where
     F: Fn(u64) -> f64 + Sync,
 {
     assert!(trials > 0, "at least one trial is required");
+    // Per-cell wall time: one span per `run_trials` call (an experiment
+    // "cell" is one (n, m) data point of a sweep).
+    let _cell_span = pet_obs::span("runner.cell");
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(trials);
+    if pet_obs::enabled() {
+        pet_obs::gauge("runner.threads", threads as f64);
+        pet_obs::counter("runner.trials", trials as u64);
+    }
     let mut values = vec![0.0f64; trials];
     if threads <= 1 {
         for (i, v) in values.iter_mut().enumerate() {
+            let trial_span = pet_obs::span("runner.trial");
             *v = trial(trial_seed(base_seed, i as u64));
+            drop(trial_span);
         }
         return TrialSummary::from_values(values);
     }
@@ -77,7 +86,9 @@ where
                         if i >= trials {
                             break;
                         }
+                        let trial_span = pet_obs::span("runner.trial");
                         out.push((i, trial(trial_seed(base_seed, i as u64))));
+                        drop(trial_span);
                     }
                     out
                 })

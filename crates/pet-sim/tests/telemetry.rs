@@ -1,0 +1,53 @@
+//! End-to-end telemetry: a Fig. 4 sweep with the JSONL sink installed must
+//! emit round, cache, and runner events that parse back into the aggregate
+//! the events were recorded from.
+//!
+//! One test function: the pet-obs sink handle is process-global, so the
+//! install/shutdown window must not be shared across parallel tests.
+
+use std::sync::Arc;
+
+#[test]
+fn fig4_emits_parseable_round_cache_and_runner_events() {
+    let path = std::env::temp_dir().join(format!("pet-sim-tel-{}.jsonl", std::process::id()));
+    let sink = pet_obs::JsonlSink::create(&path).expect("create jsonl sink");
+    pet_obs::install(Arc::new(sink));
+    let params = pet_sim::experiments::fig4::Fig4Params {
+        tag_counts: vec![500],
+        round_counts: vec![4, 8],
+        runs: 12,
+        seed: 9,
+    };
+    let result = pet_sim::experiments::fig4::run(&params);
+    pet_obs::shutdown();
+    assert_eq!(result.rows.len(), 2);
+
+    let text = std::fs::read_to_string(&path).expect("read events back");
+    let mut summary = pet_obs::Summary::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let event = pet_obs::Event::parse_jsonl(line).expect("line parses");
+        summary.accumulate(&event);
+    }
+    std::fs::remove_file(&path).ok();
+
+    // Round events from the estimation kernel: 12 trials × (4 + 8) rounds,
+    // 5 slots per round at H = 32.
+    assert_eq!(summary.counter("core.rounds"), 12 * (4 + 8));
+    assert_eq!(summary.counter("core.round.slots"), 12 * (4 + 8) * 5);
+    assert!(summary.counter("core.round.command_bits") > 0);
+
+    // Cache events: per-trial manufacture seeds miss the code shelf by
+    // design, but the shared key vector hits after the first trial.
+    let key_lookups = summary.counter("cache.keys.hit") + summary.counter("cache.keys.miss");
+    assert_eq!(key_lookups, 24, "one key-shelf lookup per trial");
+    assert!(summary.counter("cache.keys.hit") >= 22);
+
+    // Runner events: one cell span per (n, m) point, one trial span per run.
+    assert_eq!(summary.counter("runner.trials"), 24);
+    let cells = summary.span_stats("runner.cell").expect("cell spans");
+    assert_eq!(cells.count, 2);
+    let trials = summary.span_stats("runner.trial").expect("trial spans");
+    assert_eq!(trials.count, 24);
+    assert!(summary.span_stats("core.round").is_some());
+    assert!(summary.gauge("runner.threads").is_some());
+}

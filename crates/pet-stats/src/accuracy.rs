@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_useful() {
-        assert!(AccuracyError::EpsilonOutOfRange.to_string().contains("epsilon"));
+        assert!(AccuracyError::EpsilonOutOfRange
+            .to_string()
+            .contains("epsilon"));
         assert!(AccuracyError::DeltaOutOfRange.to_string().contains("delta"));
     }
 

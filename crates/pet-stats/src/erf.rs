@@ -92,10 +92,7 @@ fn erfc_large(x: f64) -> f64 {
 /// Panics if `y` is outside `(−1, 1)`.
 #[must_use]
 pub fn erf_inv(y: f64) -> f64 {
-    assert!(
-        y > -1.0 && y < 1.0,
-        "erf_inv defined on (-1, 1), got {y}"
-    );
+    assert!(y > -1.0 && y < 1.0, "erf_inv defined on (-1, 1), got {y}");
     if y == 0.0 {
         return 0.0;
     }

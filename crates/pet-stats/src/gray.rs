@@ -139,11 +139,7 @@ impl GrayDistribution {
     /// `E(L)`.
     #[must_use]
     pub fn mean_prefix(&self) -> f64 {
-        self.pmf
-            .iter()
-            .enumerate()
-            .map(|(l, p)| l as f64 * p)
-            .sum()
+        self.pmf.iter().enumerate().map(|(l, p)| l as f64 * p).sum()
     }
 
     /// `E(h) = H − E(L)` (paper Eq. (6)–(9)).

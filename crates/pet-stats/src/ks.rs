@@ -117,7 +117,11 @@ mod tests {
         let a = uniform_sample(500, 1, 0.0);
         let b = uniform_sample(500, 2, 0.3);
         let r = two_sample(&a, &b);
-        assert!(!r.same_distribution_at(0.01), "missed shift: p = {}", r.p_value);
+        assert!(
+            !r.same_distribution_at(0.01),
+            "missed shift: p = {}",
+            r.p_value
+        );
         assert!(r.statistic > 0.2);
     }
 

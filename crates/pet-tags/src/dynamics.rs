@@ -67,8 +67,9 @@ impl Timeline {
         match event {
             ChurnEvent::Join(count) => {
                 for _ in 0..count {
-                    let epc = Epc96::new(0x30, 0x0D15EA5E & ((1 << 28) - 1), 0x7777, self.next_serial)
-                        .expect("fields in range");
+                    let epc =
+                        Epc96::new(0x30, 0x0D15EA5E & ((1 << 28) - 1), 0x7777, self.next_serial)
+                            .expect("fields in range");
                     self.next_serial += 1;
                     self.population.push(Tag::new(epc, TagKind::Passive));
                 }

@@ -39,7 +39,10 @@ impl ZoneField {
     pub fn uniform<R: Rng + ?Sized>(tags: usize, zone_count: u32, rng: &mut R) -> Self {
         assert!(zone_count > 0, "need at least one zone");
         let zone_of = (0..tags).map(|_| rng.random_range(0..zone_count)).collect();
-        Self { zone_count, zone_of }
+        Self {
+            zone_count,
+            zone_of,
+        }
     }
 
     /// Places every tag in zone 0 (e.g. a dock door staging area).

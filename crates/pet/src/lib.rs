@@ -14,9 +14,11 @@
 //! let mut rng = StdRng::seed_from_u64(2024);
 //! // 30,000 pallets with passive tags.
 //! let pallets = TagPopulation::sequential(30_000);
-//! // ±5% at 99% confidence — the paper's default requirement.
-//! let session = PetSession::new(PetConfig::paper_default());
-//! let report = session.estimate_population(&pallets, &mut rng);
+//! // ±5% at 99% confidence — the paper's default requirement. The
+//! // `Estimator` picks the execution backend from the configuration
+//! // (batched kernel by default; `Backend::Oracle` replays slot by slot).
+//! let estimator = Estimator::new(PetConfig::paper_default());
+//! let report = estimator.estimate_population(&pallets, &mut rng);
 //! assert!((report.estimate - 30_000.0).abs() <= 0.05 * 30_000.0);
 //! println!(
 //!     "≈{:.0} tags in {} slots ({} rounds × 5)",
@@ -56,7 +58,9 @@ pub use pet_tags as tags;
 /// The working set most applications need.
 pub mod prelude {
     pub use pet_baselines::{CardinalityEstimator, Estimate, Fidelity};
-    pub use pet_core::config::{CommandEncoding, PetConfig, SearchStrategy, TagMode};
+    pub use pet_core::config::{Backend, CommandEncoding, PetConfig, SearchStrategy, TagMode};
+    pub use pet_core::error::PetError;
+    pub use pet_core::front::Estimator;
     pub use pet_core::session::{EstimateReport, PetSession};
     pub use pet_radio::channel::ChannelModel;
     pub use pet_radio::{Air, AirMetrics, TimeModel};
@@ -78,7 +82,25 @@ mod tests {
             .accuracy(Accuracy::new(0.2, 0.2).unwrap())
             .build()
             .unwrap();
-        let report = PetSession::new(config).estimate_population(&pop, &mut rng);
+        let report = Estimator::new(config).estimate_population(&pop, &mut rng);
         assert!(report.estimate > 0.0);
+        assert!(report.try_confidence_interval(0.05).is_ok());
+    }
+
+    #[test]
+    fn prelude_backend_switch_is_invisible_to_results() {
+        let keys: Vec<u64> = (0..400).collect();
+        let mut reports = Vec::new();
+        for backend in [Backend::Oracle, Backend::Kernel] {
+            let config = PetConfig::builder()
+                .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                .backend(backend)
+                .build()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            reports.push(Estimator::new(config).estimate_keys_rounds(&keys, 24, &mut rng));
+        }
+        assert_eq!(reports[0].estimate.to_bits(), reports[1].estimate.to_bits());
+        assert_eq!(reports[0].records, reports[1].records);
     }
 }

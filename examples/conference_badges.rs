@@ -22,7 +22,7 @@ fn main() {
         .zero_probe(true)
         .build()
         .expect("valid config");
-    let session = PetSession::new(config);
+    let estimator = Estimator::new(config);
     let mut rng = StdRng::seed_from_u64(0x00BA_D6E5);
 
     println!(
@@ -48,7 +48,7 @@ fn main() {
 
     for (label, event) in schedule {
         let true_count = timeline.apply(*event);
-        let report = session.estimate_population(timeline.population(), &mut rng);
+        let report = estimator.estimate_population(timeline.population(), &mut rng);
         let err = if true_count == 0 {
             0.0
         } else {
@@ -62,7 +62,7 @@ fn main() {
 
     // After hours: the zero probe reports an empty hall in a single slot.
     timeline.apply(ChurnEvent::Leave(10_000));
-    let report = session.estimate_population(timeline.population(), &mut rng);
+    let report = estimator.estimate_population(timeline.population(), &mut rng);
     println!(
         "{:<22} {:>10} {:>12.0}   (zero probe: {} slot)",
         "19:00 hall cleared", 0, report.estimate, report.metrics.slots

@@ -73,7 +73,10 @@ fn main() {
 
     let mean_prefix = sum_prefix as f64 / f64::from(rounds);
     let estimate = pet::stats::gray::estimate_from_mean_prefix(mean_prefix);
-    println!("slots used          : {slots} ({:.2} per round)", slots as f64 / f64::from(rounds));
+    println!(
+        "slots used          : {slots} ({:.2} per round)",
+        slots as f64 / f64::from(rounds)
+    );
     println!("framed command bits : {frame_bits} (opcode + payload + CRC-5)");
     println!("mean prefix L̄       : {mean_prefix:.3}");
     println!("estimate            : {estimate:.0}   (true: {n})");

@@ -18,16 +18,17 @@ fn main() {
     let book_inventory: u64 = 40_000;
     let dock_limit: u64 = 45_000;
     let accuracy = Accuracy::new(0.05, 0.05).expect("valid accuracy");
-    let config = PetConfig::builder().accuracy(accuracy).build().expect("valid config");
-    let monitor = MissingTagMonitor::new(book_inventory, 0.01, config)
-        .expect("valid monitor parameters");
+    let config = PetConfig::builder()
+        .accuracy(accuracy)
+        .build()
+        .expect("valid config");
+    let monitor =
+        MissingTagMonitor::new(book_inventory, 0.01, config).expect("valid monitor parameters");
     let guard = CapacityGuard::new(dock_limit, 0.05, config);
     let mut trend = TrendTracker::new();
     let mut rng = StdRng::seed_from_u64(0xA0D1);
 
-    println!(
-        "Warehouse audit — book inventory {book_inventory}, dock limit {dock_limit}"
-    );
+    println!("Warehouse audit — book inventory {book_inventory}, dock limit {dock_limit}");
     println!(
         "Monitor can detect a deficit of {:.1}% with 95% power per check.\n",
         monitor.detectable_fraction(0.95) * 100.0

@@ -20,7 +20,10 @@ fn main() {
     let n = 20_000;
     let zones = 6;
     let accuracy = Accuracy::new(0.10, 0.05).expect("valid accuracy");
-    let config = PetConfig::builder().accuracy(accuracy).build().expect("valid config");
+    let config = PetConfig::builder()
+        .accuracy(accuracy)
+        .build()
+        .expect("valid config");
     let rounds = config.rounds();
     let mut rng = StdRng::seed_from_u64(0xD0CC);
 
@@ -28,12 +31,7 @@ fn main() {
     let mut field = ZoneField::uniform(n, zones, &mut rng);
 
     // Overlapping coverage: zones 2 and 3 are heard by two readers each.
-    let coverages = vec![
-        vec![0, 1, 2],
-        vec![2, 3],
-        vec![3, 4],
-        vec![4, 5],
-    ];
+    let coverages = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![4, 5]];
 
     println!("Dock: {n} pallets over {zones} zones, 4 readers, overlapping coverage");
     println!("Controller runs {rounds} PET rounds (5 slots each)\n");

@@ -46,8 +46,10 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(0xD0C5);
     let population = TagPopulation::sequential(n);
-    let session = PetSession::new(config);
-    let report = session.estimate_population(&population, &mut rng);
+    // The unified front door: runs on the configured backend (batched
+    // kernel by default, bit-for-bit equal to the slot-by-slot oracle).
+    let estimator = Estimator::new(config);
+    let report = estimator.estimate_population(&population, &mut rng);
 
     let (lo, hi) = accuracy.interval(n as f64);
     let within = report.estimate >= lo && report.estimate <= hi;
@@ -60,7 +62,11 @@ fn main() {
     );
     println!(
         "  inside [{lo:.0}, {hi:.0}]? {}",
-        if within { "yes" } else { "no (expected for ≤δ of runs)" }
+        if within {
+            "yes"
+        } else {
+            "no (expected for ≤δ of runs)"
+        }
     );
     println!(
         "  air cost            : {} slots, {} command bits",

@@ -63,17 +63,18 @@ fn main() {
     // --- Catching a short shipment --------------------------------------
     let actually_loaded = 110_000; // 8.3% short — outside the ±5% band
     let short = TagPopulation::sequential(actually_loaded);
-    let session = PetSession::new(
-        PetConfig::builder().accuracy(accuracy).build().expect("valid config"),
+    let estimator = Estimator::new(
+        PetConfig::builder()
+            .accuracy(accuracy)
+            .build()
+            .expect("valid config"),
     );
-    let report = session.estimate_population(&short, &mut rng);
+    let report = estimator.estimate_population(&short, &mut rng);
     let (lo, _hi) = accuracy.interval(declared as f64);
     println!("Spot check: container actually holds {actually_loaded} items");
     println!("  PET estimate: {:.0}", report.estimate);
     if report.estimate < lo {
-        println!(
-            "  FLAG: estimate below the declared minimum {lo:.0} — hold for manual count"
-        );
+        println!("  FLAG: estimate below the declared minimum {lo:.0} — hold for manual count");
     } else {
         println!("  estimate consistent with declaration");
     }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, test, format, lint.
+#
+# The vendored offline crates (vendor/rand, vendor/proptest,
+# vendor/criterion) are workspace members by virtue of being path
+# dependencies, but they mirror upstream code and are not held to this
+# repo's format/lint standards — fmt runs per first-party crate and
+# clippy excludes them.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CRATES=(
+    pet pet-apps pet-baselines pet-bench pet-cli pet-core pet-firmware
+    pet-hash pet-ident pet-obs pet-radio pet-sim pet-stats pet-tags
+)
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check (first-party crates)"
+for crate in "${CRATES[@]}"; do
+    cargo fmt -p "$crate" --check
+done
+
+echo "==> cargo clippy -D warnings (first-party crates)"
+cargo clippy --workspace --all-targets \
+    --exclude rand --exclude proptest --exclude criterion \
+    -- -D warnings
+
+echo "==> ci.sh: all checks passed"

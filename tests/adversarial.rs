@@ -2,10 +2,10 @@
 //! a paper appendix but must *demonstrate* in a library.
 
 use pet::prelude::*;
+use pet_core::bits::BitString;
 use pet_core::config::SearchStrategy;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::binary_round;
-use pet_core::bits::BitString;
 use pet_hash::family::AnyFamily;
 use pet_radio::channel::{LossyChannel, PerfectChannel};
 use pet_sim::run_trials;
@@ -57,7 +57,9 @@ fn key_structure_invariance() {
     let n = 3_000usize;
     let spaces: Vec<Vec<u64>> = vec![
         (0..n as u64).collect(),
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect(),
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect(),
         (0..n as u64).map(|i| i << 40).collect(),
     ];
     let mut means = Vec::new();
@@ -197,8 +199,14 @@ fn false_busy_biases_up_boundedly() {
     };
     let clean = run(0.0);
     let noisy = run(0.05);
-    assert!(noisy > clean, "phantom busy must bias up: {noisy} vs {clean}");
-    assert!(noisy < 2.0, "5% phantom-busy inflation out of control: {noisy}");
+    assert!(
+        noisy > clean,
+        "phantom busy must bias up: {noisy} vs {clean}"
+    );
+    assert!(
+        noisy < 2.0,
+        "5% phantom-busy inflation out of control: {noisy}"
+    );
 }
 
 /// Back-to-back sessions on the same roster are independent trials: the

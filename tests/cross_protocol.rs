@@ -1,7 +1,8 @@
 //! Cross-protocol comparisons — the §5.3 claims, end to end.
 
-use pet::baselines::{CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, Upe,
-                     UnifiedSimpleEstimator};
+use pet::baselines::{
+    CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, UnifiedSimpleEstimator, Upe,
+};
 use pet::prelude::*;
 use pet_sim::run_trials;
 
@@ -53,7 +54,8 @@ fn pet_meets_accuracy_with_fewest_slots() {
         let summary = run_trials(100, 0x0C02, |trial_seed| {
             let mut rng = StdRng::seed_from_u64(trial_seed);
             let mut air = Air::new(ChannelModel::Perfect);
-            p.estimate_rounds(&keys, rounds, &mut air, &mut rng).estimate
+            p.estimate_rounds(&keys, rounds, &mut air, &mut rng)
+                .estimate
         });
         let (lo, hi) = accuracy.interval(n as f64);
         let within = pet_stats::histogram::fraction_within(&summary.values, lo, hi);
@@ -84,9 +86,7 @@ fn equal_budget_concentration() {
     let pet = PetAdapter::paper_default();
     let budget = pet.total_slots(&accuracy);
 
-    let spread = |values: &[f64]| {
-        pet_stats::describe::rmse(values, n as f64) / n as f64
-    };
+    let spread = |values: &[f64]| pet_stats::describe::rmse(values, n as f64) / n as f64;
 
     let pet_vals = run_trials(80, 0x0C03, |trial_seed| {
         let mut rng = StdRng::seed_from_u64(trial_seed);
@@ -101,7 +101,8 @@ fn equal_budget_concentration() {
     let lof_vals = run_trials(80, 0x0C04, |trial_seed| {
         let mut rng = StdRng::seed_from_u64(trial_seed);
         let mut air = Air::new(ChannelModel::Perfect);
-        lof.estimate_rounds(&keys, lof_rounds, &mut air, &mut rng).estimate
+        lof.estimate_rounds(&keys, lof_rounds, &mut air, &mut rng)
+            .estimate
     })
     .values;
 
@@ -110,7 +111,8 @@ fn equal_budget_concentration() {
     let fneb_vals = run_trials(80, 0x0C05, |trial_seed| {
         let mut rng = StdRng::seed_from_u64(trial_seed);
         let mut air = Air::new(ChannelModel::Perfect);
-        fneb.estimate_rounds(&keys, fneb_rounds, &mut air, &mut rng).estimate
+        fneb.estimate_rounds(&keys, fneb_rounds, &mut air, &mut rng)
+            .estimate
     })
     .values;
 

@@ -26,8 +26,7 @@ fn estimates_track_churn() {
     ] {
         let size = timeline.apply(event);
         assert_eq!(size, expected);
-        let report =
-            session.estimate_population_rounds(timeline.population(), 384, &mut rng);
+        let report = session.estimate_population_rounds(timeline.population(), 384, &mut rng);
         let rel = (report.estimate - expected as f64).abs() / expected as f64;
         assert!(rel < 0.2, "after {event:?}: estimate {}", report.estimate);
     }
@@ -46,7 +45,10 @@ fn mobility_between_estimates_is_invisible_under_full_coverage() {
     for step in 0..3 {
         let deployment = Deployment::new(&pop, field.clone(), coverages.clone());
         let report = deployment.estimate(&config, 384, ChannelModel::Perfect, &mut rng);
-        assert_eq!(report.covered_tags, n as u64, "full coverage at step {step}");
+        assert_eq!(
+            report.covered_tags, n as u64,
+            "full coverage at step {step}"
+        );
         let rel = (report.estimate - n as f64).abs() / n as f64;
         assert!(rel < 0.2, "step {step}: estimate {}", report.estimate);
         field.step(0.5, &mut rng);
@@ -68,7 +70,11 @@ fn overlap_crossing_tags_counted_once() {
     let deployment = Deployment::new(&pop, field, coverages);
     let report = deployment.estimate(&config, 384, ChannelModel::Perfect, &mut rng);
     let rel = (report.estimate - n as f64).abs() / n as f64;
-    assert!(rel < 0.2, "triple-covered tags: estimate {}", report.estimate);
+    assert!(
+        rel < 0.2,
+        "triple-covered tags: estimate {}",
+        report.estimate
+    );
 }
 
 /// Lossy readers in a multi-reader deployment: overlap provides diversity —

@@ -83,7 +83,9 @@ fn hash_families_are_interchangeable() {
             let mut oracle = pet_core::oracle::CodeRoster::new(&keys, &config, session.family());
             let mut air = Air::new(ChannelModel::Perfect);
             let mut rng = StdRng::seed_from_u64(trial_seed);
-            session.run_rounds(128, &mut oracle, &mut air, &mut rng).estimate
+            session
+                .run_rounds(128, &mut oracle, &mut air, &mut rng)
+                .estimate
         });
         means.push(summary.mean / n as f64);
     }
@@ -148,9 +150,13 @@ fn million_tag_estimate() {
     let n = 1_000_000usize;
     let config = PetConfig::paper_default();
     let mut rng = StdRng::seed_from_u64(0x0E2E_0004);
-    let report = PetSession::new(config)
-        .estimate_population(&TagPopulation::sequential(n), &mut rng);
+    let report =
+        PetSession::new(config).estimate_population(&TagPopulation::sequential(n), &mut rng);
     let rel = (report.estimate - n as f64).abs() / n as f64;
-    assert!(rel < 0.05, "estimate {} ({rel:.4} rel err)", report.estimate);
+    assert!(
+        rel < 0.05,
+        "estimate {} ({rel:.4} rel err)",
+        report.estimate
+    );
     assert_eq!(report.metrics.slots, u64::from(config.rounds()) * 5);
 }

@@ -17,7 +17,9 @@ fn sample_estimates(
         .map(|t| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 7919));
             let mut air = Air::new(ChannelModel::Perfect);
-            estimator.estimate_rounds(keys, rounds, &mut air, &mut rng).estimate
+            estimator
+                .estimate_rounds(keys, rounds, &mut air, &mut rng)
+                .estimate
         })
         .collect()
 }

@@ -14,8 +14,8 @@ use pet_radio::{Air, SlotOutcome};
 
 fn fig3_roster() -> CodeRoster {
     let codes: Vec<BitString> = [
-        "000000", "001000", "001100", "001110", "010000", "010101", "011011", "011111",
-        "100000", "100111", "101010", "101101", "110011", "110110", "111001", "111100",
+        "000000", "001000", "001100", "001110", "010000", "010101", "011011", "011111", "100000",
+        "100111", "101010", "101101", "110011", "110110", "111001", "111100",
     ]
     .iter()
     .map(|s| BitString::from_bits(u64::from_str_radix(s, 2).unwrap(), 6).unwrap())
@@ -62,7 +62,10 @@ fn golden_fig3a_linear() {
 /// The paper's Fig. 3b trace, bit for bit.
 #[test]
 fn golden_fig3b_binary() {
-    let config = pet_core::config::PetConfig::builder().height(6).build().unwrap();
+    let config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .build()
+        .unwrap();
     let mut roster = fig3_roster();
     let path = BitString::from_bits(0b000011, 6).unwrap();
     roster.begin_round(&RoundStart { path, seed: None });
@@ -105,7 +108,10 @@ fn golden_default_session() {
 /// of the first two default-config rounds over the Fig. 3 population.
 #[test]
 fn golden_two_round_transcript() {
-    let config = pet_core::config::PetConfig::builder().height(6).build().unwrap();
+    let config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .build()
+        .unwrap();
     let mut roster = fig3_roster();
     let mut air = Air::new(PerfectChannel).with_transcript(64);
     let mut rng = StdRng::seed_from_u64(42);

@@ -89,7 +89,13 @@ fn kernel_matches_both_oracles_across_population_scales() {
     for (n, rounds) in [(0usize, 8u32), (1, 8), (1_000, 8), (100_000, 3)] {
         let keys: Vec<u64> = (0..n as u64).collect();
         let config = PetConfig::paper_default();
-        check(config, &keys, rounds, 0xE0_0000 + n as u64, &format!("n = {n}"));
+        check(
+            config,
+            &keys,
+            rounds,
+            0xE0_0000 + n as u64,
+            &format!("n = {n}"),
+        );
     }
 }
 
@@ -104,7 +110,13 @@ fn kernel_matches_both_oracles_in_active_mode() {
             .tag_mode(TagMode::ActivePerRound)
             .build()
             .unwrap();
-        check(config, &keys, 6, 0xAC71_0000 + u64::from(height), &format!("active H = {height}"));
+        check(
+            config,
+            &keys,
+            6,
+            0xAC71_0000 + u64::from(height),
+            &format!("active H = {height}"),
+        );
     }
 }
 
@@ -115,6 +127,12 @@ fn kernel_matches_zero_probe_paths() {
     for n in [0usize, 500] {
         let keys: Vec<u64> = (0..n as u64).collect();
         let config = PetConfig::builder().zero_probe(true).build().unwrap();
-        check(config, &keys, 5, 0x2E80 + n as u64, &format!("probe n = {n}"));
+        check(
+            config,
+            &keys,
+            5,
+            0x2E80 + n as u64,
+            &format!("probe n = {n}"),
+        );
     }
 }

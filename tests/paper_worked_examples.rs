@@ -84,7 +84,10 @@ fn fig3a_basic_protocol_takes_five_slots() {
     let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
     let mut rng = StdRng::seed_from_u64(0);
     let record = linear_round(&config, &mut roster, &mut air, &mut rng);
-    assert_eq!(record.slots, 5, "the entire process contains five time slots");
+    assert_eq!(
+        record.slots, 5,
+        "the entire process contains five time slots"
+    );
     assert_eq!(record.prefix_len, 4, "longest responsive prefix is 0000");
     assert_eq!(record.gray_height, 2);
     // Slot-by-slot responder counts from the figure: 8, 4, 1, 1, 0.
@@ -100,14 +103,20 @@ fn fig3a_basic_protocol_takes_five_slots() {
 
 #[test]
 fn fig3b_binary_search_takes_two_slots() {
-    let config = pet_core::config::PetConfig::builder().height(6).build().unwrap();
+    let config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .build()
+        .unwrap();
     let mut roster = CodeRoster::from_codes(&fig3_codes(), 6);
     let path = bits("000011");
     roster.begin_round(&RoundStart { path, seed: None });
     let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
     let mut rng = StdRng::seed_from_u64(0);
     let record = binary_round(&config, &mut roster, &mut air, &mut rng);
-    assert_eq!(record.slots, 2, "the entire process contains only two time slots");
+    assert_eq!(
+        record.slots, 2,
+        "the entire process contains only two time slots"
+    );
     assert_eq!(record.prefix_len, 4);
     assert_eq!(record.gray_height, 2);
     // Slot 0: mid = ⌈(1+6)/2⌉ = 4, prefix 0000** → one tag responds.

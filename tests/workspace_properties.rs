@@ -7,8 +7,7 @@ use pet_core::oracle::CodeRoster;
 use proptest::prelude::*;
 
 fn arb_accuracy() -> impl Strategy<Value = Accuracy> {
-    (0.01f64..0.5, 0.01f64..0.5)
-        .prop_map(|(e, d)| Accuracy::new(e, d).expect("in range"))
+    (0.01f64..0.5, 0.01f64..0.5).prop_map(|(e, d)| Accuracy::new(e, d).expect("in range"))
 }
 
 proptest! {
