@@ -11,7 +11,7 @@ pub mod plots;
 pub mod svg;
 
 use pet_sim::csv::CsvWriter;
-use pet_sim::experiments::{ablations, fig4, fig6, fig7, table3, table45};
+use pet_sim::experiments::{ablations, fig4, fig6, fig7, robustness, table3, table45};
 use std::io;
 use std::path::Path;
 
@@ -350,6 +350,56 @@ pub fn report_ablations(
     csv.finish()
 }
 
+/// Renders the robustness sweep (accuracy vs channel-fault rates, with
+/// and without re-probe mitigation) and writes `robustness.csv`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the CSV writer.
+pub fn report_robustness(rows: &[robustness::RobustnessRow], out_dir: &Path) -> io::Result<()> {
+    println!("\n== Robustness: accuracy under channel faults ==");
+    println!(
+        "{:>10} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "miss", "false busy", "mitigated", "mean n̂/n", "bias", "norm. rmse", "slots/round"
+    );
+    for r in rows {
+        println!(
+            "{:>10.3} {:>12.3} {:>10} {:>12.4} {:>+10.4} {:>12.4} {:>12.2}",
+            r.miss,
+            r.false_busy,
+            r.mitigated,
+            r.mean_ratio,
+            r.rel_bias,
+            r.normalized_rmse,
+            r.mean_slots_per_round
+        );
+    }
+    let mut csv = CsvWriter::create(
+        out_dir.join("robustness.csv"),
+        &[
+            "miss",
+            "false_busy",
+            "mitigated",
+            "mean_ratio",
+            "rel_bias",
+            "normalized_rmse",
+            "mean_slots_per_round",
+        ],
+    )?;
+    for r in rows {
+        csv.row_strings(&[
+            format!("{:.4}", r.miss),
+            format!("{:.4}", r.false_busy),
+            r.mitigated.to_string(),
+            format!("{:.5}", r.mean_ratio),
+            format!("{:.5}", r.rel_bias),
+            format!("{:.5}", r.normalized_rmse),
+            format!("{:.3}", r.mean_slots_per_round),
+        ])?;
+    }
+    csv.finish()
+}
+
 /// Renders the motivation sweep (identification vs estimation) and writes
 /// `motivation.csv`.
 ///
@@ -513,7 +563,7 @@ mod tests {
 pub mod figures {
     use crate::svg::{Scale, SvgChart};
     use pet_sim::experiments::{
-        ablations, detection, energy, fig4, fig6, fig7, motivation, table45,
+        ablations, detection, energy, fig4, fig6, fig7, motivation, robustness, table45,
     };
     use std::io;
     use std::path::Path;
@@ -716,6 +766,26 @@ pub mod figures {
             chart = chart.series(&r.protocol, vec![(i as f64, r.responses_per_tag.max(1e-3))]);
         }
         chart.save(&svg_dir(out_dir).join("energy.svg"))
+    }
+
+    /// Robustness sweep as an SVG: accuracy degradation vs miss rate,
+    /// unmitigated vs re-probed.
+    pub fn robustness(rows: &[robustness::RobustnessRow], out_dir: &Path) -> io::Result<()> {
+        let mut chart = SvgChart::new(
+            "PET accuracy vs channel faults",
+            "slot miss probability",
+            "mean accuracy (n̂/n)",
+        );
+        for (label, mitigated) in [("unmitigated", false), ("re-probed", true)] {
+            chart = chart.series(
+                label,
+                rows.iter()
+                    .filter(|r| r.mitigated == mitigated)
+                    .map(|r| (r.miss, r.mean_ratio))
+                    .collect(),
+            );
+        }
+        chart.save(&svg_dir(out_dir).join("robustness.svg"))
     }
 
     /// Lossy-channel ablation as an SVG.

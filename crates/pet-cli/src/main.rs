@@ -22,13 +22,14 @@ use args::{ArgError, Args};
 use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Lof, PetAdapter};
 use pet_core::adaptive::AdaptiveSession;
 use pet_core::bits::BitString;
-use pet_core::config::{PetConfig, SearchStrategy};
+use pet_core::config::{Mitigation, PetConfig, SearchStrategy};
 use pet_core::front::Estimator;
 use pet_core::oracle::CodeRoster;
 use pet_core::tree::Tree;
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
-use pet_radio::channel::ChannelModel;
+use pet_radio::channel::{ChannelModel, LossyChannel};
 use pet_radio::{Air, TimeModel};
+use pet_sim::experiments::robustness;
 use pet_stats::accuracy::Accuracy;
 use pet_stats::gray::{PHI, SIGMA_H};
 use rand::rngs::StdRng;
@@ -38,6 +39,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [--flags]
   pet estimate --tags 50000 [--epsilon 0.05] [--delta 0.01] [--protocol pet|fneb|lof|ezb]
                [--linear] [--adaptive] [--rounds M] [--seed S]
+               [--miss P] [--false-busy P] [--probes R | --trim K]
+  pet robustness [--tags 5000] [--rounds 128] [--runs 40] [--miss 0,0.01,0.02,0.05,0.1]
+               [--false-busy 0] [--probes 2] [--seed S] [--out target/robustness]
   pet identify --tags 50000 [--protocol aloha|treewalk] [--seed S]
   pet compare  --tags 50000 [--epsilon 0.05] [--delta 0.01] [--seed S]
   pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
@@ -69,6 +73,7 @@ fn run(argv: &[String]) -> Result<(), ArgError> {
     let _telemetry = TelemetryGuard::from_args(&args)?;
     match args.command.as_str() {
         "estimate" => cmd_estimate(&args),
+        "robustness" => cmd_robustness(&args),
         "identify" => cmd_identify(&args),
         "compare" => cmd_compare(&args),
         "monitor" => cmd_monitor(&args),
@@ -134,6 +139,38 @@ fn cmd_telemetry(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Builds the channel model from `--miss` / `--false-busy` (both default 0,
+/// which selects the perfect channel the paper assumes).
+fn channel_from(args: &Args) -> Result<ChannelModel, ArgError> {
+    let miss: f64 = args.get_or("miss", 0.0)?;
+    let false_busy: f64 = args.get_or("false-busy", 0.0)?;
+    if miss == 0.0 && false_busy == 0.0 {
+        return Ok(ChannelModel::Perfect);
+    }
+    LossyChannel::new(miss, false_busy)
+        .map(ChannelModel::Lossy)
+        .map_err(|e| ArgError(e.to_string()))
+}
+
+/// Builds the mitigation from `--probes R` (slot-level re-probe) or
+/// `--trim K` (aggregation-level trimmed mean); the two are exclusive.
+fn mitigation_from(args: &Args) -> Result<Mitigation, ArgError> {
+    match (args.get("probes"), args.get("trim")) {
+        (Some(_), Some(_)) => Err(ArgError(
+            "--probes and --trim are mutually exclusive mitigations".into(),
+        )),
+        (Some(raw), None) => raw
+            .parse()
+            .map(|probes| Mitigation::ReProbe { probes })
+            .map_err(|_| ArgError(format!("--probes: cannot parse {raw:?}"))),
+        (None, Some(raw)) => raw
+            .parse()
+            .map(|trim| Mitigation::TrimmedMean { trim })
+            .map_err(|_| ArgError(format!("--trim: cannot parse {raw:?}"))),
+        (None, None) => Ok(Mitigation::None),
+    }
+}
+
 fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "tags",
@@ -144,12 +181,18 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
         "adaptive",
         "rounds",
         "seed",
+        "miss",
+        "false-busy",
+        "probes",
+        "trim",
         "telemetry",
     ])?;
     let n: usize = args.require("tags")?;
     let accuracy = accuracy_from(args)?;
     let seed: u64 = args.get_or("seed", 0xD0C5)?;
     let protocol = args.get("protocol").unwrap_or("pet");
+    let channel = channel_from(args)?;
+    let mitigation = mitigation_from(args)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let keys: Vec<u64> = (0..n as u64).collect();
 
@@ -161,11 +204,13 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
             } else {
                 SearchStrategy::Binary
             })
+            .channel(channel)
+            .mitigation(mitigation)
             .build()
             .map_err(|e| ArgError(e.to_string()))?;
         let report = if args.switch("adaptive") {
             let mut oracle = CodeRoster::new(&keys, &config, pet_hash_family());
-            let mut air = Air::new(ChannelModel::Perfect);
+            let mut air = Air::new(channel);
             AdaptiveSession::new(config).run(&mut oracle, &mut air, &mut rng)
         } else {
             // The unified front door: the configured backend (kernel by
@@ -202,7 +247,12 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
             )))
         }
     };
-    let mut air = Air::new(ChannelModel::Perfect);
+    if mitigation != Mitigation::None {
+        return Err(ArgError(
+            "--probes/--trim mitigations apply to --protocol pet only".into(),
+        ));
+    }
+    let mut air = Air::new(channel);
     let est = if let Some(rounds) = args.get("rounds") {
         let rounds: u32 = rounds
             .parse()
@@ -219,6 +269,56 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     );
     println!("rounds        : {}", est.rounds);
     print_costs(&est.metrics);
+    Ok(())
+}
+
+/// `pet robustness`: sweep accuracy vs channel-fault rates (unmitigated vs
+/// re-probed) on the kernel backend, print the table, and write
+/// `robustness.csv` plus `svg/robustness.svg` under `--out`.
+fn cmd_robustness(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "tags",
+        "rounds",
+        "runs",
+        "seed",
+        "miss",
+        "false-busy",
+        "probes",
+        "out",
+        "telemetry",
+    ])?;
+    let defaults = robustness::RobustnessParams::default();
+    let miss_rates = match args.get("miss") {
+        None => defaults.miss_rates.clone(),
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map_err(|_| ArgError(format!("--miss: cannot parse {tok:?}")))
+            })
+            .collect::<Result<Vec<f64>, ArgError>>()?,
+    };
+    let params = robustness::RobustnessParams {
+        n: args.get_or("tags", defaults.n)?,
+        rounds: args.get_or("rounds", defaults.rounds)?,
+        runs: args.get_or("runs", defaults.runs)?,
+        seed: args.get_or("seed", defaults.seed)?,
+        miss_rates,
+        false_busy: args.get_or("false-busy", defaults.false_busy)?,
+        probes: args.get_or("probes", defaults.probes)?,
+    };
+    let out: String = args.get("out").unwrap_or("target/robustness").to_string();
+    let out_dir = std::path::Path::new(&out);
+    std::fs::create_dir_all(out_dir).map_err(|e| ArgError(format!("--out {out}: {e}")))?;
+    let rows = robustness::sweep(&params);
+    pet_bench::report_robustness(&rows, out_dir).map_err(|e| ArgError(e.to_string()))?;
+    pet_bench::figures::robustness(&rows, out_dir).map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "\nwrote {} and {}",
+        out_dir.join("robustness.csv").display(),
+        out_dir.join("svg").join("robustness.svg").display()
+    );
     Ok(())
 }
 
@@ -595,6 +695,87 @@ mod cli_tests {
         exec(&["telemetry", "--file", path_str]).unwrap();
         assert!(exec(&["telemetry", "--file", "/nonexistent/x.jsonl"]).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn estimate_lossy_channel_and_mitigations() {
+        exec(&[
+            "estimate", "--tags", "300", "--rounds", "16", "--miss", "0.05", "--probes", "2",
+        ])
+        .unwrap();
+        exec(&[
+            "estimate",
+            "--tags",
+            "300",
+            "--rounds",
+            "16",
+            "--miss",
+            "0.03",
+            "--false-busy",
+            "0.01",
+            "--trim",
+            "2",
+        ])
+        .unwrap();
+        // Baselines run over the lossy channel too, but mitigations are
+        // PET-specific.
+        exec(&[
+            "estimate",
+            "--tags",
+            "300",
+            "--rounds",
+            "8",
+            "--protocol",
+            "lof",
+            "--miss",
+            "0.05",
+        ])
+        .unwrap();
+        assert!(exec(&[
+            "estimate",
+            "--tags",
+            "300",
+            "--protocol",
+            "lof",
+            "--probes",
+            "1",
+        ])
+        .is_err());
+        assert!(
+            exec(&["estimate", "--tags", "300", "--probes", "1", "--trim", "2"]).is_err(),
+            "exclusive mitigations"
+        );
+        assert!(
+            exec(&["estimate", "--tags", "300", "--miss", "1.5"]).is_err(),
+            "probability range"
+        );
+    }
+
+    #[test]
+    fn robustness_sweep_writes_csv_and_svg() {
+        let out = std::env::temp_dir().join(format!("pet-cli-rob-{}", std::process::id()));
+        let out_str = out.to_str().expect("utf-8 temp path");
+        exec(&[
+            "robustness",
+            "--tags",
+            "400",
+            "--rounds",
+            "12",
+            "--runs",
+            "4",
+            "--miss",
+            "0,0.1",
+            "--out",
+            out_str,
+        ])
+        .unwrap();
+        let csv = std::fs::read_to_string(out.join("robustness.csv")).unwrap();
+        assert!(csv.starts_with("miss,false_busy,mitigated"));
+        assert_eq!(csv.lines().count(), 1 + 4, "2 miss rates × 2 variants");
+        let svg = std::fs::read_to_string(out.join("svg").join("robustness.svg")).unwrap();
+        assert!(svg.contains("re-probed"));
+        assert!(exec(&["robustness", "--miss", "nope", "--out", out_str]).is_err());
+        std::fs::remove_dir_all(&out).ok();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! PET protocol configuration.
 
+use pet_radio::channel::ChannelModel;
 use pet_stats::accuracy::Accuracy;
 use std::fmt;
 
@@ -43,6 +44,46 @@ pub enum Backend {
     Kernel,
 }
 
+/// Channel-fault mitigation (robustness extension; the paper assumes a
+/// perfect channel and its Eq. (12)–(14) is the plain mean).
+///
+/// Channel loss corrupts rounds in two ways: a missed response turns a
+/// busy slot idle, truncating the measured prefix (biasing `n̂` low),
+/// while phantom energy turns an idle slot busy, extending it (biasing
+/// high). Because *every* round is independently exposed, miss loss acts
+/// as a systematic shift of the whole per-round `L` sample — which is why
+/// the effective counter is [`Mitigation::ReProbe`] at the slot level
+/// (suspect idle readings are re-transmitted, so a busy→idle flip must
+/// survive every probe), while [`Mitigation::TrimmedMean`] is an
+/// aggregation-level outlier guard for heavy-tailed corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mitigation {
+    /// Plain mean over all rounds (the paper's estimator).
+    #[default]
+    None,
+    /// Drop the `trim` smallest and `trim` largest per-round prefix
+    /// lengths before averaging. Clamped at aggregation time so at least
+    /// one round always survives. Note the per-round `L` law is
+    /// right-skewed, so symmetric trimming itself shifts the mean low;
+    /// this knob trades bias for resistance to gross outlier rounds.
+    TrimmedMean {
+        /// Rounds discarded from *each* end of the sorted prefix lengths.
+        trim: u32,
+    },
+    /// Re-transmit every slot that reads idle up to `probes` extra times,
+    /// taking the last reading (a busy re-probe wins immediately). A
+    /// busy→idle flip then requires all `1 + probes` readings to miss, so
+    /// the miss-induced bias shrinks geometrically at the cost of extra
+    /// slots on genuinely idle queries. On a perfect channel only the slot
+    /// count changes, never the statistic. Incompatible with the 1-bit
+    /// feedback encoding (tags mirroring search state cannot interpret a
+    /// repeated query).
+    ReProbe {
+        /// Extra readings taken for each idle slot.
+        probes: u32,
+    },
+}
+
 /// Reader command encoding for each prefix query (paper §4.6.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CommandEncoding {
@@ -78,6 +119,10 @@ pub enum ConfigError {
     /// The 1-bit feedback encoding requires the binary-search strategy —
     /// with linear search the tags would have nothing to mirror.
     FeedbackRequiresBinarySearch,
+    /// Re-probe mitigation requires explicit command encodings — tags
+    /// mirroring the search state off feedback bits cannot recognize a
+    /// repeated query.
+    ReProbeRequiresExplicitCommands,
 }
 
 impl fmt::Display for ConfigError {
@@ -87,6 +132,10 @@ impl fmt::Display for ConfigError {
             Self::FeedbackRequiresBinarySearch => write!(
                 f,
                 "the 1-bit feedback encoding requires the binary-search strategy"
+            ),
+            Self::ReProbeRequiresExplicitCommands => write!(
+                f,
+                "re-probe mitigation requires an explicit command encoding"
             ),
         }
     }
@@ -122,6 +171,8 @@ pub struct PetConfig {
     manufacture_seed: u64,
     zero_probe: bool,
     backend: Backend,
+    channel: ChannelModel,
+    mitigation: Mitigation,
 }
 
 impl PetConfig {
@@ -189,6 +240,19 @@ impl PetConfig {
         self.backend
     }
 
+    /// The physical channel model both backends execute under (default:
+    /// the paper's lossless channel).
+    #[must_use]
+    pub fn channel(&self) -> ChannelModel {
+        self.channel
+    }
+
+    /// The round-aggregation mitigation (default: the paper's plain mean).
+    #[must_use]
+    pub fn mitigation(&self) -> Mitigation {
+        self.mitigation
+    }
+
     /// Rounds `m` required by the accuracy requirement (paper Eq. (20)).
     #[must_use]
     pub fn rounds(&self) -> u32 {
@@ -235,6 +299,8 @@ pub struct PetConfigBuilder {
     manufacture_seed: u64,
     zero_probe: bool,
     backend: Backend,
+    channel: ChannelModel,
+    mitigation: Mitigation,
 }
 
 impl Default for PetConfigBuilder {
@@ -248,6 +314,8 @@ impl Default for PetConfigBuilder {
             manufacture_seed: 0x9e37_79b9_7f4a_7c15,
             zero_probe: false,
             backend: Backend::default(),
+            channel: ChannelModel::default(),
+            mitigation: Mitigation::default(),
         }
     }
 }
@@ -311,6 +379,25 @@ impl PetConfigBuilder {
         self
     }
 
+    /// Sets the physical channel model (default
+    /// [`ChannelModel::Perfect`], the paper's lossless assumption).
+    /// [`pet_radio::channel::LossyChannel`] parameters are validated at
+    /// construction, so every `ChannelModel` reaching the builder is
+    /// already well-formed and round-trips unchanged through `build`.
+    #[must_use]
+    pub fn channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the round-aggregation mitigation (default
+    /// [`Mitigation::None`]).
+    #[must_use]
+    pub fn mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -324,6 +411,11 @@ impl PetConfigBuilder {
         if self.encoding == CommandEncoding::FeedbackBit && self.search != SearchStrategy::Binary {
             return Err(ConfigError::FeedbackRequiresBinarySearch);
         }
+        if self.encoding == CommandEncoding::FeedbackBit
+            && matches!(self.mitigation, Mitigation::ReProbe { .. })
+        {
+            return Err(ConfigError::ReProbeRequiresExplicitCommands);
+        }
         Ok(PetConfig {
             height: self.height,
             accuracy: self.accuracy,
@@ -333,6 +425,8 @@ impl PetConfigBuilder {
             manufacture_seed: self.manufacture_seed,
             zero_probe: self.zero_probe,
             backend: self.backend,
+            channel: self.channel,
+            mitigation: self.mitigation,
         })
     }
 }
@@ -403,6 +497,66 @@ mod tests {
         assert_eq!(CommandEncoding::PrefixLength.bits_per_query(33), 6);
         assert_eq!(CommandEncoding::PrefixLength.bits_per_query(1), 0);
         assert_eq!(CommandEncoding::PrefixLength.bits_per_query(2), 1);
+    }
+
+    /// A validated `LossyChannel` survives the builder unchanged, and the
+    /// defaults stay on the paper's lossless channel with no mitigation.
+    #[test]
+    fn channel_and_mitigation_round_trip_through_builder() {
+        use pet_radio::channel::LossyChannel;
+
+        let c = PetConfig::paper_default();
+        assert_eq!(c.channel(), ChannelModel::Perfect);
+        assert_eq!(c.mitigation(), Mitigation::None);
+
+        let lossy = LossyChannel::new(0.05, 0.01).unwrap();
+        let c = PetConfig::builder()
+            .channel(ChannelModel::Lossy(lossy))
+            .mitigation(Mitigation::TrimmedMean { trim: 4 })
+            .build()
+            .unwrap();
+        match c.channel() {
+            ChannelModel::Lossy(got) => {
+                assert_eq!(got, lossy);
+                assert!((got.miss() - 0.05).abs() < 1e-15);
+                assert!((got.false_busy() - 0.01).abs() < 1e-15);
+            }
+            ChannelModel::Perfect => panic!("lossy channel lost in the builder"),
+        }
+        assert_eq!(c.mitigation(), Mitigation::TrimmedMean { trim: 4 });
+        // The channel is part of the config's identity.
+        assert_ne!(c, PetConfig::paper_default());
+        // Normalized negative zero compares equal to a plain zero config.
+        let a = PetConfig::builder()
+            .channel(ChannelModel::Lossy(LossyChannel::new(-0.0, 0.0).unwrap()))
+            .build()
+            .unwrap();
+        let b = PetConfig::builder()
+            .channel(ChannelModel::Lossy(LossyChannel::new(0.0, 0.0).unwrap()))
+            .build()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reprobe_round_trips_but_rejects_feedback_encoding() {
+        let c = PetConfig::builder()
+            .mitigation(Mitigation::ReProbe { probes: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(c.mitigation(), Mitigation::ReProbe { probes: 2 });
+        let err = PetConfig::builder()
+            .encoding(CommandEncoding::FeedbackBit)
+            .mitigation(Mitigation::ReProbe { probes: 1 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ReProbeRequiresExplicitCommands);
+        // Trimmed mean stays compatible with feedback tags.
+        assert!(PetConfig::builder()
+            .encoding(CommandEncoding::FeedbackBit)
+            .mitigation(Mitigation::TrimmedMean { trim: 2 })
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -1,5 +1,8 @@
-//! Aggregating round statistics into a cardinality estimate (Eq. (12)–(14)).
+//! Aggregating round statistics into a cardinality estimate (Eq. (12)–(14)),
+//! plus the lossy-channel mitigation variants (see
+//! [`Mitigation`](crate::config::Mitigation)).
 
+use crate::config::Mitigation;
 use crate::reader::RoundRecord;
 use pet_stats::gray;
 
@@ -90,6 +93,51 @@ impl PetEstimator {
     }
 }
 
+/// Aggregates per-round records into `(n̂, L̄)` under the configured
+/// mitigation. Both execution backends call this on identical record
+/// vectors, so the aggregation stays bit-for-bit backend-invariant.
+///
+/// [`Mitigation::None`] reproduces [`PetEstimator`]'s arithmetic exactly
+/// (integer prefix sum, one division). [`Mitigation::TrimmedMean`] sorts
+/// the prefix lengths and drops `trim` from each end, clamped so at least
+/// one round survives.
+///
+/// # Panics
+///
+/// Panics if `records` is empty or any prefix length exceeds `height`.
+#[must_use]
+pub fn aggregate_records(
+    height: u32,
+    records: &[RoundRecord],
+    mitigation: Mitigation,
+) -> (f64, f64) {
+    assert!(!records.is_empty(), "estimate requires at least one round");
+    match mitigation {
+        // Re-probing acts at the slot level (see `reader::probed_slot`);
+        // aggregation stays the paper's plain mean.
+        Mitigation::None | Mitigation::ReProbe { .. } => {
+            let mut estimator = PetEstimator::new(height);
+            for record in records {
+                estimator.push(*record);
+            }
+            (estimator.estimate(), estimator.mean_prefix_len())
+        }
+        Mitigation::TrimmedMean { trim } => {
+            let mut lens: Vec<u32> = records.iter().map(|r| r.prefix_len).collect();
+            assert!(
+                lens.iter().all(|&l| l <= height),
+                "prefix length exceeds height {height}"
+            );
+            lens.sort_unstable();
+            let k = (trim as usize).min((lens.len() - 1) / 2);
+            let kept = &lens[k..lens.len() - k];
+            let sum: u64 = kept.iter().map(|&l| u64::from(l)).sum();
+            let mean = sum as f64 / kept.len() as f64;
+            (gray::estimate_from_mean_prefix(mean), mean)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +190,54 @@ mod tests {
     fn oversized_prefix_rejected() {
         let mut e = PetEstimator::new(8);
         e.push(rec(9));
+    }
+
+    #[test]
+    fn aggregate_none_matches_plain_estimator() {
+        let records: Vec<RoundRecord> = [10, 12, 14, 9, 31].iter().map(|&l| rec(l)).collect();
+        let mut e = PetEstimator::new(32);
+        for r in &records {
+            e.push(*r);
+        }
+        let (est, mean) = aggregate_records(32, &records, Mitigation::None);
+        assert_eq!(est.to_bits(), e.estimate().to_bits());
+        assert_eq!(mean.to_bits(), e.mean_prefix_len().to_bits());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // Sorted lens: [0, 10, 11, 12, 31]; trim 1 each side → mean of
+        // [10, 11, 12] = 11.
+        let records: Vec<RoundRecord> = [31, 10, 0, 12, 11].iter().map(|&l| rec(l)).collect();
+        let (est, mean) = aggregate_records(32, &records, Mitigation::TrimmedMean { trim: 1 });
+        assert!((mean - 11.0).abs() < 1e-12);
+        assert!((est - gray::estimate_from_mean_prefix(11.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trimmed_mean_clamps_to_keep_one_round() {
+        // Five rounds, trim 40: clamp to (5 − 1)/2 = 2 → the median stays.
+        let records: Vec<RoundRecord> = [3, 30, 7, 1, 15].iter().map(|&l| rec(l)).collect();
+        let (_, mean) = aggregate_records(32, &records, Mitigation::TrimmedMean { trim: 40 });
+        assert!((mean - 7.0).abs() < 1e-12, "median survives, got {mean}");
+        // A single round never vanishes either.
+        let (_, solo) = aggregate_records(32, &records[..1], Mitigation::TrimmedMean { trim: 9 });
+        assert!((solo - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trim_zero_equals_plain_mean() {
+        let records: Vec<RoundRecord> = [4, 9, 2].iter().map(|&l| rec(l)).collect();
+        let (a, am) = aggregate_records(32, &records, Mitigation::None);
+        let (b, bm) = aggregate_records(32, &records, Mitigation::TrimmedMean { trim: 0 });
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(am.to_bits(), bm.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn aggregate_rejects_empty() {
+        let _ = aggregate_records(32, &[], Mitigation::None);
     }
 
     #[test]

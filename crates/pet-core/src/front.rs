@@ -16,8 +16,7 @@ use crate::kernel::CodeBank;
 use crate::oracle::CodeRoster;
 use crate::session::{EstimateReport, PetSession, SessionEngine};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_radio::{Air, Transcript};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
 use std::sync::Arc;
@@ -154,7 +153,7 @@ impl Estimator {
             }
             Backend::Oracle => {
                 let mut oracle = CodeRoster::new(keys, self.config(), self.family());
-                let mut air = Air::new(PerfectChannel);
+                let mut air = Air::new(self.config().channel());
                 self.engine
                     .session()
                     .try_run_rounds(rounds, &mut oracle, &mut air, rng)
@@ -200,10 +199,41 @@ impl Estimator {
             Backend::Kernel => self.engine.try_run_fast(bank, rounds, rng),
             Backend::Oracle => {
                 let mut oracle = self.roster_from_bank(bank);
-                let mut air = Air::new(PerfectChannel);
+                let mut air = Air::new(self.config().channel());
                 self.engine
                     .session()
                     .try_run_rounds(rounds, &mut oracle, &mut air, rng)
+            }
+        }
+    }
+
+    /// Like [`Self::try_run_bank`], but also returns the slot-by-slot
+    /// [`Transcript`] (up to `capacity` slots). Both backends run
+    /// slot-accurately here, so transcripts — not just reports — are
+    /// bit-for-bit comparable across [`Backend`]s under a shared seed;
+    /// the differential fuzz and golden-trace suites lean on this.
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_bank_transcribed<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        capacity: usize,
+        rng: &mut R,
+    ) -> Result<(EstimateReport, Transcript), PetError> {
+        match self.backend() {
+            Backend::Kernel => self.engine.try_run_transcribed(bank, rounds, capacity, rng),
+            Backend::Oracle => {
+                let mut oracle = self.roster_from_bank(bank);
+                let mut air = Air::new(self.config().channel()).with_transcript(capacity);
+                let report =
+                    self.engine
+                        .session()
+                        .try_run_rounds(rounds, &mut oracle, &mut air, rng)?;
+                let transcript = air.transcript().cloned().expect("transcript was requested");
+                Ok((report, transcript))
             }
         }
     }
@@ -314,5 +344,43 @@ mod tests {
         let estimator = Estimator::new(config_for(Backend::Kernel, TagMode::PassivePreloaded));
         let mut rng = StdRng::seed_from_u64(1);
         let _ = estimator.estimate_keys_rounds(&[1, 2, 3], 0, &mut rng);
+    }
+
+    /// Backend invariance extends to lossy channels and transcripts: both
+    /// backends must emit the identical slot-by-slot tape under a shared
+    /// seed, fault injection included.
+    #[test]
+    fn lossy_transcripts_are_backend_invariant() {
+        use pet_radio::channel::{ChannelModel, LossyChannel};
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            let lossy = ChannelModel::Lossy(LossyChannel::new(0.15, 0.03).unwrap());
+            let build = |backend| {
+                PetConfig::builder()
+                    .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                    .backend(backend)
+                    .tag_mode(mode)
+                    .channel(lossy)
+                    .build()
+                    .unwrap()
+            };
+            let oracle = Estimator::new(build(Backend::Oracle));
+            let kernel = Estimator::new(build(Backend::Kernel));
+            let keys = Arc::new((0..800u64).map(|k| k * 31 + 7).collect::<Vec<_>>());
+            let mut bank_a = oracle.bank_for_keys(Arc::clone(&keys));
+            let mut bank_b = kernel.bank_for_keys(Arc::clone(&keys));
+            let mut rng_a = StdRng::seed_from_u64(404);
+            let mut rng_b = StdRng::seed_from_u64(404);
+            let (a, tape_a) = oracle
+                .try_run_bank_transcribed(&mut bank_a, 24, 8192, &mut rng_a)
+                .unwrap();
+            let (b, tape_b) = kernel
+                .try_run_bank_transcribed(&mut bank_b, 24, 8192, &mut rng_b)
+                .unwrap();
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(), "mode {mode:?}");
+            assert_eq!(a.records, b.records, "mode {mode:?}");
+            assert_eq!(a.metrics, b.metrics, "mode {mode:?}");
+            assert_eq!(tape_a.records(), tape_b.records(), "mode {mode:?}");
+            assert!(!tape_a.records().is_empty());
+        }
     }
 }

@@ -66,6 +66,29 @@ pub fn locate_prefix_len(codes: &[u64], path: &BitString) -> u32 {
     l
 }
 
+/// Exact number of sorted codes matching the first `len` bits of `path`,
+/// by range counting — the slice-level twin of
+/// [`crate::oracle::CodeRoster::count_prefix`], used by the slot-accurate
+/// engine path where a lossy channel makes query lengths non-monotone (so
+/// [`narrow_to_prefix`]'s nesting precondition does not hold).
+#[must_use]
+pub fn count_prefix_sorted(codes: &[u64], path: &BitString, len: u32) -> u64 {
+    if len == 0 {
+        return codes.len() as u64;
+    }
+    let height = path.height();
+    let shift = height - len; // ≤ 63 since len ≥ 1
+    let lo = (path.bits() >> shift) << shift;
+    let start = codes.partition_point(|&c| c < lo);
+    // The exclusive upper bound lo + 2^shift can overflow u64 at the top
+    // of a height-64 tree; that range extends past every code.
+    let end = match lo.checked_add(1u64 << shift) {
+        Some(hi_excl) => codes.partition_point(|&c| c < hi_excl),
+        None => codes.len(),
+    };
+    (end - start) as u64
+}
+
 /// Length of the common prefix of two right-aligned `height`-bit values.
 #[inline]
 #[must_use]
@@ -86,17 +109,35 @@ fn common_bits(a: u64, b: u64, height: u32) -> u32 {
 /// lossless channel.
 #[must_use]
 pub fn round_record(height: u32, search: SearchStrategy, prefix_len: u32) -> RoundRecord {
+    round_record_probed(height, search, prefix_len, 0)
+}
+
+/// Like [`round_record`] but accounting for [`Mitigation::ReProbe`]'s
+/// extra readings: on a perfect channel every idle reading repeats
+/// `probes` times (all idle again), so each idle query costs `1 + probes`
+/// slots while the statistic is unchanged. This keeps the arithmetic fast
+/// path bit-for-bit equivalent to the slot-accurate loop under
+/// `Perfect + ReProbe`.
+///
+/// [`Mitigation::ReProbe`]: crate::config::Mitigation::ReProbe
+#[must_use]
+pub fn round_record_probed(
+    height: u32,
+    search: SearchStrategy,
+    prefix_len: u32,
+    probes: u32,
+) -> RoundRecord {
     debug_assert!(prefix_len <= height);
     match search {
-        SearchStrategy::Linear => linear_record(height, prefix_len),
-        SearchStrategy::Binary => binary_record(height, prefix_len),
+        SearchStrategy::Linear => linear_record(height, prefix_len, probes),
+        SearchStrategy::Binary => binary_record(height, prefix_len, probes),
     }
 }
 
-fn linear_record(height: u32, l: u32) -> RoundRecord {
+fn linear_record(height: u32, l: u32, probes: u32) -> RoundRecord {
     // Algorithm 1 stops at the first idle query, j = L + 1 (or exhausts all
-    // H queries when every one is busy).
-    let slots = if l >= height { height } else { l + 1 };
+    // H queries when every one is busy, hearing no idle slot to re-probe).
+    let slots = if l >= height { height } else { l + 1 + probes };
     RoundRecord {
         prefix_len: l,
         gray_height: height - l,
@@ -105,14 +146,14 @@ fn linear_record(height: u32, l: u32) -> RoundRecord {
     }
 }
 
-fn binary_record(height: u32, l: u32) -> RoundRecord {
+fn binary_record(height: u32, l: u32, probes: u32) -> RoundRecord {
     let mut low = 1u32;
     let mut high = height;
     let mut slots = 0;
     let mut any_busy = false;
     while low < high {
         let mid = (low + high).div_ceil(2);
-        slots += 1;
+        slots += if l >= mid { 1 } else { 1 + probes };
         if l >= mid {
             low = mid;
             any_busy = true;
@@ -123,7 +164,7 @@ fn binary_record(height: u32, l: u32) -> RoundRecord {
     let mut disambiguated = false;
     let prefix_len = if low == 1 && !any_busy {
         disambiguated = true;
-        slots += 1;
+        slots += if l >= 1 { 1 } else { 1 + probes };
         u32::from(l >= 1)
     } else {
         low
@@ -153,6 +194,10 @@ pub fn apply_round_metrics(
 ) {
     let height = config.height();
     let bits = config.encoding().bits_per_query(height);
+    let probes = match config.mitigation() {
+        crate::config::Mitigation::ReProbe { probes } => probes,
+        _ => 0,
+    };
     metrics.command_bits += u64::from(config.round_start_bits());
     // Busy queries narrow this window; see `narrow_to_prefix`.
     let mut window = 0..codes.len();
@@ -162,7 +207,14 @@ pub fn apply_round_metrics(
         } else {
             0
         };
-        metrics.record_slot(bits, responders, SlotOutcome::from_detected(responders));
+        let outcome = SlotOutcome::from_detected(responders);
+        metrics.record_slot(bits, responders, outcome);
+        if outcome.is_idle() {
+            // Perfect-channel re-probes repeat the idle reading verbatim.
+            for _ in 0..probes {
+                metrics.record_slot(bits, responders, outcome);
+            }
+        }
     };
     match config.search() {
         SearchStrategy::Linear => {
@@ -372,6 +424,25 @@ mod tests {
             }
             if l < 16 {
                 assert_eq!(roster.count_prefix(&path, l + 1), 0, "L + 1 must idle");
+            }
+        }
+    }
+
+    #[test]
+    fn count_prefix_sorted_matches_roster() {
+        let config = PetConfig::builder().height(16).build().unwrap();
+        let keys: Vec<u64> = (0..250).collect();
+        let roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        let codes = roster.codes().to_vec();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let path = BitString::random(16, &mut rng);
+            for len in 0..=16 {
+                assert_eq!(
+                    count_prefix_sorted(&codes, &path, len),
+                    roster.count_prefix(&path, len),
+                    "len {len}"
+                );
             }
         }
     }

@@ -20,10 +20,10 @@
 //! per round (Table 3 reproduces); small-`n` correctness is preserved.
 
 use crate::bits::BitString;
-use crate::config::{PetConfig, SearchStrategy, TagMode};
+use crate::config::{Mitigation, PetConfig, SearchStrategy, TagMode};
 use crate::oracle::{ResponderOracle, RoundStart};
 use pet_radio::channel::Channel;
-use pet_radio::Air;
+use pet_radio::{Air, AirMetrics, SlotOutcome};
 use rand::Rng;
 
 /// Outcome of one estimation round.
@@ -53,6 +53,7 @@ where
     R: Rng + ?Sized,
 {
     let span = pet_obs::span("core.round");
+    let before = *air.metrics();
     let path = BitString::random(config.height(), rng);
     let seed = match config.tag_mode() {
         TagMode::ActivePerRound => Some(rng.random::<u64>()),
@@ -66,6 +67,7 @@ where
     };
     drop(span);
     record_round_telemetry(config, &record);
+    record_outcome_telemetry(&before, air.metrics());
     record
 }
 
@@ -82,6 +84,65 @@ pub(crate) fn record_round_telemetry(config: &PetConfig, record: &RoundRecord) {
     let command_bits = u64::from(config.round_start_bits())
         + u64::from(record.slots) * u64::from(config.encoding().bits_per_query(config.height()));
     pet_obs::counter("core.round.command_bits", command_bits);
+}
+
+/// Emits this round's slot-outcome tallies (`core.round.slots.idle` /
+/// `.singleton` / `.collision`, summing to `core.round.slots`) from a
+/// before/after [`AirMetrics`] snapshot — the observable that makes channel
+/// fault injection visible in telemetry. Shared by both backends so the
+/// counters aggregate under the same names. Zero increments are skipped to
+/// keep JSONL streams lean.
+pub(crate) fn record_outcome_telemetry(before: &AirMetrics, after: &AirMetrics) {
+    if !pet_obs::enabled() {
+        return;
+    }
+    for (name, delta) in [
+        ("core.round.slots.idle", after.idle - before.idle),
+        (
+            "core.round.slots.singleton",
+            after.singleton - before.singleton,
+        ),
+        (
+            "core.round.slots.collision",
+            after.collision - before.collision,
+        ),
+    ] {
+        if delta > 0 {
+            pet_obs::counter(name, delta);
+        }
+    }
+}
+
+/// Runs one slot, re-transmitting idle readings when
+/// [`Mitigation::ReProbe`] is configured: up to `probes` extra readings of
+/// the same query, stopping at the first busy one (the last reading wins).
+/// Each reading is a real slot — it hits the channel, the metrics, the
+/// transcript, and `slots`. Shared by both protocol loops and the
+/// session-level zero probe so every backend re-probes identically.
+pub(crate) fn probed_slot<C, R>(
+    mitigation: Mitigation,
+    air: &mut Air<C>,
+    responders: u64,
+    bits: u32,
+    slots: &mut u32,
+    rng: &mut R,
+) -> SlotOutcome
+where
+    C: Channel,
+    R: Rng + ?Sized,
+{
+    let mut outcome = air.slot(responders, bits, rng);
+    *slots += 1;
+    if let Mitigation::ReProbe { probes } = mitigation {
+        for _ in 0..probes {
+            if !outcome.is_idle() {
+                break;
+            }
+            outcome = air.slot(responders, bits, rng);
+            *slots += 1;
+        }
+    }
+    outcome
 }
 
 /// Algorithm 1: additively growing prefix queries until the first idle slot.
@@ -103,8 +164,14 @@ where
     let mut slots = 0;
     let mut prefix_len = height; // if every query is busy, L = H
     for j in 1..=height {
-        let outcome = air.slot(oracle.responders(j), bits, rng);
-        slots += 1;
+        let outcome = probed_slot(
+            config.mitigation(),
+            air,
+            oracle.responders(j),
+            bits,
+            &mut slots,
+            rng,
+        );
         oracle.feedback(outcome.is_busy());
         if outcome.is_idle() {
             prefix_len = j - 1;
@@ -142,8 +209,14 @@ where
     let mut any_busy = false;
     while low < high {
         let mid = (low + high).div_ceil(2);
-        let outcome = air.slot(oracle.responders(mid), bits, rng);
-        slots += 1;
+        let outcome = probed_slot(
+            config.mitigation(),
+            air,
+            oracle.responders(mid),
+            bits,
+            &mut slots,
+            rng,
+        );
         oracle.feedback(outcome.is_busy());
         if outcome.is_busy() {
             low = mid;
@@ -157,8 +230,14 @@ where
         // The converged transcript is consistent with both L = 0 and L = 1;
         // one direct query of the 1-bit prefix settles it.
         disambiguated = true;
-        let outcome = air.slot(oracle.responders(1), bits, rng);
-        slots += 1;
+        let outcome = probed_slot(
+            config.mitigation(),
+            air,
+            oracle.responders(1),
+            bits,
+            &mut slots,
+            rng,
+        );
         oracle.feedback(outcome.is_busy());
         u32::from(outcome.is_busy())
     } else {

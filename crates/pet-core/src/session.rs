@@ -9,13 +9,13 @@
 use crate::bits::BitString;
 use crate::config::{PetConfig, TagMode};
 use crate::error::PetError;
-use crate::estimator::PetEstimator;
+use crate::estimator::aggregate_records;
 use crate::kernel::{self, CodeBank};
-use crate::oracle::{CodeRoster, ResponderOracle};
+use crate::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use crate::reader::{run_round, RoundRecord};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::{Channel, PerfectChannel};
-use pet_radio::{Air, AirMetrics, SlotOutcome};
+use pet_radio::channel::{Channel, ChannelModel};
+use pet_radio::{Air, AirMetrics, SlotOutcome, Transcript};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
 use std::sync::Arc;
@@ -193,8 +193,18 @@ impl PetSession {
         }
         let _session_span = pet_obs::span("core.session.oracle");
         if self.config.zero_probe() {
-            // One match-all slot: if nobody answers, the region is empty.
-            let outcome = air.slot(oracle.responders(0), 1, rng);
+            // One match-all slot (re-probed under `Mitigation::ReProbe` —
+            // a missed answer here would wrongly declare the region
+            // empty): if nobody answers, the region is empty.
+            let responders = oracle.responders(0);
+            let outcome = crate::reader::probed_slot(
+                self.config.mitigation(),
+                air,
+                responders,
+                1,
+                &mut 0,
+                rng,
+            );
             if outcome.is_idle() {
                 return Ok(EstimateReport {
                     estimate: 0.0,
@@ -206,25 +216,24 @@ impl PetSession {
                 });
             }
         }
-        let mut estimator = PetEstimator::new(self.config.height());
         let mut records = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
-            let record = run_round(&self.config, oracle, air, rng);
-            estimator.push(record);
-            records.push(record);
+            records.push(run_round(&self.config, oracle, air, rng));
         }
+        let (estimate, mean_prefix_len) =
+            aggregate_records(self.config.height(), &records, self.config.mitigation());
         Ok(EstimateReport {
-            estimate: estimator.estimate(),
+            estimate,
             rounds,
-            mean_prefix_len: estimator.mean_prefix_len(),
+            mean_prefix_len,
             metrics: *air.metrics(),
             zero_detected: false,
             records,
         })
     }
 
-    /// One-call convenience: estimates a population over a lossless channel
-    /// using the exact roster oracle.
+    /// One-call convenience: estimates a population over the configured
+    /// channel model using the exact roster oracle.
     pub fn estimate_population<R: Rng + ?Sized>(
         &self,
         population: &TagPopulation,
@@ -232,7 +241,7 @@ impl PetSession {
     ) -> EstimateReport {
         let keys: Vec<u64> = population.keys().collect();
         let mut oracle = CodeRoster::new(&keys, &self.config, self.family);
-        let mut air = Air::new(PerfectChannel);
+        let mut air = Air::new(self.config.channel());
         self.run(&mut oracle, &mut air, rng)
     }
 
@@ -245,21 +254,60 @@ impl PetSession {
     ) -> EstimateReport {
         let keys: Vec<u64> = population.keys().collect();
         let mut oracle = CodeRoster::new(&keys, &self.config, self.family);
-        let mut air = Air::new(PerfectChannel);
+        let mut air = Air::new(self.config.channel());
         self.run_rounds(rounds, &mut oracle, &mut air, rng)
+    }
+}
+
+/// [`ResponderOracle`] view over a [`CodeBank`], used by the engine's
+/// slot-accurate path so lossy-channel rounds replay the exact protocol
+/// loop ([`run_round`]) that the roster oracle drives — equivalence with
+/// [`PetSession`] holds by construction. Prefix counts come from
+/// [`kernel::count_prefix_sorted`] because under a lossy channel the busy
+/// query lengths are not monotone, so the roster's narrowing optimisation
+/// does not apply.
+struct BankOracle<'a> {
+    bank: &'a mut CodeBank,
+    family: AnyFamily,
+    height: u32,
+    path: Option<BitString>,
+}
+
+impl ResponderOracle for BankOracle<'_> {
+    fn begin_round(&mut self, start: &RoundStart) {
+        self.bank.begin_round(start.seed, self.family, self.height);
+        self.path = Some(start.path);
+    }
+
+    fn responders(&mut self, prefix_len: u32) -> u64 {
+        if prefix_len == 0 {
+            // Matches `CodeRoster`: the root query (and zero probe) counts
+            // everyone, valid even before the first round starts.
+            return self.bank.population();
+        }
+        let path = self
+            .path
+            .as_ref()
+            .expect("responders() before begin_round()");
+        kernel::count_prefix_sorted(self.bank.codes(), path, prefix_len)
+    }
+
+    fn population(&self) -> u64 {
+        self.bank.population()
     }
 }
 
 /// The batched-kernel session driver.
 ///
 /// Produces [`EstimateReport`]s **bit-for-bit identical** to
-/// [`PetSession::run_rounds`] over a lossless channel and the
-/// [`CodeRoster`] oracle for the same RNG stream — estimate, per-round
-/// records, and [`AirMetrics`] — while locating each round's gray node
-/// with a single binary search (see [`crate::kernel`]) and reusing
-/// hash/sort work through [`CodeBank`]s. Experiments opt in for
-/// paper-scale sweeps; anything that needs a lossy channel or transcript
-/// capture stays on the oracle path.
+/// [`PetSession::run_rounds`] over the [`CodeRoster`] oracle for the same
+/// RNG stream and channel model — estimate, per-round records, and
+/// [`AirMetrics`]. Over the perfect channel each round is one binary
+/// search (see [`crate::kernel`]) with metrics synthesized arithmetically;
+/// over a lossy channel the engine replays the slot-accurate protocol
+/// loop through a [`BankOracle`], still reusing hash/sort work through
+/// [`CodeBank`]s. [`Self::try_run_transcribed`] additionally captures the
+/// slot-by-slot [`Transcript`] for differential and golden-trace tests.
 #[derive(Debug, Clone)]
 pub struct SessionEngine {
     session: PetSession,
@@ -335,15 +383,65 @@ impl SessionEngine {
             return Err(PetError::ZeroRounds);
         }
         let _session_span = pet_obs::span("core.session.kernel");
+        match self.session.config().channel() {
+            ChannelModel::Perfect => self.run_fast_lossless(bank, rounds, rng),
+            channel => self
+                .run_slot_accurate(bank, rounds, Air::new(channel), rng)
+                .map(|(report, _)| report),
+        }
+    }
+
+    /// Like [`Self::try_run_fast`], but also captures the slot-by-slot
+    /// [`Transcript`] (up to `capacity` slots). Always takes the
+    /// slot-accurate path — even over the perfect channel — so the
+    /// transcript reflects real protocol slots, not synthesized metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_transcribed<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        capacity: usize,
+        rng: &mut R,
+    ) -> Result<(EstimateReport, Transcript), PetError> {
+        if rounds == 0 {
+            return Err(PetError::ZeroRounds);
+        }
+        let _session_span = pet_obs::span("core.session.kernel");
+        let air = Air::new(self.session.config().channel()).with_transcript(capacity);
+        let (report, transcript) = self.run_slot_accurate(bank, rounds, air, rng)?;
+        Ok((report, transcript.expect("transcript was requested")))
+    }
+
+    /// The lossless arithmetic fast path: one binary search per round,
+    /// metrics synthesized by [`kernel::apply_round_metrics`]. Bit-for-bit
+    /// identical to the oracle path over [`ChannelModel::Perfect`] (which
+    /// draws no slot-level randomness).
+    fn run_fast_lossless<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError> {
         let config = self.session.config();
         let family = self.session.family();
         let height = config.height();
+        let probes = match config.mitigation() {
+            crate::config::Mitigation::ReProbe { probes } => probes,
+            _ => 0,
+        };
         let mut metrics = AirMetrics::default();
         if config.zero_probe() {
             let responders = bank.population();
             let outcome = SlotOutcome::from_detected(responders);
             metrics.record_slot(1, responders, outcome);
             if outcome.is_idle() {
+                // Perfect-channel re-probes hear the same silence.
+                for _ in 0..probes {
+                    metrics.record_slot(1, responders, outcome);
+                }
                 return Ok(EstimateReport {
                     estimate: 0.0,
                     rounds: 0,
@@ -354,7 +452,6 @@ impl SessionEngine {
                 });
             }
         }
-        let mut estimator = PetEstimator::new(height);
         let mut records = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             let round_span = pet_obs::span("core.round");
@@ -365,21 +462,86 @@ impl SessionEngine {
             };
             bank.begin_round(seed, family, height);
             let l = kernel::locate_prefix_len(bank.codes(), &path);
-            let record = kernel::round_record(height, config.search(), l);
+            let record = kernel::round_record_probed(height, config.search(), l, probes);
+            let before = metrics;
             kernel::apply_round_metrics(bank.codes(), &path, config, l, &mut metrics);
             drop(round_span);
             crate::reader::record_round_telemetry(config, &record);
-            estimator.push(record);
+            crate::reader::record_outcome_telemetry(&before, &metrics);
             records.push(record);
         }
+        let (estimate, mean_prefix_len) = aggregate_records(height, &records, config.mitigation());
         Ok(EstimateReport {
-            estimate: estimator.estimate(),
+            estimate,
             rounds,
-            mean_prefix_len: estimator.mean_prefix_len(),
+            mean_prefix_len,
             metrics,
             zero_detected: false,
             records,
         })
+    }
+
+    /// The slot-accurate path: drives the real protocol loop
+    /// ([`run_round`]) over a [`BankOracle`] and the given air, so lossy
+    /// channels and transcript capture behave exactly as on the oracle
+    /// path. Returns the report plus the captured transcript, if any.
+    fn run_slot_accurate<R: Rng + ?Sized>(
+        &self,
+        bank: &mut CodeBank,
+        rounds: u32,
+        mut air: Air<ChannelModel>,
+        rng: &mut R,
+    ) -> Result<(EstimateReport, Option<Transcript>), PetError> {
+        let config = self.session.config();
+        let mut oracle = BankOracle {
+            bank,
+            family: self.session.family(),
+            height: config.height(),
+            path: None,
+        };
+        if config.zero_probe() {
+            let responders = oracle.responders(0);
+            let outcome = crate::reader::probed_slot(
+                config.mitigation(),
+                &mut air,
+                responders,
+                1,
+                &mut 0,
+                rng,
+            );
+            if outcome.is_idle() {
+                let transcript = air.transcript().cloned();
+                return Ok((
+                    EstimateReport {
+                        estimate: 0.0,
+                        rounds: 0,
+                        mean_prefix_len: 0.0,
+                        metrics: *air.metrics(),
+                        zero_detected: true,
+                        records: Vec::new(),
+                    },
+                    transcript,
+                ));
+            }
+        }
+        let mut records = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            records.push(run_round(config, &mut oracle, &mut air, rng));
+        }
+        let (estimate, mean_prefix_len) =
+            aggregate_records(config.height(), &records, config.mitigation());
+        let transcript = air.transcript().cloned();
+        Ok((
+            EstimateReport {
+                estimate,
+                rounds,
+                mean_prefix_len,
+                metrics: *air.metrics(),
+                zero_detected: false,
+                records,
+            },
+            transcript,
+        ))
     }
 
     /// One-call convenience over a key slice (bank built ad hoc).
@@ -397,7 +559,8 @@ impl SessionEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SearchStrategy, TagMode};
+    use crate::config::{Mitigation, SearchStrategy, TagMode};
+    use pet_radio::channel::{LossyChannel, PerfectChannel};
     use pet_stats::accuracy::Accuracy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -659,5 +822,186 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let session = PetSession::new(quick_config());
         let _ = session.estimate_population_rounds(&TagPopulation::sequential(10), 0, &mut rng);
+    }
+
+    fn lossy_config(mode: TagMode, mitigation: Mitigation) -> PetConfig {
+        PetConfig::builder()
+            .tag_mode(mode)
+            .channel(ChannelModel::Lossy(LossyChannel::new(0.1, 0.02).unwrap()))
+            .mitigation(mitigation)
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    /// The tentpole invariant: backend equivalence must survive fault
+    /// injection — lossy channel, both tag modes, with and without
+    /// mitigation.
+    #[test]
+    fn engine_matches_session_bit_for_bit_under_loss() {
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            for mitigation in [
+                Mitigation::None,
+                Mitigation::TrimmedMean { trim: 3 },
+                Mitigation::ReProbe { probes: 2 },
+            ] {
+                let config = lossy_config(mode, mitigation);
+                let pop = TagPopulation::sequential(600);
+                let session = PetSession::new(config);
+                let engine = SessionEngine::from_session(session.clone());
+                let mut rng_a = StdRng::seed_from_u64(123);
+                let mut rng_b = StdRng::seed_from_u64(123);
+                let slow = session.estimate_population_rounds(&pop, 48, &mut rng_a);
+                let keys: Vec<u64> = pop.keys().collect();
+                let fast = engine.estimate_keys_rounds(&keys, 48, &mut rng_b);
+                assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
+                assert_eq!(slow.records, fast.records, "mode {mode:?} {mitigation:?}");
+                assert_eq!(slow.metrics, fast.metrics, "mode {mode:?} {mitigation:?}");
+            }
+        }
+    }
+
+    /// A lossy channel actually perturbs the transcript relative to the
+    /// perfect channel under the same seed (the fault injection is live).
+    #[test]
+    fn lossy_channel_changes_outcomes() {
+        let perfect = PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let heavy = PetConfig::builder()
+            .channel(ChannelModel::Lossy(LossyChannel::new(0.4, 0.0).unwrap()))
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let pop = TagPopulation::sequential(500);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let clean = PetSession::new(perfect).estimate_population_rounds(&pop, 64, &mut rng_a);
+        let noisy = PetSession::new(heavy).estimate_population_rounds(&pop, 64, &mut rng_b);
+        assert_ne!(clean.records, noisy.records, "40% miss must perturb rounds");
+        // Missed responses bias the prefix statistic low.
+        assert!(noisy.mean_prefix_len < clean.mean_prefix_len);
+    }
+
+    /// The transcribed engine path equals the oracle path's transcript
+    /// slot for slot, and its report equals `try_run_fast`'s.
+    #[test]
+    fn transcribed_run_matches_oracle_transcript() {
+        for mitigation in [Mitigation::None, Mitigation::TrimmedMean { trim: 2 }] {
+            let config = lossy_config(TagMode::PassivePreloaded, mitigation);
+            let session = PetSession::new(config);
+            let engine = SessionEngine::from_session(session.clone());
+            let keys: Vec<u64> = (0..400u64).map(|k| k.wrapping_mul(0x9e37_79b9)).collect();
+
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut oracle = CodeRoster::new(&keys, session.config(), session.family());
+            let mut air = Air::new(config.channel()).with_transcript(4096);
+            let slow = session.run_rounds(32, &mut oracle, &mut air, &mut rng_a);
+            let slow_tape = air.transcript().cloned().unwrap();
+
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let mut bank = engine.bank_for_keys(Arc::new(keys.clone()));
+            let (fast, fast_tape) = engine
+                .try_run_transcribed(&mut bank, 32, 4096, &mut rng_b)
+                .unwrap();
+            assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
+            assert_eq!(slow.records, fast.records);
+            assert_eq!(slow.metrics, fast.metrics);
+            assert_eq!(slow_tape.records(), fast_tape.records());
+            assert!(!fast_tape.records().is_empty());
+        }
+    }
+
+    /// `Perfect + ReProbe` exercises the arithmetic fast path's synthetic
+    /// re-probe accounting against the slot-accurate oracle loop: idle
+    /// readings repeat, busy ones don't, and the statistic is untouched.
+    #[test]
+    fn reprobe_on_perfect_channel_only_adds_idle_slots() {
+        for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
+            let build = |mitigation| {
+                PetConfig::builder()
+                    .tag_mode(mode)
+                    .mitigation(mitigation)
+                    .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                    .build()
+                    .unwrap()
+            };
+            let probed = build(Mitigation::ReProbe { probes: 2 });
+            let pop = TagPopulation::sequential(300);
+            let keys: Vec<u64> = pop.keys().collect();
+            let session = PetSession::new(probed);
+            let engine = SessionEngine::from_session(session.clone());
+            let mut rng_a = StdRng::seed_from_u64(21);
+            let mut rng_b = StdRng::seed_from_u64(21);
+            let slow = session.estimate_population_rounds(&pop, 40, &mut rng_a);
+            let fast = engine.estimate_keys_rounds(&keys, 40, &mut rng_b);
+            assert_eq!(slow.estimate.to_bits(), fast.estimate.to_bits());
+            assert_eq!(slow.records, fast.records, "mode {mode:?}");
+            assert_eq!(slow.metrics, fast.metrics, "mode {mode:?}");
+
+            // Same seed without re-probe: identical statistic, fewer slots
+            // (each binary round re-reads its idle decisions twice).
+            let mut rng_c = StdRng::seed_from_u64(21);
+            let plain = PetSession::new(build(Mitigation::None))
+                .estimate_population_rounds(&pop, 40, &mut rng_c);
+            assert_eq!(plain.estimate.to_bits(), slow.estimate.to_bits());
+            assert!(slow.metrics.slots > plain.metrics.slots);
+            assert_eq!(slow.metrics.collision, plain.metrics.collision);
+            assert_eq!(slow.metrics.singleton, plain.metrics.singleton);
+        }
+    }
+
+    /// Re-probing measurably recovers loss-truncated prefixes: under a
+    /// miss-heavy channel the probed session's statistic moves back toward
+    /// the clean one.
+    #[test]
+    fn reprobe_recovers_missed_responses() {
+        let channel = ChannelModel::Lossy(LossyChannel::new(0.3, 0.0).unwrap());
+        let build = |mitigation| {
+            PetConfig::builder()
+                .channel(channel)
+                .mitigation(mitigation)
+                .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                .build()
+                .unwrap()
+        };
+        let pop = TagPopulation::sequential(2_000);
+        let clean_cfg = PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let clean = PetSession::new(clean_cfg).estimate_population_rounds(&pop, 128, &mut rng);
+        let mut rng = StdRng::seed_from_u64(33);
+        let lossy = PetSession::new(build(Mitigation::None))
+            .estimate_population_rounds(&pop, 128, &mut rng);
+        let mut rng = StdRng::seed_from_u64(33);
+        let probed = PetSession::new(build(Mitigation::ReProbe { probes: 2 }))
+            .estimate_population_rounds(&pop, 128, &mut rng);
+        assert!(lossy.mean_prefix_len < clean.mean_prefix_len);
+        assert!(
+            probed.mean_prefix_len > lossy.mean_prefix_len,
+            "probed {} vs lossy {}",
+            probed.mean_prefix_len,
+            lossy.mean_prefix_len
+        );
+        let gap = |r: &EstimateReport| (r.mean_prefix_len - clean.mean_prefix_len).abs();
+        assert!(gap(&probed) < gap(&lossy));
+    }
+
+    /// Mitigation changes only the aggregation, not the protocol: same
+    /// records and metrics, different estimate arithmetic.
+    #[test]
+    fn mitigation_is_aggregation_only() {
+        let pop = TagPopulation::sequential(900);
+        let mut reports = Vec::new();
+        for mitigation in [Mitigation::None, Mitigation::TrimmedMean { trim: 4 }] {
+            let config = lossy_config(TagMode::PassivePreloaded, mitigation);
+            let mut rng = StdRng::seed_from_u64(9);
+            reports.push(PetSession::new(config).estimate_population_rounds(&pop, 40, &mut rng));
+        }
+        assert_eq!(reports[0].records, reports[1].records);
+        assert_eq!(reports[0].metrics, reports[1].metrics);
     }
 }

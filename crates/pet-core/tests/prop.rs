@@ -1,13 +1,14 @@
 //! Property-based tests for the PET core protocol.
 
 use pet_core::bits::BitString;
-use pet_core::config::{CommandEncoding, PetConfig, SearchStrategy};
+use pet_core::config::{Backend, CommandEncoding, Mitigation, PetConfig, SearchStrategy, TagMode};
+use pet_core::front::Estimator;
 use pet_core::kernel::{apply_round_metrics, locate_prefix_len, round_record};
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart, TagFleet};
 use pet_core::reader::{binary_round, linear_round, run_round};
 use pet_core::tree::Tree;
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::PerfectChannel;
+use pet_radio::channel::{ChannelModel, LossyChannel, PerfectChannel};
 use pet_radio::{Air, AirMetrics};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -232,6 +233,67 @@ proptest! {
         let mut metrics = AirMetrics::default();
         apply_round_metrics(&codes, &path, &config, l, &mut metrics);
         prop_assert_eq!(&metrics, air.metrics());
+    }
+
+    /// Differential fuzz of the two backends across the full configuration
+    /// space — channel faults included: for any population, seed, channel,
+    /// tag mode, and mitigation, the oracle reader and the batched kernel
+    /// produce bit-identical reports AND slot-by-slot transcripts.
+    #[test]
+    fn backends_are_transcript_identical_for_any_channel(
+        keys in proptest::collection::vec(any::<u64>(), 0..250),
+        seed in any::<u64>(),
+        miss in 0.0f64..0.5,
+        false_busy in 0.0f64..0.2,
+        lossy in any::<bool>(),
+        active in any::<bool>(),
+        mitigation_pick in 0u8..3,
+        rounds in 1u32..6,
+    ) {
+        let channel = if lossy {
+            ChannelModel::Lossy(LossyChannel::new(miss, false_busy).unwrap())
+        } else {
+            ChannelModel::Perfect
+        };
+        let mitigation = match mitigation_pick {
+            0 => Mitigation::None,
+            1 => Mitigation::TrimmedMean { trim: 1 },
+            _ => Mitigation::ReProbe { probes: 2 },
+        };
+        let tag_mode = if active {
+            TagMode::ActivePerRound
+        } else {
+            TagMode::PassivePreloaded
+        };
+        let keys = std::sync::Arc::new(keys);
+        let mut outputs = Vec::new();
+        for backend in [Backend::Oracle, Backend::Kernel] {
+            let config = PetConfig::builder()
+                .backend(backend)
+                .tag_mode(tag_mode)
+                .manufacture_seed(seed)
+                .channel(channel)
+                .mitigation(mitigation)
+                .build()
+                .unwrap();
+            let estimator = Estimator::new(config);
+            let mut bank = estimator.bank_for_keys(std::sync::Arc::clone(&keys));
+            let mut rng = StdRng::seed_from_u64(seed);
+            outputs.push(
+                estimator
+                    .try_run_bank_transcribed(&mut bank, rounds, 16_384, &mut rng)
+                    .unwrap(),
+            );
+        }
+        let (oracle_report, oracle_transcript) = &outputs[0];
+        let (kernel_report, kernel_transcript) = &outputs[1];
+        prop_assert_eq!(
+            oracle_report.estimate.to_bits(),
+            kernel_report.estimate.to_bits()
+        );
+        prop_assert_eq!(&oracle_report.records, &kernel_report.records);
+        prop_assert_eq!(&oracle_report.metrics, &kernel_report.metrics);
+        prop_assert_eq!(oracle_transcript.records(), kernel_transcript.records());
     }
 
     /// BitString::common_prefix_len is symmetric, bounded, and consistent

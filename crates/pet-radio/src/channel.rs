@@ -57,19 +57,24 @@ impl std::error::Error for ProbabilityOutOfRange {}
 impl LossyChannel {
     /// Creates a lossy channel.
     ///
+    /// NaN is rejected (it fails the range check), and negative zero is
+    /// accepted but normalized to `+0.0`, so `transmit`'s `p > 0.0` fast
+    /// paths and the accessors treat it as exactly "no loss".
+    ///
     /// # Errors
     ///
     /// Returns an error if either probability lies outside `[0, 1)`.
     pub fn new(miss: f64, false_busy: f64) -> Result<Self, ProbabilityOutOfRange> {
-        if !(0.0..1.0).contains(&miss) || !miss.is_finite() {
-            return Err(ProbabilityOutOfRange { parameter: "miss" });
+        fn checked(p: f64, parameter: &'static str) -> Result<f64, ProbabilityOutOfRange> {
+            if !(0.0..1.0).contains(&p) || !p.is_finite() {
+                return Err(ProbabilityOutOfRange { parameter });
+            }
+            Ok(if p == 0.0 { 0.0 } else { p })
         }
-        if !(0.0..1.0).contains(&false_busy) || !false_busy.is_finite() {
-            return Err(ProbabilityOutOfRange {
-                parameter: "false_busy",
-            });
-        }
-        Ok(Self { miss, false_busy })
+        Ok(Self {
+            miss: checked(miss, "miss")?,
+            false_busy: checked(false_busy, "false_busy")?,
+        })
     }
 
     /// Per-responder miss probability.
@@ -164,6 +169,51 @@ mod tests {
             LossyChannel::new(f64::NAN, 0.0).unwrap_err().parameter,
             "miss"
         );
+    }
+
+    /// NaN must be rejected for *both* parameters — the range check's
+    /// comparisons are all false on NaN, so `!contains` catches it.
+    #[test]
+    fn nan_rejected_for_both_parameters() {
+        assert_eq!(
+            LossyChannel::new(f64::NAN, 0.0).unwrap_err().parameter,
+            "miss"
+        );
+        assert_eq!(
+            LossyChannel::new(0.0, f64::NAN).unwrap_err().parameter,
+            "false_busy"
+        );
+        assert_eq!(
+            LossyChannel::new(f64::INFINITY, 0.0).unwrap_err().parameter,
+            "miss"
+        );
+        assert_eq!(
+            LossyChannel::new(0.0, f64::NEG_INFINITY)
+                .unwrap_err()
+                .parameter,
+            "false_busy"
+        );
+    }
+
+    /// `-0.0` satisfies `[0, 1)` (IEEE `-0.0 >= 0.0`), so it is accepted —
+    /// but normalized to `+0.0` so accessors and the `false_busy > 0.0`
+    /// transmit fast path behave identically to a plain zero.
+    #[test]
+    fn negative_zero_accepted_and_normalized() {
+        let ch = LossyChannel::new(-0.0, -0.0).unwrap();
+        assert!(ch.miss().is_sign_positive(), "miss {:?}", ch.miss());
+        assert!(
+            ch.false_busy().is_sign_positive(),
+            "false_busy {:?}",
+            ch.false_busy()
+        );
+        assert_eq!(ch, LossyChannel::new(0.0, 0.0).unwrap());
+        // And it behaves exactly like the perfect channel on the stream.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut neg = ch;
+        for n in [0u64, 1, 2, 7] {
+            assert_eq!(neg.transmit(n, &mut rng), SlotOutcome::from_detected(n));
+        }
     }
 
     #[test]

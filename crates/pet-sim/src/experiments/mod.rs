@@ -10,6 +10,7 @@
 //! | [`fig7`] | Fig. 7a/b — per-tag memory for preloaded randomness |
 //! | [`ablations`] | command encodings, lossy channel, linear-vs-binary, LoF early termination, hash families |
 //! | [`motivation`] | §1's claim measured: identification (Aloha/tree-walk) vs estimation cost as n grows |
+//! | [`robustness`] | accuracy vs miss/false-busy rates, with/without trimmed-mean mitigation (extension) |
 //! | [`energy`] | reader/tag energy per estimate across protocols (extension) |
 //! | [`detection`] | missing-tag alarm power curve: measured vs closed-form (extension) |
 //!
@@ -23,5 +24,6 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod motivation;
+pub mod robustness;
 pub mod table3;
 pub mod table45;

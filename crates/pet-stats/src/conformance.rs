@@ -1,0 +1,273 @@
+//! Statistical conformance checks for the paper's (ε, δ) guarantee.
+//!
+//! The paper's headline claim (Eq. (20)) is that after `m` rounds the
+//! estimate satisfies `P(|n̂ − n|/n ≤ ε) ≥ 1 − δ`. These helpers turn that
+//! claim — and the per-round gray-node law it rests on — into assertable
+//! checks the top-level `statistical_conformance` suite pins down:
+//!
+//! - [`epsilon_delta_coverage`]: empirical coverage of the (ε, δ) bound
+//!   over repeated trials, with a binomial sampling tolerance so fixed-seed
+//!   runs neither flake nor silently weaken the claim.
+//! - [`ks_prefix_law`]: a one-sample Kolmogorov–Smirnov test of observed
+//!   responsive-prefix lengths against the exact law
+//!   `P(L ≥ l) = 1 − (1 − 2^{−l})^n` (paper Eq. (5)).
+//! - [`relative_bias`]: signed mean relative error, the quantity the lossy
+//!   channel shifts and the mitigation is meant to pull back.
+
+use crate::gray;
+use crate::ks::kolmogorov_sf;
+
+/// Outcome of an empirical (ε, δ)-coverage check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageCheck {
+    /// Trials examined.
+    pub trials: usize,
+    /// Trials with `|n̂ − n|/n ≤ ε`.
+    pub within: usize,
+    /// Observed coverage `within / trials`.
+    pub observed: f64,
+    /// The nominal requirement `1 − δ`.
+    pub required: f64,
+    /// Binomial sampling slack subtracted from `required` before
+    /// comparing (3σ plus a continuity correction).
+    pub tolerance: f64,
+}
+
+impl CoverageCheck {
+    /// Whether the observed coverage is consistent with the guarantee,
+    /// i.e. `observed ≥ required − tolerance`.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.observed >= self.required - self.tolerance
+    }
+}
+
+/// Empirical (ε, δ) coverage over repeated estimation trials.
+///
+/// Counts the fraction of `estimates` within relative error `epsilon` of
+/// `truth` and compares it against `1 − δ` minus a sampling tolerance of
+/// three binomial standard deviations (at the nominal coverage) plus a
+/// `0.5/trials` continuity correction. With a few hundred trials this
+/// tolerates the expected fixed-seed fluctuation while still failing
+/// loudly if the estimator materially misses the guarantee.
+///
+/// # Panics
+///
+/// Panics if `estimates` is empty, `truth` is not positive, or `epsilon`
+/// / `delta` lie outside `(0, 1)`.
+#[must_use]
+pub fn epsilon_delta_coverage(
+    estimates: &[f64],
+    truth: f64,
+    epsilon: f64,
+    delta: f64,
+) -> CoverageCheck {
+    assert!(!estimates.is_empty(), "coverage needs at least one trial");
+    assert!(truth > 0.0, "truth must be positive");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0,
+        "epsilon and delta must lie in (0, 1)"
+    );
+    let trials = estimates.len();
+    let within = estimates
+        .iter()
+        .filter(|&&e| ((e - truth) / truth).abs() <= epsilon)
+        .count();
+    let required = 1.0 - delta;
+    let sigma = (required * delta / trials as f64).sqrt();
+    CoverageCheck {
+        trials,
+        within,
+        observed: within as f64 / trials as f64,
+        required,
+        tolerance: 3.0 * sigma + 0.5 / trials as f64,
+    }
+}
+
+/// One-sample KS test of observed prefix lengths against the gray-node
+/// law for a population of `n` tags in a PET of height `height`.
+///
+/// The model CDF at prefix length `l` is
+/// `F(l) = P(L ≤ l) = 1 − P(L ≥ l + 1) = (1 − 2^{−(l+1)})^n` for
+/// `l < height` and 1 at `l = height` (paper Eq. (5); the statistic is
+/// capped at the tree height). The statistic is the sup-distance over the
+/// discrete atoms `0..=height`; the p-value uses the asymptotic Kolmogorov
+/// distribution, which is *conservative* for discrete data — so "do not
+/// reject" conclusions are safe, which is how the conformance suite uses
+/// it.
+///
+/// # Panics
+///
+/// Panics if `prefix_lens` is empty, `height` is outside `1..=64`, or any
+/// observation exceeds `height`.
+#[must_use]
+pub fn ks_prefix_law(prefix_lens: &[u32], n: u64, height: u32) -> crate::ks::KsResult {
+    assert!(!prefix_lens.is_empty(), "KS needs non-empty samples");
+    assert!((1..=64).contains(&height), "height must be in 1..=64");
+    assert!(
+        prefix_lens.iter().all(|&l| l <= height),
+        "prefix length exceeds height {height}"
+    );
+    let m = prefix_lens.len();
+    // Empirical counts per atom.
+    let mut counts = vec![0u64; height as usize + 1];
+    for &l in prefix_lens {
+        counts[l as usize] += 1;
+    }
+    let mut d: f64 = 0.0;
+    let mut cum = 0u64;
+    for l in 0..=height {
+        cum += counts[l as usize];
+        let empirical = cum as f64 / m as f64;
+        let model = if l == height {
+            1.0
+        } else {
+            1.0 - gray::prefix_survival(n, l + 1)
+        };
+        d = d.max((empirical - model).abs());
+    }
+    crate::ks::KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf((m as f64).sqrt() * d),
+    }
+}
+
+/// Signed mean relative error `mean(n̂/n) − 1`.
+///
+/// Zero for an unbiased estimator; a lossy channel that swallows tag
+/// responses drives this negative (shorter observed prefixes ⇒
+/// underestimation).
+///
+/// # Panics
+///
+/// Panics if `estimates` is empty or `truth` is not positive.
+#[must_use]
+pub fn relative_bias(estimates: &[f64], truth: f64) -> f64 {
+    assert!(!estimates.is_empty(), "bias needs at least one trial");
+    assert!(truth > 0.0, "truth must be positive");
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    mean / truth - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gray::GrayDistribution;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn coverage_counts_and_tolerance() {
+        // 96 of 100 within ε, requirement 0.9: holds comfortably.
+        let truth = 1000.0;
+        let estimates: Vec<f64> = (0..100)
+            .map(|i| if i < 96 { 1050.0 } else { 1500.0 })
+            .collect();
+        let check = epsilon_delta_coverage(&estimates, truth, 0.1, 0.1);
+        assert_eq!(check.trials, 100);
+        assert_eq!(check.within, 96);
+        assert!((check.observed - 0.96).abs() < 1e-12);
+        assert!((check.required - 0.9).abs() < 1e-12);
+        assert!(check.holds());
+    }
+
+    #[test]
+    fn coverage_fails_when_materially_missed() {
+        // Half the trials far off: no tolerance saves a 50% coverage at
+        // a 90% requirement.
+        let estimates: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1000.0 } else { 2000.0 })
+            .collect();
+        let check = epsilon_delta_coverage(&estimates, 1000.0, 0.1, 0.1);
+        assert!(!check.holds());
+    }
+
+    #[test]
+    fn coverage_boundary_is_inclusive() {
+        // Exactly ε relative error counts as within.
+        let check = epsilon_delta_coverage(&[1100.0], 1000.0, 0.1, 0.5);
+        assert_eq!(check.within, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn coverage_rejects_empty() {
+        let _ = epsilon_delta_coverage(&[], 10.0, 0.1, 0.1);
+    }
+
+    /// Sampling straight from the exact gray law must pass its own KS test.
+    #[test]
+    fn ks_accepts_exact_law_samples() {
+        let n = 5_000u64;
+        let height = 32;
+        let dist = GrayDistribution::new(n, height);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample: Vec<u32> = (0..4_000)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let mut cum = 0.0;
+                let mut drawn = height;
+                for l in 0..=height {
+                    cum += dist.pmf_prefix(l);
+                    if u <= cum {
+                        drawn = l;
+                        break;
+                    }
+                }
+                drawn
+            })
+            .collect();
+        let r = ks_prefix_law(&sample, n, height);
+        assert!(
+            r.same_distribution_at(0.01),
+            "false rejection: D = {}, p = {}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    /// The same sample against a law for a 4× larger population must
+    /// reject — the test has power against the shifts loss induces.
+    #[test]
+    fn ks_rejects_wrong_population() {
+        let n = 5_000u64;
+        let height = 32;
+        let dist = GrayDistribution::new(n, height);
+        let mut rng = StdRng::seed_from_u64(11);
+        let sample: Vec<u32> = (0..4_000)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let mut cum = 0.0;
+                let mut drawn = height;
+                for l in 0..=height {
+                    cum += dist.pmf_prefix(l);
+                    if u <= cum {
+                        drawn = l;
+                        break;
+                    }
+                }
+                drawn
+            })
+            .collect();
+        let r = ks_prefix_law(&sample, 4 * n, height);
+        assert!(
+            !r.same_distribution_at(0.01),
+            "missed 4× shift: p = {}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn bias_signs() {
+        assert!((relative_bias(&[1000.0, 1000.0], 1000.0)).abs() < 1e-12);
+        assert!(relative_bias(&[900.0], 1000.0) < 0.0);
+        assert!(relative_bias(&[1100.0], 1000.0) > 0.0);
+        assert!((relative_bias(&[500.0, 1500.0], 1000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds height")]
+    fn ks_rejects_oversized_observation() {
+        let _ = ks_prefix_law(&[9], 10, 8);
+    }
+}

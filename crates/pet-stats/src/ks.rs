@@ -63,7 +63,8 @@ pub fn two_sample(a: &[f64], b: &[f64]) -> KsResult {
 }
 
 /// Kolmogorov survival function `Q(λ) = 2 Σ (−1)^(k−1) e^(−2k²λ²)`.
-fn kolmogorov_sf(lambda: f64) -> f64 {
+/// Shared with [`crate::conformance`]'s one-sample test.
+pub(crate) fn kolmogorov_sf(lambda: f64) -> f64 {
     if lambda < 1e-6 {
         return 1.0;
     }

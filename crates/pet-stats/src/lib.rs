@@ -16,6 +16,8 @@
 //! - [`histogram`]: fixed-bin histograms for the Fig. 6 reproductions.
 //! - [`ks`]: a two-sample Kolmogorov–Smirnov test for distributional
 //!   equivalence checks in the test suite.
+//! - [`conformance`]: empirical (ε, δ)-coverage and one-sample gray-law
+//!   checks that pin the paper's guarantee in the statistical test suite.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 
 pub mod accuracy;
 pub mod binomial;
+pub mod conformance;
 pub mod describe;
 pub mod erf;
 pub mod gray;

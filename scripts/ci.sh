@@ -21,6 +21,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Statistical conformance gate: fixed-seed empirical checks of the paper's
+# (ε, δ) guarantee, the gray-node law (KS), lossy-channel backend
+# equivalence, and bias bounds under loss. Deterministic, runs in seconds.
+echo "==> statistical conformance (fixed seeds)"
+cargo test -q -p pet --test statistical_conformance
+
 echo "==> cargo fmt --check (first-party crates)"
 for crate in "${CRATES[@]}"; do
     cargo fmt -p "$crate" --check

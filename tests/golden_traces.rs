@@ -7,10 +7,12 @@
 
 use pet::prelude::*;
 use pet_core::bits::BitString;
+use pet_core::kernel::CodeBank;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::{binary_round, linear_round};
-use pet_radio::channel::PerfectChannel;
+use pet_radio::channel::{LossyChannel, PerfectChannel};
 use pet_radio::{Air, SlotOutcome};
+use std::sync::Arc;
 
 fn fig3_roster() -> CodeRoster {
     let codes: Vec<BitString> = [
@@ -102,6 +104,89 @@ fn golden_default_session() {
     assert_eq!(again.estimate, report.estimate);
     // And the estimate is sane.
     assert!((report.estimate - 1_000.0).abs() / 1_000.0 < 0.35);
+}
+
+/// Fixed-seed lossy golden: the exact slot-by-slot outcome sequence of three
+/// binary-search rounds over the Fig. 3 population through a
+/// `LossyChannel(0.25, 0.05)`, including both fault classes — a dropped
+/// response (1 responder read as Idle, round 2) and a phantom-busy slot
+/// (0 responders read as Singleton, round 1). The kernel's slot-accurate
+/// path must replay the identical transcript from the same seed.
+#[test]
+fn golden_lossy_trace() {
+    const SEED: u64 = 0;
+    let channel = LossyChannel::new(0.25, 0.05).unwrap();
+    let config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .channel(ChannelModel::Lossy(channel))
+        .build()
+        .unwrap();
+    let mut roster = fig3_roster();
+    let mut air = Air::new(channel).with_transcript(64);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let recs: Vec<_> = (0..3)
+        .map(|_| pet_core::reader::run_round(&config, &mut roster, &mut air, &mut rng))
+        .collect();
+    // Golden statistics: the phantom singleton in round 1 keeps its descent
+    // alive one level deeper; the dropped response in round 2 cuts it short.
+    assert_eq!(
+        recs.iter().map(|r| r.prefix_len).collect::<Vec<_>>(),
+        vec![5, 4, 5]
+    );
+    assert_eq!(
+        recs.iter().map(|r| r.slots).collect::<Vec<_>>(),
+        vec![3, 2, 3]
+    );
+    let golden = vec![
+        (1, SlotOutcome::Singleton),
+        (0, SlotOutcome::Singleton), // phantom busy: noise floor on an idle slot
+        (0, SlotOutcome::Idle),
+        (1, SlotOutcome::Singleton),
+        (1, SlotOutcome::Idle), // dropped response: the lone responder is missed
+        (1, SlotOutcome::Singleton),
+        (1, SlotOutcome::Singleton),
+        (0, SlotOutcome::Idle),
+    ];
+    assert_eq!(
+        air.transcript()
+            .expect("transcript enabled")
+            .records()
+            .iter()
+            .map(|r| (r.responders, r.outcome))
+            .collect::<Vec<_>>(),
+        golden
+    );
+
+    // The kernel backend replays the same trace bit for bit from the same
+    // codes and seed.
+    let codes: Arc<Vec<u64>> = Arc::new(fig3_roster().codes().to_vec());
+    let kernel_config = pet_core::config::PetConfig::builder()
+        .height(6)
+        .backend(Backend::Kernel)
+        .channel(ChannelModel::Lossy(channel))
+        .build()
+        .unwrap();
+    let mut bank = CodeBank::passive_shared(codes);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (report, transcript) = pet_core::front::Estimator::new(kernel_config)
+        .try_run_bank_transcribed(&mut bank, 3, 64, &mut rng)
+        .expect("kernel run succeeds");
+    assert_eq!(
+        report
+            .records
+            .iter()
+            .map(|r| r.prefix_len)
+            .collect::<Vec<_>>(),
+        vec![5, 4, 5]
+    );
+    assert_eq!(
+        transcript
+            .records()
+            .iter()
+            .map(|r| (r.responders, r.outcome))
+            .collect::<Vec<_>>(),
+        golden
+    );
 }
 
 /// Fixed-seed multi-round transcript: the exact query-slot outcome sequence
