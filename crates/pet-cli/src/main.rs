@@ -10,6 +10,8 @@
 //! pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
 //! pet info     [--epsilon 0.05] [--delta 0.01]
 //! pet telemetry --file events.jsonl
+//! pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
+//! pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
 //! ```
 //!
 //! Every command accepts `--telemetry <path.jsonl>`: protocol-level
@@ -17,6 +19,7 @@
 //! JSON Lines, which `pet telemetry --file <path.jsonl>` summarizes.
 
 mod args;
+mod serve;
 
 use args::{ArgError, Args};
 use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Lof, PetAdapter};
@@ -49,6 +52,10 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
   pet trace    --tags 16 [--height 6] [--rounds 2] [--linear] [--seed S]
   pet info     [--epsilon 0.05] [--delta 0.01]
   pet telemetry --file events.jsonl
+  pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
+               [--deadline-ms D] [--addr-file path]
+  pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
+               [--tags 200] [--rounds 4] [--verify-deterministic]
 (every command also accepts --telemetry <path.jsonl> to stream pet-obs events)";
 
 fn main() -> ExitCode {
@@ -81,6 +88,8 @@ fn run(argv: &[String]) -> Result<(), ArgError> {
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),
         "telemetry" => cmd_telemetry(&args),
+        "serve" => serve::cmd_serve(&args),
+        "loadgen" => serve::cmd_loadgen(&args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
 }
@@ -776,6 +785,85 @@ mod cli_tests {
         assert!(svg.contains("re-probed"));
         assert!(exec(&["robustness", "--miss", "nope", "--out", out_str]).is_err());
         std::fs::remove_dir_all(&out).ok();
+    }
+
+    /// Closed-loop load against an in-process server: every reply
+    /// validated, digests compared across two runs, non-zero exit when
+    /// anything is lost or malformed.
+    #[test]
+    fn loadgen_local_verifies_determinism() {
+        exec(&[
+            "loadgen",
+            "--local",
+            "--requests",
+            "300",
+            "--threads",
+            "4",
+            "--tags",
+            "150",
+            "--rounds",
+            "4",
+            "--verify-deterministic",
+        ])
+        .unwrap();
+        assert!(exec(&["loadgen"]).is_err(), "needs --addr or --local");
+        assert!(exec(&["loadgen", "--local", "--requests", "0"]).is_err());
+        assert!(exec(&["loadgen", "--local", "--addr", "127.0.0.1:1"]).is_err());
+        assert!(exec(&["loadgen", "--addr", "not-an-addr"]).is_err());
+    }
+
+    /// `pet serve` blocks until the shutdown verb, publishing its
+    /// ephemeral port through --addr-file.
+    #[test]
+    fn serve_runs_until_shutdown_verb() {
+        let path = std::env::temp_dir().join(format!("pet-cli-addr-{}.txt", std::process::id()));
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        let argv: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--deterministic",
+            "--workers",
+            "2",
+            "--addr-file",
+            &path_str,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let server = std::thread::spawn(move || super::run(&argv));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                    break addr;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "addr file never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let mut client = pet_server::Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let reply = client
+            .roundtrip(r#"{"id":"r1","verb":"estimate","tags":300,"rounds":4}"#)
+            .unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let ack = client
+            .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+            .unwrap();
+        assert!(ack.contains("\"drained\":true"), "{ack}");
+        server
+            .join()
+            .expect("serve thread")
+            .expect("serve exits ok");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

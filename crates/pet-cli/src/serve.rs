@@ -1,0 +1,284 @@
+//! `pet serve` and `pet loadgen` — the service surface of the CLI.
+//!
+//! `serve` runs the pet-server daemon in the foreground until a client
+//! sends the `shutdown` verb, then prints the final RED metrics. `loadgen`
+//! is the matching closed-loop load generator: N threads, one connection
+//! each, every reply validated and folded into an order-independent digest
+//! so two runs against a deterministic server can be compared bit-for-bit
+//! (`--verify-deterministic`).
+
+use crate::args::{ArgError, Args};
+use pet_server::json::Json;
+use pet_server::{serve, Client, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// `pet serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
+/// [--deterministic] [--deadline-ms D] [--addr-file path]`
+pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "addr",
+        "workers",
+        "queue",
+        "deterministic",
+        "deadline-ms",
+        "addr-file",
+        "telemetry",
+    ])?;
+    let config = server_config(args, "127.0.0.1:7878")?;
+    let handle = serve(&config).map_err(|e| ArgError(format!("bind {}: {e}", config.addr)))?;
+    let addr = handle.addr();
+    if let Some(path) = args.get("addr-file") {
+        // Lets scripts (and the CI smoke gate) discover an ephemeral port.
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| ArgError(format!("--addr-file {path}: {e}")))?;
+    }
+    println!("pet-server listening on {addr}");
+    println!(
+        "  workers {}, queue capacity {}, deterministic {}",
+        config.workers, config.queue_capacity, config.deterministic
+    );
+    println!("  send {{\"id\":\"bye\",\"verb\":\"shutdown\"}} to stop");
+    let summary = handle.join();
+    println!("\nfinal metrics:\n{}", summary.render());
+    Ok(())
+}
+
+/// `pet loadgen (--addr HOST:PORT | --local) [--requests 10000]
+/// [--threads 8] [--tags 200] [--rounds 4] [--workers 4] [--queue 64]
+/// [--verify-deterministic]`
+pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "addr",
+        "local",
+        "requests",
+        "threads",
+        "tags",
+        "rounds",
+        "workers",
+        "queue",
+        "verify-deterministic",
+        "telemetry",
+    ])?;
+    let requests: usize = args.get_or("requests", 10_000)?;
+    let threads: usize = args.get_or("threads", 8)?;
+    let tags: usize = args.get_or("tags", 200)?;
+    let rounds: u32 = args.get_or("rounds", 4)?;
+    let verify = args.switch("verify-deterministic");
+    if requests == 0 || threads == 0 {
+        return Err(ArgError("--requests and --threads must be positive".into()));
+    }
+    let plan = Plan {
+        requests,
+        threads,
+        tags,
+        rounds,
+    };
+
+    // --local spins up an in-process server (deterministic whenever we are
+    // going to compare runs); --addr targets one started elsewhere, which
+    // must itself run --deterministic for --verify-deterministic to hold.
+    let local = if args.switch("local") {
+        let mut config = server_config(args, "127.0.0.1:0")?;
+        config.deterministic = verify || config.deterministic;
+        Some(serve(&config).map_err(|e| ArgError(format!("bind {}: {e}", config.addr)))?)
+    } else {
+        None
+    };
+    let addr = match (&local, args.get("addr")) {
+        (Some(handle), None) => handle.addr(),
+        (None, Some(raw)) => raw
+            .parse()
+            .map_err(|_| ArgError(format!("--addr: cannot parse {raw:?}")))?,
+        (None, None) => return Err(ArgError("loadgen needs --addr HOST:PORT or --local".into())),
+        (Some(_), Some(_)) => return Err(ArgError("--addr and --local are exclusive".into())),
+    };
+
+    let first = run_batch(addr, &plan)?;
+    print_report("run 1", &first);
+    if verify {
+        let second = run_batch(addr, &plan)?;
+        print_report("run 2", &second);
+        if second.digest == first.digest {
+            println!("deterministic : digests identical across runs");
+        } else {
+            shutdown_local(local);
+            return Err(ArgError(format!(
+                "determinism violated: digest {:#018x} != {:#018x}",
+                first.digest, second.digest
+            )));
+        }
+    }
+    shutdown_local(local);
+
+    let failures = first.lost + first.malformed;
+    if failures > 0 {
+        return Err(ArgError(format!(
+            "{} lost and {} malformed replies out of {}",
+            first.lost, first.malformed, plan.requests
+        )));
+    }
+    Ok(())
+}
+
+fn server_config(args: &Args, default_addr: &str) -> Result<ServerConfig, ArgError> {
+    let workers: usize = args.get_or("workers", 4)?;
+    let queue_capacity: usize = args.get_or("queue", 64)?;
+    if workers == 0 || queue_capacity == 0 {
+        return Err(ArgError("--workers and --queue must be positive".into()));
+    }
+    let deadline_ms: u64 = args.get_or("deadline-ms", 0)?;
+    Ok(ServerConfig {
+        addr: args.get("addr").unwrap_or(default_addr).to_string(),
+        workers,
+        queue_capacity,
+        deterministic: args.switch("deterministic"),
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+    })
+}
+
+fn shutdown_local(local: Option<ServerHandle>) {
+    if let Some(handle) = local {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Plan {
+    requests: usize,
+    threads: usize,
+    tags: usize,
+    rounds: u32,
+}
+
+#[derive(Default)]
+struct BatchReport {
+    ok: usize,
+    overloaded: usize,
+    errors: usize,
+    lost: usize,
+    malformed: usize,
+    /// XOR of per-reply FNV-1a hashes — order-independent, so concurrent
+    /// threads need no coordination and equal reply *sets* compare equal.
+    digest: u64,
+    elapsed: Duration,
+}
+
+impl BatchReport {
+    fn absorb(&mut self, other: &BatchReport) {
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.errors += other.errors;
+        self.lost += other.lost;
+        self.malformed += other.malformed;
+        self.digest ^= other.digest;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fires the whole closed-loop batch: each thread owns one connection and
+/// keeps exactly one request in flight. Ids are `t<thread>-<i>`, so in
+/// deterministic mode the reply set is a pure function of the plan.
+fn run_batch(addr: SocketAddr, plan: &Plan) -> Result<BatchReport, ArgError> {
+    let started = Instant::now();
+    let reports: Vec<BatchReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.threads)
+            .map(|t| {
+                // Spread the remainder so every request is accounted for.
+                let quota =
+                    plan.requests / plan.threads + usize::from(t < plan.requests % plan.threads);
+                scope.spawn(move || thread_batch(addr, plan, t, quota))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+    let mut total = BatchReport::default();
+    for r in &reports {
+        total.absorb(r);
+    }
+    total.elapsed = started.elapsed();
+    Ok(total)
+}
+
+fn thread_batch(addr: SocketAddr, plan: &Plan, thread: usize, quota: usize) -> BatchReport {
+    let mut report = BatchReport::default();
+    let Ok(mut client) = Client::connect(addr) else {
+        report.lost = quota;
+        return report;
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+    for i in 0..quota {
+        let id = format!("t{thread}-{i}");
+        let line = format!(
+            r#"{{"id":"{id}","verb":"estimate","tags":{},"rounds":{}}}"#,
+            plan.tags, plan.rounds
+        );
+        let Ok(reply) = client.roundtrip(&line) else {
+            // Connection gone: everything still unsent is lost too.
+            report.lost += quota - i;
+            return report;
+        };
+        match classify(&reply, &id) {
+            Reply::Ok => report.ok += 1,
+            Reply::Overloaded => report.overloaded += 1,
+            Reply::OtherError => report.errors += 1,
+            Reply::Malformed => {
+                report.malformed += 1;
+                continue; // don't fold garbage into the digest
+            }
+        }
+        report.digest ^= fnv1a(reply.as_bytes());
+    }
+    report
+}
+
+enum Reply {
+    Ok,
+    Overloaded,
+    OtherError,
+    Malformed,
+}
+
+fn classify(reply: &str, expect_id: &str) -> Reply {
+    let Ok(v) = Json::parse(reply) else {
+        return Reply::Malformed;
+    };
+    if v.get("id").and_then(Json::as_str) != Some(expect_id) {
+        return Reply::Malformed;
+    }
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => Reply::Ok,
+        Some(false) => match v.get("error").and_then(Json::as_str) {
+            Some("overloaded") => Reply::Overloaded,
+            Some(_) => Reply::OtherError,
+            None => Reply::Malformed,
+        },
+        None => Reply::Malformed,
+    }
+}
+
+fn print_report(label: &str, r: &BatchReport) {
+    let sent = r.ok + r.overloaded + r.errors + r.lost + r.malformed;
+    println!(
+        "{label}: {sent} requests in {:.2} s ({:.0} req/s)",
+        r.elapsed.as_secs_f64(),
+        sent as f64 / r.elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  ok {}, overloaded {}, other errors {}, malformed {}, lost {}",
+        r.ok, r.overloaded, r.errors, r.malformed, r.lost
+    );
+    println!("  reply digest {:#018x}", r.digest);
+}

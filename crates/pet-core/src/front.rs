@@ -273,6 +273,18 @@ mod tests {
             .unwrap()
     }
 
+    /// `pet-server` shares one `Estimator` value across its worker pool
+    /// and moves configs between threads; these bounds are load-bearing
+    /// API, so losing them (e.g. by adding an `Rc`/`RefCell` field) must
+    /// fail to compile here rather than break the server.
+    #[test]
+    fn estimator_and_config_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Estimator>();
+        assert_send_sync::<PetConfig>();
+        assert_send_sync::<super::Backend>();
+    }
+
     /// The headline guarantee: flipping `Backend` changes nothing about the
     /// result — estimate bits, per-round records, and air metrics all match.
     #[test]

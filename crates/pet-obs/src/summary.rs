@@ -103,6 +103,52 @@ impl Summary {
         self.spans.keys().map(String::as_str).collect()
     }
 
+    /// Renders the aggregate as one deterministic JSON object — the wire
+    /// form of `pet-server`'s `telemetry-snapshot` verb. Maps iterate in
+    /// key order (they are `BTreeMap`s), so equal summaries serialize to
+    /// byte-identical JSON. Span entries carry the count, total, and the
+    /// log₂-histogram quantile bounds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn escape(name: &str) -> String {
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\"events\":");
+        let _ = write!(out, "{}", self.events);
+        out.push_str(",\"counters\":{");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{total}", escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value:?}", escape(name));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                escape(name),
+                s.count,
+                s.total_nanos,
+                s.histogram.quantile_bound(0.50).unwrap_or(0),
+                s.histogram.quantile_bound(0.99).unwrap_or(0),
+                s.histogram.max().unwrap_or(0),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Renders a human-readable report (what `pet telemetry summarize`
     /// prints).
     #[must_use]
@@ -184,6 +230,35 @@ mod tests {
         assert_eq!(span.mean_nanos(), 2_000.0);
         assert_eq!(s.counter_names(), vec!["c"]);
         assert_eq!(s.span_names(), vec!["s"]);
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_complete() {
+        let mut s = Summary::default();
+        s.accumulate(&Event::Counter {
+            name: "server.ok".into(),
+            delta: 3,
+        });
+        s.accumulate(&Event::Gauge {
+            name: "runner.threads".into(),
+            value: 8.0,
+        });
+        s.accumulate(&Event::Span {
+            name: "server.request".into(),
+            nanos: 4_000,
+        });
+        let json = s.to_json();
+        assert_eq!(json, s.clone().to_json(), "byte-stable");
+        assert!(json.starts_with("{\"events\":3,"));
+        assert!(json.contains("\"server.ok\":3"));
+        assert!(json.contains("\"runner.threads\":8.0"));
+        assert!(json.contains("\"server.request\":{\"count\":1,\"total_ns\":4000"));
+        assert!(json.contains("\"max_ns\":4000"));
+        // Empty summary still renders a complete object.
+        assert_eq!(
+            Summary::default().to_json(),
+            "{\"events\":0,\"counters\":{},\"gauges\":{},\"spans\":{}}"
+        );
     }
 
     #[test]

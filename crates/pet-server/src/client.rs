@@ -1,0 +1,96 @@
+//! A small blocking client for the line protocol.
+//!
+//! One struct, one method that matters: [`Client::roundtrip`] writes a
+//! request line and reads the single reply line the server guarantees.
+//! The load generator, the integration tests, and the examples all speak
+//! through this, so the framing (newline discipline, length bound, read
+//! timeouts) lives in exactly one place.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Applies a read timeout to subsequent [`Self::roundtrip`] calls
+    /// (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request line and reads the matching reply line (without
+    /// the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on write failure, read failure/timeout, or when
+    /// the server closed the connection before replying.
+    pub fn roundtrip(&mut self, request_line: &str) -> std::io::Result<String> {
+        self.stream.write_all(request_line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// Sends raw bytes as-is (no newline added) — fuzzing hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one reply line (fuzzing hook; same framing as
+    /// [`Self::roundtrip`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on read failure/timeout or EOF.
+    pub fn read_reply(&mut self) -> std::io::Result<String> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}

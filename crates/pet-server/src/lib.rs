@@ -1,0 +1,67 @@
+//! # pet-server — the PET estimation *service*
+//!
+//! Everything before this crate was one-shot: a CLI call or a simulation
+//! sweep that estimates once and exits. Real deployments run estimation as
+//! a continuously queried back-end (the paper's §4.6.3 multi-reader
+//! controller already *is* a back-end collecting reader reports), so this
+//! crate turns the reproduction into a long-running daemon:
+//!
+//! - **Protocol** ([`proto`]): line-delimited JSON over TCP. Verbs:
+//!   `estimate`, `robustness`, `telemetry-snapshot`, `shutdown`. One
+//!   request line in, exactly one reply line out — always, including for
+//!   garbage input ([`json`] is a strict bounded parser, fuzz-pinned).
+//! - **Scheduling** ([`queue`], [`server`]): a fixed-capacity job queue in
+//!   front of a bounded worker pool. Overflow is answered `overloaded`
+//!   immediately — backpressure instead of buffering — and every request
+//!   may carry a `deadline_ms` the server enforces before starting work.
+//! - **Lifecycle**: the `shutdown` verb (or [`ServerHandle::shutdown`])
+//!   closes intake, completes and replies to every queued job, and only
+//!   then closes the listener socket.
+//! - **Observability** ([`metrics`]): RED metrics — request rate per verb,
+//!   error/overload counts, log₂ latency histograms — kept in
+//!   [`pet_obs::Summary`] form and served by the `telemetry-snapshot`
+//!   verb; forwarded to the process-global `pet-obs` sink when one is
+//!   installed.
+//! - **Determinism**: in deterministic mode, a request without an explicit
+//!   seed derives one from its id ([`seed_for_id`]), so identical request
+//!   streams produce byte-identical reply streams across runs — the
+//!   property the concurrency test battery and `pet loadgen
+//!   --verify-deterministic` assert.
+//!
+//! Estimation routes through the unified [`pet_core::front::Estimator`]
+//! (both backends, all channel/mitigation knobs), with code banks shared
+//! across concurrent requests via a server-owned
+//! [`pet_sim::cache::RosterCache`].
+//!
+//! ```no_run
+//! use pet_server::{serve, Client, ServerConfig};
+//!
+//! let handle = serve(&ServerConfig {
+//!     deterministic: true,
+//!     ..ServerConfig::default()
+//! })
+//! .expect("bind");
+//! let mut client = Client::connect(handle.addr()).expect("connect");
+//! let reply = client
+//!     .roundtrip(r#"{"id":"r1","verb":"estimate","tags":5000,"rounds":16}"#)
+//!     .expect("roundtrip");
+//! assert!(reply.contains("\"ok\":true"));
+//! client.roundtrip(r#"{"id":"bye","verb":"shutdown"}"#).expect("shutdown");
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use metrics::ServerMetrics;
+pub use proto::{parse_request, ErrorCode, Request, Verb};
+pub use queue::{BoundedQueue, PushRefused};
+pub use server::{seed_for_id, serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};

@@ -1,0 +1,124 @@
+//! RED metrics (rate, errors, duration) for the serving layer.
+//!
+//! The server keeps its own [`pet_obs::Summary`] behind a mutex rather
+//! than installing a process-global sink: tests and embedding binaries may
+//! already own the global handle (`--telemetry`), and the
+//! `telemetry-snapshot` verb must read *this server's* numbers regardless.
+//! Every recording also forwards through the `pet_obs` free functions, so
+//! when a global JSONL sink *is* installed the server's events stream
+//! there too.
+//!
+//! Metric names:
+//!
+//! - `server.req.<verb>` — requests accepted per verb (rate)
+//! - `server.ok` / `server.err.<code>` — reply outcomes (errors)
+//! - `server.overload` — requests refused by the full queue
+//! - span `server.request` — queue-to-reply latency (duration; log₂
+//!   histogram via [`pet_obs::Histogram`])
+
+use crate::proto::ErrorCode;
+use pet_obs::{Event, Summary};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The server's metric store. All methods are `&self`; share via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    summary: Mutex<Summary>,
+}
+
+impl ServerMetrics {
+    fn accumulate(&self, event: &Event) {
+        self.summary
+            .lock()
+            .expect("metrics poisoned")
+            .accumulate(event);
+        // Forward to the process-global handle (free when disabled).
+        pet_obs::record(event);
+    }
+
+    /// Records an accepted request of `verb`.
+    pub fn request(&self, verb: &'static str) {
+        self.accumulate(&Event::Counter {
+            name: format!("server.req.{verb}").into(),
+            delta: 1,
+        });
+    }
+
+    /// Records a successful reply and its queue-to-reply latency.
+    pub fn ok(&self, latency: Duration) {
+        self.accumulate(&Event::Counter {
+            name: "server.ok".into(),
+            delta: 1,
+        });
+        self.latency(latency);
+    }
+
+    /// Records an error reply of the given code (and latency when the
+    /// request reached a worker).
+    pub fn error(&self, code: ErrorCode) {
+        if code == ErrorCode::Overloaded {
+            self.accumulate(&Event::Counter {
+                name: "server.overload".into(),
+                delta: 1,
+            });
+        }
+        self.accumulate(&Event::Counter {
+            name: format!("server.err.{}", code.wire()).into(),
+            delta: 1,
+        });
+    }
+
+    /// Records a request latency sample into the log₂ histogram.
+    pub fn latency(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.accumulate(&Event::Span {
+            name: "server.request".into(),
+            nanos,
+        });
+    }
+
+    /// A point-in-time snapshot of every counter and the latency
+    /// histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> Summary {
+        self.summary.lock().expect("metrics poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn red_counters_accumulate() {
+        let m = ServerMetrics::default();
+        m.request("estimate");
+        m.request("estimate");
+        m.request("shutdown");
+        m.ok(Duration::from_micros(120));
+        m.ok(Duration::from_micros(250));
+        m.error(ErrorCode::Overloaded);
+        m.error(ErrorCode::BadRequest);
+        let s = m.snapshot();
+        assert_eq!(s.counter("server.req.estimate"), 2);
+        assert_eq!(s.counter("server.req.shutdown"), 1);
+        assert_eq!(s.counter("server.ok"), 2);
+        assert_eq!(s.counter("server.overload"), 1);
+        assert_eq!(s.counter("server.err.overloaded"), 1);
+        assert_eq!(s.counter("server.err.bad_request"), 1);
+        let spans = s.span_stats("server.request").unwrap();
+        assert_eq!(spans.count, 2);
+        assert!(spans.histogram.max().unwrap() >= 250_000);
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let m = ServerMetrics::default();
+        m.request("estimate");
+        let before = m.snapshot();
+        m.request("estimate");
+        assert_eq!(before.counter("server.req.estimate"), 1);
+        assert_eq!(m.snapshot().counter("server.req.estimate"), 2);
+    }
+}

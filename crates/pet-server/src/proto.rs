@@ -1,0 +1,536 @@
+//! The wire protocol: one JSON object per line, request in, reply out.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":"r1","verb":"estimate","tags":5000}
+//! {"id":"r2","verb":"estimate","tags":5000,"rounds":32,"seed":7,
+//!  "epsilon":0.05,"delta":0.01,"backend":"oracle",
+//!  "miss":0.02,"false_busy":0.001,"probes":2,"deadline_ms":250}
+//! {"id":"r3","verb":"robustness","tags":500,"rounds":16,"runs":4,
+//!  "miss_rates":[0,0.05],"probes":2}
+//! {"id":"r4","verb":"telemetry-snapshot"}
+//! {"id":"r5","verb":"shutdown"}
+//! ```
+//!
+//! Replies always echo the request `id` and carry `"ok"`:
+//!
+//! ```text
+//! {"id":"r1","ok":true,"verb":"estimate","estimate":4993.2,...}
+//! {"id":"r9","ok":false,"error":"overloaded"}
+//! ```
+//!
+//! Error codes are closed-vocabulary (`bad_request`, `overloaded`,
+//! `deadline_exceeded`, `shutting_down`, `internal`), so clients can branch
+//! on them without string matching on prose; the human-readable cause rides
+//! in `"detail"`. A request that cannot even be parsed far enough to
+//! recover an `id` is answered with `"id":null` — the connection always
+//! produces exactly one reply line per request line.
+
+use crate::json::{escape, Json};
+use pet_core::config::{Backend, Mitigation, PetConfig};
+use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_stats::accuracy::Accuracy;
+use std::fmt;
+use std::time::Duration;
+
+/// Upper bound on `tags` a single request may ask for (10⁷ keeps one
+/// request's memory in the tens of MB and a worker busy for well under a
+/// second on the kernel backend).
+pub const MAX_TAGS: usize = 10_000_000;
+
+/// Upper bound on `rounds` per request.
+pub const MAX_ROUNDS: u32 = 1_000_000;
+
+/// Upper bound on robustness `runs` per request (each run is a full
+/// estimation; the sweep multiplies by `miss_rates × 2`).
+pub const MAX_RUNS: usize = 256;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen request id, echoed on the reply.
+    pub id: String,
+    /// What to do.
+    pub verb: Verb,
+    /// Server-side deadline measured from enqueue; `None` means no
+    /// deadline.
+    pub deadline: Option<Duration>,
+}
+
+/// The request verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verb {
+    /// Run one estimation.
+    Estimate(EstimateParams),
+    /// Run a small robustness sweep (accuracy vs channel fault rates).
+    Robustness(RobustnessRequest),
+    /// Return the server's RED metrics as JSON.
+    TelemetrySnapshot,
+    /// Drain in-flight work, then stop the server.
+    Shutdown,
+}
+
+impl Verb {
+    /// Wire name of the verb (metrics labels, reply envelopes).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Estimate(_) => "estimate",
+            Self::Robustness(_) => "robustness",
+            Self::TelemetrySnapshot => "telemetry-snapshot",
+            Self::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Parameters of an `estimate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateParams {
+    /// Population size to estimate (the service owns a synthetic
+    /// sequential population per §5's methodology).
+    pub tags: usize,
+    /// Explicit round count; `None` derives Eq. (20) from the accuracy.
+    pub rounds: Option<u32>,
+    /// Explicit RNG seed; `None` lets the server derive one (from the
+    /// request id in deterministic mode).
+    pub seed: Option<u64>,
+    /// The assembled protocol configuration.
+    pub config: PetConfig,
+}
+
+/// Parameters of a `robustness` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRequest {
+    /// Population size per cell.
+    pub tags: usize,
+    /// Rounds per trial.
+    pub rounds: u32,
+    /// Trials per cell.
+    pub runs: usize,
+    /// Base seed for the sweep.
+    pub seed: u64,
+    /// Miss probabilities to sweep.
+    pub miss_rates: Vec<f64>,
+    /// False-busy probability for lossy cells.
+    pub false_busy: f64,
+    /// Re-probe count for the mitigated variant.
+    pub probes: u32,
+}
+
+/// Closed vocabulary of reply error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was malformed or out of range.
+    BadRequest,
+    /// The bounded queue was full; retry later.
+    Overloaded,
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The estimation itself failed (should not happen for validated
+    /// requests).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire form of the code.
+    #[must_use]
+    pub fn wire(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad_request",
+            Self::Overloaded => "overloaded",
+            Self::DeadlineExceeded => "deadline_exceeded",
+            Self::ShuttingDown => "shutting_down",
+            Self::Internal => "internal",
+        }
+    }
+}
+
+/// A request parse/validation failure, with the id when one was recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The request id, when the line parsed far enough to extract it.
+    pub id: Option<String>,
+    /// Human-readable cause, carried in the reply's `"detail"`.
+    pub detail: String,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn bad(id: Option<&str>, detail: impl Into<String>) -> RequestError {
+    RequestError {
+        id: id.map(str::to_string),
+        detail: detail.into(),
+    }
+}
+
+fn f64_field(obj: &Json, id: &str, key: &str, default: f64) -> Result<f64, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad(Some(id), format!("\"{key}\" must be a number"))),
+    }
+}
+
+fn u64_field(obj: &Json, id: &str, key: &str) -> Result<Option<u64>, RequestError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            bad(
+                Some(id),
+                format!("\"{key}\" must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// Returns [`RequestError`] (carrying the request id when recoverable) for
+/// malformed JSON, unknown verbs, out-of-range parameters, or inconsistent
+/// knob combinations. Never panics on any input — the fuzz suite pins this.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let root = Json::parse(line).map_err(|e| bad(None, format!("malformed JSON: {e}")))?;
+    let Json::Obj(_) = root else {
+        return Err(bad(None, "request must be a JSON object"));
+    };
+    let id = match root.get("id") {
+        Some(Json::Str(s)) if !s.is_empty() && s.len() <= 128 => s.clone(),
+        Some(Json::Str(_)) => return Err(bad(None, "\"id\" must be 1..=128 characters")),
+        Some(_) => return Err(bad(None, "\"id\" must be a string")),
+        None => return Err(bad(None, "missing \"id\"")),
+    };
+    let verb_name = root
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(Some(&id), "missing or non-string \"verb\""))?;
+
+    let deadline = match u64_field(&root, &id, "deadline_ms")? {
+        Some(0) => return Err(bad(Some(&id), "\"deadline_ms\" must be positive")),
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => None,
+    };
+
+    let verb = match verb_name {
+        "estimate" => Verb::Estimate(parse_estimate(&root, &id)?),
+        "robustness" => Verb::Robustness(parse_robustness(&root, &id)?),
+        "telemetry-snapshot" => Verb::TelemetrySnapshot,
+        "shutdown" => Verb::Shutdown,
+        other => {
+            return Err(bad(
+                Some(&id),
+                format!("unknown verb {other:?} (estimate|robustness|telemetry-snapshot|shutdown)"),
+            ))
+        }
+    };
+    Ok(Request { id, verb, deadline })
+}
+
+fn parse_channel(root: &Json, id: &str) -> Result<ChannelModel, RequestError> {
+    let miss = f64_field(root, id, "miss", 0.0)?;
+    let false_busy = f64_field(root, id, "false_busy", 0.0)?;
+    if miss == 0.0 && false_busy == 0.0 {
+        return Ok(ChannelModel::Perfect);
+    }
+    LossyChannel::new(miss, false_busy)
+        .map(ChannelModel::Lossy)
+        .map_err(|e| bad(Some(id), e.to_string()))
+}
+
+fn parse_estimate(root: &Json, id: &str) -> Result<EstimateParams, RequestError> {
+    let tags = u64_field(root, id, "tags")?
+        .ok_or_else(|| bad(Some(id), "estimate requires \"tags\""))? as usize;
+    if tags == 0 || tags > MAX_TAGS {
+        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
+    }
+    let rounds = match u64_field(root, id, "rounds")? {
+        Some(r) if (1..=u64::from(MAX_ROUNDS)).contains(&r) => Some(r as u32),
+        Some(_) => {
+            return Err(bad(
+                Some(id),
+                format!("\"rounds\" must be 1..={MAX_ROUNDS}"),
+            ))
+        }
+        None => None,
+    };
+    let seed = u64_field(root, id, "seed")?;
+    let epsilon = f64_field(root, id, "epsilon", 0.05)?;
+    let delta = f64_field(root, id, "delta", 0.01)?;
+    let accuracy = Accuracy::new(epsilon, delta).map_err(|e| bad(Some(id), e.to_string()))?;
+    let backend = match root.get("backend").map(|v| v.as_str()) {
+        None => Backend::Kernel,
+        Some(Some("kernel")) => Backend::Kernel,
+        Some(Some("oracle")) => Backend::Oracle,
+        Some(other) => {
+            return Err(bad(
+                Some(id),
+                format!("\"backend\" must be \"kernel\" or \"oracle\", got {other:?}"),
+            ))
+        }
+    };
+    let channel = parse_channel(root, id)?;
+    let probes = u64_field(root, id, "probes")?;
+    let trim = u64_field(root, id, "trim")?;
+    let mitigation = match (probes, trim) {
+        (Some(_), Some(_)) => {
+            return Err(bad(
+                Some(id),
+                "\"probes\" and \"trim\" are mutually exclusive",
+            ))
+        }
+        (Some(p), None) => Mitigation::ReProbe {
+            probes: u32::try_from(p).map_err(|_| bad(Some(id), "\"probes\" out of range"))?,
+        },
+        (None, Some(t)) => Mitigation::TrimmedMean {
+            trim: u32::try_from(t).map_err(|_| bad(Some(id), "\"trim\" out of range"))?,
+        },
+        (None, None) => Mitigation::None,
+    };
+    let config = PetConfig::builder()
+        .accuracy(accuracy)
+        .backend(backend)
+        .channel(channel)
+        .mitigation(mitigation)
+        .build()
+        .map_err(|e| bad(Some(id), e.to_string()))?;
+    Ok(EstimateParams {
+        tags,
+        rounds,
+        seed,
+        config,
+    })
+}
+
+fn parse_robustness(root: &Json, id: &str) -> Result<RobustnessRequest, RequestError> {
+    let tags = u64_field(root, id, "tags")?.unwrap_or(500) as usize;
+    if tags == 0 || tags > MAX_TAGS {
+        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
+    }
+    let rounds = match u64_field(root, id, "rounds")?.unwrap_or(16) {
+        r if (1..=u64::from(MAX_ROUNDS)).contains(&r) => r as u32,
+        _ => {
+            return Err(bad(
+                Some(id),
+                format!("\"rounds\" must be 1..={MAX_ROUNDS}"),
+            ))
+        }
+    };
+    let runs = match u64_field(root, id, "runs")?.unwrap_or(4) {
+        r if (1..=MAX_RUNS as u64).contains(&r) => r as usize,
+        _ => return Err(bad(Some(id), format!("\"runs\" must be 1..={MAX_RUNS}"))),
+    };
+    let seed = u64_field(root, id, "seed")?.unwrap_or(0xB0B5);
+    let miss_rates = match root.get("miss_rates") {
+        None => vec![0.0, 0.05],
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| bad(Some(id), "\"miss_rates\" must be an array"))?;
+            if items.is_empty() || items.len() > 16 {
+                return Err(bad(Some(id), "\"miss_rates\" must hold 1..=16 rates"));
+            }
+            let mut rates = Vec::with_capacity(items.len());
+            for item in items {
+                let rate = item
+                    .as_f64()
+                    .filter(|r| (0.0..1.0).contains(r))
+                    .ok_or_else(|| bad(Some(id), "\"miss_rates\" entries must be in [0, 1)"))?;
+                rates.push(rate);
+            }
+            rates
+        }
+    };
+    let false_busy = f64_field(root, id, "false_busy", 0.0)?;
+    if !(0.0..1.0).contains(&false_busy) {
+        return Err(bad(Some(id), "\"false_busy\" must be in [0, 1)"));
+    }
+    let probes = u32::try_from(u64_field(root, id, "probes")?.unwrap_or(2))
+        .map_err(|_| bad(Some(id), "\"probes\" out of range"))?;
+    Ok(RobustnessRequest {
+        tags,
+        rounds,
+        runs,
+        seed,
+        miss_rates,
+        false_busy,
+        probes,
+    })
+}
+
+/// Serializes an error reply. A `None` id renders as JSON `null`.
+#[must_use]
+pub fn error_reply(id: Option<&str>, code: ErrorCode, detail: Option<&str>) -> String {
+    let id_field = match id {
+        Some(id) => format!("\"{}\"", escape(id)),
+        None => "null".to_string(),
+    };
+    match detail {
+        Some(d) => format!(
+            "{{\"id\":{id_field},\"ok\":false,\"error\":\"{}\",\"detail\":\"{}\"}}",
+            code.wire(),
+            escape(d)
+        ),
+        None => format!(
+            "{{\"id\":{id_field},\"ok\":false,\"error\":\"{}\"}}",
+            code.wire()
+        ),
+    }
+}
+
+/// Serializes a success reply: the envelope (`id`, `ok`, `verb`) followed
+/// by `body` fields (a pre-rendered `"k":v,...` fragment; may be empty).
+#[must_use]
+pub fn ok_reply(id: &str, verb: &str, body: &str) -> String {
+    if body.is_empty() {
+        format!(
+            "{{\"id\":\"{}\",\"ok\":true,\"verb\":\"{verb}\"}}",
+            escape(id)
+        )
+    } else {
+        format!(
+            "{{\"id\":\"{}\",\"ok\":true,\"verb\":\"{verb}\",{body}}}",
+            escape(id)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_estimate() {
+        let r = parse_request(r#"{"id":"a","verb":"estimate","tags":100}"#).unwrap();
+        assert_eq!(r.id, "a");
+        assert_eq!(r.deadline, None);
+        match r.verb {
+            Verb::Estimate(p) => {
+                assert_eq!(p.tags, 100);
+                assert_eq!(p.rounds, None);
+                assert_eq!(p.seed, None);
+                assert_eq!(p.config.backend(), Backend::Kernel);
+                assert_eq!(p.config.channel(), ChannelModel::Perfect);
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_estimate_knobs() {
+        let r = parse_request(
+            r#"{"id":"b","verb":"estimate","tags":500,"rounds":32,"seed":7,
+                "epsilon":0.2,"delta":0.2,"backend":"oracle","miss":0.05,
+                "false_busy":0.01,"probes":2,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        match r.verb {
+            Verb::Estimate(p) => {
+                assert_eq!(p.rounds, Some(32));
+                assert_eq!(p.seed, Some(7));
+                assert_eq!(p.config.backend(), Backend::Oracle);
+                assert!(matches!(p.config.channel(), ChannelModel::Lossy(_)));
+                assert_eq!(p.config.mitigation(), Mitigation::ReProbe { probes: 2 });
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_verbs() {
+        let r = parse_request(r#"{"id":"t","verb":"telemetry-snapshot"}"#).unwrap();
+        assert_eq!(r.verb, Verb::TelemetrySnapshot);
+        let r = parse_request(r#"{"id":"s","verb":"shutdown"}"#).unwrap();
+        assert_eq!(r.verb, Verb::Shutdown);
+        assert_eq!(r.verb.name(), "shutdown");
+    }
+
+    #[test]
+    fn robustness_defaults_and_bounds() {
+        let r = parse_request(r#"{"id":"r","verb":"robustness"}"#).unwrap();
+        match r.verb {
+            Verb::Robustness(p) => {
+                assert_eq!((p.tags, p.rounds, p.runs, p.probes), (500, 16, 4, 2));
+                assert_eq!(p.miss_rates, vec![0.0, 0.05]);
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+        for bad in [
+            r#"{"id":"r","verb":"robustness","miss_rates":[]}"#,
+            r#"{"id":"r","verb":"robustness","miss_rates":[1.5]}"#,
+            r#"{"id":"r","verb":"robustness","runs":100000}"#,
+            r#"{"id":"r","verb":"robustness","false_busy":2}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.id.as_deref(), Some("r"), "id recovered for {bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_recovered_id() {
+        // Parses far enough to echo the id back.
+        for bad in [
+            r#"{"id":"x","verb":"warp"}"#,
+            r#"{"id":"x","verb":"estimate"}"#,
+            r#"{"id":"x","verb":"estimate","tags":0}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"rounds":0}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"epsilon":2}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"miss":1.5}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"probes":1,"trim":1}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"backend":"gpu"}"#,
+            r#"{"id":"x","verb":"estimate","tags":100,"deadline_ms":0}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.id.as_deref(), Some("x"), "{bad}");
+        }
+        // Cannot even recover an id.
+        for bad in [
+            "",
+            "nonsense",
+            "[1]",
+            r#"{"verb":"estimate"}"#,
+            r#"{"id":7}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().id, None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn replies_render_stable_json() {
+        assert_eq!(
+            error_reply(None, ErrorCode::BadRequest, Some("oops \"x\"")),
+            r#"{"id":null,"ok":false,"error":"bad_request","detail":"oops \"x\""}"#
+        );
+        assert_eq!(
+            error_reply(Some("a"), ErrorCode::Overloaded, None),
+            r#"{"id":"a","ok":false,"error":"overloaded"}"#
+        );
+        assert_eq!(
+            ok_reply("a", "shutdown", ""),
+            r#"{"id":"a","ok":true,"verb":"shutdown"}"#
+        );
+        assert_eq!(
+            ok_reply("a", "estimate", "\"estimate\":12.5"),
+            r#"{"id":"a","ok":true,"verb":"estimate","estimate":12.5}"#
+        );
+        // Round-trip: replies are themselves valid protocol JSON.
+        for line in [
+            error_reply(Some("z"), ErrorCode::DeadlineExceeded, Some("late")),
+            ok_reply("z", "estimate", "\"estimate\":1.0,\"rounds\":2"),
+        ] {
+            let v = Json::parse(&line).unwrap();
+            assert_eq!(v.get("id").and_then(Json::as_str), Some("z"));
+        }
+    }
+}

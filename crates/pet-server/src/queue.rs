@@ -1,0 +1,220 @@
+//! A fixed-capacity MPMC job queue with explicit backpressure.
+//!
+//! The serving contract is "overflow gets an immediate `overloaded` reply,
+//! never unbounded buffering": [`BoundedQueue::try_push`] either enqueues
+//! or returns the job to the caller *now* — there is no blocking push, so a
+//! flood of requests converts into overload replies instead of memory
+//! growth or hidden latency. Workers block on [`BoundedQueue::pop`], which
+//! drains remaining jobs after [`BoundedQueue::close`] and only then
+//! returns `None` — that ordering is what makes graceful shutdown drain
+//! in-flight work instead of dropping it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The queue is at capacity — backpressure.
+    Full,
+    /// The queue was closed — shutdown.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue. All methods are `&self`; share it behind an `Arc`.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity service could never
+    /// accept work).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking, or hands the job straight back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job and a [`PushRefused`] reason when the queue is full
+    /// (backpressure) or closed (shutdown).
+    pub fn try_push(&self, job: T) -> Result<(), (T, PushRefused)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err((job, PushRefused::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((job, PushRefused::Full));
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. Returns `None` only once the queue is
+    /// closed **and** drained — pending jobs are always delivered first.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked and future pops drain
+    /// what remains and then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push(9).unwrap_err(), (9, PushRefused::Full));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3).unwrap_err(), (3, PushRefused::Closed));
+        // Already-queued jobs still come out, in order, before the end.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays ended");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let total = 4 * 500;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let mut v = p * 1000 + i;
+                        // Spin on backpressure — producers in this test are
+                        // cooperative; the server replies `overloaded`
+                        // instead.
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err((back, PushRefused::Full)) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err((_, PushRefused::Closed)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "every job delivered exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

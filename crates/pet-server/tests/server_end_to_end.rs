@@ -1,0 +1,386 @@
+//! End-to-end concurrency battery for the estimation service.
+//!
+//! Everything here runs against a real listener on an ephemeral port, with
+//! real client sockets on real threads. The properties pinned:
+//!
+//! - **Zero lost replies**: every request line sent receives exactly one
+//!   reply line with the matching id, under concurrent mixed load.
+//! - **Determinism**: in deterministic mode the same request stream yields
+//!   byte-identical replies from two independently started servers.
+//! - **Backpressure**: `overloaded` appears only once the queue bound is
+//!   actually hit, and a closed-loop client within the bound never sees it.
+//! - **Deadlines**: a request whose deadline expires in the queue is
+//!   answered `deadline_exceeded` without being executed.
+//! - **Graceful shutdown**: `shutdown` drains in-flight requests (they all
+//!   still reply) before the listener socket closes.
+
+use pet_server::json::Json;
+use pet_server::{serve, Client, ServerConfig};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+fn deterministic_server(workers: usize, queue: usize) -> pet_server::ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: queue,
+        deterministic: true,
+        default_deadline: None,
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The mixed workload: estimation across backends, channels, and
+/// mitigations, plus small robustness sweeps — every id fully determines
+/// its request.
+fn mixed_request(thread: usize, i: usize) -> (String, String) {
+    let id = format!("t{thread}-{i}");
+    let line = match i % 5 {
+        0 => format!(r#"{{"id":"{id}","verb":"estimate","tags":400,"rounds":8}}"#),
+        1 => {
+            format!(r#"{{"id":"{id}","verb":"estimate","tags":300,"rounds":8,"backend":"oracle"}}"#)
+        }
+        2 => format!(
+            r#"{{"id":"{id}","verb":"estimate","tags":500,"rounds":8,"miss":0.05,"probes":2}}"#
+        ),
+        3 => format!(
+            r#"{{"id":"{id}","verb":"estimate","tags":500,"rounds":8,"miss":0.03,"false_busy":0.01,"trim":1}}"#
+        ),
+        _ => format!(
+            r#"{{"id":"{id}","verb":"robustness","tags":120,"rounds":6,"runs":2,"miss_rates":[0,0.05]}}"#
+        ),
+    };
+    (id, line)
+}
+
+/// Runs `threads × per_thread` mixed requests against `addr`, one client
+/// connection per thread, and returns every (id → reply) pair.
+fn hammer(addr: SocketAddr, threads: usize, per_thread: usize) -> BTreeMap<String, String> {
+    let results = Arc::new(Mutex::new(BTreeMap::new()));
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let results = Arc::clone(&results);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                barrier.wait();
+                for i in 0..per_thread {
+                    let (id, line) = mixed_request(t, i);
+                    let reply = client.roundtrip(&line).expect("reply");
+                    results.lock().unwrap().insert(id, reply);
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(results).unwrap().into_inner().unwrap()
+}
+
+#[test]
+fn concurrent_mixed_load_loses_nothing_and_is_deterministic() {
+    let threads = 8;
+    let per_thread = 20;
+
+    let run = || {
+        let handle = deterministic_server(4, 64);
+        let addr = handle.addr();
+        let replies = hammer(addr, threads, per_thread);
+        handle.shutdown();
+        let metrics = handle.join();
+        (replies, metrics)
+    };
+    let (first, metrics) = run();
+    let (second, _) = run();
+
+    // Zero lost replies: one reply per request, ids echoed.
+    assert_eq!(first.len(), threads * per_thread);
+    for (id, reply) in &first {
+        let v = Json::parse(reply).unwrap_or_else(|e| panic!("{id}: bad JSON {reply:?}: {e}"));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some(id.as_str()));
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{id}: {reply}"
+        );
+    }
+
+    // Byte-identical across two fresh servers (deterministic mode).
+    assert_eq!(
+        first, second,
+        "deterministic replies must be byte-identical"
+    );
+
+    // The RED metrics saw the whole workload.
+    assert_eq!(
+        metrics.counter("server.req.estimate") + metrics.counter("server.req.robustness"),
+        (threads * per_thread) as u64
+    );
+    assert_eq!(metrics.counter("server.ok"), (threads * per_thread) as u64);
+    assert_eq!(metrics.counter("server.overload"), 0);
+    let lat = metrics.span_stats("server.request").expect("latency spans");
+    assert_eq!(lat.count, (threads * per_thread) as u64);
+}
+
+#[test]
+fn closed_loop_within_queue_bound_never_overloads() {
+    // 4 threads in closed loop against capacity 4: at most 4 requests are
+    // ever outstanding, so the bound is never exceeded and `overloaded`
+    // must not appear.
+    let handle = deterministic_server(1, 4);
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for i in 0..10 {
+                    let line =
+                        format!(r#"{{"id":"c{t}-{i}","verb":"estimate","tags":200,"rounds":4}}"#);
+                    let reply = client.roundtrip(&line).expect("reply");
+                    assert!(reply.contains("\"ok\":true"), "{reply}");
+                }
+            });
+        }
+    });
+    handle.shutdown();
+    let metrics = handle.join();
+    assert_eq!(metrics.counter("server.overload"), 0);
+    assert_eq!(metrics.counter("server.ok"), 40);
+}
+
+/// A request slow enough (~0.5 s measured, all cores) to keep the single
+/// worker busy while the tests below race follow-up requests against it.
+const SLOW_LINE: &str = r#"{"id":"slow","verb":"robustness","tags":20000,"rounds":256,"runs":32,"miss_rates":[0,0.02,0.05]}"#;
+
+#[test]
+fn overload_replies_appear_exactly_when_queue_is_full() {
+    // One worker, capacity 1. Occupy the worker with a slow sweep, fill
+    // the queue slot, then probe: the probe must bounce with `overloaded`
+    // while both earlier requests still complete.
+    let handle = deterministic_server(1, 1);
+    let addr = handle.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        c.roundtrip(SLOW_LINE).unwrap()
+    });
+    // Give the worker time to dequeue the slow job (queue now empty).
+    std::thread::sleep(Duration::from_millis(100));
+
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        c.roundtrip(r#"{"id":"queued","verb":"estimate","tags":200,"rounds":4}"#)
+            .unwrap()
+    });
+    // Let "queued" land in the single queue slot.
+    std::thread::sleep(Duration::from_millis(80));
+
+    let mut prober = Client::connect(addr).unwrap();
+    prober
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let bounced = prober
+        .roundtrip(r#"{"id":"probe","verb":"estimate","tags":200,"rounds":4}"#)
+        .unwrap();
+    assert!(
+        bounced.contains("\"error\":\"overloaded\""),
+        "full queue must bounce immediately, got {bounced}"
+    );
+
+    assert!(slow.join().unwrap().contains("\"ok\":true"));
+    assert!(queued.join().unwrap().contains("\"ok\":true"));
+    handle.shutdown();
+    let metrics = handle.join();
+    assert_eq!(metrics.counter("server.overload"), 1);
+    assert_eq!(metrics.counter("server.err.overloaded"), 1);
+}
+
+#[test]
+fn queued_past_deadline_is_refused_without_execution() {
+    let handle = deterministic_server(1, 8);
+    let addr = handle.addr();
+
+    // Occupy the single worker: "late" then sits behind the slow job in
+    // the FIFO queue, so its 1 ms deadline expires long before a worker
+    // reaches it.
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        c.roundtrip(SLOW_LINE).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let reply = client
+        .roundtrip(r#"{"id":"late","verb":"estimate","tags":200,"rounds":4,"deadline_ms":1}"#)
+        .unwrap();
+    assert!(
+        reply.contains("\"error\":\"deadline_exceeded\""),
+        "expired deadline must be refused, got {reply}"
+    );
+    // Without a deadline the same request succeeds afterwards.
+    let reply = client
+        .roundtrip(r#"{"id":"patient","verb":"estimate","tags":200,"rounds":4}"#)
+        .unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    assert!(slow.join().unwrap().contains("\"ok\":true"));
+    handle.shutdown();
+    let metrics = handle.join();
+    assert_eq!(metrics.counter("server.err.deadline_exceeded"), 1);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_the_socket_closes() {
+    let handle = deterministic_server(2, 32);
+    let addr = handle.addr();
+    let in_flight = 8;
+
+    let replied = Arc::new(AtomicUsize::new(0));
+    let started = Arc::new(Barrier::new(in_flight + 1));
+    let workers: Vec<_> = (0..in_flight)
+        .map(|i| {
+            let replied = Arc::clone(&replied);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                started.wait();
+                let line = format!(
+                    r#"{{"id":"work-{i}","verb":"robustness","tags":400,"rounds":16,"runs":4,"miss_rates":[0,0.05]}}"#
+                );
+                let reply = c.roundtrip(&line).unwrap();
+                replied.fetch_add(1, Ordering::SeqCst);
+                reply
+            })
+        })
+        .collect();
+
+    started.wait();
+    // Let the requests reach the queue, then pull the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut controller = Client::connect(addr).unwrap();
+    controller
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let ack = controller
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    assert!(ack.contains("\"drained\":true"), "{ack}");
+
+    // Every in-flight request was answered — either with its result (it
+    // was already queued) or with a structured shutting_down refusal (it
+    // arrived after intake closed). Nothing is lost, nothing hangs.
+    let mut ok = 0;
+    let mut refused = 0;
+    for w in workers {
+        let reply = w.join().expect("client thread");
+        if reply.contains("\"ok\":true") {
+            ok += 1;
+        } else {
+            assert!(reply.contains("\"error\":\"shutting_down\""), "{reply}");
+            refused += 1;
+        }
+    }
+    assert_eq!(
+        ok + refused,
+        in_flight,
+        "zero lost replies through shutdown"
+    );
+    assert!(ok > 0, "drain completed queued work");
+
+    // Post-ack the listener is gone: fresh connections are refused (give
+    // the accept loop a beat to drop the socket).
+    let metrics = handle.join();
+    let late = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    assert!(late.is_err(), "listener must be closed after shutdown ack");
+    assert_eq!(metrics.counter("server.req.shutdown"), 1);
+
+    // An existing connection that asks again after shutdown is refused
+    // structurally, not hung: the controller connection is still open.
+    let reply = controller.roundtrip(r#"{"id":"again","verb":"estimate","tags":10}"#);
+    if let Ok(reply) = reply {
+        assert!(reply.contains("\"error\":\"shutting_down\""), "{reply}");
+    } // an io error (connection torn down) is equally acceptable
+}
+
+#[test]
+fn telemetry_snapshot_reports_red_metrics() {
+    let handle = deterministic_server(2, 16);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    for i in 0..5 {
+        let line = format!(r#"{{"id":"e{i}","verb":"estimate","tags":300,"rounds":4}}"#);
+        assert!(client.roundtrip(&line).unwrap().contains("\"ok\":true"));
+    }
+    let bad = client.roundtrip("this is not json").unwrap();
+    assert!(bad.contains("\"error\":\"bad_request\""), "{bad}");
+
+    let reply = client
+        .roundtrip(r#"{"id":"snap","verb":"telemetry-snapshot"}"#)
+        .unwrap();
+    let v = Json::parse(&reply).expect("snapshot reply is JSON");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    let snapshot = v.get("snapshot").expect("snapshot body");
+    let counters = snapshot.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("server.req.estimate").and_then(Json::as_u64),
+        Some(5)
+    );
+    assert_eq!(counters.get("server.ok").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        counters
+            .get("server.err.bad_request")
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    let spans = snapshot.get("spans").expect("spans");
+    let lat = spans.get("server.request").expect("latency histogram");
+    assert_eq!(lat.get("count").and_then(Json::as_u64), Some(5));
+    assert!(lat.get("p99_ns").and_then(Json::as_u64).is_some());
+
+    client
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    handle.join();
+}
+
+#[test]
+fn explicit_seed_pins_the_estimate_bit_for_bit() {
+    // Even outside deterministic mode, an explicit seed fully determines
+    // the reply — the per-process entropy only covers derived seeds.
+    let run = |deterministic: bool| {
+        let handle = serve(&ServerConfig {
+            deterministic,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let reply = c
+            .roundtrip(r#"{"id":"pin","verb":"estimate","tags":1000,"rounds":16,"seed":42}"#)
+            .unwrap();
+        handle.shutdown();
+        handle.join();
+        reply
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -284,6 +284,52 @@ mod tests {
         assert!(rel < 0.3, "estimate {} under loss", report.estimate);
     }
 
+    /// §4.6.3 under `ChannelModel::Lossy`: "idle only when no tag response
+    /// is reported from any readers" makes overlapping coverage
+    /// *redundant*, never double-counting. Duplicate hearings collapse in
+    /// the controller's OR — bit-for-bit on a perfect channel — while
+    /// under loss a slot stays busy if any one reader hears it, so R
+    /// fully-overlapping readers drive the effective miss rate to miss^R.
+    #[test]
+    fn lossy_overlap_is_duplicate_insensitive_and_redundant() {
+        let n = 5_000;
+        let full = vec![0, 1, 2, 3];
+        let (_, single) = grid_deployment(n, 4, vec![full.clone()], 11);
+        let (_, quad) = grid_deployment(n, 4, vec![full; 4], 11);
+
+        // Perfect channel: 4 overlapping readers ≡ 1 reader, bit for bit.
+        let mut rng = StdRng::seed_from_u64(12);
+        let single_perfect = single.estimate(&config(), 256, ChannelModel::Perfect, &mut rng);
+        let mut rng = StdRng::seed_from_u64(12);
+        let quad_perfect = quad.estimate(&config(), 256, ChannelModel::Perfect, &mut rng);
+        assert!(
+            (single_perfect.estimate - quad_perfect.estimate).abs() < 1e-9,
+            "duplicates must not move the estimate: {} vs {}",
+            single_perfect.estimate,
+            quad_perfect.estimate
+        );
+
+        // Lossy channel: the lone reader eats the full 15% miss rate; the
+        // overlapping four only lose a slot when all four miss it at once.
+        let lossy = ChannelModel::Lossy(LossyChannel::new(0.15, 0.0).unwrap());
+        let bias = |estimate: f64| (estimate - n as f64).abs() / n as f64;
+        let mut rng = StdRng::seed_from_u64(12);
+        let single_lossy = single.estimate(&config(), 512, lossy, &mut rng);
+        let mut rng = StdRng::seed_from_u64(12);
+        let quad_lossy = quad.estimate(&config(), 512, lossy, &mut rng);
+        assert!(
+            bias(quad_lossy.estimate) < 0.10,
+            "redundant overlap nearly cancels loss: estimate {} vs true {n}",
+            quad_lossy.estimate
+        );
+        assert!(
+            bias(quad_lossy.estimate) < bias(single_lossy.estimate),
+            "overlap must help under loss: quad {} vs single {} (true {n})",
+            quad_lossy.estimate,
+            single_lossy.estimate
+        );
+    }
+
     #[test]
     #[should_panic(expected = "nonexistent zone")]
     fn coverage_validation() {

@@ -40,6 +40,7 @@
 //! | [`pet_apps`] (as `pet::apps`) | Missing-tag monitor, capacity guard, trend tracker |
 //! | [`pet_firmware`] (as `pet::firmware`) | no_std tag chip (bitwise-only state machine) |
 //! | [`pet_sim`] (as `pet::sim`) | Multi-reader controller, trial runner, §5 experiments |
+//! | [`pet_server`] (as `pet::server`) | Threaded estimation service: line-JSON protocol, backpressure, deadlines |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +52,7 @@ pub use pet_firmware as firmware;
 pub use pet_hash as hash;
 pub use pet_ident as ident;
 pub use pet_radio as radio;
+pub use pet_server as server;
 pub use pet_sim as sim;
 pub use pet_stats as stats;
 pub use pet_tags as tags;

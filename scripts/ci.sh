@@ -12,11 +12,15 @@ cd "$(dirname "$0")/.."
 
 CRATES=(
     pet pet-apps pet-baselines pet-bench pet-cli pet-core pet-firmware
-    pet-hash pet-ident pet-obs pet-radio pet-sim pet-stats pet-tags
+    pet-hash pet-ident pet-obs pet-radio pet-server pet-sim pet-stats
+    pet-tags
 )
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo build --examples"
+cargo build --examples
 
 echo "==> cargo test -q"
 cargo test -q
@@ -26,6 +30,17 @@ cargo test -q
 # equivalence, and bias bounds under loss. Deterministic, runs in seconds.
 echo "==> statistical conformance (fixed seeds)"
 cargo test -q -p pet --test statistical_conformance
+
+# Serving-layer gate: the concurrency battery plus a ~5s closed-loop smoke
+# against an in-process `pet serve` — 10k requests, every reply validated,
+# run twice in deterministic mode and compared digest-for-digest. Non-zero
+# exit on any lost, malformed, or non-reproducible reply.
+echo "==> server integration battery"
+cargo test -q -p pet-server
+
+echo "==> loadgen smoke (10k requests, deterministic)"
+cargo run --release -q -p pet-cli --bin pet -- loadgen --local \
+    --requests 10000 --threads 8 --tags 200 --rounds 4 --verify-deterministic
 
 echo "==> cargo fmt --check (first-party crates)"
 for crate in "${CRATES[@]}"; do
