@@ -20,7 +20,7 @@ use pet_hash::family::AnyFamily;
 use pet_radio::channel::PerfectChannel;
 use pet_radio::Air;
 use pet_sim::experiments::{
-    ablations, detection, energy, fig4, fig6, fig7, motivation, table3, table45,
+    ablations, detection, energy, fig4, fig6, fig7, fleet, motivation, table3, table45,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +43,7 @@ const EXPERIMENTS: &[&str] = &[
     "motivation",
     "energy",
     "detection",
+    "fleet",
     "bench-kernel",
 ];
 
@@ -289,6 +290,15 @@ fn main() {
         });
         pet_bench::report_detection(&rows, &out_dir).expect("write detection");
         pet_bench::figures::detection(&rows, &out_dir).expect("detection svg");
+    }
+
+    if want("fleet") {
+        let rows = fleet::sweep(&fleet::FleetParams {
+            runs: if quick { 40 } else { 160 },
+            ..fleet::FleetParams::default()
+        });
+        pet_bench::report_fleet(&rows, &out_dir).expect("write fleet");
+        pet_bench::figures::fleet(&rows, &out_dir).expect("fleet svg");
     }
 
     if want("ablations") {

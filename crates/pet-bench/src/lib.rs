@@ -11,7 +11,7 @@ pub mod plots;
 pub mod svg;
 
 use pet_sim::csv::CsvWriter;
-use pet_sim::experiments::{ablations, fig4, fig6, fig7, robustness, table3, table45};
+use pet_sim::experiments::{ablations, fig4, fig6, fig7, fleet, robustness, table3, table45};
 use std::io;
 use std::path::Path;
 
@@ -400,6 +400,59 @@ pub fn report_robustness(rows: &[robustness::RobustnessRow], out_dir: &Path) -> 
     csv.finish()
 }
 
+/// Renders the fleet sweep (single reader vs overlap-2 fleet under loss
+/// and kill schedules) and writes `fleet.csv`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the CSV writer.
+pub fn report_fleet(rows: &[fleet::FleetRow], out_dir: &Path) -> io::Result<()> {
+    println!("\n== Fleet: multi-reader merges under loss and outages ==");
+    println!(
+        "{:>8} {:>8} {:>6} {:>12} {:>10} {:>12} {:>10} {:>14}",
+        "readers", "miss", "kills", "mean n̂/n", "bias", "norm. rmse", "coverage", "partial rounds"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>8.3} {:>6} {:>12.4} {:>+10.4} {:>12.4} {:>10.4} {:>14.1}",
+            r.readers,
+            r.miss,
+            r.kills,
+            r.mean_ratio,
+            r.rel_bias,
+            r.normalized_rmse,
+            r.effective_coverage,
+            r.mean_partial_rounds
+        );
+    }
+    let mut csv = CsvWriter::create(
+        out_dir.join("fleet.csv"),
+        &[
+            "readers",
+            "miss",
+            "kills",
+            "mean_ratio",
+            "rel_bias",
+            "normalized_rmse",
+            "effective_coverage",
+            "mean_partial_rounds",
+        ],
+    )?;
+    for r in rows {
+        csv.row_strings(&[
+            r.readers.to_string(),
+            format!("{:.4}", r.miss),
+            r.kills.to_string(),
+            format!("{:.5}", r.mean_ratio),
+            format!("{:.5}", r.rel_bias),
+            format!("{:.5}", r.normalized_rmse),
+            format!("{:.5}", r.effective_coverage),
+            format!("{:.2}", r.mean_partial_rounds),
+        ])?;
+    }
+    csv.finish()
+}
+
 /// Renders the motivation sweep (identification vs estimation) and writes
 /// `motivation.csv`.
 ///
@@ -563,7 +616,7 @@ mod tests {
 pub mod figures {
     use crate::svg::{Scale, SvgChart};
     use pet_sim::experiments::{
-        ablations, detection, energy, fig4, fig6, fig7, motivation, robustness, table45,
+        ablations, detection, energy, fig4, fig6, fig7, fleet, motivation, robustness, table45,
     };
     use std::io;
     use std::path::Path;
@@ -786,6 +839,37 @@ pub mod figures {
             );
         }
         chart.save(&svg_dir(out_dir).join("robustness.svg"))
+    }
+
+    /// Fleet sweep as an SVG: accuracy vs kill count for the overlap-2
+    /// fleet (one series per miss rate), with the single-reader baseline
+    /// drawn as its own flat series.
+    pub fn fleet(rows: &[fleet::FleetRow], out_dir: &Path) -> io::Result<()> {
+        let mut chart = SvgChart::new(
+            "Fleet accuracy vs kill schedule",
+            "readers killed mid-run",
+            "mean accuracy (n̂/n)",
+        );
+        let max_kills = rows.iter().map(|r| r.kills).max().unwrap_or(0) as f64;
+        let mut misses: Vec<f64> = rows.iter().map(|r| r.miss).collect();
+        misses.dedup();
+        for miss in misses {
+            chart = chart.series(
+                &format!("fleet, miss {miss:.2}"),
+                rows.iter()
+                    .filter(|r| r.readers > 1 && r.miss == miss)
+                    .map(|r| (r.kills as f64, r.mean_ratio))
+                    .collect(),
+            );
+            chart = chart.series(
+                &format!("single, miss {miss:.2}"),
+                rows.iter()
+                    .filter(|r| r.readers == 1 && r.miss == miss)
+                    .flat_map(|r| [(0.0, r.mean_ratio), (max_kills, r.mean_ratio)])
+                    .collect(),
+            );
+        }
+        chart.save(&svg_dir(out_dir).join("fleet.svg"))
     }
 
     /// Lossy-channel ablation as an SVG.

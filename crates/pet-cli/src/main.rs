@@ -12,6 +12,7 @@
 //! pet telemetry --file events.jsonl
 //! pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
 //! pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
+//! pet fleet    (--spawn N | --agents host:port,...) [--rounds 64] [--quorum q]
 //! ```
 //!
 //! Every command accepts `--telemetry <path.jsonl>`: protocol-level
@@ -19,6 +20,7 @@
 //! JSON Lines, which `pet telemetry --file <path.jsonl>` summarizes.
 
 mod args;
+mod fleet;
 mod serve;
 
 use args::{ArgError, Args};
@@ -56,6 +58,12 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
                [--deadline-ms D] [--addr-file path]
   pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
                [--tags 200] [--rounds 4] [--verify-deterministic]
+               [--bench-json results/BENCH_server.json]
+  pet fleet    (--spawn N | --agents H:P,...) [--tags 10000] [--zones Z]
+               [--coverage 0,1;1,2;...] [--deploy-seed 7] [--rounds 64] [--seed 42]
+               [--quorum 1] [--deadline-ms 2000] [--dead-after 2] [--miss P]
+               [--kill R@ROUND,...] [--stall R@ROUND:MS,...] [--drop R@ROUND,...]
+               [--restore R@ROUND,...] [--shutdown-agents] [--bench-json path]
 (every command also accepts --telemetry <path.jsonl> to stream pet-obs events)";
 
 fn main() -> ExitCode {
@@ -90,6 +98,7 @@ fn run(argv: &[String]) -> Result<(), ArgError> {
         "telemetry" => cmd_telemetry(&args),
         "serve" => serve::cmd_serve(&args),
         "loadgen" => serve::cmd_loadgen(&args),
+        "fleet" => fleet::cmd_fleet(&args),
         other => Err(ArgError(format!("unknown command {other:?}"))),
     }
 }

@@ -46,7 +46,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
 
 /// `pet loadgen (--addr HOST:PORT | --local) [--requests 10000]
 /// [--threads 8] [--tags 200] [--rounds 4] [--workers 4] [--queue 64]
-/// [--verify-deterministic]`
+/// [--verify-deterministic] [--bench-json results/BENCH_server.json]`
 pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "addr",
@@ -58,6 +58,7 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
         "workers",
         "queue",
         "verify-deterministic",
+        "bench-json",
         "telemetry",
     ])?;
     let requests: usize = args.get_or("requests", 10_000)?;
@@ -96,6 +97,11 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
 
     let first = run_batch(addr, &plan)?;
     print_report("run 1", &first);
+    if let Some(path) = args.get("bench-json") {
+        write_bench_json(path, &plan, &first)
+            .map_err(|e| ArgError(format!("--bench-json {path}: {e}")))?;
+        println!("bench json    : {path}");
+    }
     if verify {
         let second = run_batch(addr, &plan)?;
         print_report("run 2", &second);
@@ -162,6 +168,9 @@ struct BatchReport {
     /// XOR of per-reply FNV-1a hashes — order-independent, so concurrent
     /// threads need no coordination and equal reply *sets* compare equal.
     digest: u64,
+    /// Per-request roundtrip latencies in nanoseconds (replied requests
+    /// only), for exact percentiles.
+    latency_ns: Vec<u64>,
     elapsed: Duration,
 }
 
@@ -173,7 +182,63 @@ impl BatchReport {
         self.lost += other.lost;
         self.malformed += other.malformed;
         self.digest ^= other.digest;
+        self.latency_ns.extend_from_slice(&other.latency_ns);
     }
+
+    /// Exact latency percentile (nearest-rank) over the replied requests.
+    fn percentile(&self, q: f64) -> u64 {
+        let mut sorted = self.latency_ns.clone();
+        sorted.sort_unstable();
+        percentile_of(&sorted, q)
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample (0 when empty).
+fn percentile_of(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// The machine-readable benchmark artifact the repro harness tracks:
+/// throughput plus tail latency, one JSON object.
+fn write_bench_json(path: &str, plan: &Plan, r: &BatchReport) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut sorted = r.latency_ns.clone();
+    sorted.sort_unstable();
+    let json = format!(
+        concat!(
+            "{{\"benchmark\":\"pet-server-loadgen\",",
+            "\"requests\":{},\"threads\":{},\"tags\":{},\"rounds\":{},",
+            "\"elapsed_s\":{:.6},\"throughput_rps\":{:.1},",
+            "\"ok\":{},\"overloaded\":{},\"errors\":{},\"malformed\":{},\"lost\":{},",
+            "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
+            "\"digest\":\"{:#018x}\"}}\n"
+        ),
+        plan.requests,
+        plan.threads,
+        plan.tags,
+        plan.rounds,
+        r.elapsed.as_secs_f64(),
+        plan.requests as f64 / r.elapsed.as_secs_f64().max(1e-9),
+        r.ok,
+        r.overloaded,
+        r.errors,
+        r.malformed,
+        r.lost,
+        percentile_of(&sorted, 0.50),
+        percentile_of(&sorted, 0.95),
+        percentile_of(&sorted, 0.99),
+        sorted.last().copied().unwrap_or(0),
+        r.digest,
+    );
+    std::fs::write(path, json)
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -225,11 +290,15 @@ fn thread_batch(addr: SocketAddr, plan: &Plan, thread: usize, quota: usize) -> B
             r#"{{"id":"{id}","verb":"estimate","tags":{},"rounds":{}}}"#,
             plan.tags, plan.rounds
         );
+        let sent = Instant::now();
         let Ok(reply) = client.roundtrip(&line) else {
             // Connection gone: everything still unsent is lost too.
             report.lost += quota - i;
             return report;
         };
+        report
+            .latency_ns
+            .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
         match classify(&reply, &id) {
             Reply::Ok => report.ok += 1,
             Reply::Overloaded => report.overloaded += 1,
@@ -279,6 +348,12 @@ fn print_report(label: &str, r: &BatchReport) {
     println!(
         "  ok {}, overloaded {}, other errors {}, malformed {}, lost {}",
         r.ok, r.overloaded, r.errors, r.malformed, r.lost
+    );
+    println!(
+        "  latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        r.percentile(0.50) as f64 / 1e6,
+        r.percentile(0.95) as f64 / 1e6,
+        r.percentile(0.99) as f64 / 1e6
     );
     println!("  reply digest {:#018x}", r.digest);
 }

@@ -13,9 +13,10 @@ use crate::bits::BitString;
 use crate::config::{Backend, PetConfig};
 use crate::error::PetError;
 use crate::kernel::CodeBank;
-use crate::oracle::CodeRoster;
+use crate::oracle::{CodeRoster, ResponderOracle};
 use crate::session::{EstimateReport, PetSession, SessionEngine};
 use pet_hash::family::AnyFamily;
+use pet_radio::channel::Channel;
 use pet_radio::{Air, Transcript};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
@@ -238,6 +239,39 @@ impl Estimator {
         }
     }
 
+    /// Runs `rounds` against a caller-supplied [`ResponderOracle`] and
+    /// [`Air`] — the front door for shard-scoped and distributed rounds,
+    /// where responder counts come from somewhere the estimator cannot
+    /// build itself (a multi-reader controller, a networked fleet
+    /// coordinator, a zone shard on another machine).
+    ///
+    /// Always executes the slot-by-slot session path regardless of the
+    /// configured [`Backend`]: the batched kernel requires a local
+    /// [`CodeBank`], which an external oracle by definition does not have.
+    /// The RNG stream (one path per round, plus a per-round seed in active
+    /// mode) is identical to the other entry points, so results stay
+    /// bit-for-bit comparable under a shared seed.
+    ///
+    /// # Errors
+    ///
+    /// [`PetError::ZeroRounds`] when `rounds` is zero.
+    pub fn try_run_oracle<O, C, R>(
+        &self,
+        rounds: u32,
+        oracle: &mut O,
+        air: &mut Air<C>,
+        rng: &mut R,
+    ) -> Result<EstimateReport, PetError>
+    where
+        O: ResponderOracle,
+        C: Channel,
+        R: Rng + ?Sized,
+    {
+        self.engine
+            .session()
+            .try_run_rounds(rounds, oracle, air, rng)
+    }
+
     /// Lowers a bank to the equivalent slot-by-slot oracle: passive banks
     /// already hold the manufacture-time codes, active banks re-hash from
     /// their keys exactly as the roster does.
@@ -356,6 +390,26 @@ mod tests {
         let estimator = Estimator::new(config_for(Backend::Kernel, TagMode::PassivePreloaded));
         let mut rng = StdRng::seed_from_u64(1);
         let _ = estimator.estimate_keys_rounds(&[1, 2, 3], 0, &mut rng);
+    }
+
+    /// The external-oracle front door consumes the RNG stream exactly like
+    /// the key-slice entry point, so a local roster routed through it
+    /// reproduces `estimate_keys_rounds` bit for bit.
+    #[test]
+    fn run_oracle_front_door_matches_estimate_keys() {
+        let estimator = Estimator::new(config_for(Backend::Oracle, TagMode::PassivePreloaded));
+        let keys: Vec<u64> = (0..600).collect();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let a = estimator.estimate_keys_rounds(&keys, 32, &mut rng_a);
+        let mut oracle = CodeRoster::new(&keys, estimator.config(), estimator.family());
+        let mut air = Air::new(estimator.config().channel());
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let b = estimator
+            .try_run_oracle(32, &mut oracle, &mut air, &mut rng_b)
+            .unwrap();
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     /// Backend invariance extends to lossy channels and transcripts: both

@@ -1,0 +1,794 @@
+//! The fleet coordinator: §4.6.3's back-end controller over real sockets.
+//!
+//! Each round, the coordinator draws the estimating path (and, in active
+//! mode, the per-round seed) from its session RNG, broadcasts a
+//! `reader-round` request to every live agent concurrently, and OR-merges
+//! the replies: a slot counts as busy when *any* answering reader heard
+//! energy in it. Agents return the raw responder count for every prefix
+//! length of the path, so the adaptive binary search — re-probes and all —
+//! runs coordinator-side over cached counts. That is what makes the merge
+//! **bit-for-bit equivalent** to the in-process
+//! [`pet_sim::multireader`] controller on the same seeds: both draw the
+//! same paths, apply the same per-reader [`ChannelModel`] from the same
+//! noise stream, and see the same responder counts for every query.
+//!
+//! Failure semantics mirror [`Deployment::try_estimate_with_outages`]:
+//! a reader that misses a round (deadline, crash, garbage) contributes no
+//! report *and draws no channel noise*; a round with at least
+//! [`FleetConfig::quorum`] answers merges the partial set and records the
+//! degraded coverage; a round with fewer fails the session with the same
+//! [`QuorumLost`] value the simulator produces.
+
+use crate::error::FleetError;
+use crate::fault::{FaultEvent, ProxyControl};
+use crate::link::{ReaderLink, RetryPolicy, RoundReport};
+use crate::metrics::FleetMetrics;
+use pet_core::config::{PetConfig, TagMode};
+use pet_core::front::Estimator;
+use pet_core::oracle::{ResponderOracle, RoundStart};
+use pet_obs::Summary;
+use pet_radio::channel::{Channel, ChannelModel, PerfectChannel};
+use pet_radio::Air;
+use pet_server::proto::{MAX_COVERAGE_ZONES, MAX_TAGS, MAX_ZONES};
+use pet_sim::multireader::{coverage_fraction, Deployment, QuorumLost};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The deterministic deployment every party reconstructs from four
+/// wire-size scalars (see [`pet_sim::multireader::shard_keys`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// True tag population (sequential keys).
+    pub tags: usize,
+    /// Number of zones the tags scatter over.
+    pub zones: u32,
+    /// Seed of the scatter.
+    pub deploy_seed: u64,
+    /// Zone coverage of each reader; one entry per agent.
+    pub coverages: Vec<Vec<u32>>,
+}
+
+impl FleetSpec {
+    /// Number of readers the spec describes.
+    #[must_use]
+    pub fn reader_count(&self) -> usize {
+        self.coverages.len()
+    }
+
+    /// The coordinator's local reference deployment (coverage accounting
+    /// and the in-process equivalence baseline).
+    #[must_use]
+    pub fn deployment(&self) -> Deployment {
+        Deployment::synthetic(
+            self.tags,
+            self.zones,
+            self.deploy_seed,
+            self.coverages.clone(),
+        )
+    }
+}
+
+/// Everything about *how* to run the session (the [`FleetSpec`] says
+/// *what* to estimate).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The PET protocol configuration (height, accuracy, tag mode,
+    /// mitigation). Its channel must stay `Perfect` — per-reader loss is
+    /// [`Self::channel`], applied coordinator-side after the OR-merge
+    /// collects raw counts.
+    pub pet: PetConfig,
+    /// Estimating rounds to run.
+    pub rounds: u32,
+    /// Seed of the session RNG drawing paths and per-round hash seeds.
+    pub session_seed: u64,
+    /// Minimum answering readers per round; fewer fails the session.
+    pub quorum: usize,
+    /// Straggler deadline per reader per round.
+    pub round_deadline: Duration,
+    /// Transient-failure retry discipline.
+    pub retry: RetryPolicy,
+    /// Per-reader channel model applied to reported counts.
+    pub channel: ChannelModel,
+    /// Scheduled fault injections (need a [`ProxyControl`] attached for
+    /// the targeted reader).
+    pub faults: Vec<FaultEvent>,
+}
+
+impl FleetConfig {
+    /// A config with service defaults: quorum 1, two-second deadlines,
+    /// default retries, perfect per-reader channels, no faults.
+    #[must_use]
+    pub fn new(pet: PetConfig, rounds: u32, session_seed: u64) -> Self {
+        Self {
+            pet,
+            rounds,
+            session_seed,
+            quorum: 1,
+            round_deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            channel: ChannelModel::Perfect,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// The merged outcome of a fleet estimation.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The controller's cardinality estimate.
+    pub estimate: f64,
+    /// Mean gray-node prefix length across rounds.
+    pub mean_prefix_len: f64,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Protocol slots elapsed at the controller.
+    pub controller_slots: u64,
+    /// Tags visible to at least one reader of the full fleet.
+    pub covered_tags: u64,
+    /// Mean per-round coverage ratio (1.0 when every reader answered
+    /// every round).
+    pub effective_coverage: f64,
+    /// Rounds every reader answered.
+    pub full_rounds: u32,
+    /// Rounds merged from a partial (but ≥ quorum) reader set.
+    pub partial_rounds: u32,
+    /// Whether any round ran degraded or any reader missed/died —
+    /// the explicit "this estimate covers less than you deployed" flag.
+    pub degraded: bool,
+    /// Per-reader outcome counters, in reader order.
+    pub readers: Vec<crate::link::ReaderStats>,
+    /// Snapshot of the coordinator's RED metrics.
+    pub telemetry: Summary,
+}
+
+impl FleetReport {
+    /// A deterministic digest of the estimation outcome (FNV-1a over the
+    /// bit-exact statistic), for cheap cross-run equality checks in smoke
+    /// tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let canon = format!(
+            "{:016x}:{:016x}:{}:{}:{}:{}",
+            self.estimate.to_bits(),
+            self.mean_prefix_len.to_bits(),
+            self.rounds,
+            self.controller_slots,
+            self.full_rounds,
+            self.partial_rounds,
+        );
+        fnv1a(canon.as_bytes())
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The coordinator: owns the links, runs the session, produces the
+/// [`FleetReport`].
+#[derive(Debug)]
+pub struct Coordinator {
+    spec: FleetSpec,
+    config: FleetConfig,
+    links: Vec<ReaderLink>,
+    controls: Vec<Option<ProxyControl>>,
+    metrics: FleetMetrics,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `agents` (one address per reader, in
+    /// [`FleetSpec::coverages`] order). Connections are opened lazily on
+    /// the first round.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] when the spec/config combination is invalid.
+    pub fn new(
+        spec: FleetSpec,
+        config: FleetConfig,
+        agents: &[String],
+    ) -> Result<Self, FleetError> {
+        validate(&spec, &config, agents)?;
+        let links = agents
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| ReaderLink::new(addr.clone(), i))
+            .collect();
+        let controls = vec![None; spec.reader_count()];
+        Ok(Self {
+            spec,
+            config,
+            links,
+            controls,
+            metrics: FleetMetrics::default(),
+        })
+    }
+
+    /// Attaches the fault-proxy control for reader `reader`, enabling
+    /// scheduled [`FaultEvent`]s against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reader` is out of range.
+    pub fn set_control(&mut self, reader: usize, control: ProxyControl) {
+        self.controls[reader] = Some(control);
+    }
+
+    /// The coordinator's metric store.
+    #[must_use]
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// Sends a `shutdown` to every agent, ignoring per-agent failures
+    /// (dead agents are the point of some drills).
+    pub fn shutdown_agents(&self) {
+        for link in &self.links {
+            if let Ok(mut client) = pet_server::Client::connect(link.addr()) {
+                let _ = client.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = client.roundtrip(r#"{"id":"fleet-bye","verb":"shutdown"}"#);
+            }
+        }
+    }
+
+    /// Runs the whole estimation session across the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::QuorumLost`] when a round gathers fewer than
+    /// [`FleetConfig::quorum`] answers; [`FleetError::Config`] when a
+    /// scheduled fault targets a reader without an attached control.
+    pub fn run(&mut self) -> Result<FleetReport, FleetError> {
+        for f in &self.config.faults {
+            if self.controls[f.reader].is_none() {
+                return Err(FleetError::Config(format!(
+                    "fault at round {} targets reader {} which has no proxy control attached",
+                    f.round, f.reader
+                )));
+            }
+        }
+        let deployment = self.spec.deployment();
+        let estimator = Estimator::new(self.config.pet);
+        let mut rng = StdRng::seed_from_u64(self.config.session_seed);
+        // The controller-side Air must not re-apply loss: the per-reader
+        // channel already did (same discipline as the simulator).
+        let mut air = Air::new(PerfectChannel);
+        let mut oracle = FleetOracle::new(
+            &self.spec,
+            &self.config,
+            &deployment,
+            &mut self.links,
+            &self.controls,
+            &self.metrics,
+        );
+        let report = estimator
+            .try_run_oracle(self.config.rounds, &mut oracle, &mut air, &mut rng)
+            .map_err(|e| FleetError::Config(e.to_string()))?;
+        if let Some(lost) = oracle.failure {
+            return Err(FleetError::QuorumLost(lost));
+        }
+        let executed = oracle.full_rounds + oracle.partial_rounds;
+        let effective_coverage = if executed == 0 {
+            1.0
+        } else {
+            oracle.coverage_sum / f64::from(executed)
+        };
+        let full_rounds = oracle.full_rounds;
+        let partial_rounds = oracle.partial_rounds;
+        drop(oracle);
+        let readers: Vec<_> = self.links.iter().map(|l| l.stats).collect();
+        let degraded = partial_rounds > 0 || readers.iter().any(|s| s.dead || s.missed_rounds > 0);
+        Ok(FleetReport {
+            estimate: report.estimate,
+            mean_prefix_len: report.mean_prefix_len,
+            rounds: report.rounds,
+            controller_slots: report.metrics.slots,
+            covered_tags: deployment.covered_keys().len() as u64,
+            effective_coverage,
+            full_rounds,
+            partial_rounds,
+            degraded,
+            readers,
+            telemetry: self.metrics.snapshot(),
+        })
+    }
+}
+
+/// One-call convenience: build a coordinator and run it.
+///
+/// # Errors
+///
+/// Propagates [`Coordinator::new`] / [`Coordinator::run`] failures.
+pub fn run_fleet(
+    spec: &FleetSpec,
+    config: &FleetConfig,
+    agents: &[String],
+) -> Result<FleetReport, FleetError> {
+    Coordinator::new(spec.clone(), config.clone(), agents)?.run()
+}
+
+fn validate(spec: &FleetSpec, config: &FleetConfig, agents: &[String]) -> Result<(), FleetError> {
+    let cfg = |msg: String| Err(FleetError::Config(msg));
+    if spec.coverages.is_empty() {
+        return cfg("fleet needs at least one reader".into());
+    }
+    if agents.len() != spec.reader_count() {
+        return cfg(format!(
+            "{} agent addresses for {} readers",
+            agents.len(),
+            spec.reader_count()
+        ));
+    }
+    if spec.tags == 0 || spec.tags > MAX_TAGS {
+        return cfg(format!("tags must be 1..={MAX_TAGS}"));
+    }
+    if spec.zones == 0 || spec.zones > MAX_ZONES {
+        return cfg(format!("zones must be 1..={MAX_ZONES}"));
+    }
+    for (i, cov) in spec.coverages.iter().enumerate() {
+        if cov.is_empty() || cov.len() > MAX_COVERAGE_ZONES {
+            return cfg(format!(
+                "reader {i} coverage must list 1..={MAX_COVERAGE_ZONES} zones"
+            ));
+        }
+        if let Some(&z) = cov.iter().find(|&&z| z >= spec.zones) {
+            return cfg(format!(
+                "reader {i} covers nonexistent zone {z} (zones = {})",
+                spec.zones
+            ));
+        }
+    }
+    if config.rounds == 0 {
+        return cfg("rounds must be positive".into());
+    }
+    if config.quorum == 0 || config.quorum > spec.reader_count() {
+        return cfg(format!(
+            "quorum must be 1..={} (got {})",
+            spec.reader_count(),
+            config.quorum
+        ));
+    }
+    if config.round_deadline.is_zero() {
+        return cfg("round deadline must be positive".into());
+    }
+    if config.pet.zero_probe() {
+        return cfg(
+            "zero-probe configs need a pre-round presence probe the reader-round \
+             protocol does not carry"
+                .into(),
+        );
+    }
+    if config.pet.channel() != ChannelModel::Perfect {
+        return cfg(
+            "set per-reader loss via FleetConfig::channel; the PET config's own \
+             channel must stay Perfect"
+                .into(),
+        );
+    }
+    for f in &config.faults {
+        if f.reader >= spec.reader_count() {
+            return cfg(format!(
+                "fault at round {} targets reader {} of a {}-reader fleet",
+                f.round,
+                f.reader,
+                spec.reader_count()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The networked twin of `pet_sim::multireader`'s controller oracle.
+///
+/// `begin_round` broadcasts the round to every live agent concurrently and
+/// caches their raw per-prefix-length counts; `responders` OR-merges the
+/// cached counts through each answering reader's channel, drawing noise in
+/// reader order from the same dedicated stream the simulator uses — which
+/// is exactly what keeps the two bit-for-bit comparable.
+struct FleetOracle<'a> {
+    deployment: &'a Deployment,
+    links: &'a mut [ReaderLink],
+    controls: &'a [Option<ProxyControl>],
+    metrics: &'a FleetMetrics,
+    faults: Vec<FaultEvent>,
+    height: u32,
+    tag_mode: TagMode,
+    deadline: Duration,
+    retry: RetryPolicy,
+    quorum: usize,
+    channels: Vec<ChannelModel>,
+    /// Per-reader static request fragment (everything but id/path/seed).
+    request_prefixes: Vec<String>,
+    round: u32,
+    answered: Vec<Option<RoundReport>>,
+    /// Channel-noise stream; seed shared with the simulator's controller.
+    noise_rng: StdRng,
+    covered_all: u64,
+    coverage_cache: HashMap<Vec<bool>, f64>,
+    coverage_sum: f64,
+    full_rounds: u32,
+    partial_rounds: u32,
+    failure: Option<QuorumLost>,
+}
+
+impl<'a> FleetOracle<'a> {
+    fn new(
+        spec: &'a FleetSpec,
+        config: &'a FleetConfig,
+        deployment: &'a Deployment,
+        links: &'a mut [ReaderLink],
+        controls: &'a [Option<ProxyControl>],
+        metrics: &'a FleetMetrics,
+    ) -> Self {
+        let n = spec.reader_count();
+        let deadline_ms = config.round_deadline.as_millis().max(1);
+        let request_prefixes = spec
+            .coverages
+            .iter()
+            .map(|cov| {
+                let zones: Vec<String> = cov.iter().map(u32::to_string).collect();
+                let mut prefix = format!(
+                    "\"verb\":\"reader-round\",\"tags\":{},\"zones\":{},\
+                     \"deploy_seed\":\"{:x}\",\"coverage\":[{}],\"height\":{},\
+                     \"deadline_ms\":{deadline_ms}",
+                    spec.tags,
+                    spec.zones,
+                    spec.deploy_seed,
+                    zones.join(","),
+                    config.pet.height(),
+                );
+                if config.pet.tag_mode() == TagMode::PassivePreloaded {
+                    prefix.push_str(&format!(
+                        ",\"manufacture_seed\":\"{:x}\"",
+                        config.pet.manufacture_seed()
+                    ));
+                }
+                prefix
+            })
+            .collect();
+        Self {
+            deployment,
+            links,
+            controls,
+            metrics,
+            faults: config.faults.clone(),
+            height: config.pet.height(),
+            tag_mode: config.pet.tag_mode(),
+            deadline: config.round_deadline,
+            retry: config.retry,
+            quorum: config.quorum,
+            channels: vec![config.channel; n],
+            request_prefixes,
+            round: 0,
+            answered: vec![None; n],
+            noise_rng: StdRng::seed_from_u64(0x5EED_C0DE),
+            covered_all: deployment.covered_keys().len() as u64,
+            coverage_cache: HashMap::new(),
+            coverage_sum: 0.0,
+            full_rounds: 0,
+            partial_rounds: 0,
+            failure: None,
+        }
+    }
+
+    fn request_line(&self, reader: usize, round: u32, start: &RoundStart) -> String {
+        let mut line = format!(
+            "{{\"id\":\"r{round}-a{reader}\",{},\"path\":\"{:x}\"",
+            self.request_prefixes[reader],
+            start.path.bits()
+        );
+        if let Some(seed) = start.seed {
+            line.push_str(&format!(",\"round_seed\":\"{seed:x}\""));
+        }
+        line.push('}');
+        line
+    }
+
+    /// Broadcasts one round to every link concurrently and collects the
+    /// per-reader reports (straggler deadlines apply per reader, in
+    /// parallel — one stalled agent costs one deadline, not N).
+    fn broadcast(&mut self, round: u32, start: &RoundStart) -> Vec<Option<RoundReport>> {
+        let lines: Vec<String> = (0..self.links.len())
+            .map(|i| self.request_line(i, round, start))
+            .collect();
+        let height = self.height;
+        let deadline = self.deadline;
+        let retry = self.retry;
+        let metrics: &FleetMetrics = self.metrics;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .links
+                .iter_mut()
+                .zip(lines)
+                .map(|(link, line)| {
+                    s.spawn(move || link.round_trip(&line, height, deadline, &retry, metrics))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader broadcast thread panicked"))
+                .collect()
+        })
+    }
+
+    fn round_coverage(&mut self, alive: &[bool]) -> f64 {
+        if let Some(&f) = self.coverage_cache.get(alive) {
+            return f;
+        }
+        let answering: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let covered = self.deployment.covered_keys_of(&answering).len() as u64;
+        let f = coverage_fraction(covered, self.covered_all);
+        self.coverage_cache.insert(alive.to_vec(), f);
+        f
+    }
+}
+
+impl ResponderOracle for FleetOracle<'_> {
+    fn begin_round(&mut self, start: &RoundStart) {
+        let round = self.round;
+        self.round += 1;
+        if self.failure.is_some() {
+            return;
+        }
+        debug_assert!(
+            self.tag_mode != TagMode::ActivePerRound || start.seed.is_some(),
+            "active mode rounds must carry a seed"
+        );
+        for f in &self.faults {
+            if f.round == round {
+                if let Some(ctrl) = &self.controls[f.reader] {
+                    ctrl.set(f.action.mode());
+                }
+            }
+        }
+        let round_started = Instant::now();
+        let reports = self.broadcast(round, start);
+        self.metrics.round_latency(round_started.elapsed());
+        let answered = reports.iter().filter(|r| r.is_some()).count();
+        if answered < self.quorum {
+            self.failure = Some(QuorumLost {
+                round,
+                answered,
+                quorum: self.quorum,
+            });
+            self.answered = vec![None; self.links.len()];
+            return;
+        }
+        if answered == self.links.len() {
+            self.full_rounds += 1;
+            self.metrics.round_full();
+        } else {
+            self.partial_rounds += 1;
+            self.metrics.round_partial();
+        }
+        let alive: Vec<bool> = reports.iter().map(Option::is_some).collect();
+        self.coverage_sum += self.round_coverage(&alive);
+        self.answered = reports;
+    }
+
+    fn responders(&mut self, prefix_len: u32) -> u64 {
+        if self.failure.is_some() {
+            return 0;
+        }
+        let mut busy_readers = 0u64;
+        for (report, channel) in self.answered.iter().zip(&mut self.channels) {
+            let Some(report) = report else { continue };
+            let count = if prefix_len == 0 {
+                report.population
+            } else {
+                report.counts[(prefix_len - 1) as usize]
+            };
+            let heard = channel.transmit(count, &mut self.noise_rng);
+            if heard.is_busy() {
+                busy_readers += 1;
+            }
+        }
+        busy_readers
+    }
+
+    fn population(&self) -> u64 {
+        // Not duplicate-free; mirrors the simulator's presence-probe
+        // accounting (any positive count is equivalent there).
+        self.answered.iter().flatten().map(|r| r.population).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pet_core::config::Mitigation;
+    use pet_radio::channel::LossyChannel;
+    use pet_stats::accuracy::Accuracy;
+
+    fn pet_config() -> PetConfig {
+        PetConfig::builder()
+            .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn spec() -> FleetSpec {
+        FleetSpec {
+            tags: 1_000,
+            zones: 2,
+            deploy_seed: 1,
+            coverages: vec![vec![0], vec![1]],
+        }
+    }
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 40_000 + i))
+            .collect()
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let cases: Vec<(FleetSpec, FleetConfig, Vec<String>, &str)> = vec![
+            (
+                FleetSpec {
+                    coverages: vec![],
+                    ..spec()
+                },
+                FleetConfig::new(pet_config(), 8, 1),
+                addrs(0),
+                "at least one reader",
+            ),
+            (
+                spec(),
+                FleetConfig::new(pet_config(), 8, 1),
+                addrs(3),
+                "agent addresses",
+            ),
+            (
+                FleetSpec { tags: 0, ..spec() },
+                FleetConfig::new(pet_config(), 8, 1),
+                addrs(2),
+                "tags",
+            ),
+            (
+                FleetSpec {
+                    coverages: vec![vec![0], vec![7]],
+                    ..spec()
+                },
+                FleetConfig::new(pet_config(), 8, 1),
+                addrs(2),
+                "nonexistent zone 7",
+            ),
+            (
+                spec(),
+                FleetConfig {
+                    quorum: 3,
+                    ..FleetConfig::new(pet_config(), 8, 1)
+                },
+                addrs(2),
+                "quorum",
+            ),
+            (
+                spec(),
+                FleetConfig {
+                    rounds: 0,
+                    ..FleetConfig::new(pet_config(), 8, 1)
+                },
+                addrs(2),
+                "rounds",
+            ),
+            (
+                spec(),
+                FleetConfig::new(
+                    PetConfig::builder()
+                        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                        .zero_probe(true)
+                        .build()
+                        .unwrap(),
+                    8,
+                    1,
+                ),
+                addrs(2),
+                "zero-probe",
+            ),
+            (
+                spec(),
+                FleetConfig::new(
+                    PetConfig::builder()
+                        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+                        .channel(ChannelModel::Lossy(LossyChannel::new(0.1, 0.0).unwrap()))
+                        .mitigation(Mitigation::ReProbe { probes: 2 })
+                        .build()
+                        .unwrap(),
+                    8,
+                    1,
+                ),
+                addrs(2),
+                "must stay Perfect",
+            ),
+            (
+                spec(),
+                FleetConfig {
+                    faults: vec![FaultEvent {
+                        round: 0,
+                        reader: 5,
+                        action: crate::fault::FaultAction::Kill,
+                    }],
+                    ..FleetConfig::new(pet_config(), 8, 1)
+                },
+                addrs(2),
+                "targets reader 5",
+            ),
+        ];
+        for (spec, config, agents, needle) in cases {
+            let err = Coordinator::new(spec, config, &agents)
+                .err()
+                .unwrap_or_else(|| panic!("expected config error containing {needle:?}"));
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn fault_without_control_is_rejected_at_run() {
+        let config = FleetConfig {
+            faults: vec![FaultEvent {
+                round: 0,
+                reader: 1,
+                action: crate::fault::FaultAction::Kill,
+            }],
+            ..FleetConfig::new(pet_config(), 8, 1)
+        };
+        let mut coord = Coordinator::new(spec(), config, &addrs(2)).unwrap();
+        let err = coord.run().unwrap_err();
+        assert!(err.to_string().contains("no proxy control"));
+    }
+
+    #[test]
+    fn request_lines_carry_hex_scalars() {
+        let spec = FleetSpec {
+            tags: 500,
+            zones: 4,
+            deploy_seed: 0xDEAD_BEEF,
+            coverages: vec![vec![0, 2]],
+        };
+        let config = FleetConfig::new(pet_config(), 4, 9);
+        let deployment = spec.deployment();
+        let mut links = vec![ReaderLink::new("127.0.0.1:1", 0)];
+        let controls = vec![None];
+        let metrics = FleetMetrics::default();
+        let oracle = FleetOracle::new(&spec, &config, &deployment, &mut links, &controls, &metrics);
+        let start = RoundStart {
+            path: pet_core::bits::BitString::from_bits(0x9f3c, 32).unwrap(),
+            seed: None,
+        };
+        let line = oracle.request_line(0, 3, &start);
+        assert!(line.contains("\"id\":\"r3-a0\""));
+        assert!(line.contains("\"deploy_seed\":\"deadbeef\""));
+        assert!(line.contains("\"coverage\":[0,2]"));
+        assert!(line.contains("\"path\":\"9f3c\""));
+        assert!(line.contains("\"manufacture_seed\""));
+        assert!(!line.contains("round_seed"));
+        // The line must be a valid request in the server's own parser.
+        let parsed = pet_server::parse_request(&line).expect("agent-parseable");
+        assert_eq!(parsed.id, "r3-a0");
+        // Digest is stable for a fixed report shape.
+        let report = FleetReport {
+            estimate: 123.5,
+            mean_prefix_len: 4.25,
+            rounds: 8,
+            controller_slots: 40,
+            covered_tags: 100,
+            effective_coverage: 1.0,
+            full_rounds: 8,
+            partial_rounds: 0,
+            degraded: false,
+            readers: vec![],
+            telemetry: Summary::default(),
+        };
+        assert_eq!(report.digest(), report.digest());
+    }
+}

@@ -1,0 +1,85 @@
+//! Fleet-level failures.
+//!
+//! The coordinator distinguishes three ways a distributed estimation can go
+//! wrong: the caller asked for something the fleet cannot do
+//! ([`FleetError::Config`]), the network failed in a way retries could not
+//! absorb ([`FleetError::Io`] / [`FleetError::Protocol`]), or enough
+//! readers died that a round could not gather its quorum
+//! ([`FleetError::QuorumLost`] — the same [`QuorumLost`] value the
+//! in-process `pet-sim` controller reports, so the two stay comparable in
+//! tests).
+
+use pet_sim::multireader::QuorumLost;
+use std::fmt;
+
+/// Why a fleet estimation did not produce a report.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The spec/config combination is invalid (bad quorum, zero-probe
+    /// config, coverage referencing nonexistent zones, …).
+    Config(String),
+    /// An unrecoverable I/O failure outside the per-round miss handling
+    /// (e.g. no agent could ever be reached).
+    Io(std::io::Error),
+    /// An agent answered with something that is not a valid reader-round
+    /// reply in a way that cannot be treated as a per-round miss.
+    Protocol(String),
+    /// A round gathered fewer answering readers than the configured
+    /// quorum.
+    QuorumLost(QuorumLost),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid fleet configuration: {msg}"),
+            Self::Io(e) => write!(f, "fleet i/o failure: {e}"),
+            Self::Protocol(msg) => write!(f, "fleet protocol violation: {msg}"),
+            Self::QuorumLost(lost) => write!(f, "{lost}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::QuorumLost(lost) => Some(lost),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<QuorumLost> for FleetError {
+    fn from(lost: QuorumLost) -> Self {
+        Self::QuorumLost(lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failed_round() {
+        let e = FleetError::QuorumLost(QuorumLost {
+            round: 7,
+            answered: 1,
+            quorum: 2,
+        });
+        assert!(e.to_string().contains("round 7"));
+        assert!(e.to_string().contains("1 of 2"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: FleetError = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "x").into();
+        assert!(matches!(e, FleetError::Io(_)));
+    }
+}

@@ -1,0 +1,347 @@
+//! Fault injection for fleet tests and drills.
+//!
+//! A [`FaultProxy`] sits between the coordinator and one agent, forwarding
+//! the line protocol byte-for-byte until its [`ProxyControl`] says
+//! otherwise. Faults are applied at the *wire* level — the agent process
+//! stays healthy, the coordinator simply observes the failure mode a real
+//! deployment would see:
+//!
+//! - [`ProxyMode::Dead`]: connections close and new ones are refused — an
+//!   agent crash. The coordinator sees EOF, burns its retries, and marks
+//!   the reader dead.
+//! - [`ProxyMode::Stall`]: replies are withheld past the configured delay —
+//!   a straggler. The coordinator's round deadline converts this into a
+//!   miss instead of blocking the merge.
+//! - [`ProxyMode::DropReplies`]: requests are delivered, replies vanish — a
+//!   one-way partition. Indistinguishable from a stall at the coordinator.
+//!
+//! The coordinator applies scheduled [`FaultEvent`]s to attached controls
+//! at the start of each round, which is what makes kill-at-round-`k` drills
+//! reproducible enough to compare against the in-process simulator.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What the proxy does with traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyMode {
+    /// Forward both directions untouched.
+    Forward,
+    /// Delay each reply by this much before forwarding it.
+    Stall(Duration),
+    /// Deliver requests, silently discard replies.
+    DropReplies,
+    /// Close every connection and refuse new ones.
+    Dead,
+}
+
+/// Shared handle that changes a running proxy's [`ProxyMode`].
+#[derive(Debug, Clone)]
+pub struct ProxyControl {
+    mode: Arc<Mutex<ProxyMode>>,
+}
+
+impl ProxyControl {
+    fn new() -> Self {
+        Self {
+            mode: Arc::new(Mutex::new(ProxyMode::Forward)),
+        }
+    }
+
+    /// Switches the proxy's behavior (takes effect per forwarded line).
+    pub fn set(&self, mode: ProxyMode) {
+        *self.mode.lock().expect("proxy control poisoned") = mode;
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> ProxyMode {
+        *self.mode.lock().expect("proxy control poisoned")
+    }
+}
+
+/// What a scheduled fault does to its reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the reader (proxy goes [`ProxyMode::Dead`]).
+    Kill,
+    /// Stall the reader's replies by this much.
+    Stall(Duration),
+    /// Drop the reader's replies.
+    DropReplies,
+    /// Restore normal forwarding.
+    Restore,
+}
+
+impl FaultAction {
+    /// The proxy mode this action switches to.
+    #[must_use]
+    pub fn mode(self) -> ProxyMode {
+        match self {
+            Self::Kill => ProxyMode::Dead,
+            Self::Stall(d) => ProxyMode::Stall(d),
+            Self::DropReplies => ProxyMode::DropReplies,
+            Self::Restore => ProxyMode::Forward,
+        }
+    }
+}
+
+/// One scheduled fault: at the start of round `round` (0-based), apply
+/// `action` to reader `reader`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round (0-based) the fault takes effect.
+    pub round: u32,
+    /// Index of the reader it targets.
+    pub reader: usize,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A running line-protocol fault proxy in front of one agent.
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    control: ProxyControl,
+}
+
+impl FaultProxy {
+    /// Spawns a proxy on an ephemeral localhost port forwarding to
+    /// `upstream`. The accept loop runs on a detached thread for the life
+    /// of the process (proxies are test/drill infrastructure, not a
+    /// service).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the listener cannot bind.
+    pub fn spawn(upstream: SocketAddr) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let control = ProxyControl::new();
+        let accept_control = control.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(client) = stream else { continue };
+                if accept_control.mode() == ProxyMode::Dead {
+                    // Refused: the dropped stream reads as instant EOF.
+                    continue;
+                }
+                let control = accept_control.clone();
+                std::thread::spawn(move || forward_connection(&client, upstream, &control));
+            }
+        });
+        Ok(Self { addr, control })
+    }
+
+    /// The address the coordinator should dial instead of the agent.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The control handle for scheduled faults.
+    #[must_use]
+    pub fn control(&self) -> ProxyControl {
+        self.control.clone()
+    }
+}
+
+/// Pumps one client connection through the proxy until either side closes
+/// or the mode turns [`ProxyMode::Dead`].
+fn forward_connection(client: &TcpStream, upstream: SocketAddr, control: &ProxyControl) {
+    let Ok(agent) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(std::net::Shutdown::Both);
+        return;
+    };
+    let (Ok(client_rx), Ok(agent_rx)) = (client.try_clone(), agent.try_clone()) else {
+        return;
+    };
+    let (Ok(client_tx), Ok(agent_tx)) = (client.try_clone(), agent.try_clone()) else {
+        return;
+    };
+
+    // Agent → coordinator: the direction faults mangle.
+    let reply_control = control.clone();
+    let replies = std::thread::spawn(move || {
+        let mut lines = BufReader::new(agent_rx);
+        let mut tx = client_tx;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match lines.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            match reply_control.mode() {
+                ProxyMode::Dead => break,
+                ProxyMode::DropReplies => continue,
+                ProxyMode::Stall(d) => {
+                    std::thread::sleep(d);
+                    if reply_control.mode() == ProxyMode::Dead {
+                        break;
+                    }
+                }
+                ProxyMode::Forward => {}
+            }
+            if tx.write_all(line.as_bytes()).is_err() {
+                break;
+            }
+        }
+        let _ = tx.shutdown(std::net::Shutdown::Both);
+    });
+
+    // Coordinator → agent: requests pass through, but a Dead mode seen on
+    // the next request closes the pair (crash semantics).
+    {
+        let mut lines = BufReader::new(client_rx);
+        let mut tx = agent_tx;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match lines.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            if control.mode() == ProxyMode::Dead {
+                break;
+            }
+            if tx.write_all(line.as_bytes()).is_err() {
+                break;
+            }
+        }
+        let _ = tx.shutdown(std::net::Shutdown::Both);
+        let _ = client.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = replies.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// A single-connection upstream echoing each line prefixed with "echo:".
+    fn spawn_echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut tx = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        let reply = format!("echo:{line}");
+                        if tx.write_all(reply.as_bytes()).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str, timeout: Duration) -> std::io::Result<String> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let mut tx = stream.try_clone()?;
+        tx.write_all(line.as_bytes())?;
+        tx.write_all(b"\n")?;
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    #[test]
+    fn forwards_then_kills_then_restores() {
+        let upstream = spawn_echo_upstream();
+        let proxy = FaultProxy::spawn(upstream).expect("proxy");
+        let timeout = Duration::from_secs(2);
+
+        assert_eq!(
+            roundtrip(proxy.addr(), "hello", timeout).unwrap(),
+            "echo:hello"
+        );
+
+        proxy.control().set(ProxyMode::Dead);
+        // Existing-and-new connections both read as EOF/refusal.
+        assert!(roundtrip(proxy.addr(), "gone", timeout).is_err());
+
+        proxy.control().set(ProxyMode::Forward);
+        assert_eq!(
+            roundtrip(proxy.addr(), "back", timeout).unwrap(),
+            "echo:back"
+        );
+    }
+
+    #[test]
+    fn stall_and_drop_turn_into_timeouts() {
+        let upstream = spawn_echo_upstream();
+        let proxy = FaultProxy::spawn(upstream).expect("proxy");
+
+        proxy
+            .control()
+            .set(ProxyMode::Stall(Duration::from_secs(5)));
+        let err = roundtrip(proxy.addr(), "slow", Duration::from_millis(100)).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "stall must surface as a read timeout, got {err:?}"
+        );
+
+        proxy.control().set(ProxyMode::DropReplies);
+        let err = roundtrip(proxy.addr(), "void", Duration::from_millis(100)).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ));
+    }
+
+    #[test]
+    fn fault_actions_map_to_modes() {
+        assert_eq!(FaultAction::Kill.mode(), ProxyMode::Dead);
+        assert_eq!(FaultAction::Restore.mode(), ProxyMode::Forward);
+        assert_eq!(FaultAction::DropReplies.mode(), ProxyMode::DropReplies);
+        assert_eq!(
+            FaultAction::Stall(Duration::from_millis(7)).mode(),
+            ProxyMode::Stall(Duration::from_millis(7))
+        );
+    }
+
+    #[test]
+    fn unused_read_half_keepalive() {
+        // A connection opened while the upstream is gone closes cleanly.
+        let upstream = spawn_echo_upstream();
+        let proxy = FaultProxy::spawn(upstream).expect("proxy");
+        let mut stream = TcpStream::connect(proxy.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        drop(stream.try_clone()); // no writes at all
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half close");
+        let mut buf = Vec::new();
+        // Proxy sees our EOF and tears the pair down.
+        let n = stream.read_to_end(&mut buf).expect("read");
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! # pet-fleet — distributed multi-reader estimation
+//!
+//! The paper's §4.6.3 controller is an in-process abstraction in
+//! `pet_sim::multireader`: every "reader" is a struct, every "report" a
+//! function return. This crate is the same controller over real sockets —
+//! a **coordinator** drives N `pet-server` agents through the line
+//! protocol's `reader-round` verb and OR-merges their per-round reports,
+//! with the failure modes a network actually has:
+//!
+//! - **Hash-synchronized rounds** ([`coordinator`]): the coordinator draws
+//!   each round's estimating path (and per-round seed, in active mode) and
+//!   broadcasts it; agents answer with raw responder counts for every
+//!   prefix length against their deterministically derived zone shard. The
+//!   adaptive binary search then runs coordinator-side over cached counts,
+//!   which keeps the merge **bit-for-bit equivalent** to the simulator on
+//!   identical seeds — the property the integration suite pins, for
+//!   perfect *and* lossy per-reader channels.
+//! - **Quorum merges**: a round missing some readers still merges when at
+//!   least [`FleetConfig::quorum`] answered; the lost coverage is measured
+//!   and reported ([`FleetReport::effective_coverage`]), not hidden. Fewer
+//!   than quorum fails the session with the same
+//!   [`QuorumLost`](pet_sim::multireader::QuorumLost) value the simulator
+//!   produces.
+//! - **Straggler deadlines and retries** ([`link`]): per-reader round
+//!   deadlines applied concurrently (one stalled agent costs one deadline,
+//!   not N), exponential-backoff retries for transient faults, and
+//!   administrative death after repeated misses.
+//! - **Fault injection** ([`fault`]): a wire-level proxy that kills,
+//!   stalls, or silences one reader on a per-round schedule, so
+//!   degradation drills are reproducible.
+//! - **Observability** ([`metrics`]): RED metrics plus per-reader
+//!   ok/miss/retry counters, snapshotted into every [`FleetReport`].
+//!
+//! ```no_run
+//! use pet_core::PetConfig;
+//! use pet_fleet::{run_fleet, FleetConfig, FleetSpec};
+//!
+//! let spec = FleetSpec {
+//!     tags: 10_000,
+//!     zones: 4,
+//!     deploy_seed: 7,
+//!     coverages: vec![vec![0, 1], vec![1, 2], vec![2, 3]],
+//! };
+//! let mut config = FleetConfig::new(PetConfig::paper_default(), 128, 42);
+//! config.quorum = 2;
+//! let agents = vec![
+//!     "10.0.0.1:7070".to_string(),
+//!     "10.0.0.2:7070".to_string(),
+//!     "10.0.0.3:7070".to_string(),
+//! ];
+//! let report = run_fleet(&spec, &config, &agents).expect("fleet estimation");
+//! println!("n̂ = {:.0} (coverage {:.2})", report.estimate, report.effective_coverage);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod error;
+pub mod fault;
+pub mod link;
+pub mod metrics;
+
+pub use coordinator::{run_fleet, Coordinator, FleetConfig, FleetReport, FleetSpec};
+pub use error::FleetError;
+pub use fault::{FaultAction, FaultEvent, FaultProxy, ProxyControl, ProxyMode};
+pub use link::{ReaderLink, ReaderStats, RetryPolicy, RoundReport};
+pub use metrics::FleetMetrics;

@@ -1,0 +1,293 @@
+//! One coordinator-side connection to a reader agent.
+//!
+//! A [`ReaderLink`] owns the TCP client for one agent and implements the
+//! per-round failure discipline:
+//!
+//! - **Transient faults retry.** Connect failures, connection resets, and
+//!   `overloaded` replies are retried with exponential backoff, up to
+//!   [`RetryPolicy::tries`] attempts inside the round's deadline budget.
+//! - **Stragglers miss, they don't block.** The round deadline is applied
+//!   as the socket read timeout; a reader that doesn't answer in time is a
+//!   *miss* for this round, and the connection is dropped (a late reply on
+//!   a kept connection would desynchronize the line framing).
+//! - **Repeat offenders are declared dead.** After
+//!   [`RetryPolicy::dead_after`] consecutive misses the link stops being
+//!   contacted at all — the administrative mirror of a killed agent.
+//!
+//! A miss is never an error at this layer: the coordinator's quorum rule
+//! decides whether the round (and the session) survives it.
+
+use crate::metrics::FleetMetrics;
+use pet_server::json::Json;
+use pet_server::Client;
+use std::io::ErrorKind;
+use std::time::{Duration, Instant};
+
+/// Retry discipline for transient agent failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per round (first try included). At least 1.
+    pub tries: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub backoff: Duration,
+    /// Consecutive missed rounds after which the reader is declared dead
+    /// and no longer contacted.
+    pub dead_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            tries: 3,
+            backoff: Duration::from_millis(10),
+            dead_after: 2,
+        }
+    }
+}
+
+/// Per-reader outcome counters, reported in the final
+/// [`crate::FleetReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReaderStats {
+    /// Rounds this reader answered in time.
+    pub ok_rounds: u32,
+    /// Rounds this reader missed (timeout, death, malformed reply).
+    pub missed_rounds: u32,
+    /// Transient-failure retries (reconnects, overload backoffs).
+    pub retries: u32,
+    /// Whether the coordinator declared the reader dead.
+    pub dead: bool,
+}
+
+/// A parsed `reader-round` reply: the shard population and the raw
+/// responder count for every prefix length `1..=height`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Tags in the agent's zone shard.
+    pub population: u64,
+    /// `counts[len-1]` = responders matching the first `len` path bits.
+    pub counts: Vec<u64>,
+}
+
+/// Parses a reply line into a [`RoundReport`].
+///
+/// Returns `Ok(Some(..))` for a well-formed success, `Ok(None)` for a
+/// well-formed *retryable* error (`overloaded`), and `Err` with the error
+/// code or shape problem otherwise.
+fn parse_round_reply(reply: &str, height: u32) -> Result<Option<RoundReport>, String> {
+    let root = Json::parse(reply).map_err(|e| format!("unparseable reply: {e}"))?;
+    let ok = root
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "reply missing \"ok\"".to_string())?;
+    if !ok {
+        let code = root
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        if code == "overloaded" {
+            return Ok(None);
+        }
+        return Err(format!("agent error: {code}"));
+    }
+    let population = root
+        .get("population")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "reply missing \"population\"".to_string())?;
+    let counts: Vec<u64> = root
+        .get("counts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "reply missing \"counts\"".to_string())?
+        .iter()
+        .map(|j| j.as_u64().ok_or_else(|| "non-integer count".to_string()))
+        .collect::<Result<_, _>>()?;
+    if counts.len() != height as usize {
+        return Err(format!("expected {height} counts, got {}", counts.len()));
+    }
+    Ok(Some(RoundReport { population, counts }))
+}
+
+/// The coordinator's handle to one reader agent.
+#[derive(Debug)]
+pub struct ReaderLink {
+    addr: String,
+    index: usize,
+    client: Option<Client>,
+    consecutive_misses: u32,
+    /// Outcome counters for the final report.
+    pub stats: ReaderStats,
+}
+
+impl ReaderLink {
+    /// A link to the agent at `addr` (connected lazily on first use).
+    #[must_use]
+    pub fn new(addr: impl Into<String>, index: usize) -> Self {
+        Self {
+            addr: addr.into(),
+            index,
+            client: None,
+            consecutive_misses: 0,
+            stats: ReaderStats::default(),
+        }
+    }
+
+    /// The agent's address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether this reader has been declared dead.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.stats.dead
+    }
+
+    /// Records a round this reader never got to answer (already dead, or
+    /// the session failed before its slot).
+    pub fn record_skip(&mut self) {
+        self.stats.missed_rounds += 1;
+    }
+
+    fn record_miss(&mut self, retry: &RetryPolicy, metrics: &FleetMetrics) {
+        self.stats.missed_rounds += 1;
+        self.consecutive_misses += 1;
+        metrics.reader_miss(self.index);
+        if self.consecutive_misses >= retry.dead_after {
+            self.stats.dead = true;
+        }
+    }
+
+    fn record_retry(&mut self, metrics: &FleetMetrics) {
+        self.stats.retries += 1;
+        metrics.reader_retry(self.index);
+    }
+
+    /// Sends one round request and waits for the report within `deadline`.
+    ///
+    /// `None` means this reader missed the round — already dead, timed
+    /// out, exhausted its transient retries, or answered garbage. The
+    /// caller's quorum rule decides what that costs.
+    pub fn round_trip(
+        &mut self,
+        line: &str,
+        height: u32,
+        deadline: Duration,
+        retry: &RetryPolicy,
+        metrics: &FleetMetrics,
+    ) -> Option<RoundReport> {
+        if self.stats.dead {
+            self.record_skip();
+            return None;
+        }
+        let started = Instant::now();
+        let mut backoff = retry.backoff;
+        for attempt in 0..retry.tries.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            if started.elapsed() >= deadline {
+                break;
+            }
+            let client = match self.client.take() {
+                Some(c) => c,
+                None => match Client::connect(&self.addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        self.record_retry(metrics);
+                        continue;
+                    }
+                },
+            };
+            let mut client = client;
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() || client.set_read_timeout(Some(remaining)).is_err() {
+                break;
+            }
+            metrics.request();
+            match client.roundtrip(line) {
+                Ok(reply) => match parse_round_reply(&reply, height) {
+                    Ok(Some(report)) => {
+                        self.client = Some(client);
+                        self.consecutive_misses = 0;
+                        self.stats.ok_rounds += 1;
+                        metrics.reader_ok(self.index);
+                        return Some(report);
+                    }
+                    // Overloaded: the connection is fine, the agent is
+                    // busy — back off and retry.
+                    Ok(None) => {
+                        self.client = Some(client);
+                        self.record_retry(metrics);
+                    }
+                    // Malformed or hard error: miss now; the dropped
+                    // connection guards against framing desync.
+                    Err(_) => break,
+                },
+                Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                    // Straggler past the deadline: a late reply must not
+                    // linger on the wire, so the connection dies with the
+                    // round.
+                    break;
+                }
+                // EOF / reset: reconnect and retry within budget.
+                Err(_) => self.record_retry(metrics),
+            }
+        }
+        self.record_miss(retry, metrics);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_success_reply() {
+        let reply = r#"{"id":"r1","ok":true,"verb":"reader-round","population":7,"height":4,"counts":[7,3,1,0]}"#;
+        let report = parse_round_reply(reply, 4).unwrap().unwrap();
+        assert_eq!(report.population, 7);
+        assert_eq!(report.counts, vec![7, 3, 1, 0]);
+    }
+
+    #[test]
+    fn overload_is_retryable_other_errors_are_not() {
+        let overloaded = r#"{"id":"r1","ok":false,"error":"overloaded"}"#;
+        assert_eq!(parse_round_reply(overloaded, 4).unwrap(), None);
+        let bad = r#"{"id":"r1","ok":false,"error":"bad_request"}"#;
+        assert!(parse_round_reply(bad, 4).is_err());
+    }
+
+    #[test]
+    fn count_shape_is_enforced() {
+        let short = r#"{"id":"r1","ok":true,"verb":"reader-round","population":7,"height":4,"counts":[7,3]}"#;
+        assert!(parse_round_reply(short, 4).is_err());
+        assert!(parse_round_reply("not json", 4).is_err());
+    }
+
+    #[test]
+    fn unreachable_agent_misses_and_eventually_dies() {
+        let metrics = FleetMetrics::default();
+        // Reserved port with no listener: connects fail fast.
+        let mut link = ReaderLink::new("127.0.0.1:1", 0);
+        let retry = RetryPolicy {
+            tries: 2,
+            backoff: Duration::from_millis(1),
+            dead_after: 2,
+        };
+        for _ in 0..2 {
+            let got = link.round_trip("{}", 4, Duration::from_millis(200), &retry, &metrics);
+            assert!(got.is_none());
+        }
+        assert!(link.is_dead());
+        assert_eq!(link.stats.missed_rounds, 2);
+        assert!(link.stats.retries >= 2);
+        // Dead links are skipped without touching the network.
+        let got = link.round_trip("{}", 4, Duration::from_millis(200), &retry, &metrics);
+        assert!(got.is_none());
+        assert_eq!(link.stats.missed_rounds, 3);
+        assert_eq!(metrics.snapshot().counter("fleet.reader.0.miss"), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! RED metrics for the fleet coordinator.
+//!
+//! Mirrors the serving layer's pattern (`pet_server::ServerMetrics`): the
+//! coordinator keeps its own [`pet_obs::Summary`] behind a mutex so the
+//! final [`crate::FleetReport`] can embed a snapshot, and every recording
+//! also forwards through the `pet_obs` free functions so a process-global
+//! sink (when installed) streams the same events.
+//!
+//! Metric names:
+//!
+//! - `fleet.req` — reader-round requests sent (rate)
+//! - `fleet.reader.<i>.ok` / `.miss` / `.retry` — per-reader outcomes
+//! - `fleet.rounds.full` / `fleet.rounds.partial` — merge quality
+//! - span `fleet.round` — wall-clock latency of each merged round
+
+use pet_obs::{Event, Summary};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The coordinator's metric store. All methods are `&self`.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    summary: Mutex<Summary>,
+}
+
+impl FleetMetrics {
+    fn accumulate(&self, event: &Event) {
+        self.summary
+            .lock()
+            .expect("fleet metrics poisoned")
+            .accumulate(event);
+        pet_obs::record(event);
+    }
+
+    fn bump(&self, name: String) {
+        self.accumulate(&Event::Counter {
+            name: name.into(),
+            delta: 1,
+        });
+    }
+
+    /// Records one reader-round request sent to an agent.
+    pub fn request(&self) {
+        self.bump("fleet.req".to_string());
+    }
+
+    /// Records a reader answering its round in time.
+    pub fn reader_ok(&self, reader: usize) {
+        self.bump(format!("fleet.reader.{reader}.ok"));
+    }
+
+    /// Records a reader missing its round (timeout, death, bad reply).
+    pub fn reader_miss(&self, reader: usize) {
+        self.bump(format!("fleet.reader.{reader}.miss"));
+    }
+
+    /// Records a transient-failure retry toward a reader.
+    pub fn reader_retry(&self, reader: usize) {
+        self.bump(format!("fleet.reader.{reader}.retry"));
+    }
+
+    /// Records a round where every reader answered.
+    pub fn round_full(&self) {
+        self.bump("fleet.rounds.full".to_string());
+    }
+
+    /// Records a round merged from a partial (but ≥ quorum) reader set.
+    pub fn round_partial(&self) {
+        self.bump("fleet.rounds.partial".to_string());
+    }
+
+    /// Records the wall-clock latency of one merged round.
+    pub fn round_latency(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.accumulate(&Event::Span {
+            name: "fleet.round".into(),
+            nanos,
+        });
+    }
+
+    /// A point-in-time snapshot of every counter and histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> Summary {
+        self.summary.lock().expect("fleet metrics poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_reader() {
+        let m = FleetMetrics::default();
+        m.request();
+        m.request();
+        m.reader_ok(0);
+        m.reader_miss(1);
+        m.reader_retry(1);
+        m.round_full();
+        m.round_partial();
+        m.round_latency(Duration::from_micros(80));
+        let s = m.snapshot();
+        assert_eq!(s.counter("fleet.req"), 2);
+        assert_eq!(s.counter("fleet.reader.0.ok"), 1);
+        assert_eq!(s.counter("fleet.reader.1.miss"), 1);
+        assert_eq!(s.counter("fleet.reader.1.retry"), 1);
+        assert_eq!(s.counter("fleet.rounds.full"), 1);
+        assert_eq!(s.counter("fleet.rounds.partial"), 1);
+        assert_eq!(s.span_stats("fleet.round").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! End-to-end fleet battery: real coordinator, real agents, real sockets.
+//!
+//! The load-bearing property is **simulator equivalence**: a networked
+//! fleet on seeds `(deploy_seed, session_seed)` must produce bit-for-bit
+//! the same estimate as `pet_sim::multireader` on the same seeds — for
+//! perfect channels, lossy per-reader channels (re-probes included),
+//! and kill schedules. Everything else (quorum failures, stall/drop
+//! drills, duplicate insensitivity) rides on top of that pin.
+
+use pet_core::config::{Mitigation, PetConfig, TagMode};
+use pet_fleet::{
+    run_fleet, Coordinator, FaultAction, FaultEvent, FaultProxy, FleetConfig, FleetError,
+    FleetSpec, RetryPolicy,
+};
+use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_server::{serve, ServerConfig, ServerHandle};
+use pet_sim::multireader::{Kill, OutagePlan, QuorumLost};
+use pet_stats::accuracy::Accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn pet_config() -> PetConfig {
+    PetConfig::builder()
+        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+        .build()
+        .unwrap()
+}
+
+fn spawn_agents(n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| serve(&ServerConfig::default()).expect("bind agent"))
+        .collect()
+}
+
+fn agent_addrs(handles: &[ServerHandle]) -> Vec<String> {
+    handles.iter().map(|h| h.addr().to_string()).collect()
+}
+
+fn shutdown_all(handles: Vec<ServerHandle>) {
+    for h in &handles {
+        h.shutdown();
+    }
+    for h in handles {
+        h.join();
+    }
+}
+
+/// Perfect channels: the wire merge equals the in-process controller, bit
+/// for bit, on the same seeds.
+#[test]
+fn fleet_merge_is_bit_for_bit_equal_to_the_simulator() {
+    let spec = FleetSpec {
+        tags: 3_000,
+        zones: 4,
+        deploy_seed: 13,
+        coverages: vec![vec![0, 1], vec![2, 3]],
+    };
+    let agents = spawn_agents(2);
+    let config = FleetConfig::new(pet_config(), 32, 14);
+    let fleet = run_fleet(&spec, &config, &agent_addrs(&agents)).expect("fleet run");
+    shutdown_all(agents);
+
+    let mut rng = StdRng::seed_from_u64(14);
+    let sim = spec
+        .deployment()
+        .try_estimate_with_outages(
+            &pet_config(),
+            32,
+            ChannelModel::Perfect,
+            &OutagePlan::default(),
+            &mut rng,
+        )
+        .expect("sim run");
+
+    assert_eq!(fleet.estimate.to_bits(), sim.estimate.to_bits());
+    assert_eq!(
+        fleet.mean_prefix_len.to_bits(),
+        sim.mean_prefix_len.to_bits()
+    );
+    assert_eq!(fleet.controller_slots, sim.controller_slots);
+    assert_eq!(fleet.covered_tags, sim.covered_tags);
+    assert_eq!(fleet.full_rounds, 32);
+    assert_eq!(fleet.partial_rounds, 0);
+    assert!(!fleet.degraded);
+    assert!((fleet.effective_coverage - 1.0).abs() < f64::EPSILON);
+    // Every reader answered every round, over real sockets.
+    for stats in &fleet.readers {
+        assert_eq!(stats.ok_rounds, 32);
+        assert_eq!(stats.missed_rounds, 0);
+        assert!(!stats.dead);
+    }
+    assert_eq!(fleet.telemetry.counter("fleet.rounds.full"), 32);
+}
+
+/// Lossy per-reader channels and re-probe mitigation: the coordinator
+/// applies loss to raw counts from the shared noise stream, so even the
+/// re-probed slots match the simulator exactly.
+#[test]
+fn lossy_channels_and_reprobes_match_the_simulator_bit_for_bit() {
+    let pet = PetConfig::builder()
+        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+        .mitigation(Mitigation::ReProbe { probes: 2 })
+        .build()
+        .unwrap();
+    let spec = FleetSpec {
+        tags: 2_500,
+        zones: 4,
+        deploy_seed: 23,
+        coverages: vec![vec![0, 1], vec![1, 2], vec![2, 3]],
+    };
+    let lossy = ChannelModel::Lossy(LossyChannel::new(0.05, 0.0).unwrap());
+    let agents = spawn_agents(3);
+    let mut config = FleetConfig::new(pet, 24, 24);
+    config.channel = lossy;
+    let fleet = run_fleet(&spec, &config, &agent_addrs(&agents)).expect("fleet run");
+    shutdown_all(agents);
+
+    let mut rng = StdRng::seed_from_u64(24);
+    let sim = spec
+        .deployment()
+        .try_estimate_with_outages(&pet, 24, lossy, &OutagePlan::default(), &mut rng)
+        .expect("sim run");
+
+    assert_eq!(fleet.estimate.to_bits(), sim.estimate.to_bits());
+    assert_eq!(fleet.controller_slots, sim.controller_slots);
+}
+
+/// Active tag mode ships the per-round hash seed over the wire (as a hex
+/// scalar); agents rebuild their shard codes each round and still match
+/// the simulator bit for bit.
+#[test]
+fn active_tag_mode_round_seeds_travel_the_wire() {
+    let pet = PetConfig::builder()
+        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+        .tag_mode(TagMode::ActivePerRound)
+        .build()
+        .unwrap();
+    let spec = FleetSpec {
+        tags: 2_000,
+        zones: 2,
+        deploy_seed: 33,
+        coverages: vec![vec![0], vec![1]],
+    };
+    let agents = spawn_agents(2);
+    let config = FleetConfig::new(pet, 16, 34);
+    let fleet = run_fleet(&spec, &config, &agent_addrs(&agents)).expect("fleet run");
+    shutdown_all(agents);
+
+    let mut rng = StdRng::seed_from_u64(34);
+    let sim = spec
+        .deployment()
+        .try_estimate_with_outages(
+            &pet,
+            16,
+            ChannelModel::Perfect,
+            &OutagePlan::default(),
+            &mut rng,
+        )
+        .expect("sim run");
+    assert_eq!(fleet.estimate.to_bits(), sim.estimate.to_bits());
+    assert_eq!(fleet.controller_slots, sim.controller_slots);
+}
+
+/// The acceptance drill: a 3-reader fleet loses one reader mid-session
+/// (killed at the wire by the fault proxy), keeps its quorum of 2, still
+/// returns an estimate, reports the degraded coverage explicitly — and the
+/// whole degraded run equals the simulator under the same kill schedule.
+#[test]
+fn killed_reader_keeps_quorum_and_reports_degraded_coverage() {
+    let spec = FleetSpec {
+        tags: 4_000,
+        zones: 3,
+        deploy_seed: 21,
+        coverages: vec![vec![0], vec![1], vec![2]],
+    };
+    let agents = spawn_agents(3);
+    let proxy = FaultProxy::spawn(agents[2].addr()).expect("proxy");
+    let mut addrs = agent_addrs(&agents);
+    addrs[2] = proxy.addr().to_string();
+
+    let mut config = FleetConfig::new(pet_config(), 16, 22);
+    config.quorum = 2;
+    config.round_deadline = Duration::from_secs(2);
+    config.retry = RetryPolicy {
+        tries: 2,
+        backoff: Duration::from_millis(2),
+        dead_after: 2,
+    };
+    config.faults = vec![FaultEvent {
+        round: 8,
+        reader: 2,
+        action: FaultAction::Kill,
+    }];
+    let mut coord = Coordinator::new(spec.clone(), config, &addrs).expect("coordinator");
+    coord.set_control(2, proxy.control());
+    let fleet = coord.run().expect("degraded fleet still estimates");
+    shutdown_all(agents);
+
+    assert_eq!(fleet.full_rounds, 8);
+    assert_eq!(fleet.partial_rounds, 8);
+    assert!(fleet.degraded, "losing a reader must be reported");
+    assert!(
+        fleet.effective_coverage > 0.5 && fleet.effective_coverage < 1.0,
+        "coverage {}",
+        fleet.effective_coverage
+    );
+    assert!(fleet.readers[2].dead, "killed reader declared dead");
+    assert_eq!(fleet.readers[2].ok_rounds, 8);
+    assert_eq!(fleet.readers[2].missed_rounds, 8);
+    assert!(fleet.estimate > 0.0);
+    assert!(fleet.telemetry.counter("fleet.rounds.partial") == 8);
+
+    // Same kill, in process: bit-for-bit agreement, degraded run included.
+    let mut rng = StdRng::seed_from_u64(22);
+    let sim = spec
+        .deployment()
+        .try_estimate_with_outages(
+            &pet_config(),
+            16,
+            ChannelModel::Perfect,
+            &OutagePlan {
+                kills: vec![Kill {
+                    round: 8,
+                    reader: 2,
+                }],
+                quorum: 2,
+            },
+            &mut rng,
+        )
+        .expect("sim run");
+    assert_eq!(fleet.estimate.to_bits(), sim.estimate.to_bits());
+    assert_eq!(fleet.controller_slots, sim.controller_slots);
+    assert_eq!(
+        fleet.effective_coverage.to_bits(),
+        sim.effective_coverage.to_bits()
+    );
+}
+
+/// Losing the whole fleet mid-session fails with the same explicit
+/// `QuorumLost` the simulator reports for the same schedule.
+#[test]
+fn quorum_loss_is_the_same_explicit_error_as_the_simulator() {
+    let spec = FleetSpec {
+        tags: 1_000,
+        zones: 2,
+        deploy_seed: 31,
+        coverages: vec![vec![0], vec![1]],
+    };
+    let agents = spawn_agents(2);
+    let proxies: Vec<FaultProxy> = agents
+        .iter()
+        .map(|h| FaultProxy::spawn(h.addr()).expect("proxy"))
+        .collect();
+    let addrs: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+
+    let mut config = FleetConfig::new(pet_config(), 16, 32);
+    config.retry = RetryPolicy {
+        tries: 2,
+        backoff: Duration::from_millis(2),
+        dead_after: 2,
+    };
+    config.faults = vec![
+        FaultEvent {
+            round: 3,
+            reader: 0,
+            action: FaultAction::Kill,
+        },
+        FaultEvent {
+            round: 5,
+            reader: 1,
+            action: FaultAction::Kill,
+        },
+    ];
+    let mut coord = Coordinator::new(spec.clone(), config, &addrs).expect("coordinator");
+    for (i, p) in proxies.iter().enumerate() {
+        coord.set_control(i, p.control());
+    }
+    let err = coord.run().expect_err("no readers left, no estimate");
+    shutdown_all(agents);
+
+    let expected = QuorumLost {
+        round: 5,
+        answered: 0,
+        quorum: 1,
+    };
+    match &err {
+        FleetError::QuorumLost(lost) => assert_eq!(*lost, expected),
+        other => panic!("expected QuorumLost, got {other}"),
+    }
+
+    let mut rng = StdRng::seed_from_u64(32);
+    let sim_err = spec
+        .deployment()
+        .try_estimate_with_outages(
+            &pet_config(),
+            16,
+            ChannelModel::Perfect,
+            &OutagePlan {
+                kills: vec![
+                    Kill {
+                        round: 3,
+                        reader: 0,
+                    },
+                    Kill {
+                        round: 5,
+                        reader: 1,
+                    },
+                ],
+                quorum: 1,
+            },
+            &mut rng,
+        )
+        .expect_err("sim loses quorum too");
+    assert_eq!(sim_err, expected);
+}
+
+/// A stalled reader misses rounds (deadline, not hang) and rejoins after
+/// the fault clears — no administrative death when `dead_after` allows it.
+#[test]
+fn stalled_reader_misses_and_rejoins() {
+    let spec = FleetSpec {
+        tags: 1_500,
+        zones: 2,
+        deploy_seed: 41,
+        coverages: vec![vec![0], vec![1]],
+    };
+    let agents = spawn_agents(2);
+    let proxy = FaultProxy::spawn(agents[1].addr()).expect("proxy");
+    let mut addrs = agent_addrs(&agents);
+    addrs[1] = proxy.addr().to_string();
+
+    let mut config = FleetConfig::new(pet_config(), 10, 42);
+    config.round_deadline = Duration::from_millis(250);
+    config.retry = RetryPolicy {
+        tries: 1,
+        backoff: Duration::from_millis(1),
+        dead_after: 100, // a stall is not a death sentence here
+    };
+    config.faults = vec![
+        FaultEvent {
+            round: 4,
+            reader: 1,
+            action: FaultAction::Stall(Duration::from_secs(5)),
+        },
+        FaultEvent {
+            round: 6,
+            reader: 1,
+            action: FaultAction::Restore,
+        },
+    ];
+    let mut coord = Coordinator::new(spec, config, &addrs).expect("coordinator");
+    coord.set_control(1, proxy.control());
+    let fleet = coord.run().expect("stall degrades, not fails");
+    shutdown_all(agents);
+
+    assert_eq!(
+        fleet.partial_rounds, 2,
+        "rounds 4 and 5 run without reader 1"
+    );
+    assert_eq!(fleet.full_rounds, 8);
+    assert!(fleet.degraded);
+    assert!(!fleet.readers[1].dead, "reader rejoined after the stall");
+    assert_eq!(fleet.readers[1].missed_rounds, 2);
+    assert_eq!(fleet.readers[1].ok_rounds, 8);
+    assert!(fleet.effective_coverage < 1.0);
+}
+
+/// A reader whose replies vanish (one-way partition) times out per round,
+/// gets declared dead, and the run still matches the simulator's kill
+/// schedule — drop-replies and crash are indistinguishable merges.
+#[test]
+fn dropped_replies_become_a_clean_kill() {
+    let spec = FleetSpec {
+        tags: 1_200,
+        zones: 2,
+        deploy_seed: 51,
+        coverages: vec![vec![0], vec![1]],
+    };
+    let agents = spawn_agents(2);
+    let proxy = FaultProxy::spawn(agents[1].addr()).expect("proxy");
+    let mut addrs = agent_addrs(&agents);
+    addrs[1] = proxy.addr().to_string();
+
+    let mut config = FleetConfig::new(pet_config(), 8, 52);
+    config.round_deadline = Duration::from_millis(250);
+    config.retry = RetryPolicy {
+        tries: 1,
+        backoff: Duration::from_millis(1),
+        dead_after: 2,
+    };
+    config.faults = vec![FaultEvent {
+        round: 2,
+        reader: 1,
+        action: FaultAction::DropReplies,
+    }];
+    let mut coord = Coordinator::new(spec.clone(), config, &addrs).expect("coordinator");
+    coord.set_control(1, proxy.control());
+    let fleet = coord.run().expect("drop degrades, not fails");
+    shutdown_all(agents);
+
+    assert!(fleet.readers[1].dead);
+    assert_eq!(fleet.full_rounds, 2);
+    assert_eq!(fleet.partial_rounds, 6);
+
+    let mut rng = StdRng::seed_from_u64(52);
+    let sim = spec
+        .deployment()
+        .try_estimate_with_outages(
+            &pet_config(),
+            8,
+            ChannelModel::Perfect,
+            &OutagePlan {
+                kills: vec![Kill {
+                    round: 2,
+                    reader: 1,
+                }],
+                quorum: 1,
+            },
+            &mut rng,
+        )
+        .expect("sim run");
+    assert_eq!(fleet.estimate.to_bits(), sim.estimate.to_bits());
+    assert_eq!(fleet.controller_slots, sim.controller_slots);
+}
+
+/// §4.6.3 duplicate insensitivity over real sockets: two agents with fully
+/// overlapping coverage merge to exactly the single-reader estimate.
+#[test]
+fn overlapping_agents_do_not_double_count_over_the_wire() {
+    let full = vec![0, 1];
+    let single_spec = FleetSpec {
+        tags: 2_000,
+        zones: 2,
+        deploy_seed: 61,
+        coverages: vec![full.clone()],
+    };
+    let dup_spec = FleetSpec {
+        tags: 2_000,
+        zones: 2,
+        deploy_seed: 61,
+        coverages: vec![full.clone(), full],
+    };
+
+    let single_agents = spawn_agents(1);
+    let single = run_fleet(
+        &single_spec,
+        &FleetConfig::new(pet_config(), 16, 62),
+        &agent_addrs(&single_agents),
+    )
+    .expect("single run");
+    shutdown_all(single_agents);
+
+    let dup_agents = spawn_agents(2);
+    let dup = run_fleet(
+        &dup_spec,
+        &FleetConfig::new(pet_config(), 16, 62),
+        &agent_addrs(&dup_agents),
+    )
+    .expect("dup run");
+    shutdown_all(dup_agents);
+
+    assert_eq!(single.estimate.to_bits(), dup.estimate.to_bits());
+    assert_eq!(single.controller_slots, dup.controller_slots);
+    assert_eq!(single.covered_tags, dup.covered_tags);
+}
+
+/// Identical runs produce identical digests; a different session seed does
+/// not — the cheap conformance check the CI fleet smoke relies on.
+#[test]
+fn digests_pin_reproducibility() {
+    let spec = FleetSpec {
+        tags: 1_000,
+        zones: 2,
+        deploy_seed: 71,
+        coverages: vec![vec![0], vec![1]],
+    };
+    let agents = spawn_agents(2);
+    let addrs = agent_addrs(&agents);
+    let a = run_fleet(&spec, &FleetConfig::new(pet_config(), 12, 72), &addrs).expect("run a");
+    let b = run_fleet(&spec, &FleetConfig::new(pet_config(), 12, 72), &addrs).expect("run b");
+    let c = run_fleet(&spec, &FleetConfig::new(pet_config(), 12, 73), &addrs).expect("run c");
+    shutdown_all(agents);
+    assert_eq!(a.digest(), b.digest());
+    assert_ne!(a.digest(), c.digest());
+}

@@ -7,9 +7,16 @@
 //! crate turns the reproduction into a long-running daemon:
 //!
 //! - **Protocol** ([`proto`]): line-delimited JSON over TCP. Verbs:
-//!   `estimate`, `robustness`, `telemetry-snapshot`, `shutdown`. One
-//!   request line in, exactly one reply line out — always, including for
-//!   garbage input ([`json`] is a strict bounded parser, fuzz-pinned).
+//!   `estimate`, `robustness`, `reader-round`, `telemetry-snapshot`,
+//!   `shutdown`. One request line in, exactly one reply line out — always,
+//!   including for garbage input ([`json`] is a strict bounded parser,
+//!   fuzz-pinned).
+//! - **Fleet agent** (`reader-round`): the server doubles as one reader of
+//!   a distributed fleet. It reconstructs its zone shard deterministically
+//!   from four wire-size scalars (the derivation shared with
+//!   `pet_sim::multireader::shard_keys`) and answers each
+//!   hash-synchronized round with raw responder counts per prefix length,
+//!   which the `pet-fleet` coordinator OR-merges across readers.
 //! - **Scheduling** ([`queue`], [`server`]): a fixed-capacity job queue in
 //!   front of a bounded worker pool. Overflow is answered `overloaded`
 //!   immediately — backpressure instead of buffering — and every request
@@ -59,9 +66,10 @@ pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod server;
+mod shard;
 
 pub use client::Client;
 pub use metrics::ServerMetrics;
-pub use proto::{parse_request, ErrorCode, Request, Verb};
+pub use proto::{parse_request, ErrorCode, ReaderRoundParams, Request, Verb};
 pub use queue::{BoundedQueue, PushRefused};
 pub use server::{seed_for_id, serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};

@@ -11,7 +11,18 @@
 //!  "miss_rates":[0,0.05],"probes":2}
 //! {"id":"r4","verb":"telemetry-snapshot"}
 //! {"id":"r5","verb":"shutdown"}
+//! {"id":"r6","verb":"reader-round","tags":4000,"zones":4,"deploy_seed":"b",
+//!  "coverage":[0,1],"height":32,"manufacture_seed":"2a","path":"9f3c11e2"}
 //! ```
+//!
+//! `reader-round` is the fleet agent verb: the server reconstructs its zone
+//! shard deterministically from `(tags, zones, deploy_seed, coverage)` —
+//! the derivation shared with `pet_sim::multireader::shard_keys` — and
+//! answers with the raw responder count for **every** prefix length
+//! `1..=height` of the announced estimating path, plus its shard
+//! population. `u64`-valued wire fields (`path`, `deploy_seed`,
+//! `manufacture_seed`, `round_seed`) travel as hex *strings* because JSON
+//! numbers here are doubles and cannot carry more than 53 bits.
 //!
 //! Replies always echo the request `id` and carry `"ok"`:
 //!
@@ -46,6 +57,12 @@ pub const MAX_ROUNDS: u32 = 1_000_000;
 /// estimation; the sweep multiplies by `miss_rates × 2`).
 pub const MAX_RUNS: usize = 256;
 
+/// Upper bound on `zones` in a `reader-round` deployment.
+pub const MAX_ZONES: u32 = 4_096;
+
+/// Upper bound on the number of zones one reader's `coverage` may list.
+pub const MAX_COVERAGE_ZONES: usize = 256;
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -65,6 +82,9 @@ pub enum Verb {
     Estimate(EstimateParams),
     /// Run a small robustness sweep (accuracy vs channel fault rates).
     Robustness(RobustnessRequest),
+    /// Execute one hash-synchronized estimating round against this agent's
+    /// zone shard and report raw responder counts per prefix length.
+    ReaderRound(ReaderRoundParams),
     /// Return the server's RED metrics as JSON.
     TelemetrySnapshot,
     /// Drain in-flight work, then stop the server.
@@ -78,6 +98,7 @@ impl Verb {
         match self {
             Self::Estimate(_) => "estimate",
             Self::Robustness(_) => "robustness",
+            Self::ReaderRound(_) => "reader-round",
             Self::TelemetrySnapshot => "telemetry-snapshot",
             Self::Shutdown => "shutdown",
         }
@@ -116,6 +137,31 @@ pub struct RobustnessRequest {
     pub false_busy: f64,
     /// Re-probe count for the mitigated variant.
     pub probes: u32,
+}
+
+/// Parameters of a `reader-round` request — everything an agent needs to
+/// rebuild its zone shard deterministically and answer one estimating
+/// round. All `u64`-valued fields travel as hex strings on the wire (JSON
+/// numbers are doubles); see [`parse_request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReaderRoundParams {
+    /// Total tags in the deployment (the agent sees only its shard).
+    pub tags: usize,
+    /// Zone count of the deployment field.
+    pub zones: u32,
+    /// Seed of the deterministic tag→zone scatter.
+    pub deploy_seed: u64,
+    /// Zones this agent's reader covers.
+    pub coverage: Vec<u32>,
+    /// PET tree height `H`.
+    pub height: u32,
+    /// Manufacture-time hashing seed; `None` uses the protocol default.
+    pub manufacture_seed: Option<u64>,
+    /// The round's estimating path, as raw bits (top `height` bits used).
+    pub path_bits: u64,
+    /// Per-round hashing seed; `Some` switches the shard to active-tag
+    /// mode (codes rebuilt from this seed each round).
+    pub round_seed: Option<u64>,
 }
 
 /// Closed vocabulary of reply error codes.
@@ -193,6 +239,30 @@ fn u64_field(obj: &Json, id: &str, key: &str) -> Result<Option<u64>, RequestErro
     }
 }
 
+/// A full-width `u64` wire field: a hex string of 1..=16 digits, or (for
+/// convenience with small values) a plain non-negative integer. JSON
+/// numbers parse as `f64` here, so values above 2⁵³ *must* take the hex
+/// form — path bits and seeds use the full 64-bit range.
+fn u64_hex_field(obj: &Json, id: &str, key: &str) -> Result<Option<u64>, RequestError> {
+    let complaint =
+        || format!("\"{key}\" must be a hex string of 1..=16 digits or a non-negative integer");
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => {
+            if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(bad(Some(id), complaint()));
+            }
+            u64::from_str_radix(s, 16)
+                .map(Some)
+                .map_err(|_| bad(Some(id), complaint()))
+        }
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(Some(id), complaint())),
+    }
+}
+
 /// Parses and validates one request line.
 ///
 /// # Errors
@@ -225,12 +295,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let verb = match verb_name {
         "estimate" => Verb::Estimate(parse_estimate(&root, &id)?),
         "robustness" => Verb::Robustness(parse_robustness(&root, &id)?),
+        "reader-round" => Verb::ReaderRound(parse_reader_round(&root, &id)?),
         "telemetry-snapshot" => Verb::TelemetrySnapshot,
         "shutdown" => Verb::Shutdown,
         other => {
             return Err(bad(
                 Some(&id),
-                format!("unknown verb {other:?} (estimate|robustness|telemetry-snapshot|shutdown)"),
+                format!(
+                    "unknown verb {other:?} \
+                     (estimate|robustness|reader-round|telemetry-snapshot|shutdown)"
+                ),
             ))
         }
     };
@@ -368,6 +442,72 @@ fn parse_robustness(root: &Json, id: &str) -> Result<RobustnessRequest, RequestE
     })
 }
 
+fn parse_reader_round(root: &Json, id: &str) -> Result<ReaderRoundParams, RequestError> {
+    let tags = u64_field(root, id, "tags")?
+        .ok_or_else(|| bad(Some(id), "reader-round requires \"tags\""))? as usize;
+    if tags == 0 || tags > MAX_TAGS {
+        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
+    }
+    let zones = match u64_field(root, id, "zones")? {
+        Some(z) if (1..=u64::from(MAX_ZONES)).contains(&z) => z as u32,
+        Some(_) | None => {
+            return Err(bad(
+                Some(id),
+                format!("reader-round requires \"zones\" in 1..={MAX_ZONES}"),
+            ))
+        }
+    };
+    let deploy_seed = u64_hex_field(root, id, "deploy_seed")?
+        .ok_or_else(|| bad(Some(id), "reader-round requires \"deploy_seed\""))?;
+    let coverage = {
+        let items = root
+            .get("coverage")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(Some(id), "reader-round requires a \"coverage\" array"))?;
+        if items.is_empty() || items.len() > MAX_COVERAGE_ZONES {
+            return Err(bad(
+                Some(id),
+                format!("\"coverage\" must list 1..={MAX_COVERAGE_ZONES} zones"),
+            ));
+        }
+        let mut zones_covered = Vec::with_capacity(items.len());
+        for item in items {
+            let z = item
+                .as_u64()
+                .filter(|&z| z < u64::from(zones))
+                .ok_or_else(|| {
+                    bad(
+                        Some(id),
+                        "\"coverage\" entries must be zone indices < zones",
+                    )
+                })?;
+            zones_covered.push(z as u32);
+        }
+        zones_covered
+    };
+    let height = match u64_field(root, id, "height")?.unwrap_or(32) {
+        h if (1..=64).contains(&h) => h as u32,
+        _ => return Err(bad(Some(id), "\"height\" must be 1..=64")),
+    };
+    let manufacture_seed = u64_hex_field(root, id, "manufacture_seed")?;
+    let path_bits = u64_hex_field(root, id, "path")?
+        .ok_or_else(|| bad(Some(id), "reader-round requires \"path\""))?;
+    if height < 64 && path_bits >= 1u64 << height {
+        return Err(bad(Some(id), format!("\"path\" must fit {height} bits")));
+    }
+    let round_seed = u64_hex_field(root, id, "round_seed")?;
+    Ok(ReaderRoundParams {
+        tags,
+        zones,
+        deploy_seed,
+        coverage,
+        height,
+        manufacture_seed,
+        path_bits,
+        round_seed,
+    })
+}
+
 /// Serializes an error reply. A `None` id renders as JSON `null`.
 #[must_use]
 pub fn error_reply(id: Option<&str>, code: ErrorCode, detail: Option<&str>) -> String {
@@ -475,6 +615,76 @@ mod tests {
             let e = parse_request(bad).unwrap_err();
             assert_eq!(e.id.as_deref(), Some("r"), "id recovered for {bad}");
         }
+    }
+
+    #[test]
+    fn parses_reader_round_with_hex_fields() {
+        let r = parse_request(
+            r#"{"id":"rr","verb":"reader-round","tags":4000,"zones":4,
+                "deploy_seed":"b","coverage":[0,1],"height":32,
+                "manufacture_seed":"ffffffffffffffff","path":"9f3c11e2",
+                "round_seed":"deadbeefcafef00d","deadline_ms":500}"#,
+        )
+        .unwrap();
+        match r.verb {
+            Verb::ReaderRound(p) => {
+                assert_eq!(p.tags, 4000);
+                assert_eq!(p.zones, 4);
+                assert_eq!(p.deploy_seed, 0xb);
+                assert_eq!(p.coverage, vec![0, 1]);
+                assert_eq!(p.height, 32);
+                assert_eq!(p.manufacture_seed, Some(u64::MAX));
+                assert_eq!(p.path_bits, 0x9f3c_11e2);
+                assert_eq!(p.round_seed, Some(0xdead_beef_cafe_f00d));
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+        // Small values may ride as plain numbers; height defaults to 32.
+        let r = parse_request(
+            r#"{"id":"rr","verb":"reader-round","tags":10,"zones":2,
+                "deploy_seed":7,"coverage":[1],"path":3}"#,
+        )
+        .unwrap();
+        match r.verb {
+            Verb::ReaderRound(p) => {
+                assert_eq!((p.deploy_seed, p.path_bits, p.height), (7, 3, 32));
+                assert_eq!(p.manufacture_seed, None);
+                assert_eq!(p.round_seed, None);
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_round_validation_rejects_bad_shapes() {
+        for bad in [
+            // missing required fields
+            r#"{"id":"x","verb":"reader-round"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"coverage":[0],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","coverage":[0]}"#,
+            // out-of-range shapes
+            r#"{"id":"x","verb":"reader-round","tags":0,"zones":2,"deploy_seed":"1","coverage":[0],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":0,"deploy_seed":"1","coverage":[0],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","coverage":[],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","coverage":[5],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","coverage":[0],"path":"1","height":65}"#,
+            // path wider than the tree
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1","coverage":[0],"path":"100","height":8}"#,
+            // malformed hex
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"xyz","coverage":[0],"path":"1"}"#,
+            r#"{"id":"x","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"11223344556677889","coverage":[0],"path":"1"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.id.as_deref(), Some("x"), "{bad}");
+        }
+        // A height-64 path uses the full u64 range.
+        let r = parse_request(
+            r#"{"id":"y","verb":"reader-round","tags":10,"zones":2,"deploy_seed":"1",
+                "coverage":[0],"path":"ffffffffffffffff","height":64}"#,
+        )
+        .unwrap();
+        assert!(matches!(r.verb, Verb::ReaderRound(p) if p.path_bits == u64::MAX));
     }
 
     #[test]

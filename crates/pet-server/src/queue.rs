@@ -212,6 +212,67 @@ mod tests {
         assert_eq!(all.len(), total, "every job delivered exactly once");
     }
 
+    /// The degenerate capacity-1 queue under concurrent load: the single
+    /// slot forces maximal contention between producers, backpressure, and
+    /// consumers — every job must still come out exactly once, and the
+    /// queue must never hold more than one item.
+    #[test]
+    fn capacity_one_under_concurrent_load_delivers_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let total = 4 * 250;
+        let refused = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let refused = Arc::clone(&refused);
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        let mut v = p * 1000 + i;
+                        loop {
+                            assert!(q.len() <= 1, "capacity bound violated");
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err((back, PushRefused::Full)) => {
+                                    refused.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err((_, PushRefused::Closed)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "every job delivered exactly once");
+        assert!(
+            refused.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "a capacity-1 queue under 4 producers must exert backpressure"
+        );
+    }
+
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {

@@ -36,11 +36,16 @@
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    error_reply, ok_reply, parse_request, ErrorCode, EstimateParams, Request, RobustnessRequest,
-    Verb,
+    error_reply, ok_reply, parse_request, ErrorCode, EstimateParams, ReaderRoundParams, Request,
+    RobustnessRequest, Verb,
 };
 use crate::queue::{BoundedQueue, PushRefused};
+use crate::shard::{reader_round_config, ShardCache};
+use pet_core::bits::BitString;
+use pet_core::config::TagMode;
 use pet_core::front::Estimator;
+use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
+use pet_hash::family::AnyFamily;
 use pet_obs::Summary;
 use pet_sim::cache::RosterCache;
 use pet_sim::experiments::robustness;
@@ -100,6 +105,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     metrics: ServerMetrics,
     cache: RosterCache,
+    shards: ShardCache,
     addr: SocketAddr,
     deterministic: bool,
     /// XOR'd into id-derived seeds outside deterministic mode, so repeated
@@ -221,6 +227,7 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         queue: BoundedQueue::new(config.queue_capacity),
         metrics: ServerMetrics::default(),
         cache: RosterCache::default(),
+        shards: ShardCache::default(),
         addr,
         deterministic: config.deterministic,
         seed_entropy,
@@ -376,7 +383,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
             shared.metrics.ok(started.elapsed());
             reply
         }
-        Verb::Estimate(_) | Verb::Robustness(_) => {
+        Verb::Estimate(_) | Verb::Robustness(_) | Verb::ReaderRound(_) => {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 shared.metrics.error(ErrorCode::ShuttingDown);
                 return error_reply(Some(&request.id), ErrorCode::ShuttingDown, None);
@@ -445,6 +452,7 @@ fn execute(request: &Request, shared: &Arc<Shared>) -> String {
     match &request.verb {
         Verb::Estimate(params) => execute_estimate(&request.id, params, shared),
         Verb::Robustness(params) => execute_robustness(&request.id, params),
+        Verb::ReaderRound(params) => execute_reader_round(&request.id, params, shared),
         // Control verbs never reach the queue.
         Verb::TelemetrySnapshot | Verb::Shutdown => error_reply(
             Some(&request.id),
@@ -452,6 +460,52 @@ fn execute(request: &Request, shared: &Arc<Shared>) -> String {
             Some("misrouted verb"),
         ),
     }
+}
+
+/// Executes one hash-synchronized estimating round against this agent's
+/// zone shard: reconstructs the shard deterministically (cached), counts
+/// raw responders for *every* prefix length `1..=height` of the announced
+/// path, and reports the counts plus the shard population. The controller
+/// applies per-reader channel models and runs the adaptive binary search
+/// itself — raw counts are what keep the fleet merge bit-for-bit equal to
+/// the in-process `pet-sim` controller, mitigation re-probes included.
+fn execute_reader_round(id: &str, params: &ReaderRoundParams, shared: &Arc<Shared>) -> String {
+    let path = BitString::from_bits(params.path_bits, params.height)
+        .expect("path validated against height at parse");
+    let start = RoundStart {
+        path,
+        seed: params.round_seed,
+    };
+    let (population, counts) = if params.round_seed.is_some() {
+        // Active-tag mode: codes depend on the per-round seed, so the
+        // roster is rebuilt from the cached shard keys each round.
+        let keys = shared.shards.shard_keys(params);
+        let config = reader_round_config(params, TagMode::ActivePerRound);
+        let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
+        roster.begin_round(&start);
+        let counts: Vec<u64> = (1..=params.height)
+            .map(|len| roster.count_prefix(&path, len))
+            .collect();
+        (roster.population(), counts)
+    } else {
+        let roster = shared.shards.passive_roster(params);
+        let counts: Vec<u64> = (1..=params.height)
+            .map(|len| roster.count_prefix(&path, len))
+            .collect();
+        (roster.population(), counts)
+    };
+    let mut body = format!(
+        "\"population\":{population},\"height\":{},\"counts\":[",
+        params.height
+    );
+    for (i, c) in counts.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&c.to_string());
+    }
+    body.push(']');
+    ok_reply(id, "reader-round", &body)
 }
 
 fn execute_estimate(id: &str, params: &EstimateParams, shared: &Arc<Shared>) -> String {

@@ -1,0 +1,165 @@
+//! Shard derivation and caching for `reader-round` agents.
+//!
+//! An agent never receives key lists over the wire: it reconstructs its
+//! zone shard deterministically from `(tags, zones, deploy_seed,
+//! coverage)` via [`pet_sim::multireader::shard_keys`] — the same
+//! derivation the coordinator's in-process reference uses, so both sides
+//! agree on every shard by construction. Rebuilding a shard (scatter +
+//! hash + sort) costs `O(n log n)`, and a fleet session asks for the same
+//! shard once per round, so both the key vectors and the passive
+//! [`CodeRoster`]s are cached here. The caches are bounded by wholesale
+//! eviction: distinct deployments per server are few, and a fleet session
+//! hits exactly one entry thousands of times.
+
+use crate::proto::ReaderRoundParams;
+use pet_core::config::{PetConfig, TagMode};
+use pet_core::oracle::CodeRoster;
+use pet_hash::family::AnyFamily;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Distinct shard definitions kept before the cache evicts wholesale.
+const MAX_CACHED: usize = 16;
+
+/// Identity of a shard's key set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ShardId {
+    tags: usize,
+    zones: u32,
+    deploy_seed: u64,
+    coverage: Vec<u32>,
+}
+
+impl ShardId {
+    fn of(p: &ReaderRoundParams) -> Self {
+        Self {
+            tags: p.tags,
+            zones: p.zones,
+            deploy_seed: p.deploy_seed,
+            coverage: p.coverage.clone(),
+        }
+    }
+}
+
+/// Identity of a preloaded passive roster (keys + hashing parameters).
+type RosterId = (ShardId, u32, Option<u64>);
+
+/// Server-owned cache of shard key vectors and passive rosters.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCache {
+    keys: Mutex<HashMap<ShardId, Arc<Vec<u64>>>>,
+    rosters: Mutex<HashMap<RosterId, Arc<CodeRoster>>>,
+}
+
+impl ShardCache {
+    /// The shard's key vector (cached).
+    pub(crate) fn shard_keys(&self, p: &ReaderRoundParams) -> Arc<Vec<u64>> {
+        let id = ShardId::of(p);
+        let mut map = self.keys.lock().expect("shard key cache poisoned");
+        if let Some(keys) = map.get(&id) {
+            return Arc::clone(keys);
+        }
+        let keys = Arc::new(pet_sim::multireader::shard_keys(
+            p.tags,
+            p.zones,
+            p.deploy_seed,
+            &p.coverage,
+        ));
+        if map.len() >= MAX_CACHED {
+            map.clear();
+        }
+        map.insert(id, Arc::clone(&keys));
+        keys
+    }
+
+    /// A passive preloaded roster for the shard (cached); the hot path of
+    /// a fleet session in the default passive-tag mode.
+    pub(crate) fn passive_roster(&self, p: &ReaderRoundParams) -> Arc<CodeRoster> {
+        let id = (ShardId::of(p), p.height, p.manufacture_seed);
+        {
+            let map = self.rosters.lock().expect("shard roster cache poisoned");
+            if let Some(roster) = map.get(&id) {
+                return Arc::clone(roster);
+            }
+        }
+        // Build outside the lock: roster construction hashes + sorts the
+        // whole shard and must not serialize unrelated requests.
+        let keys = self.shard_keys(p);
+        let config = reader_round_config(p, TagMode::PassivePreloaded);
+        let roster = Arc::new(CodeRoster::new(&keys, &config, AnyFamily::default()));
+        let mut map = self.rosters.lock().expect("shard roster cache poisoned");
+        if map.len() >= MAX_CACHED {
+            map.clear();
+        }
+        map.insert(id, Arc::clone(&roster));
+        roster
+    }
+}
+
+/// The [`PetConfig`] a shard roster is built under. Only `height`,
+/// `manufacture_seed`, and `tag_mode` influence a [`CodeRoster`]; every
+/// other knob keeps its default.
+pub(crate) fn reader_round_config(p: &ReaderRoundParams, mode: TagMode) -> PetConfig {
+    let mut builder = PetConfig::builder().height(p.height).tag_mode(mode);
+    if let Some(seed) = p.manufacture_seed {
+        builder = builder.manufacture_seed(seed);
+    }
+    builder
+        .build()
+        .expect("reader-round parameters were validated at parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReaderRoundParams {
+        ReaderRoundParams {
+            tags: 500,
+            zones: 4,
+            deploy_seed: 11,
+            coverage: vec![0, 2],
+            height: 32,
+            manufacture_seed: None,
+            path_bits: 0,
+            round_seed: None,
+        }
+    }
+
+    #[test]
+    fn shard_keys_match_the_shared_derivation_and_are_shared() {
+        let cache = ShardCache::default();
+        let p = params();
+        let a = cache.shard_keys(&p);
+        let b = cache.shard_keys(&p);
+        assert!(Arc::ptr_eq(&a, &b), "same shard must hit the cache");
+        assert_eq!(
+            *a,
+            pet_sim::multireader::shard_keys(p.tags, p.zones, p.deploy_seed, &p.coverage)
+        );
+    }
+
+    #[test]
+    fn rosters_are_keyed_by_hashing_parameters() {
+        let cache = ShardCache::default();
+        let p = params();
+        let a = cache.passive_roster(&p);
+        assert!(Arc::ptr_eq(&a, &cache.passive_roster(&p)));
+        let mut other_seed = params();
+        other_seed.manufacture_seed = Some(99);
+        let b = cache.passive_roster(&other_seed);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.codes(), b.codes(), "different seed, different codes");
+    }
+
+    #[test]
+    fn cache_eviction_is_wholesale_and_bounded() {
+        let cache = ShardCache::default();
+        for seed in 0..(MAX_CACHED as u64 + 4) {
+            let mut p = params();
+            p.deploy_seed = seed;
+            let _ = cache.shard_keys(&p);
+        }
+        assert!(cache.keys.lock().unwrap().len() <= MAX_CACHED);
+    }
+}

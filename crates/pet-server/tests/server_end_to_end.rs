@@ -318,6 +318,165 @@ fn shutdown_drains_in_flight_work_before_the_socket_closes() {
     } // an io error (connection torn down) is equally acceptable
 }
 
+/// The fleet-agent verb: raw responder counts must equal a locally built
+/// shard roster's (the coordinator's whole correctness argument rests on
+/// agents answering exactly what `pet-sim` would), and equal requests must
+/// produce byte-identical replies.
+#[test]
+fn reader_round_counts_match_a_local_shard_roster() {
+    let handle = deterministic_server(2, 16);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let line = r#"{"id":"rr1","verb":"reader-round","tags":3000,"zones":4,"deploy_seed":"b","coverage":[0,1],"height":32,"path":"9f3c11e2"}"#;
+    let reply = client.roundtrip(line).unwrap();
+    let v = Json::parse(&reply).unwrap_or_else(|e| panic!("bad JSON {reply:?}: {e}"));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{reply}");
+
+    // Rebuild the shard locally via the shared derivation and compare.
+    let keys = pet_sim::multireader::shard_keys(3000, 4, 0xb, &[0, 1]);
+    let config = pet_core::config::PetConfig::builder()
+        .height(32)
+        .build()
+        .unwrap();
+    let roster =
+        pet_core::oracle::CodeRoster::new(&keys, &config, pet_hash::family::AnyFamily::default());
+    let path = pet_core::bits::BitString::from_bits(0x9f3c_11e2, 32).unwrap();
+    assert_eq!(
+        v.get("population").and_then(Json::as_u64),
+        Some(keys.len() as u64)
+    );
+    let counts = v.get("counts").and_then(Json::as_arr).expect("counts");
+    assert_eq!(counts.len(), 32);
+    for (i, c) in counts.iter().enumerate() {
+        let len = i as u32 + 1;
+        assert_eq!(
+            c.as_u64(),
+            Some(roster.count_prefix(&path, len)),
+            "prefix length {len}"
+        );
+    }
+
+    // Same request, same bytes — and an active-mode round (per-round seed)
+    // answers from freshly hashed codes, reproducibly.
+    assert_eq!(client.roundtrip(line).unwrap(), reply);
+    let active = r#"{"id":"rr2","verb":"reader-round","tags":3000,"zones":4,"deploy_seed":"b","coverage":[0,1],"height":32,"path":"9f3c11e2","round_seed":"deadbeef"}"#;
+    let first = client.roundtrip(active).unwrap();
+    assert!(first.contains("\"ok\":true"), "{first}");
+    assert_eq!(client.roundtrip(active).unwrap(), first);
+    assert_ne!(first, reply, "per-round seed must change the codes");
+
+    client
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    handle.join();
+}
+
+/// The degenerate deployment — one worker, one queue slot — under
+/// concurrent closed-loop load: every request is answered (ok or a clean
+/// `overloaded` bounce), nothing is lost or hung.
+#[test]
+fn capacity_one_queue_survives_concurrent_load() {
+    let handle = deterministic_server(1, 1);
+    let addr = handle.addr();
+    let sent = 6 * 8;
+    let ok = Arc::new(AtomicUsize::new(0));
+    let bounced = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let ok = Arc::clone(&ok);
+            let bounced = Arc::clone(&bounced);
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                for i in 0..8 {
+                    let line =
+                        format!(r#"{{"id":"q{t}-{i}","verb":"estimate","tags":300,"rounds":8}}"#);
+                    let reply = c.roundtrip(&line).expect("every request gets a reply");
+                    if reply.contains("\"ok\":true") {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        assert!(reply.contains("\"error\":\"overloaded\""), "{reply}");
+                        bounced.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        ok.load(Ordering::SeqCst) + bounced.load(Ordering::SeqCst),
+        sent
+    );
+    assert!(ok.load(Ordering::SeqCst) > 0, "some work must get through");
+    handle.shutdown();
+    let metrics = handle.join();
+    assert_eq!(
+        metrics.counter("server.ok"),
+        ok.load(Ordering::SeqCst) as u64
+    );
+    assert_eq!(
+        metrics.counter("server.overload"),
+        bounced.load(Ordering::SeqCst) as u64
+    );
+}
+
+/// Shutdown issued while requests are verifiably *still queued* (the lone
+/// worker is pinned by a slow job): the ack must wait for the drain and
+/// still report `drained:true`, and every queued request must be answered
+/// with its real result.
+#[test]
+fn shutdown_while_requests_are_queued_still_reports_drained() {
+    let handle = deterministic_server(1, 8);
+    let addr = handle.addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        c.roundtrip(SLOW_LINE).unwrap()
+    });
+    // Let the worker dequeue the slow job, then stack three requests in
+    // the queue behind it.
+    std::thread::sleep(Duration::from_millis(100));
+    let queued: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                c.roundtrip(&format!(
+                    r#"{{"id":"stuck-{i}","verb":"estimate","tags":200,"rounds":4}}"#
+                ))
+                .unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(80));
+
+    // The queue now verifiably holds work (single worker is mid-sweep).
+    let mut controller = Client::connect(addr).unwrap();
+    controller
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let ack = controller
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    assert!(ack.contains("\"drained\":true"), "{ack}");
+
+    assert!(slow.join().unwrap().contains("\"ok\":true"));
+    for q in queued {
+        let reply = q.join().unwrap();
+        assert!(
+            reply.contains("\"ok\":true"),
+            "queued work must complete through the drain: {reply}"
+        );
+    }
+    let metrics = handle.join();
+    // slow + 3 queued, plus the shutdown ack itself.
+    assert_eq!(metrics.counter("server.ok"), 5);
+}
+
 #[test]
 fn telemetry_snapshot_reports_red_metrics() {
     let handle = deterministic_server(2, 16);

@@ -1,0 +1,270 @@
+//! Fleet sweep: multi-reader estimation vs a single reader under channel
+//! loss and reader outages.
+//!
+//! The paper's §4.6.3 controller merges per-reader detections with a
+//! logical OR, which makes overlapping coverage *redundant* rather than
+//! double-counted: a tag heard by two readers still flips exactly one
+//! slot busy, and a tag missed by one lossy reader is recovered whenever
+//! any overlapping reader hears it. This sweep measures both effects —
+//! accuracy under per-reader loss, and effective coverage under kill
+//! schedules — for a single all-covering reader against an overlap-2
+//! ring fleet, using the same in-process controller
+//! ([`Deployment::try_estimate_with_outages`]) the networked `pet-fleet`
+//! coordinator is pinned against bit-for-bit.
+
+use crate::multireader::{Deployment, Kill, OutagePlan};
+use crate::runner::trial_seed;
+use pet_core::config::PetConfig;
+use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_stats::accuracy::Accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters for [`sweep`].
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// True population size (scattered uniformly over the zones).
+    pub tags: usize,
+    /// Zones in the field; the fleet covers them as an overlap-2 ring.
+    pub zones: u32,
+    /// Readers in the fleet variant (the baseline always uses one).
+    pub readers: usize,
+    /// Rounds per trial.
+    pub rounds: u32,
+    /// Trials per cell.
+    pub runs: usize,
+    /// Base seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// Per-reader, per-responder miss probabilities to sweep.
+    pub miss_rates: Vec<f64>,
+    /// Kill counts to sweep for the fleet variant (0 = nobody dies).
+    /// Kills land on the highest-index readers, staggered from mid-run.
+    pub kill_counts: Vec<usize>,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        Self {
+            tags: 4_000,
+            zones: 4,
+            readers: 4,
+            rounds: 96,
+            runs: 160,
+            seed: 0xF1EE7,
+            miss_rates: vec![0.0, 0.05],
+            kill_counts: vec![0, 1, 2],
+        }
+    }
+}
+
+/// One cell of the fleet sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRow {
+    /// Readers in this variant (1 = baseline).
+    pub readers: usize,
+    /// Per-reader miss probability.
+    pub miss: f64,
+    /// Readers killed mid-run.
+    pub kills: usize,
+    /// Mean accuracy `n̂/n` over the covered population.
+    pub mean_ratio: f64,
+    /// Signed relative bias `mean(n̂)/n − 1`.
+    pub rel_bias: f64,
+    /// Normalized RMSE.
+    pub normalized_rmse: f64,
+    /// Mean per-round effective coverage (answering readers' covered tags
+    /// over the full fleet's; 1.0 when redundancy absorbs every kill).
+    pub effective_coverage: f64,
+    /// Mean rounds merged from a partial reader set.
+    pub mean_partial_rounds: f64,
+}
+
+fn config(trial_seed: u64) -> PetConfig {
+    PetConfig::builder()
+        .manufacture_seed(trial_seed)
+        .accuracy(Accuracy::new(0.2, 0.2).expect("valid accuracy"))
+        .build()
+        .expect("valid config")
+}
+
+fn channel_for(miss: f64) -> ChannelModel {
+    if miss == 0.0 {
+        ChannelModel::Perfect
+    } else {
+        ChannelModel::Lossy(LossyChannel::new(miss, 0.0).expect("valid probabilities"))
+    }
+}
+
+/// Overlap-2 ring coverage: reader `i` covers zones `i` and `i+1 mod z`,
+/// so every zone is seen by exactly two readers and one kill never
+/// uncovers anything.
+fn ring_coverages(readers: usize, zones: u32) -> Vec<Vec<u32>> {
+    (0..readers as u32)
+        .map(|i| vec![i % zones, (i + 1) % zones])
+        .collect()
+}
+
+/// Kills staggered from mid-run onto the highest-index readers.
+fn kill_plan(kills: usize, readers: usize, rounds: u32) -> OutagePlan {
+    OutagePlan {
+        kills: (0..kills)
+            .map(|i| Kill {
+                round: rounds / 2 + i as u32,
+                reader: readers - 1 - i,
+            })
+            .collect(),
+        quorum: 1,
+    }
+}
+
+fn run_cell(params: &FleetParams, coverages: Vec<Vec<u32>>, miss: f64, kills: usize) -> FleetRow {
+    let readers = coverages.len();
+    let plan = kill_plan(kills, readers, params.rounds);
+    let channel = channel_for(miss);
+    let cell_seed = params.seed ^ miss.to_bits() ^ ((readers as u64) << 1) ^ ((kills as u64) << 17);
+    let mut estimates = Vec::with_capacity(params.runs);
+    let mut coverage_sum = 0.0;
+    let mut partial_sum = 0.0;
+    let mut truth_sum = 0.0;
+    for i in 0..params.runs {
+        let seed = trial_seed(cell_seed, i as u64);
+        let deployment =
+            Deployment::synthetic(params.tags, params.zones, seed ^ 0xDEB0, coverages.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = deployment
+            .try_estimate_with_outages(&config(seed), params.rounds, channel, &plan, &mut rng)
+            .expect("quorum 1 with surviving readers cannot be lost");
+        estimates.push(report.estimate);
+        coverage_sum += report.effective_coverage;
+        partial_sum += f64::from(report.partial_rounds);
+        truth_sum += report.covered_tags as f64;
+    }
+    let runs = params.runs as f64;
+    let truth = truth_sum / runs;
+    let mean = estimates.iter().sum::<f64>() / runs;
+    FleetRow {
+        readers,
+        miss,
+        kills,
+        mean_ratio: mean / truth,
+        rel_bias: pet_stats::conformance::relative_bias(&estimates, truth),
+        normalized_rmse: pet_stats::describe::rmse(&estimates, truth) / truth,
+        effective_coverage: coverage_sum / runs,
+        mean_partial_rounds: partial_sum / runs,
+    }
+}
+
+/// Sweeps miss rates × {single reader, overlap-2 fleet × kill counts} and
+/// reports accuracy, bias, RMSE, and effective coverage per cell.
+///
+/// # Panics
+///
+/// Panics if the parameters describe no runnable cell (zero runs, zero
+/// rounds, fewer than two readers, or more kills than spare readers).
+pub fn sweep(params: &FleetParams) -> Vec<FleetRow> {
+    assert!(params.runs > 0, "at least one run per cell");
+    assert!(params.rounds > 0, "at least one round per trial");
+    assert!(params.readers >= 2, "a fleet needs at least two readers");
+    for &kills in &params.kill_counts {
+        assert!(
+            kills < params.readers,
+            "killing {kills} of {} readers leaves no quorum",
+            params.readers
+        );
+    }
+    let all_zones: Vec<u32> = (0..params.zones).collect();
+    let mut rows = Vec::new();
+    for &miss in &params.miss_rates {
+        // Single-reader baseline: one reader covering every zone.
+        rows.push(run_cell(params, vec![all_zones.clone()], miss, 0));
+        // Overlap-2 fleet under each kill schedule.
+        for &kills in &params.kill_counts {
+            rows.push(run_cell(
+                params,
+                ring_coverages(params.readers, params.zones),
+                miss,
+                kills,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetParams {
+        FleetParams {
+            tags: 2_000,
+            rounds: 96,
+            runs: 48,
+            ..FleetParams::default()
+        }
+    }
+
+    /// §4.6.3 duplicate-insensitivity under loss: at 5% per-reader miss,
+    /// the overlap-2 fleet — every tag probed by two independently lossy
+    /// readers — must not be biased *more* than the single lossy reader,
+    /// and redundancy should in fact shrink the loss-induced bias.
+    #[test]
+    fn overlap_redundancy_beats_single_reader_at_five_percent_miss() {
+        let params = FleetParams {
+            miss_rates: vec![0.05],
+            kill_counts: vec![0],
+            ..small()
+        };
+        let rows = sweep(&params);
+        assert_eq!(rows.len(), 2);
+        let (single, fleet) = (&rows[0], &rows[1]);
+        assert_eq!(single.readers, 1);
+        assert_eq!(fleet.readers, 4);
+        // Loss biases the single reader low; two independent chances to
+        // hear each tag must recover most of it.
+        assert!(
+            single.rel_bias < 0.0,
+            "single-reader loss must bias low: {}",
+            single.rel_bias
+        );
+        assert!(
+            fleet.rel_bias.abs() < single.rel_bias.abs(),
+            "fleet bias {} vs single {}",
+            fleet.rel_bias,
+            single.rel_bias
+        );
+        // Nobody died: coverage is exactly full in both variants.
+        assert!((single.effective_coverage - 1.0).abs() < 1e-12);
+        assert!((fleet.effective_coverage - 1.0).abs() < 1e-12);
+    }
+
+    /// Overlap-2 absorbs one kill with zero coverage loss; a second,
+    /// adjacent kill finally uncovers a zone.
+    #[test]
+    fn one_kill_is_free_two_kills_cost_coverage() {
+        let params = FleetParams {
+            miss_rates: vec![0.0],
+            kill_counts: vec![0, 1, 2],
+            ..small()
+        };
+        let rows = sweep(&params);
+        assert_eq!(rows.len(), 4);
+        let (none, one, two) = (&rows[1], &rows[2], &rows[3]);
+        assert!((none.effective_coverage - 1.0).abs() < 1e-12);
+        assert!(none.mean_partial_rounds == 0.0);
+        // Reader 3's zones stay covered by readers 2 and 0.
+        assert!(
+            (one.effective_coverage - 1.0).abs() < 1e-12,
+            "overlap-2 must absorb one kill: {}",
+            one.effective_coverage
+        );
+        assert!(one.mean_partial_rounds > 0.0);
+        // Readers 3 and 2 both dead uncovers zone 3 for the back half.
+        assert!(
+            two.effective_coverage < one.effective_coverage,
+            "second kill must cost coverage: {}",
+            two.effective_coverage
+        );
+        // Even degraded, the estimate tracks the still-covered majority.
+        assert!(two.mean_ratio > 0.7, "ratio {}", two.mean_ratio);
+    }
+}

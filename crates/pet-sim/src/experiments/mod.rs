@@ -12,6 +12,7 @@
 //! | [`motivation`] | §1's claim measured: identification (Aloha/tree-walk) vs estimation cost as n grows |
 //! | [`robustness`] | accuracy vs miss/false-busy rates, with/without trimmed-mean mitigation (extension) |
 //! | [`energy`] | reader/tag energy per estimate across protocols (extension) |
+//! | [`fleet`] | multi-reader fleet vs single reader under loss and kill schedules (extension) |
 //! | [`detection`] | missing-tag alarm power curve: measured vs closed-form (extension) |
 //!
 //! Every experiment is a pure function of its parameter struct (which
@@ -23,6 +24,7 @@ pub mod energy;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet;
 pub mod motivation;
 pub mod robustness;
 pub mod table3;

@@ -12,8 +12,8 @@ cd "$(dirname "$0")/.."
 
 CRATES=(
     pet pet-apps pet-baselines pet-bench pet-cli pet-core pet-firmware
-    pet-hash pet-ident pet-obs pet-radio pet-server pet-sim pet-stats
-    pet-tags
+    pet-fleet pet-hash pet-ident pet-obs pet-radio pet-server pet-sim
+    pet-stats pet-tags
 )
 
 echo "==> cargo build --release"
@@ -40,7 +40,53 @@ cargo test -q -p pet-server
 
 echo "==> loadgen smoke (10k requests, deterministic)"
 cargo run --release -q -p pet-cli --bin pet -- loadgen --local \
-    --requests 10000 --threads 8 --tags 200 --rounds 4 --verify-deterministic
+    --requests 10000 --threads 8 --tags 200 --rounds 4 --verify-deterministic \
+    --bench-json results/BENCH_server.json
+
+# Fleet-layer gate: the coordinator battery (bit-for-bit equivalence with
+# the simulator, fault injection, quorum loss) plus a live 3-agent smoke —
+# three `pet serve` processes on ephemeral ports, one fleet session run
+# twice, digests compared line-for-line, agents shut down over the wire.
+echo "==> fleet integration battery"
+cargo test -q -p pet-fleet
+
+echo "==> fleet smoke (3 live agents, deterministic digest)"
+PET_BIN=target/release/pet
+FLEET_TMP=$(mktemp -d)
+trap 'rm -rf "$FLEET_TMP"' EXIT
+AGENT_PIDS=()
+for i in 0 1 2; do
+    "$PET_BIN" serve --addr 127.0.0.1:0 --deterministic \
+        --addr-file "$FLEET_TMP/agent$i.addr" \
+        >"$FLEET_TMP/agent$i.log" 2>&1 &
+    AGENT_PIDS+=($!)
+done
+for i in 0 1 2; do
+    for _ in $(seq 1 100); do
+        [[ -s "$FLEET_TMP/agent$i.addr" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$FLEET_TMP/agent$i.addr" ]] || {
+        echo "agent $i never published its address" >&2
+        cat "$FLEET_TMP/agent$i.log" >&2
+        exit 1
+    }
+done
+AGENTS=$(cat "$FLEET_TMP"/agent{0,1,2}.addr | paste -sd, -)
+fleet_run() {
+    "$PET_BIN" fleet --agents "$AGENTS" --tags 2000 --rounds 16 \
+        --seed 42 --quorum 2 "$@"
+}
+fleet_run | tee "$FLEET_TMP/run1.out"
+fleet_run --shutdown-agents | tee "$FLEET_TMP/run2.out"
+D1=$(grep '^fleet digest' "$FLEET_TMP/run1.out")
+D2=$(grep '^fleet digest' "$FLEET_TMP/run2.out")
+[[ -n "$D1" && "$D1" == "$D2" ]] || {
+    echo "fleet smoke: digests differ or missing: '$D1' vs '$D2'" >&2
+    exit 1
+}
+wait "${AGENT_PIDS[@]}"
+echo "fleet smoke: reproducible ($D1)"
 
 echo "==> cargo fmt --check (first-party crates)"
 for crate in "${CRATES[@]}"; do
