@@ -13,7 +13,7 @@
 
 use pet_core::bits::BitString;
 use pet_core::config::{PetConfig, SearchStrategy};
-use pet_core::kernel::{locate_prefix_len, round_record};
+use pet_core::kernel::{locate_prefix_len, locate_prefix_len_with, round_record};
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::{binary_round, linear_round};
 use pet_hash::family::AnyFamily;
@@ -48,14 +48,17 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 /// Measures round throughput of the slot-by-slot oracle reader against the
-/// single-search kernel at paper scale and writes
-/// `results/BENCH_kernel.json`.
+/// single-search kernel at paper scale — the kernel arm twice, once forced
+/// to the scalar lane and once on the runtime-dispatched active lane — plus
+/// bulk-hash throughput per lane, and writes `results/BENCH_kernel.json`
+/// with the active lane and the commit the numbers belong to.
 fn bench_kernel(out_dir: &Path, quick: bool) {
     let n = 100_000u64;
     let config = PetConfig::paper_default();
     let keys: Vec<u64> = (0..n).collect();
     let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
     let codes = roster.codes().to_vec();
+    let lane = pet_hash::simd::active_lane();
 
     // The estimating path is an *input* to gray-node location, so both arms
     // consume the same pre-drawn path stream and time only the per-round
@@ -80,24 +83,63 @@ fn bench_kernel(out_dir: &Path, quick: bool) {
     let rounds_per_sec_oracle = oracle_rounds as f64 / clock.elapsed().as_secs_f64();
 
     let kernel_rounds: usize = if quick { 200_000 } else { 1_000_000 };
-    let clock = Instant::now();
-    for i in 0..kernel_rounds {
-        let path = paths[i % paths.len()];
-        let l = locate_prefix_len(&codes, &path);
-        std::hint::black_box(round_record(config.height(), config.search(), l));
-    }
-    let rounds_per_sec_kernel = kernel_rounds as f64 / clock.elapsed().as_secs_f64();
+    let kernel_arm = |locate: &dyn Fn(&[u64], &BitString) -> u32| {
+        let clock = Instant::now();
+        for i in 0..kernel_rounds {
+            let path = paths[i % paths.len()];
+            let l = locate(&codes, &path);
+            std::hint::black_box(round_record(config.height(), config.search(), l));
+        }
+        kernel_rounds as f64 / clock.elapsed().as_secs_f64()
+    };
+    let rounds_per_sec_kernel =
+        kernel_arm(&|codes, path| locate_prefix_len_with(pet_hash::Lane::Scalar, codes, path));
+    // `locate_prefix_len` routes through the runtime-dispatched active lane
+    // (so `PET_FORCE_LANE` steers this arm).
+    let rounds_per_sec_kernel_simd = kernel_arm(&locate_prefix_len);
+
+    // Bulk code derivation is where the SIMD lanes actually earn their keep:
+    // active-mode PET re-hashes the whole population every round.
+    let hash_reps: usize = if quick { 20 } else { 100 };
+    let mut out = vec![0u64; keys.len()];
+    let mut hash_arm = |l: pet_hash::Lane| {
+        let clock = Instant::now();
+        for rep in 0..hash_reps {
+            pet_hash::simd::mix2_bulk_into(l, rep as u64, &keys, config.height(), &mut out);
+            std::hint::black_box(out[0]);
+        }
+        (hash_reps * keys.len()) as f64 / clock.elapsed().as_secs_f64()
+    };
+    let hash_elems_per_sec_scalar = hash_arm(pet_hash::Lane::Scalar);
+    let hash_elems_per_sec_simd = hash_arm(lane);
 
     std::fs::create_dir_all(out_dir).expect("results dir");
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
     let json = format!(
-        "{{\"n\": {n}, \"rounds_per_sec_oracle\": {rounds_per_sec_oracle:.1}, \
-         \"rounds_per_sec_kernel\": {rounds_per_sec_kernel:.1}}}\n"
+        "{{\"n\": {n}, \"lane\": \"{lane}\", \"commit\": \"{commit}\", \
+         \"rounds_per_sec_oracle\": {rounds_per_sec_oracle:.1}, \
+         \"rounds_per_sec_kernel\": {rounds_per_sec_kernel:.1}, \
+         \"rounds_per_sec_kernel_simd\": {rounds_per_sec_kernel_simd:.1}, \
+         \"hash_elems_per_sec_scalar\": {hash_elems_per_sec_scalar:.1}, \
+         \"hash_elems_per_sec_simd\": {hash_elems_per_sec_simd:.1}}}\n",
+        lane = lane.as_str(),
     );
     std::fs::write(out_dir.join("BENCH_kernel.json"), json).expect("write BENCH_kernel.json");
     println!(
-        "bench-kernel: n = {n}: oracle {rounds_per_sec_oracle:.0} rounds/s, \
-         kernel {rounds_per_sec_kernel:.0} rounds/s ({:.1}x)",
-        rounds_per_sec_kernel / rounds_per_sec_oracle
+        "bench-kernel: n = {n} (lane {lane}, commit {commit}): oracle \
+         {rounds_per_sec_oracle:.0} rounds/s, kernel {rounds_per_sec_kernel:.0} \
+         rounds/s scalar / {rounds_per_sec_kernel_simd:.0} rounds/s {lane} \
+         ({:.1}x over oracle), bulk hash {:.1}M elem/s scalar / {:.1}M elem/s {lane}",
+        rounds_per_sec_kernel_simd / rounds_per_sec_oracle,
+        hash_elems_per_sec_scalar / 1e6,
+        hash_elems_per_sec_simd / 1e6,
+        lane = lane.as_str(),
     );
 }
 

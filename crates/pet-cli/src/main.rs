@@ -53,6 +53,7 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
   pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
   pet trace    --tags 16 [--height 6] [--rounds 2] [--linear] [--seed S]
   pet info     [--epsilon 0.05] [--delta 0.01]
+  pet lane     (report detected/active SIMD lane; PET_FORCE_LANE=scalar|sse2|avx2 overrides)
   pet telemetry --file events.jsonl
   pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
                [--deadline-ms D] [--addr-file path]
@@ -95,6 +96,7 @@ fn run(argv: &[String]) -> Result<(), ArgError> {
         "tree" => cmd_tree(&args),
         "trace" => cmd_trace(&args),
         "info" => cmd_info(&args),
+        "lane" => cmd_lane(&args),
         "telemetry" => cmd_telemetry(&args),
         "serve" => serve::cmd_serve(&args),
         "loadgen" => serve::cmd_loadgen(&args),
@@ -574,6 +576,21 @@ fn cmd_info(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `pet lane`: report which SIMD lane the bulk hashing / counting kernels
+/// run on. `detected` is the raw CPU capability; `active` additionally
+/// honors a `PET_FORCE_LANE` override. CI greps this output to catch a
+/// build that silently falls back to scalar on an AVX2-capable host.
+fn cmd_lane(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["telemetry"])?;
+    println!("detected: {}", pet_hash::simd::detected_lane().as_str());
+    println!("active  : {}", pet_hash::simd::active_lane().as_str());
+    match std::env::var("PET_FORCE_LANE") {
+        Ok(v) => println!("forced  : {v} (via PET_FORCE_LANE)"),
+        Err(_) => println!("forced  : none"),
+    }
+    Ok(())
+}
+
 fn print_costs(m: &pet_radio::AirMetrics) {
     println!(
         "air cost      : {} slots ({} idle / {} singleton / {} collision)",
@@ -674,6 +691,11 @@ mod cli_tests {
         .unwrap();
         exec(&["info"]).unwrap();
         exec(&["info", "--epsilon", "0.1", "--delta", "0.1"]).unwrap();
+        exec(&["lane"]).unwrap();
+        assert!(
+            exec(&["lane", "--tags", "4"]).is_err(),
+            "lane takes no flags"
+        );
     }
 
     /// One end-to-end telemetry loop: stream a run to JSONL, read it back

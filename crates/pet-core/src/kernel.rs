@@ -39,23 +39,34 @@
 use crate::bits::BitString;
 use crate::config::{PetConfig, SearchStrategy, TagMode};
 use crate::reader::RoundRecord;
-use pet_hash::bulk::{hash_codes_par, radix_sort_codes};
+use pet_hash::bulk::{hash_codes_par, radix_sort_codes, RadixScratch};
 use pet_hash::family::AnyFamily;
+use pet_hash::simd::{self, Lane};
 use pet_radio::{AirMetrics, SlotOutcome};
 use std::sync::Arc;
 
-/// Longest prefix of `path` shared by any code, via one binary search.
+/// Longest prefix of `path` shared by any code, via one search.
 ///
 /// Returns 0 for an empty roster (every query idles). `codes` must be
-/// sorted ascending and hold `path.height()`-bit values.
+/// sorted ascending and hold `path.height()`-bit values. The search runs
+/// through [`pet_hash::simd::partition_point_less`] — binary narrowing
+/// plus a SIMD compare+popcount sweep over the final window — on the
+/// process-wide active lane.
 #[must_use]
 pub fn locate_prefix_len(codes: &[u64], path: &BitString) -> u32 {
+    locate_prefix_len_with(simd::active_lane(), codes, path)
+}
+
+/// [`locate_prefix_len`] with an explicit SIMD lane, for the scalar-vs-SIMD
+/// benchmark arms and differential tests. Bit-for-bit lane-independent.
+#[must_use]
+pub fn locate_prefix_len_with(lane: Lane, codes: &[u64], path: &BitString) -> u32 {
     if codes.is_empty() {
         return 0;
     }
     let height = path.height();
     let bits = path.bits();
-    let idx = codes.partition_point(|&c| c < bits);
+    let idx = simd::partition_point_less_with(lane, codes, bits);
     let mut l = 0;
     if idx < codes.len() {
         l = common_bits(codes[idx], bits, height);
@@ -79,11 +90,11 @@ pub fn count_prefix_sorted(codes: &[u64], path: &BitString, len: u32) -> u64 {
     let height = path.height();
     let shift = height - len; // ≤ 63 since len ≥ 1
     let lo = (path.bits() >> shift) << shift;
-    let start = codes.partition_point(|&c| c < lo);
+    let start = simd::partition_point_less(codes, lo);
     // The exclusive upper bound lo + 2^shift can overflow u64 at the top
     // of a height-64 tree; that range extends past every code.
     let end = match lo.checked_add(1u64 << shift) {
-        Some(hi_excl) => codes.partition_point(|&c| c < hi_excl),
+        Some(hi_excl) => simd::partition_point_less(codes, hi_excl),
         None => codes.len(),
     };
     (end - start) as u64
@@ -263,11 +274,11 @@ fn narrow_to_prefix(
     let shift = height - len; // <= 63 since len >= 1
     let lo = (path.bits() >> shift) << shift;
     let slice = &codes[window.clone()];
-    let start = window.start + slice.partition_point(|&c| c < lo);
+    let start = window.start + simd::partition_point_less(slice, lo);
     // The exclusive bound lo + 2^shift overflows at the top of a height-64
     // tree; that range extends past every code (same edge as count_prefix).
     let end = match lo.checked_add(1u64 << shift) {
-        Some(hi_excl) => window.start + slice.partition_point(|&c| c < hi_excl),
+        Some(hi_excl) => window.start + simd::partition_point_less(slice, hi_excl),
         None => window.end,
     };
     *window = start..end;
@@ -297,8 +308,10 @@ pub enum CodeBank {
         keys: Arc<Vec<u64>>,
         /// Current round's sorted codes (empty until the first round).
         codes: Vec<u64>,
-        /// Radix-sort scratch buffer, reused across rounds.
-        scratch: Vec<u64>,
+        /// Radix-sort scratch (ping-pong buffer + per-pass digit
+        /// histograms), reused across rounds so steady-state sorting
+        /// performs no allocation.
+        scratch: RadixScratch,
     },
 }
 
@@ -317,7 +330,7 @@ impl CodeBank {
             TagMode::ActivePerRound => Self::Active {
                 keys,
                 codes: Vec::new(),
-                scratch: Vec::new(),
+                scratch: RadixScratch::new(),
             },
         }
     }
@@ -380,7 +393,7 @@ impl CodeBank {
 #[must_use]
 pub fn build_passive_codes(keys: &[u64], config: &PetConfig, family: AnyFamily) -> Vec<u64> {
     let mut codes = Vec::new();
-    let mut scratch = Vec::new();
+    let mut scratch = RadixScratch::new();
     hash_codes_par(
         &family,
         config.manufacture_seed(),

@@ -8,6 +8,7 @@
 use crate::md5::Md5;
 use crate::mix;
 use crate::sha1::Sha1;
+use crate::simd;
 
 /// A family of uniform hash functions `h_seed : u64 → u64`.
 ///
@@ -27,6 +28,25 @@ pub trait HashFamily {
     /// Panics if `bits` is 0 or greater than 64.
     fn hash_bits(&self, seed: u64, id: u64, bits: u32) -> u64 {
         mix::truncate(self.hash(seed, id), bits)
+    }
+
+    /// Hashes a whole key slice under one seed into `out`, truncated to
+    /// `bits` — the batched form of [`HashFamily::hash_bits`] the bulk
+    /// code path dispatches through.
+    ///
+    /// The default is the scalar per-key loop; families with a SIMD
+    /// kernel ([`MixFamily`], [`Md5Family`], and [`AnyFamily`] for those
+    /// kinds) override it with [`crate::simd`]'s runtime-lane dispatch.
+    /// Overrides must stay bit-for-bit equal to the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != keys.len()` or `bits` is outside `1..=64`.
+    fn hash_bits_bulk(&self, seed: u64, keys: &[u64], bits: u32, out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "output buffer must match key count");
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.hash_bits(seed, k, bits);
+        }
     }
 }
 
@@ -48,6 +68,10 @@ impl HashFamily for Md5Family {
         h.update(&id.to_le_bytes());
         let digest = h.finalize();
         u64::from_le_bytes(digest[..8].try_into().expect("digest is 16 bytes"))
+    }
+
+    fn hash_bits_bulk(&self, seed: u64, keys: &[u64], bits: u32, out: &mut [u64]) {
+        simd::md5_bulk_into(simd::active_lane(), seed, keys, bits, out);
     }
 }
 
@@ -90,6 +114,10 @@ impl MixFamily {
 impl HashFamily for MixFamily {
     fn hash(&self, seed: u64, id: u64) -> u64 {
         mix::mix2(seed, id)
+    }
+
+    fn hash_bits_bulk(&self, seed: u64, keys: &[u64], bits: u32, out: &mut [u64]) {
+        simd::mix2_bulk_into(simd::active_lane(), seed, keys, bits, out);
     }
 }
 
@@ -140,6 +168,14 @@ impl HashFamily for AnyFamily {
             HashKind::Mix => MixFamily::new().hash(seed, id),
             HashKind::Md5 => Md5Family::new().hash(seed, id),
             HashKind::Sha1 => Sha1Family::new().hash(seed, id),
+        }
+    }
+
+    fn hash_bits_bulk(&self, seed: u64, keys: &[u64], bits: u32, out: &mut [u64]) {
+        match self.kind {
+            HashKind::Mix => MixFamily::new().hash_bits_bulk(seed, keys, bits, out),
+            HashKind::Md5 => Md5Family::new().hash_bits_bulk(seed, keys, bits, out),
+            HashKind::Sha1 => Sha1Family::new().hash_bits_bulk(seed, keys, bits, out),
         }
     }
 }

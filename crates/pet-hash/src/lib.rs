@@ -19,6 +19,10 @@
 //!   Algorithm 2 writes as `H(s, tagID)`.
 //! - [`geometric`]: geometric-distribution hashing (`P(value = i) = 2^-(i+1)`)
 //!   used by the LoF lottery-frame baseline.
+//! - [`simd`]: runtime-feature-detected SIMD lanes (SSE2/AVX2 with a
+//!   portable scalar fallback) for bulk hashing, truncation, and sorted
+//!   counting — bit-for-bit equal to the scalar paths, selectable with
+//!   `PET_FORCE_LANE=scalar|sse2|avx2`.
 //!
 //! # Example
 //!
@@ -33,7 +37,10 @@
 //! assert_eq!(code, family.hash_bits(7, 42, 32));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module opts back in for its
+// `#[target_feature]` kernels (see its module-level safety argument);
+// every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bulk;
@@ -42,6 +49,8 @@ pub mod geometric;
 pub mod md5;
 pub mod mix;
 pub mod sha1;
+pub mod simd;
 
 pub use family::{HashFamily, Md5Family, MixFamily, Sha1Family};
 pub use geometric::GeometricHasher;
+pub use simd::Lane;

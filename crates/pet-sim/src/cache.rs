@@ -26,7 +26,7 @@
 
 use pet_core::config::{PetConfig, TagMode};
 use pet_core::kernel::CodeBank;
-use pet_hash::bulk::{hash_codes_into, radix_sort_codes};
+use pet_hash::bulk::{hash_codes_into, radix_sort_codes, RadixScratch};
 use pet_hash::family::{AnyFamily, HashKind};
 use pet_tags::population::TagPopulation;
 use std::collections::{HashMap, VecDeque};
@@ -199,9 +199,10 @@ impl RosterCache {
                     .expect("cache poisoned")
                     .get_or_insert_with(cache_key, self.codes_cap, || {
                         // Sequential hashing: trial workers already saturate
-                        // the cores, so nested fan-out would oversubscribe.
+                        // the cores, so nested fan-out would oversubscribe
+                        // (the SIMD lane dispatch still applies).
                         let mut codes = Vec::new();
-                        let mut scratch = Vec::new();
+                        let mut scratch = RadixScratch::new();
                         hash_codes_into(
                             &family,
                             config.manufacture_seed(),
@@ -241,7 +242,7 @@ impl RosterCache {
             TagMode::ActivePerRound => CodeBank::Active {
                 keys,
                 codes: Vec::new(),
-                scratch: Vec::new(),
+                scratch: RadixScratch::new(),
             },
         }
     }

@@ -12,7 +12,7 @@ use pet_core::config::{CommandEncoding, PetConfig, SearchStrategy};
 use pet_core::kernel::CodeBank;
 use pet_core::oracle::CodeRoster;
 use pet_core::session::{PetSession, SessionEngine};
-use pet_hash::bulk::{hash_codes_into, radix_sort_codes};
+use pet_hash::bulk::{hash_codes_into, radix_sort_codes, RadixScratch};
 use pet_hash::family::{AnyFamily, HashKind};
 use pet_radio::channel::{ChannelModel, LossyChannel};
 use pet_radio::Air;
@@ -228,7 +228,7 @@ pub fn hash_families(n: usize, rounds: u32, runs: usize, seed: u64) -> Vec<HashF
             // Per-trial manufacture seeds defeat caching, and the trial
             // workers already hold every core, so hash sequentially here.
             let mut codes = Vec::new();
-            let mut scratch = Vec::new();
+            let mut scratch = RadixScratch::new();
             hash_codes_into(
                 &family,
                 config.manufacture_seed(),

@@ -31,6 +31,32 @@ cargo test -q
 echo "==> statistical conformance (fixed seeds)"
 cargo test -q -p pet --test statistical_conformance
 
+# SIMD lane gate: the differential fuzz + golden-trace suites run twice,
+# once pinned to the scalar reference and once under runtime dispatch. The
+# golden estimator bits are identical in both runs, so a wide lane that
+# drifts anywhere in the pipeline fails exactly one of the two invocations.
+echo "==> SIMD lane equivalence (forced scalar)"
+PET_FORCE_LANE=scalar cargo test -q -p pet --test simd_equivalence
+PET_FORCE_LANE=scalar cargo test -q -p pet --test kernel_equivalence
+echo "==> SIMD lane equivalence (runtime dispatch)"
+cargo test -q -p pet --test simd_equivalence
+cargo test -q -p pet --test kernel_equivalence
+
+# Silent-fallback gate: on an AVX2-capable host the runtime dispatcher must
+# actually pick the avx2 lane — a build that quietly degrades to scalar
+# (say, a broken feature detection macro or a stray PET_FORCE_LANE in the
+# CI environment) is a perf regression that every test above would miss.
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    echo "==> SIMD lane dispatch (host advertises avx2)"
+    DETECTED=$(cargo run --release -q -p pet-cli --bin pet -- lane |
+        awk '/^detected/ { print $2 }')
+    if [[ "$DETECTED" != avx2 ]]; then
+        echo "host cpuinfo advertises avx2 but the dispatcher detected" \
+            "'$DETECTED' — silent scalar fallback" >&2
+        exit 1
+    fi
+fi
+
 # Serving-layer gate: the concurrency battery plus a ~5s closed-loop smoke
 # against an in-process `pet serve` — 10k requests, every reply validated,
 # run twice in deterministic mode and compared digest-for-digest. Non-zero
