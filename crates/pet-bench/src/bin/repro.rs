@@ -45,6 +45,7 @@ const EXPERIMENTS: &[&str] = &[
     "detection",
     "fleet",
     "bench-kernel",
+    "bench-server",
 ];
 
 /// Measures round throughput of the slot-by-slot oracle reader against the
@@ -141,6 +142,83 @@ fn bench_kernel(out_dir: &Path, quick: bool) {
         hash_elems_per_sec_simd / 1e6,
         lane = lane.as_str(),
     );
+}
+
+/// Closed-loop serving throughput for both pet-server backends, each run
+/// with the configuration that favours it: the threaded backend at one
+/// request in flight per connection (the classic request/response shape it
+/// was built for), the evented backend with deep pipelining across a wider
+/// connection fan-in. Each arm is best-of-3 against one server instance —
+/// the digest is identical across repeats (deterministic server, same id
+/// stream), so only the clock varies and the minimum is the least
+/// noise-contaminated sample. Rows merge into `results/BENCH_server.json`
+/// keyed by (backend, connections, pipeline) so repeated runs refresh in
+/// place.
+fn bench_server(out_dir: &Path, quick: bool) {
+    use pet_server::loadgen::{run_batch, write_bench_json, BatchReport, BenchRun, Plan};
+    use pet_server::{serve, Backend, ServerConfig};
+
+    let requests: usize = if quick { 20_000 } else { 200_000 };
+    let repeats = 3;
+    let path = out_dir.join("BENCH_server.json");
+    let path = path.to_str().expect("utf-8 results path");
+    // (backend, connections, pipeline, workers, queue).
+    let arms: [(Backend, usize, usize, usize, usize); 2] = [
+        (Backend::Threaded, 8, 1, 8, 512),
+        (Backend::Evented, 16, 64, 1, 16_384),
+    ];
+    for (backend, connections, pipeline, workers, queue_capacity) in arms {
+        let handle = serve(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            backend,
+            workers,
+            queue_capacity,
+            deterministic: true,
+            default_deadline: None,
+        })
+        .expect("bind bench server");
+        let plan = Plan {
+            requests,
+            connections,
+            threads: 8,
+            pipeline,
+            tags: 200,
+            rounds: 4,
+        };
+        let mut report: Option<BatchReport> = None;
+        for _ in 0..repeats {
+            let r = run_batch(handle.addr(), &plan);
+            assert_eq!(
+                r.ok,
+                requests,
+                "bench-server ({}) lost replies: {} ok, {} overloaded, {} errors, {} lost",
+                backend.name(),
+                r.ok,
+                r.overloaded,
+                r.errors,
+                r.lost
+            );
+            match &report {
+                Some(best) if r.elapsed >= best.elapsed => {}
+                _ => report = Some(r),
+            }
+        }
+        let report = report.expect("at least one repeat");
+        handle.shutdown();
+        handle.join();
+        println!(
+            "bench-server: backend {} ({connections} conns, pipeline {pipeline}): \
+             {requests} requests in {:.2} s ({:.0} req/s), p99 {:.3} ms, digest {:#018x}",
+            backend.name(),
+            report.elapsed.as_secs_f64(),
+            requests as f64 / report.elapsed.as_secs_f64().max(1e-9),
+            report.percentile(0.99) as f64 / 1e6,
+            report.digest,
+        );
+        let run = BenchRun::new(backend.name(), &plan, &report);
+        write_bench_json(path, &run).expect("write BENCH_server.json");
+    }
+    println!("bench-server: rows merged into {path}");
 }
 
 fn main() {
@@ -364,6 +442,10 @@ fn main() {
 
     if want("bench-kernel") {
         bench_kernel(&out_dir, quick);
+    }
+
+    if want("bench-server") {
+        bench_server(&out_dir, quick);
     }
 
     pet_bench::plots::write_all(&out_dir).expect("write plot scripts");

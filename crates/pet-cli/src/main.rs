@@ -10,8 +10,8 @@
 //! pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
 //! pet info     [--epsilon 0.05] [--delta 0.01]
 //! pet telemetry --file events.jsonl
-//! pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
-//! pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
+//! pet serve    [--addr 127.0.0.1:7878] [--backend threaded|evented] [--workers 4]
+//! pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--connections 8]
 //! pet fleet    (--spawn N | --agents host:port,...) [--rounds 64] [--quorum q]
 //! ```
 //!
@@ -55,12 +55,14 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
   pet info     [--epsilon 0.05] [--delta 0.01]
   pet lane     (report detected/active SIMD lane; PET_FORCE_LANE=scalar|sse2|avx2 overrides)
   pet telemetry --file events.jsonl
-  pet serve    [--addr 127.0.0.1:7878] [--workers 4] [--queue 64] [--deterministic]
-               [--deadline-ms D] [--addr-file path]
-  pet loadgen  (--addr HOST:PORT | --local) [--requests 10000] [--threads 8]
+  pet serve    [--addr 127.0.0.1:7878] [--backend threaded|evented] [--workers 4]
+               [--queue 64] [--deterministic] [--deadline-ms D] [--addr-file path]
+  pet loadgen  (--addr HOST:PORT | --local) [--backend threaded|evented]
+               [--requests 10000] [--connections 8] [--threads 8] [--pipeline 1]
                [--tags 200] [--rounds 4] [--verify-deterministic]
                [--bench-json results/BENCH_server.json]
-  pet fleet    (--spawn N | --agents H:P,...) [--tags 10000] [--zones Z]
+  pet fleet    (--spawn N [--backend threaded|evented] | --agents H:P,...)
+               [--tags 10000] [--zones Z]
                [--coverage 0,1;1,2;...] [--deploy-seed 7] [--rounds 64] [--seed 42]
                [--quorum 1] [--deadline-ms 2000] [--dead-after 2] [--miss P]
                [--kill R@ROUND,...] [--stall R@ROUND:MS,...] [--drop R@ROUND,...]
@@ -820,39 +822,51 @@ mod cli_tests {
 
     /// Closed-loop load against an in-process server: every reply
     /// validated, digests compared across two runs, non-zero exit when
-    /// anything is lost or malformed.
+    /// anything is lost or malformed. Runs once per serving backend.
     #[test]
     fn loadgen_local_verifies_determinism() {
-        exec(&[
-            "loadgen",
-            "--local",
-            "--requests",
-            "300",
-            "--threads",
-            "4",
-            "--tags",
-            "150",
-            "--rounds",
-            "4",
-            "--verify-deterministic",
-        ])
-        .unwrap();
+        for backend in ["threaded", "evented"] {
+            exec(&[
+                "loadgen",
+                "--local",
+                "--backend",
+                backend,
+                "--requests",
+                "300",
+                "--connections",
+                "4",
+                "--threads",
+                "4",
+                "--pipeline",
+                "4",
+                "--tags",
+                "150",
+                "--rounds",
+                "4",
+                "--verify-deterministic",
+            ])
+            .unwrap();
+        }
         assert!(exec(&["loadgen"]).is_err(), "needs --addr or --local");
         assert!(exec(&["loadgen", "--local", "--requests", "0"]).is_err());
+        assert!(exec(&["loadgen", "--local", "--pipeline", "0"]).is_err());
+        assert!(exec(&["loadgen", "--local", "--backend", "fibers"]).is_err());
         assert!(exec(&["loadgen", "--local", "--addr", "127.0.0.1:1"]).is_err());
         assert!(exec(&["loadgen", "--addr", "not-an-addr"]).is_err());
     }
 
     /// `pet serve` blocks until the shutdown verb, publishing its
     /// ephemeral port through --addr-file.
-    #[test]
-    fn serve_runs_until_shutdown_verb() {
-        let path = std::env::temp_dir().join(format!("pet-cli-addr-{}.txt", std::process::id()));
+    fn serve_runs_until_shutdown_verb(backend: &str) {
+        let path =
+            std::env::temp_dir().join(format!("pet-cli-addr-{}-{backend}.txt", std::process::id()));
         let path_str = path.to_str().expect("utf-8 temp path").to_string();
         let argv: Vec<String> = [
             "serve",
             "--addr",
             "127.0.0.1:0",
+            "--backend",
+            backend,
             "--deterministic",
             "--workers",
             "2",
@@ -895,6 +909,16 @@ mod cli_tests {
             .expect("serve thread")
             .expect("serve exits ok");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_threaded_runs_until_shutdown_verb() {
+        serve_runs_until_shutdown_verb("threaded");
+    }
+
+    #[test]
+    fn serve_evented_runs_until_shutdown_verb() {
+        serve_runs_until_shutdown_verb("evented");
     }
 
     #[test]

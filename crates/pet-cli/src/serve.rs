@@ -1,23 +1,28 @@
 //! `pet serve` and `pet loadgen` — the service surface of the CLI.
 //!
-//! `serve` runs the pet-server daemon in the foreground until a client
-//! sends the `shutdown` verb, then prints the final RED metrics. `loadgen`
-//! is the matching closed-loop load generator: N threads, one connection
-//! each, every reply validated and folded into an order-independent digest
-//! so two runs against a deterministic server can be compared bit-for-bit
+//! `serve` runs the pet-server daemon in the foreground — threaded or
+//! evented backend, chosen with `--backend` — until a client sends the
+//! `shutdown` verb, then prints the final RED metrics. `loadgen` drives
+//! the closed-loop generator in [`pet_server::loadgen`]: N concurrent
+//! connections split across driver threads, up to `--pipeline` requests
+//! in flight per connection, every reply validated and folded into an
+//! order-independent digest so two runs against a deterministic server —
+//! or the same run against the two backends — can be compared bit-for-bit
 //! (`--verify-deterministic`).
 
 use crate::args::{ArgError, Args};
-use pet_server::json::Json;
-use pet_server::{serve, Client, ServerConfig, ServerHandle};
+use pet_server::loadgen::{run_batch, BatchReport, BenchRun, Plan};
+use pet_server::{serve, Backend, ServerConfig, ServerHandle};
 use std::net::SocketAddr;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// `pet serve [--addr 127.0.0.1:7878] [--workers 4] [--queue 64]
-/// [--deterministic] [--deadline-ms D] [--addr-file path]`
+/// `pet serve [--addr 127.0.0.1:7878] [--backend threaded|evented]
+/// [--workers 4] [--queue 64] [--deterministic] [--deadline-ms D]
+/// [--addr-file path]`
 pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "addr",
+        "backend",
         "workers",
         "queue",
         "deterministic",
@@ -35,8 +40,11 @@ pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
     }
     println!("pet-server listening on {addr}");
     println!(
-        "  workers {}, queue capacity {}, deterministic {}",
-        config.workers, config.queue_capacity, config.deterministic
+        "  backend {}, workers {}, queue capacity {}, deterministic {}",
+        config.backend.name(),
+        config.workers,
+        config.queue_capacity,
+        config.deterministic
     );
     println!("  send {{\"id\":\"bye\",\"verb\":\"shutdown\"}} to stop");
     let summary = handle.join();
@@ -45,16 +53,24 @@ pub fn cmd_serve(args: &Args) -> Result<(), ArgError> {
 }
 
 /// `pet loadgen (--addr HOST:PORT | --local) [--requests 10000]
-/// [--threads 8] [--tags 200] [--rounds 4] [--workers 4] [--queue 64]
+/// [--connections 8] [--threads 8] [--pipeline 1] [--tags 200]
+/// [--rounds 4] [--backend threaded|evented] [--workers 4] [--queue 64]
 /// [--verify-deterministic] [--bench-json results/BENCH_server.json]`
+///
+/// `--backend` picks the in-process server for `--local` and labels the
+/// bench artifact; with `--addr` it must match the remote server for the
+/// label to be honest.
 pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
         "addr",
         "local",
         "requests",
+        "connections",
         "threads",
+        "pipeline",
         "tags",
         "rounds",
+        "backend",
         "workers",
         "queue",
         "verify-deterministic",
@@ -63,15 +79,22 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
     ])?;
     let requests: usize = args.get_or("requests", 10_000)?;
     let threads: usize = args.get_or("threads", 8)?;
+    let connections: usize = args.get_or("connections", threads)?;
+    let pipeline: usize = args.get_or("pipeline", 1)?;
     let tags: usize = args.get_or("tags", 200)?;
     let rounds: u32 = args.get_or("rounds", 4)?;
     let verify = args.switch("verify-deterministic");
-    if requests == 0 || threads == 0 {
-        return Err(ArgError("--requests and --threads must be positive".into()));
+    if requests == 0 || threads == 0 || connections == 0 || pipeline == 0 {
+        return Err(ArgError(
+            "--requests, --connections, --threads and --pipeline must be positive".into(),
+        ));
     }
+    let backend = parse_backend(args)?;
     let plan = Plan {
         requests,
+        connections,
         threads,
+        pipeline,
         tags,
         rounds,
     };
@@ -86,7 +109,7 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
     } else {
         None
     };
-    let addr = match (&local, args.get("addr")) {
+    let addr: SocketAddr = match (&local, args.get("addr")) {
         (Some(handle), None) => handle.addr(),
         (None, Some(raw)) => raw
             .parse()
@@ -95,16 +118,17 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
         (Some(_), Some(_)) => return Err(ArgError("--addr and --local are exclusive".into())),
     };
 
-    let first = run_batch(addr, &plan)?;
-    print_report("run 1", &first);
+    let first = run_batch(addr, &plan);
+    print_report("run 1", &plan, backend, &first);
     if let Some(path) = args.get("bench-json") {
-        write_bench_json(path, &plan, &first)
+        let run = BenchRun::new(backend.name(), &plan, &first);
+        pet_server::loadgen::write_bench_json(path, &run)
             .map_err(|e| ArgError(format!("--bench-json {path}: {e}")))?;
         println!("bench json    : {path}");
     }
     if verify {
-        let second = run_batch(addr, &plan)?;
-        print_report("run 2", &second);
+        let second = run_batch(addr, &plan);
+        print_report("run 2", &plan, backend, &second);
         if second.digest == first.digest {
             println!("deterministic : digests identical across runs");
         } else {
@@ -118,13 +142,21 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
     shutdown_local(local);
 
     let failures = first.lost + first.malformed;
-    if failures > 0 {
+    if failures > 0 || first.connect_failures > 0 {
         return Err(ArgError(format!(
-            "{} lost and {} malformed replies out of {}",
-            first.lost, first.malformed, plan.requests
+            "{} lost and {} malformed replies out of {} ({} connections failed)",
+            first.lost, first.malformed, plan.requests, first.connect_failures
         )));
     }
     Ok(())
+}
+
+pub(crate) fn parse_backend(args: &Args) -> Result<Backend, ArgError> {
+    match args.get("backend") {
+        None => Ok(Backend::default()),
+        Some(raw) => Backend::parse(raw)
+            .ok_or_else(|| ArgError(format!("--backend: {raw:?} is not threaded|evented"))),
+    }
 }
 
 fn server_config(args: &Args, default_addr: &str) -> Result<ServerConfig, ArgError> {
@@ -136,6 +168,7 @@ fn server_config(args: &Args, default_addr: &str) -> Result<ServerConfig, ArgErr
     let deadline_ms: u64 = args.get_or("deadline-ms", 0)?;
     Ok(ServerConfig {
         addr: args.get("addr").unwrap_or(default_addr).to_string(),
+        backend: parse_backend(args)?,
         workers,
         queue_capacity,
         deterministic: args.switch("deterministic"),
@@ -150,204 +183,19 @@ fn shutdown_local(local: Option<ServerHandle>) {
     }
 }
 
-#[derive(Clone, Copy)]
-struct Plan {
-    requests: usize,
-    threads: usize,
-    tags: usize,
-    rounds: u32,
-}
-
-#[derive(Default)]
-struct BatchReport {
-    ok: usize,
-    overloaded: usize,
-    errors: usize,
-    lost: usize,
-    malformed: usize,
-    /// XOR of per-reply FNV-1a hashes — order-independent, so concurrent
-    /// threads need no coordination and equal reply *sets* compare equal.
-    digest: u64,
-    /// Per-request roundtrip latencies in nanoseconds (replied requests
-    /// only), for exact percentiles.
-    latency_ns: Vec<u64>,
-    elapsed: Duration,
-}
-
-impl BatchReport {
-    fn absorb(&mut self, other: &BatchReport) {
-        self.ok += other.ok;
-        self.overloaded += other.overloaded;
-        self.errors += other.errors;
-        self.lost += other.lost;
-        self.malformed += other.malformed;
-        self.digest ^= other.digest;
-        self.latency_ns.extend_from_slice(&other.latency_ns);
-    }
-
-    /// Exact latency percentile (nearest-rank) over the replied requests.
-    fn percentile(&self, q: f64) -> u64 {
-        let mut sorted = self.latency_ns.clone();
-        sorted.sort_unstable();
-        percentile_of(&sorted, q)
-    }
-}
-
-/// Nearest-rank percentile of an already-sorted sample (0 when empty).
-fn percentile_of(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-    sorted[rank - 1]
-}
-
-/// The machine-readable benchmark artifact the repro harness tracks:
-/// throughput plus tail latency, one JSON object.
-fn write_bench_json(path: &str, plan: &Plan, r: &BatchReport) -> std::io::Result<()> {
-    if let Some(parent) = std::path::Path::new(path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut sorted = r.latency_ns.clone();
-    sorted.sort_unstable();
-    let json = format!(
-        concat!(
-            "{{\"benchmark\":\"pet-server-loadgen\",",
-            "\"requests\":{},\"threads\":{},\"tags\":{},\"rounds\":{},",
-            "\"elapsed_s\":{:.6},\"throughput_rps\":{:.1},",
-            "\"ok\":{},\"overloaded\":{},\"errors\":{},\"malformed\":{},\"lost\":{},",
-            "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}},",
-            "\"digest\":\"{:#018x}\"}}\n"
-        ),
-        plan.requests,
-        plan.threads,
-        plan.tags,
-        plan.rounds,
-        r.elapsed.as_secs_f64(),
-        plan.requests as f64 / r.elapsed.as_secs_f64().max(1e-9),
-        r.ok,
-        r.overloaded,
-        r.errors,
-        r.malformed,
-        r.lost,
-        percentile_of(&sorted, 0.50),
-        percentile_of(&sorted, 0.95),
-        percentile_of(&sorted, 0.99),
-        sorted.last().copied().unwrap_or(0),
-        r.digest,
-    );
-    std::fs::write(path, json)
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Fires the whole closed-loop batch: each thread owns one connection and
-/// keeps exactly one request in flight. Ids are `t<thread>-<i>`, so in
-/// deterministic mode the reply set is a pure function of the plan.
-fn run_batch(addr: SocketAddr, plan: &Plan) -> Result<BatchReport, ArgError> {
-    let started = Instant::now();
-    let reports: Vec<BatchReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..plan.threads)
-            .map(|t| {
-                // Spread the remainder so every request is accounted for.
-                let quota =
-                    plan.requests / plan.threads + usize::from(t < plan.requests % plan.threads);
-                scope.spawn(move || thread_batch(addr, plan, t, quota))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen thread"))
-            .collect()
-    });
-    let mut total = BatchReport::default();
-    for r in &reports {
-        total.absorb(r);
-    }
-    total.elapsed = started.elapsed();
-    Ok(total)
-}
-
-fn thread_batch(addr: SocketAddr, plan: &Plan, thread: usize, quota: usize) -> BatchReport {
-    let mut report = BatchReport::default();
-    let Ok(mut client) = Client::connect(addr) else {
-        report.lost = quota;
-        return report;
-    };
-    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
-    for i in 0..quota {
-        let id = format!("t{thread}-{i}");
-        let line = format!(
-            r#"{{"id":"{id}","verb":"estimate","tags":{},"rounds":{}}}"#,
-            plan.tags, plan.rounds
-        );
-        let sent = Instant::now();
-        let Ok(reply) = client.roundtrip(&line) else {
-            // Connection gone: everything still unsent is lost too.
-            report.lost += quota - i;
-            return report;
-        };
-        report
-            .latency_ns
-            .push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        match classify(&reply, &id) {
-            Reply::Ok => report.ok += 1,
-            Reply::Overloaded => report.overloaded += 1,
-            Reply::OtherError => report.errors += 1,
-            Reply::Malformed => {
-                report.malformed += 1;
-                continue; // don't fold garbage into the digest
-            }
-        }
-        report.digest ^= fnv1a(reply.as_bytes());
-    }
-    report
-}
-
-enum Reply {
-    Ok,
-    Overloaded,
-    OtherError,
-    Malformed,
-}
-
-fn classify(reply: &str, expect_id: &str) -> Reply {
-    let Ok(v) = Json::parse(reply) else {
-        return Reply::Malformed;
-    };
-    if v.get("id").and_then(Json::as_str) != Some(expect_id) {
-        return Reply::Malformed;
-    }
-    match v.get("ok").and_then(Json::as_bool) {
-        Some(true) => Reply::Ok,
-        Some(false) => match v.get("error").and_then(Json::as_str) {
-            Some("overloaded") => Reply::Overloaded,
-            Some(_) => Reply::OtherError,
-            None => Reply::Malformed,
-        },
-        None => Reply::Malformed,
-    }
-}
-
-fn print_report(label: &str, r: &BatchReport) {
+fn print_report(label: &str, plan: &Plan, backend: Backend, r: &BatchReport) {
     let sent = r.ok + r.overloaded + r.errors + r.lost + r.malformed;
     println!(
-        "{label}: {sent} requests in {:.2} s ({:.0} req/s)",
+        "{label}: {sent} requests in {:.2} s ({:.0} req/s) — backend {}, {} connections, pipeline {}",
         r.elapsed.as_secs_f64(),
-        sent as f64 / r.elapsed.as_secs_f64().max(1e-9)
+        sent as f64 / r.elapsed.as_secs_f64().max(1e-9),
+        backend.name(),
+        plan.connections,
+        plan.pipeline,
     );
     println!(
-        "  ok {}, overloaded {}, other errors {}, malformed {}, lost {}",
-        r.ok, r.overloaded, r.errors, r.malformed, r.lost
+        "  ok {}, overloaded {}, other errors {}, malformed {}, lost {}, connect failures {}",
+        r.ok, r.overloaded, r.errors, r.malformed, r.lost, r.connect_failures
     );
     println!(
         "  latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",

@@ -42,24 +42,40 @@ pub struct Summary {
 
 impl Summary {
     /// Folds one event into the aggregate.
+    ///
+    /// Steady-state events hit existing keys, so the maps are probed by
+    /// `&str` first and the name is only copied into an owned key on the
+    /// first occurrence — high-rate recorders (the server's RED metrics)
+    /// allocate nothing here after warm-up.
     pub fn accumulate(&mut self, event: &Event) {
         self.events += 1;
         match event {
             Event::Counter { name, delta } => {
-                *self.counters.entry(name.to_string()).or_default() += delta;
+                if let Some(slot) = self.counters.get_mut(name.as_ref()) {
+                    *slot += delta;
+                } else {
+                    self.counters.insert(name.to_string(), *delta);
+                }
             }
             Event::Gauge { name, value } => {
-                self.gauges.insert(name.to_string(), *value);
+                if let Some(slot) = self.gauges.get_mut(name.as_ref()) {
+                    *slot = *value;
+                } else {
+                    self.gauges.insert(name.to_string(), *value);
+                }
             }
             Event::Span { name, nanos } => {
-                let stats = self
-                    .spans
-                    .entry(name.to_string())
-                    .or_insert_with(|| SpanStats {
-                        count: 0,
-                        total_nanos: 0,
-                        histogram: Histogram::new(),
-                    });
+                let stats = if let Some(stats) = self.spans.get_mut(name.as_ref()) {
+                    stats
+                } else {
+                    self.spans
+                        .entry(name.to_string())
+                        .or_insert_with(|| SpanStats {
+                            count: 0,
+                            total_nanos: 0,
+                            histogram: Histogram::new(),
+                        })
+                };
                 stats.count += 1;
                 stats.total_nanos = stats.total_nanos.saturating_add(*nanos);
                 stats.histogram.record(*nanos);
@@ -71,6 +87,27 @@ impl Summary {
     #[must_use]
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Installs a counter total directly, bypassing event accounting.
+    ///
+    /// For recorders that keep their own lock-free tallies (the server's
+    /// hot-path metrics) and materialize a `Summary` only on snapshot;
+    /// pair with [`Self::set_events`] so the event count stays honest.
+    pub fn set_counter(&mut self, name: &str, total: u64) {
+        self.counters.insert(name.to_string(), total);
+    }
+
+    /// Installs span statistics directly, bypassing event accounting
+    /// (see [`Self::set_counter`]).
+    pub fn set_span(&mut self, name: &str, stats: SpanStats) {
+        self.spans.insert(name.to_string(), stats);
+    }
+
+    /// Sets the total event count for a summary assembled via
+    /// [`Self::set_counter`]/[`Self::set_span`].
+    pub fn set_events(&mut self, events: u64) {
+        self.events = events;
     }
 
     /// Accumulated value of a counter (0 when never seen).

@@ -1,20 +1,37 @@
 //! A small blocking client for the line protocol.
 //!
-//! One struct, one method that matters: [`Client::roundtrip`] writes a
-//! request line and reads the single reply line the server guarantees.
-//! The load generator, the integration tests, and the examples all speak
-//! through this, so the framing (newline discipline, length bound, read
-//! timeouts) lives in exactly one place.
+//! One struct, two styles of use. [`Client::roundtrip`] writes a request
+//! line and reads the single reply line the server guarantees — the
+//! simple closed-loop shape. [`Client::send`]/[`Client::recv`] split that
+//! in two so callers can keep several requests in flight on one
+//! connection, and [`Client::send_batch`] packages the common case: write
+//! a whole burst of lines in one syscall, then collect the replies, which
+//! the server returns in request order. The load generator, the fleet's
+//! reader links, the integration tests, and the examples all speak
+//! through this type, so the framing (newline discipline, read timeouts)
+//! lives in exactly one place.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A connected protocol client.
+///
+/// Deliberately holds exactly one file descriptor: reply buffering is done
+/// with an internal byte buffer rather than a `BufReader` over a cloned
+/// stream, because at 10k concurrent connections the clone's second
+/// descriptor is the difference between fitting under a 20k fd limit and
+/// not.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    /// Received-but-unconsumed reply bytes; `rpos` marks how far
+    /// [`Self::recv_into`] has already handed lines out.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Reused staging buffer for outgoing lines, so steady-state sends
+    /// allocate nothing.
+    wbuf: Vec<u8>,
 }
 
 impl Client {
@@ -26,12 +43,16 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { stream, reader })
+        Ok(Self {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+        })
     }
 
-    /// Applies a read timeout to subsequent [`Self::roundtrip`] calls
-    /// (`None` blocks indefinitely).
+    /// Applies a read timeout to subsequent reply reads (`None` blocks
+    /// indefinitely).
     ///
     /// # Errors
     ///
@@ -40,31 +61,123 @@ impl Client {
         self.stream.set_read_timeout(timeout)
     }
 
-    /// Sends one request line and reads the matching reply line (without
-    /// the trailing newline).
+    /// Writes one request line (newline appended) without waiting for the
+    /// reply; pair with [`Self::recv`]. Multiple sends may be outstanding —
+    /// the server answers each connection strictly in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on write failure.
+    pub fn send(&mut self, request_line: &str) -> std::io::Result<()> {
+        self.wbuf.clear();
+        self.wbuf.extend_from_slice(request_line.as_bytes());
+        self.wbuf.push(b'\n');
+        self.stream.write_all(&self.wbuf)
+    }
+
+    /// Reads the next reply line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on read failure/timeout, or `UnexpectedEof` when
+    /// the server closed the connection before replying.
+    pub fn recv(&mut self) -> std::io::Result<String> {
+        let mut reply = String::new();
+        self.recv_into(&mut reply)?;
+        Ok(reply)
+    }
+
+    /// Reads the next reply line into a caller-owned buffer (cleared
+    /// first), so tight loops can reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on read failure/timeout, or `UnexpectedEof` when
+    /// the server closed the connection before replying.
+    pub fn recv_into(&mut self, reply: &mut String) -> std::io::Result<()> {
+        reply.clear();
+        loop {
+            if let Some(nl) = self.rbuf[self.rpos..].iter().position(|&b| b == b'\n') {
+                let line = &self.rbuf[self.rpos..self.rpos + nl];
+                let text = std::str::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "reply line is not valid UTF-8",
+                    )
+                })?;
+                reply.push_str(text);
+                self.rpos += nl + 1;
+                if self.rpos == self.rbuf.len() {
+                    self.rbuf.clear();
+                    self.rpos = 0;
+                }
+                while reply.ends_with('\r') {
+                    reply.pop();
+                }
+                return Ok(());
+            }
+            // No complete line buffered: reclaim consumed bytes, then pull
+            // another chunk from the socket.
+            if self.rpos > 0 {
+                self.rbuf.drain(..self.rpos);
+                self.rpos = 0;
+            }
+            let filled = self.rbuf.len();
+            self.rbuf.resize(filled + 8192, 0);
+            match self.stream.read(&mut self.rbuf[filled..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(filled);
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection before replying",
+                    ));
+                }
+                Ok(n) => self.rbuf.truncate(filled + n),
+                Err(e) => {
+                    self.rbuf.truncate(filled);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Sends one request line and reads the matching reply line.
     ///
     /// # Errors
     ///
     /// Returns an error on write failure, read failure/timeout, or when
     /// the server closed the connection before replying.
     pub fn roundtrip(&mut self, request_line: &str) -> std::io::Result<String> {
-        self.stream.write_all(request_line.as_bytes())?;
-        self.stream.write_all(b"\n")?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before replying",
-            ));
-        }
-        while reply.ends_with('\n') || reply.ends_with('\r') {
-            reply.pop();
-        }
-        Ok(reply)
+        self.send(request_line)?;
+        self.recv()
     }
 
-    /// Sends raw bytes as-is (no newline added) — fuzzing hook.
+    /// Pipelines a burst: writes every line in a single syscall, then
+    /// reads exactly one reply per line, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; replies already read are dropped with
+    /// it, so treat any error as fatal for the connection.
+    pub fn send_batch<S: AsRef<str>>(
+        &mut self,
+        request_lines: &[S],
+    ) -> std::io::Result<Vec<String>> {
+        self.wbuf.clear();
+        for line in request_lines {
+            self.wbuf.extend_from_slice(line.as_ref().as_bytes());
+            self.wbuf.push(b'\n');
+        }
+        self.stream.write_all(&self.wbuf)?;
+        let mut replies = Vec::with_capacity(request_lines.len());
+        for _ in request_lines {
+            replies.push(self.recv()?);
+        }
+        Ok(replies)
+    }
+
+    /// Sends raw bytes as-is (no newline added) — fuzzing and pipelining
+    /// hook for callers that stage their own burst buffer.
     ///
     /// # Errors
     ///
@@ -73,24 +186,13 @@ impl Client {
         self.stream.write_all(bytes)
     }
 
-    /// Reads one reply line (fuzzing hook; same framing as
-    /// [`Self::roundtrip`]).
+    /// Reads one reply line (alias of [`Self::recv`], kept for the fuzz
+    /// suite's vocabulary).
     ///
     /// # Errors
     ///
     /// Returns an error on read failure/timeout or EOF.
     pub fn read_reply(&mut self) -> std::io::Result<String> {
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed",
-            ));
-        }
-        while reply.ends_with('\n') || reply.ends_with('\r') {
-            reply.pop();
-        }
-        Ok(reply)
+        self.recv()
     }
 }

@@ -7,7 +7,6 @@
 //! every failure a structured [`JsonError`], never a panic. The fuzz suite
 //! (`tests/proto_fuzz.rs`) holds it to that.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maximum input length the parser accepts. One request per line; anything
@@ -19,8 +18,12 @@ const MAX_DEPTH: u32 = 16;
 
 /// A parsed JSON value.
 ///
-/// Object keys are kept in a [`BTreeMap`]: the protocol never relies on key
-/// order, and deterministic iteration keeps serialized replies byte-stable.
+/// Object entries are kept as a `Vec` in input order and looked up
+/// linearly: protocol objects have a handful of keys, and a flat pair list
+/// parses with one allocation where a tree map costs a node per insert —
+/// this type sits on the per-request hot path of both serving backends.
+/// Duplicate keys are still rejected at parse time, so lookups are
+/// unambiguous.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     /// `null`.
@@ -33,8 +36,8 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object.
-    Obj(BTreeMap<String, Json>),
+    /// An object: `(key, value)` pairs in input order, keys unique.
+    Obj(Vec<(String, Json)>),
 }
 
 /// A parse failure: byte offset and message.
@@ -85,7 +88,7 @@ impl Json {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Self::Obj(map) => map.get(key),
+            Self::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -196,11 +199,11 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self, depth: u32) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut map = BTreeMap::new();
+        let mut entries: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(map));
+            return Ok(Json::Obj(entries));
         }
         loop {
             self.skip_ws();
@@ -209,15 +212,18 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
-            if map.insert(key, value).is_some() {
+            // Linear duplicate scan: key counts are small in practice and
+            // bounded by MAX_INPUT_BYTES in the worst case.
+            if entries.iter().any(|(k, _)| *k == key) {
                 return Err(self.err("duplicate object key"));
             }
+            entries.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(map));
+                    return Ok(Json::Obj(entries));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
@@ -251,6 +257,16 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the plain run up to the next quote, escape, control
+            // byte, or non-ASCII byte; the match below handles the stopper.
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if (0x20..0x80).contains(&c) && c != b'"' && c != b'\\')
+            {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii run"));
+            }
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -289,10 +305,6 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
-                Some(c) if c < 0x80 => {
-                    out.push(c as char);
-                    self.pos += 1;
-                }
                 Some(_) => {
                     // Multi-byte UTF-8: the input is a &str, so the slice is
                     // valid; copy the whole scalar.

@@ -17,10 +17,17 @@
 //!   `pet_sim::multireader::shard_keys`) and answers each
 //!   hash-synchronized round with raw responder counts per prefix length,
 //!   which the `pet-fleet` coordinator OR-merges across readers.
-//! - **Scheduling** ([`queue`], [`server`]): a fixed-capacity job queue in
-//!   front of a bounded worker pool. Overflow is answered `overloaded`
-//!   immediately — backpressure instead of buffering — and every request
-//!   may carry a `deadline_ms` the server enforces before starting work.
+//! - **Service core** ([`service`]): the transport-agnostic
+//!   parse→dispatch→respond brain — verbs, deadlines, deterministic
+//!   seeding, metrics — shared verbatim by both serving backends, which is
+//!   what makes their reply streams byte-identical.
+//! - **Two backends** ([`Backend`]): `threaded` (thread per connection, a
+//!   fixed-capacity [`queue`] in front of a bounded worker pool) and
+//!   `evented` (sharded non-blocking event loops with pipelined requests
+//!   per connection — the high-throughput default for load testing).
+//!   Either way, overflow is answered `overloaded` immediately —
+//!   backpressure instead of buffering — and every request may carry a
+//!   `deadline_ms` the server enforces before starting work.
 //! - **Lifecycle**: the `shutdown` verb (or [`ServerHandle::shutdown`])
 //!   closes intake, completes and replies to every queued job, and only
 //!   then closes the listener socket.
@@ -61,15 +68,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod event_loop;
 pub mod json;
+pub mod loadgen;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod service;
 mod shard;
 
 pub use client::Client;
 pub use metrics::ServerMetrics;
 pub use proto::{parse_request, ErrorCode, ReaderRoundParams, Request, Verb};
 pub use queue::{BoundedQueue, PushRefused};
-pub use server::{seed_for_id, serve, ServerConfig, ServerHandle, MAX_LINE_BYTES};
+pub use server::{serve, ServerHandle};
+pub use service::{seed_for_id, Backend, ServerConfig, ServiceCore, MAX_LINE_BYTES};

@@ -1,12 +1,19 @@
 //! RED metrics (rate, errors, duration) for the serving layer.
 //!
-//! The server keeps its own [`pet_obs::Summary`] behind a mutex rather
-//! than installing a process-global sink: tests and embedding binaries may
-//! already own the global handle (`--telemetry`), and the
-//! `telemetry-snapshot` verb must read *this server's* numbers regardless.
-//! Every recording also forwards through the `pet_obs` free functions, so
-//! when a global JSONL sink *is* installed the server's events stream
-//! there too.
+//! The server keeps its own tallies rather than installing a
+//! process-global sink: tests and embedding binaries may already own the
+//! global handle (`--telemetry`), and the `telemetry-snapshot` verb must
+//! read *this server's* numbers regardless. Every recording also forwards
+//! through the `pet_obs` free functions, so when a global JSONL sink *is*
+//! installed the server's events stream there too.
+//!
+//! This sits on the per-request hot path of both serving backends, so the
+//! known names — the protocol's five verbs and five error codes — are
+//! kept as plain atomic counters and the latency histogram behind one
+//! short mutex; a [`pet_obs::Summary`] is materialized only when
+//! [`ServerMetrics::snapshot`] is asked for one. An unexpected verb name
+//! (future protocol growth) falls back to a locked map so nothing is ever
+//! dropped.
 //!
 //! Metric names:
 //!
@@ -17,37 +24,72 @@
 //!   histogram via [`pet_obs::Histogram`])
 
 use crate::proto::ErrorCode;
-use pet_obs::{Event, Summary};
+use pet_obs::{Event, Histogram, SpanStats, Summary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// The protocol's verbs, in wire-name order of `server.req.<verb>` keys.
+const VERBS: [(&str, &str); 5] = [
+    ("estimate", "server.req.estimate"),
+    ("reader-round", "server.req.reader-round"),
+    ("robustness", "server.req.robustness"),
+    ("shutdown", "server.req.shutdown"),
+    ("telemetry-snapshot", "server.req.telemetry-snapshot"),
+];
+
+/// Latency span accumulator (count/total live in the histogram's own
+/// fields would drift on saturation; keep them explicit like
+/// [`SpanStats`]).
+#[derive(Debug, Default)]
+struct LatencyAccum {
+    count: u64,
+    total_nanos: u64,
+    histogram: Option<Histogram>,
+}
 
 /// The server's metric store. All methods are `&self`; share via `Arc`.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    summary: Mutex<Summary>,
+    req: [AtomicU64; VERBS.len()],
+    req_other: Mutex<BTreeMap<&'static str, u64>>,
+    ok: AtomicU64,
+    overload: AtomicU64,
+    err: [AtomicU64; 5],
+    events: AtomicU64,
+    latency: Mutex<LatencyAccum>,
 }
 
 impl ServerMetrics {
-    fn accumulate(&self, event: &Event) {
-        self.summary
-            .lock()
-            .expect("metrics poisoned")
-            .accumulate(event);
-        // Forward to the process-global handle (free when disabled).
-        pet_obs::record(event);
-    }
-
     /// Records an accepted request of `verb`.
     pub fn request(&self, verb: &'static str) {
-        self.accumulate(&Event::Counter {
-            name: format!("server.req.{verb}").into(),
-            delta: 1,
-        });
+        self.events.fetch_add(1, Ordering::Relaxed);
+        if let Some(i) = VERBS.iter().position(|(v, _)| *v == verb) {
+            self.req[i].fetch_add(1, Ordering::Relaxed);
+            forward(&Event::Counter {
+                name: VERBS[i].1.into(),
+                delta: 1,
+            });
+        } else {
+            *self
+                .req_other
+                .lock()
+                .expect("metrics poisoned")
+                .entry(verb)
+                .or_default() += 1;
+            forward(&Event::Counter {
+                name: format!("server.req.{verb}").into(),
+                delta: 1,
+            });
+        }
     }
 
     /// Records a successful reply and its queue-to-reply latency.
     pub fn ok(&self, latency: Duration) {
-        self.accumulate(&Event::Counter {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        forward(&Event::Counter {
             name: "server.ok".into(),
             delta: 1,
         });
@@ -58,32 +100,109 @@ impl ServerMetrics {
     /// request reached a worker).
     pub fn error(&self, code: ErrorCode) {
         if code == ErrorCode::Overloaded {
-            self.accumulate(&Event::Counter {
+            self.events.fetch_add(1, Ordering::Relaxed);
+            self.overload.fetch_add(1, Ordering::Relaxed);
+            forward(&Event::Counter {
                 name: "server.overload".into(),
                 delta: 1,
             });
         }
-        self.accumulate(&Event::Counter {
-            name: format!("server.err.{}", code.wire()).into(),
-            delta: 1,
-        });
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.err[code_index(code)].fetch_add(1, Ordering::Relaxed);
+        let name: std::borrow::Cow<'static, str> = match code {
+            ErrorCode::BadRequest => "server.err.bad_request".into(),
+            ErrorCode::Overloaded => "server.err.overloaded".into(),
+            ErrorCode::DeadlineExceeded => "server.err.deadline_exceeded".into(),
+            ErrorCode::ShuttingDown => "server.err.shutting_down".into(),
+            ErrorCode::Internal => "server.err.internal".into(),
+        };
+        forward(&Event::Counter { name, delta: 1 });
     }
 
     /// Records a request latency sample into the log₂ histogram.
     pub fn latency(&self, latency: Duration) {
         let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.accumulate(&Event::Span {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut lat = self.latency.lock().expect("metrics poisoned");
+            lat.count += 1;
+            lat.total_nanos = lat.total_nanos.saturating_add(nanos);
+            lat.histogram
+                .get_or_insert_with(Histogram::new)
+                .record(nanos);
+        }
+        forward(&Event::Span {
             name: "server.request".into(),
             nanos,
         });
     }
 
     /// A point-in-time snapshot of every counter and the latency
-    /// histogram.
+    /// histogram, materialized as a [`Summary`]. Names that were never
+    /// recorded are absent, exactly as if the summary had been
+    /// event-accumulated.
     #[must_use]
     pub fn snapshot(&self) -> Summary {
-        self.summary.lock().expect("metrics poisoned").clone()
+        let mut summary = Summary::default();
+        summary.set_events(self.events.load(Ordering::Relaxed));
+        for (i, (_, name)) in VERBS.iter().enumerate() {
+            let total = self.req[i].load(Ordering::Relaxed);
+            if total > 0 {
+                summary.set_counter(name, total);
+            }
+        }
+        for (verb, total) in self.req_other.lock().expect("metrics poisoned").iter() {
+            summary.set_counter(&format!("server.req.{verb}"), *total);
+        }
+        let ok = self.ok.load(Ordering::Relaxed);
+        if ok > 0 {
+            summary.set_counter("server.ok", ok);
+        }
+        let overload = self.overload.load(Ordering::Relaxed);
+        if overload > 0 {
+            summary.set_counter("server.overload", overload);
+        }
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            let total = self.err[code_index(code)].load(Ordering::Relaxed);
+            if total > 0 {
+                summary.set_counter(&format!("server.err.{}", code.wire()), total);
+            }
+        }
+        let lat = self.latency.lock().expect("metrics poisoned");
+        if let Some(histogram) = &lat.histogram {
+            summary.set_span(
+                "server.request",
+                SpanStats {
+                    count: lat.count,
+                    total_nanos: lat.total_nanos,
+                    histogram: histogram.clone(),
+                },
+            );
+        }
+        summary
     }
+}
+
+fn code_index(code: ErrorCode) -> usize {
+    match code {
+        ErrorCode::BadRequest => 0,
+        ErrorCode::Overloaded => 1,
+        ErrorCode::DeadlineExceeded => 2,
+        ErrorCode::ShuttingDown => 3,
+        ErrorCode::Internal => 4,
+    }
+}
+
+/// Forwards to the process-global sink; the event structs here are all
+/// borrowed-name literals, so this is free when telemetry is disabled.
+fn forward(event: &Event) {
+    pet_obs::record(event);
 }
 
 #[cfg(test)]
@@ -120,5 +239,22 @@ mod tests {
         m.request("estimate");
         assert_eq!(before.counter("server.req.estimate"), 1);
         assert_eq!(m.snapshot().counter("server.req.estimate"), 2);
+    }
+
+    #[test]
+    fn event_totals_match_recorded_events() {
+        let m = ServerMetrics::default();
+        m.request("estimate"); // 1 event
+        m.ok(Duration::from_micros(10)); // counter + span = 2 events
+        m.error(ErrorCode::Overloaded); // overload + err counter = 2 events
+        m.error(ErrorCode::Internal); // 1 event
+        assert_eq!(m.snapshot().events(), 6);
+    }
+
+    #[test]
+    fn unknown_verbs_are_still_counted() {
+        let m = ServerMetrics::default();
+        m.request("future-verb");
+        assert_eq!(m.snapshot().counter("server.req.future-verb"), 1);
     }
 }

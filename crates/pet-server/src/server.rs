@@ -1,4 +1,22 @@
-//! The threaded estimation service.
+//! Server front door: `serve` plus the threaded reference backend.
+//!
+//! ```text
+//!                  serve(&ServerConfig)
+//!                 /                    \
+//!        Backend::Threaded       Backend::Evented
+//!    (this module: thread per   (event_loop: sharded
+//!     connection + worker pool)  readiness loop)
+//!                 \                    /
+//!                  one shared ServiceCore
+//!            (verbs, deadlines, seeding, metrics)
+//! ```
+//!
+//! Both backends drive the same [`ServiceCore`], so they answer identical
+//! request streams with byte-identical replies; [`serve`] picks one from
+//! [`ServerConfig::backend`] and wraps it in a backend-agnostic
+//! [`ServerHandle`].
+//!
+//! The threaded backend in this module is the reference implementation:
 //!
 //! ```text
 //!            accept()            bounded queue           worker pool
@@ -8,7 +26,7 @@
 //!                              └─ overload / bad_request / control replies inline
 //! ```
 //!
-//! Design rules, in order of priority:
+//! Design rules, in order of priority (shared by both backends):
 //!
 //! 1. **Every request line gets exactly one reply line.** Malformed input,
 //!    overload, deadlines, shutdown — all answer structurally; nothing is
@@ -28,91 +46,31 @@
 //! Control-plane verbs (`telemetry-snapshot`, `shutdown`) are answered on
 //! the connection thread, bypassing the queue — observability and the off
 //! switch keep working under full overload.
-//!
-//! Estimation routes through [`pet_core::front::Estimator`] (both
-//! backends, every `ChannelModel`/`Mitigation` knob), and code banks come
-//! from a server-owned [`RosterCache`], so concurrent requests for the
-//! same population share one hash+sort.
 
-use crate::metrics::ServerMetrics;
-use crate::proto::{
-    error_reply, ok_reply, parse_request, ErrorCode, EstimateParams, ReaderRoundParams, Request,
-    RobustnessRequest, Verb,
-};
+use crate::event_loop::EventedHandle;
 use crate::queue::{BoundedQueue, PushRefused};
-use crate::shard::{reader_round_config, ShardCache};
-use pet_core::bits::BitString;
-use pet_core::config::TagMode;
-use pet_core::front::Estimator;
-use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
-use pet_hash::family::AnyFamily;
+use crate::service::{Backend, Dispatch, ServiceCore};
 use pet_obs::Summary;
-use pet_sim::cache::RosterCache;
-use pet_sim::experiments::robustness;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Longest request line the server will read before answering
-/// `bad_request` and dropping the connection (matches the JSON parser's
-/// input bound).
-pub const MAX_LINE_BYTES: usize = crate::json::MAX_INPUT_BYTES;
-
-/// Server construction parameters.
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Bind address; port 0 picks an ephemeral port (see
-    /// [`ServerHandle::addr`]).
-    pub addr: String,
-    /// Worker threads executing estimation jobs.
-    pub workers: usize,
-    /// Capacity of the job queue; pushes beyond it get `overloaded`.
-    pub queue_capacity: usize,
-    /// Deterministic mode: requests without an explicit `seed` derive one
-    /// from the request id alone, so equal requests produce byte-identical
-    /// replies across server restarts.
-    pub deterministic: bool,
-    /// Deadline applied to requests that do not carry `deadline_ms`.
-    pub default_deadline: Option<Duration>,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 4,
-            queue_capacity: 64,
-            deterministic: false,
-            default_deadline: None,
-        }
-    }
-}
+pub use crate::service::{seed_for_id, ServerConfig, MAX_LINE_BYTES};
 
 /// One queued estimation job.
 struct Job {
-    request: Request,
+    request: Box<crate::proto::Request>,
     enqueued: Instant,
     reply: mpsc::SyncSender<String>,
 }
 
-/// Worker/connection-shared state.
+/// Worker/connection-shared state of the threaded backend.
 struct Shared {
+    core: Arc<ServiceCore>,
     queue: BoundedQueue<Job>,
-    metrics: ServerMetrics,
-    cache: RosterCache,
-    shards: ShardCache,
     addr: SocketAddr,
-    deterministic: bool,
-    /// XOR'd into id-derived seeds outside deterministic mode, so repeated
-    /// runs do not accidentally correlate.
-    seed_entropy: u64,
-    default_deadline: Option<Duration>,
-    shutting_down: AtomicBool,
     /// Live worker count; the shutdown handler waits for it to hit zero
     /// (== queue fully drained) before acking.
     workers_live: (Mutex<usize>, Condvar),
@@ -125,7 +83,7 @@ impl Shared {
     /// is woken *separately*, after the drain, so the socket outlives every
     /// in-flight job.
     fn begin_shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
+        self.core.begin_shutdown();
         self.queue.close();
     }
 
@@ -143,10 +101,19 @@ impl Shared {
     }
 }
 
-/// A running server. Dropping the handle does **not** stop the server;
-/// call [`ServerHandle::shutdown`] (or send the `shutdown` verb) and then
-/// [`ServerHandle::join`].
+/// A running server (either backend). Dropping the handle does **not**
+/// stop the server; call [`ServerHandle::shutdown`] (or send the
+/// `shutdown` verb) and then [`ServerHandle::join`].
 pub struct ServerHandle {
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Threaded(ThreadedHandle),
+    Evented(EventedHandle),
+}
+
+struct ThreadedHandle {
     shared: Arc<Shared>,
     listener_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
@@ -156,51 +123,67 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        match &self.inner {
+            HandleInner::Threaded(h) => h.shared.addr,
+            HandleInner::Evented(h) => h.addr(),
+        }
     }
 
     /// A snapshot of the server's RED metrics.
     #[must_use]
     pub fn metrics(&self) -> Summary {
-        self.shared.metrics.snapshot()
+        match &self.inner {
+            HandleInner::Threaded(h) => h.shared.core.snapshot(),
+            HandleInner::Evented(h) => h.metrics(),
+        }
     }
 
     /// Initiates the same graceful shutdown as the `shutdown` verb:
-    /// refuses new work, blocks until the queue has drained, then closes
-    /// the listener.
+    /// refuses new work, blocks until in-flight work has drained, then
+    /// closes the listener.
     pub fn shutdown(&self) {
-        self.shared.begin_shutdown();
-        self.shared.wait_workers_drained();
-        self.shared.wake_listener();
+        match &self.inner {
+            HandleInner::Threaded(h) => {
+                h.shared.begin_shutdown();
+                h.shared.wait_workers_drained();
+                h.shared.wake_listener();
+            }
+            HandleInner::Evented(h) => h.shutdown(),
+        }
     }
 
-    /// Waits for the listener and workers to finish (call after
+    /// Waits for the listener and workers/shards to finish (call after
     /// [`Self::shutdown`] or once a client has sent the `shutdown` verb),
     /// then returns the final metrics. Lingering idle connections are
     /// given a short grace period; their clients have already received a
     /// reply for every request they sent.
-    pub fn join(mut self) -> Summary {
-        if let Some(t) = self.listener_thread.take() {
-            let _ = t.join();
+    pub fn join(self) -> Summary {
+        match self.inner {
+            HandleInner::Threaded(mut h) => {
+                if let Some(t) = h.listener_thread.take() {
+                    let _ = t.join();
+                }
+                for t in h.worker_threads.drain(..) {
+                    let _ = t.join();
+                }
+                let (lock, cvar) = &h.shared.conns_live;
+                let deadline = Instant::now() + Duration::from_secs(1);
+                let mut live = lock.lock().expect("conn count poisoned");
+                while *live > 0 && Instant::now() < deadline {
+                    let (guard, _) = cvar
+                        .wait_timeout(live, Duration::from_millis(50))
+                        .expect("conn count poisoned");
+                    live = guard;
+                }
+                drop(live);
+                h.shared.core.snapshot()
+            }
+            HandleInner::Evented(h) => h.join(),
         }
-        for t in self.worker_threads.drain(..) {
-            let _ = t.join();
-        }
-        let (lock, cvar) = &self.shared.conns_live;
-        let deadline = Instant::now() + Duration::from_secs(1);
-        let mut live = lock.lock().expect("conn count poisoned");
-        while *live > 0 && Instant::now() < deadline {
-            let (guard, _) = cvar
-                .wait_timeout(live, Duration::from_millis(50))
-                .expect("conn count poisoned");
-            live = guard;
-        }
-        drop(live);
-        self.shared.metrics.snapshot()
     }
 }
 
-/// Binds and starts the service.
+/// Binds and starts the service on the configured [`Backend`].
 ///
 /// # Errors
 ///
@@ -211,28 +194,27 @@ impl ServerHandle {
 /// Panics if `workers` or `queue_capacity` is zero.
 pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     assert!(config.workers > 0, "at least one worker is required");
+    assert!(config.queue_capacity > 0, "queue capacity must be positive");
     let listener = TcpListener::bind(&config.addr)?;
+    let core = Arc::new(ServiceCore::new(config));
+    match config.backend {
+        Backend::Threaded => serve_threaded(config, listener, core),
+        Backend::Evented => Ok(ServerHandle {
+            inner: HandleInner::Evented(crate::event_loop::serve_evented(config, listener, core)?),
+        }),
+    }
+}
+
+fn serve_threaded(
+    config: &ServerConfig,
+    listener: TcpListener,
+    core: Arc<ServiceCore>,
+) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
-    let seed_entropy = if config.deterministic {
-        0
-    } else {
-        // Per-process entropy without any new dependency: the std hasher
-        // is randomly keyed per process.
-        use std::hash::{BuildHasher, Hasher};
-        std::collections::hash_map::RandomState::new()
-            .build_hasher()
-            .finish()
-    };
     let shared = Arc::new(Shared {
+        core,
         queue: BoundedQueue::new(config.queue_capacity),
-        metrics: ServerMetrics::default(),
-        cache: RosterCache::default(),
-        shards: ShardCache::default(),
         addr,
-        deterministic: config.deterministic,
-        seed_entropy,
-        default_deadline: config.default_deadline,
-        shutting_down: AtomicBool::new(false),
         workers_live: (Mutex::new(config.workers), Condvar::new()),
         conns_live: (Mutex::new(0), Condvar::new()),
     });
@@ -256,15 +238,17 @@ pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     };
 
     Ok(ServerHandle {
-        shared,
-        listener_thread: Some(listener_thread),
-        worker_threads,
+        inner: HandleInner::Threaded(ThreadedHandle {
+            shared,
+            listener_thread: Some(listener_thread),
+            worker_threads,
+        }),
     })
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
+        if shared.core.is_shutting_down() {
             break; // the wake-up connection (or a raced client) ends us
         }
         let Ok(stream) = stream else { continue };
@@ -318,36 +302,56 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(None) => return,
             Err(()) => {
                 // Oversized line: answer structurally, then drop the
-                // connection — resynchronizing mid-stream is guesswork.
-                shared.metrics.error(ErrorCode::BadRequest);
-                let reply = error_reply(
-                    None,
-                    ErrorCode::BadRequest,
-                    Some(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
-                );
+                // connection.
+                let reply = shared.core.refuse_oversized();
                 let _ = write_reply(&mut stream, &reply);
                 return;
             }
             Ok(Some(())) => {}
         }
-        let Ok(text) = std::str::from_utf8(&buf) else {
-            shared.metrics.error(ErrorCode::BadRequest);
-            let reply = error_reply(None, ErrorCode::BadRequest, Some("request is not UTF-8"));
-            if !write_reply(&mut stream, &reply) {
-                return;
+        let reply = match shared.core.handle_line(&buf) {
+            None => continue, // tolerate blank lines / keepalives
+            Some(Dispatch::Reply(reply)) => reply,
+            Some(Dispatch::Shutdown { ack }) => {
+                let started = Instant::now();
+                // Drain before waking the listener: in-flight jobs finish
+                // and reply while the socket is still open; only then does
+                // the accept loop exit and close it.
+                shared.begin_shutdown();
+                shared.wait_workers_drained();
+                shared.wake_listener();
+                shared.core.record_ok(started.elapsed());
+                ack
             }
-            continue;
-        };
-        let line = text.trim();
-        if line.is_empty() {
-            continue; // tolerate blank lines / keepalives
-        }
-        let reply = match parse_request(line) {
-            Err(e) => {
-                shared.metrics.error(ErrorCode::BadRequest);
-                error_reply(e.id.as_deref(), ErrorCode::BadRequest, Some(&e.detail))
+            Some(Dispatch::Work(request)) => {
+                let id = request.id.clone();
+                let (tx, rx) = mpsc::sync_channel(1);
+                let job = Job {
+                    request,
+                    enqueued: Instant::now(),
+                    reply: tx,
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => match rx.recv() {
+                        Ok(reply) => reply,
+                        Err(_) => {
+                            // Worker pool died mid-job — only plausible
+                            // during a crash; still answer structurally.
+                            shared
+                                .core
+                                .metrics()
+                                .error(crate::proto::ErrorCode::Internal);
+                            crate::proto::error_reply(
+                                Some(&id),
+                                crate::proto::ErrorCode::Internal,
+                                Some("worker pool gone"),
+                            )
+                        }
+                    },
+                    Err((_, PushRefused::Full)) => shared.core.refuse_overloaded(&id),
+                    Err((_, PushRefused::Closed)) => shared.core.refuse_shutting_down(&id),
+                }
             }
-            Ok(request) => dispatch(request, shared),
         };
         if !write_reply(&mut stream, &reply) {
             return;
@@ -355,244 +359,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Routes one parsed request: control verbs inline, work verbs through the
-/// queue. Always returns a reply line.
-fn dispatch(request: Request, shared: &Arc<Shared>) -> String {
-    shared.metrics.request(request.verb.name());
-    match &request.verb {
-        Verb::TelemetrySnapshot => {
-            let started = Instant::now();
-            let snapshot = shared.metrics.snapshot().to_json();
-            let reply = ok_reply(
-                &request.id,
-                "telemetry-snapshot",
-                &format!("\"snapshot\":{snapshot}"),
-            );
-            shared.metrics.ok(started.elapsed());
-            reply
-        }
-        Verb::Shutdown => {
-            let started = Instant::now();
-            // Drain before waking the listener: in-flight jobs finish and
-            // reply while the socket is still open; only then does the
-            // accept loop exit and close it.
-            shared.begin_shutdown();
-            shared.wait_workers_drained();
-            shared.wake_listener();
-            let reply = ok_reply(&request.id, "shutdown", "\"drained\":true");
-            shared.metrics.ok(started.elapsed());
-            reply
-        }
-        Verb::Estimate(_) | Verb::Robustness(_) | Verb::ReaderRound(_) => {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                shared.metrics.error(ErrorCode::ShuttingDown);
-                return error_reply(Some(&request.id), ErrorCode::ShuttingDown, None);
-            }
-            let id = request.id.clone();
-            let (tx, rx) = mpsc::sync_channel(1);
-            let job = Job {
-                request,
-                enqueued: Instant::now(),
-                reply: tx,
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => match rx.recv() {
-                    Ok(reply) => reply,
-                    Err(_) => {
-                        // Worker pool died mid-job — only plausible during
-                        // a crash; still answer structurally.
-                        shared.metrics.error(ErrorCode::Internal);
-                        error_reply(Some(&id), ErrorCode::Internal, Some("worker pool gone"))
-                    }
-                },
-                Err((_, PushRefused::Full)) => {
-                    shared.metrics.error(ErrorCode::Overloaded);
-                    error_reply(Some(&id), ErrorCode::Overloaded, None)
-                }
-                Err((_, PushRefused::Closed)) => {
-                    shared.metrics.error(ErrorCode::ShuttingDown);
-                    error_reply(Some(&id), ErrorCode::ShuttingDown, None)
-                }
-            }
-        }
-    }
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
-        let deadline = job.request.deadline.or(shared.default_deadline);
-        let reply = if deadline.is_some_and(|d| job.enqueued.elapsed() > d) {
-            shared.metrics.error(ErrorCode::DeadlineExceeded);
-            error_reply(Some(&job.request.id), ErrorCode::DeadlineExceeded, None)
-        } else {
-            let reply = execute(&job.request, shared);
-            shared.metrics.ok(job.enqueued.elapsed());
-            reply
-        };
+        let reply = shared.core.execute_work(&job.request, job.enqueued);
         // The connection may have gone away; the job is still "served".
         let _ = job.reply.send(reply);
     }
     let (lock, cvar) = &shared.workers_live;
     *lock.lock().expect("worker count poisoned") -= 1;
     cvar.notify_all();
-}
-
-/// FNV-1a over the request id — the deterministic-mode seed derivation.
-#[must_use]
-pub fn seed_for_id(id: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in id.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn execute(request: &Request, shared: &Arc<Shared>) -> String {
-    match &request.verb {
-        Verb::Estimate(params) => execute_estimate(&request.id, params, shared),
-        Verb::Robustness(params) => execute_robustness(&request.id, params),
-        Verb::ReaderRound(params) => execute_reader_round(&request.id, params, shared),
-        // Control verbs never reach the queue.
-        Verb::TelemetrySnapshot | Verb::Shutdown => error_reply(
-            Some(&request.id),
-            ErrorCode::Internal,
-            Some("misrouted verb"),
-        ),
-    }
-}
-
-/// Executes one hash-synchronized estimating round against this agent's
-/// zone shard: reconstructs the shard deterministically (cached), counts
-/// raw responders for *every* prefix length `1..=height` of the announced
-/// path, and reports the counts plus the shard population. The controller
-/// applies per-reader channel models and runs the adaptive binary search
-/// itself — raw counts are what keep the fleet merge bit-for-bit equal to
-/// the in-process `pet-sim` controller, mitigation re-probes included.
-fn execute_reader_round(id: &str, params: &ReaderRoundParams, shared: &Arc<Shared>) -> String {
-    let path = BitString::from_bits(params.path_bits, params.height)
-        .expect("path validated against height at parse");
-    let start = RoundStart {
-        path,
-        seed: params.round_seed,
-    };
-    let (population, counts) = if params.round_seed.is_some() {
-        // Active-tag mode: codes depend on the per-round seed, so the
-        // roster is rebuilt from the cached shard keys each round.
-        let keys = shared.shards.shard_keys(params);
-        let config = reader_round_config(params, TagMode::ActivePerRound);
-        let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
-        roster.begin_round(&start);
-        let counts: Vec<u64> = (1..=params.height)
-            .map(|len| roster.count_prefix(&path, len))
-            .collect();
-        (roster.population(), counts)
-    } else {
-        let roster = shared.shards.passive_roster(params);
-        let counts: Vec<u64> = (1..=params.height)
-            .map(|len| roster.count_prefix(&path, len))
-            .collect();
-        (roster.population(), counts)
-    };
-    let mut body = format!(
-        "\"population\":{population},\"height\":{},\"counts\":[",
-        params.height
-    );
-    for (i, c) in counts.iter().enumerate() {
-        if i > 0 {
-            body.push(',');
-        }
-        body.push_str(&c.to_string());
-    }
-    body.push(']');
-    ok_reply(id, "reader-round", &body)
-}
-
-fn execute_estimate(id: &str, params: &EstimateParams, shared: &Arc<Shared>) -> String {
-    let seed = params
-        .seed
-        .unwrap_or_else(|| seed_for_id(id) ^ shared.seed_entropy);
-    let estimator = Estimator::new(params.config);
-    let rounds = params.rounds.unwrap_or_else(|| params.config.rounds());
-    let mut bank = shared
-        .cache
-        .sequential_bank(params.tags, &params.config, estimator.family());
-    let mut rng = StdRng::seed_from_u64(seed);
-    match estimator.try_run_bank(&mut bank, rounds, &mut rng) {
-        Ok(report) => ok_reply(
-            id,
-            "estimate",
-            &format!(
-                "\"estimate\":{:?},\"rounds\":{},\"mean_prefix_len\":{:?},\"slots\":{},\"seed\":{},\"deterministic\":{}",
-                report.estimate,
-                report.rounds,
-                report.mean_prefix_len,
-                report.metrics.slots,
-                seed,
-                shared.deterministic || params.seed.is_some(),
-            ),
-        ),
-        Err(e) => error_reply(Some(id), ErrorCode::Internal, Some(&e.to_string())),
-    }
-}
-
-fn execute_robustness(id: &str, params: &RobustnessRequest) -> String {
-    let rows = robustness::sweep(&robustness::RobustnessParams {
-        n: params.tags,
-        rounds: params.rounds,
-        runs: params.runs,
-        seed: params.seed,
-        miss_rates: params.miss_rates.clone(),
-        false_busy: params.false_busy,
-        probes: params.probes,
-    });
-    let mut body = String::from("\"rows\":[");
-    for (i, row) in rows.iter().enumerate() {
-        if i > 0 {
-            body.push(',');
-        }
-        body.push_str(&format!(
-            "{{\"miss\":{:?},\"false_busy\":{:?},\"mitigated\":{},\"mean_ratio\":{:?},\"rel_bias\":{:?},\"normalized_rmse\":{:?},\"mean_slots_per_round\":{:?}}}",
-            row.miss,
-            row.false_busy,
-            row.mitigated,
-            row.mean_ratio,
-            row.rel_bias,
-            row.normalized_rmse,
-            row.mean_slots_per_round,
-        ));
-    }
-    body.push(']');
-    ok_reply(id, "robustness", &body)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn seed_derivation_is_stable_and_spread() {
-        // Pinned: deterministic mode promises the same id → the same seed
-        // across builds and sessions.
-        assert_eq!(seed_for_id(""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(seed_for_id("r1"), {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in b"r1" {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            h
-        });
-        assert_ne!(seed_for_id("a"), seed_for_id("b"));
-        assert_ne!(seed_for_id("t0-1"), seed_for_id("t1-0"));
-    }
-
-    #[test]
-    fn config_defaults_are_sane() {
-        let c = ServerConfig::default();
-        assert!(c.workers > 0);
-        assert!(c.queue_capacity > 0);
-        assert!(!c.deterministic);
-        assert!(c.addr.ends_with(":0"), "ephemeral port by default");
-    }
 }

@@ -1,12 +1,16 @@
 //! End-to-end concurrency battery for the estimation service.
 //!
 //! Everything here runs against a real listener on an ephemeral port, with
-//! real client sockets on real threads. The properties pinned:
+//! real client sockets on real threads — and every case runs twice, once
+//! per serving backend (`battery!` expands a threaded and an evented
+//! variant), because both backends drive the same `ServiceCore` and must
+//! be observationally identical. The properties pinned:
 //!
 //! - **Zero lost replies**: every request line sent receives exactly one
 //!   reply line with the matching id, under concurrent mixed load.
 //! - **Determinism**: in deterministic mode the same request stream yields
-//!   byte-identical replies from two independently started servers.
+//!   byte-identical replies from two independently started servers — and
+//!   from the *other backend* (`cross_backend_replies_are_byte_identical`).
 //! - **Backpressure**: `overloaded` appears only once the queue bound is
 //!   actually hit, and a closed-loop client within the bound never sees it.
 //! - **Deadlines**: a request whose deadline expires in the queue is
@@ -15,22 +19,44 @@
 //!   still reply) before the listener socket closes.
 
 use pet_server::json::Json;
-use pet_server::{serve, Client, ServerConfig};
+use pet_server::{serve, Backend, Client, ServerConfig};
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
-fn deterministic_server(workers: usize, queue: usize) -> pet_server::ServerHandle {
+fn deterministic_server(
+    backend: Backend,
+    workers: usize,
+    queue: usize,
+) -> pet_server::ServerHandle {
     serve(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        backend,
         workers,
         queue_capacity: queue,
         deterministic: true,
         default_deadline: None,
     })
     .expect("bind ephemeral port")
+}
+
+/// Expands one battery case into a `#[test]` per backend.
+macro_rules! battery {
+    ($name:ident) => {
+        mod $name {
+            use super::*;
+            #[test]
+            fn threaded() {
+                super::$name(Backend::Threaded);
+            }
+            #[test]
+            fn evented() {
+                super::$name(Backend::Evented);
+            }
+        }
+    };
 }
 
 /// The mixed workload: estimation across backends, channels, and
@@ -82,13 +108,12 @@ fn hammer(addr: SocketAddr, threads: usize, per_thread: usize) -> BTreeMap<Strin
     Arc::try_unwrap(results).unwrap().into_inner().unwrap()
 }
 
-#[test]
-fn concurrent_mixed_load_loses_nothing_and_is_deterministic() {
+fn concurrent_mixed_load_loses_nothing_and_is_deterministic(backend: Backend) {
     let threads = 8;
     let per_thread = 20;
 
     let run = || {
-        let handle = deterministic_server(4, 64);
+        let handle = deterministic_server(backend, 4, 64);
         let addr = handle.addr();
         let replies = hammer(addr, threads, per_thread);
         handle.shutdown();
@@ -126,13 +151,34 @@ fn concurrent_mixed_load_loses_nothing_and_is_deterministic() {
     let lat = metrics.span_stats("server.request").expect("latency spans");
     assert_eq!(lat.count, (threads * per_thread) as u64);
 }
+battery!(concurrent_mixed_load_loses_nothing_and_is_deterministic);
 
+/// Both backends drive the same `ServiceCore`, so the same deterministic
+/// request stream must produce byte-identical reply sets — the in-process
+/// twin of `pet loadgen --verify-deterministic`'s cross-backend digest.
 #[test]
-fn closed_loop_within_queue_bound_never_overloads() {
+fn cross_backend_replies_are_byte_identical() {
+    let run = |backend| {
+        let handle = deterministic_server(backend, 2, 64);
+        let replies = hammer(handle.addr(), 4, 15);
+        handle.shutdown();
+        handle.join();
+        replies
+    };
+    let threaded = run(Backend::Threaded);
+    let evented = run(Backend::Evented);
+    assert_eq!(threaded.len(), 60);
+    assert_eq!(
+        threaded, evented,
+        "backends must be byte-identical on the same seeds"
+    );
+}
+
+fn closed_loop_within_queue_bound_never_overloads(backend: Backend) {
     // 4 threads in closed loop against capacity 4: at most 4 requests are
     // ever outstanding, so the bound is never exceeded and `overloaded`
     // must not appear.
-    let handle = deterministic_server(1, 4);
+    let handle = deterministic_server(backend, 1, 4);
     let addr = handle.addr();
     std::thread::scope(|scope| {
         for t in 0..4 {
@@ -155,17 +201,22 @@ fn closed_loop_within_queue_bound_never_overloads() {
     assert_eq!(metrics.counter("server.overload"), 0);
     assert_eq!(metrics.counter("server.ok"), 40);
 }
+battery!(closed_loop_within_queue_bound_never_overloads);
 
-/// A request slow enough (~0.5 s measured, all cores) to keep the single
+/// A request slow enough (~0.7 s measured on this host) to keep the single
 /// worker busy while the tests below race follow-up requests against it.
-const SLOW_LINE: &str = r#"{"id":"slow","verb":"robustness","tags":20000,"rounds":256,"runs":32,"miss_rates":[0,0.02,0.05]}"#;
+/// Re-sized after the SIMD kernels made the previous sweep finish in under
+/// the tests' setup sleeps, which silently defeated the worker pinning.
+const SLOW_LINE: &str = r#"{"id":"slow","verb":"robustness","tags":100000,"rounds":512,"runs":48,"miss_rates":[0,0.02,0.05]}"#;
 
-#[test]
-fn overload_replies_appear_exactly_when_queue_is_full() {
+fn overload_replies_appear_exactly_when_queue_is_full(backend: Backend) {
     // One worker, capacity 1. Occupy the worker with a slow sweep, fill
     // the queue slot, then probe: the probe must bounce with `overloaded`
-    // while both earlier requests still complete.
-    let handle = deterministic_server(1, 1);
+    // while both earlier requests still complete. (On the evented backend
+    // the single shard is busy executing the slow job, so the bounce is
+    // deferred until the next sweep — but the connection order still
+    // guarantees "queued" wins the slot and the probe bounces.)
+    let handle = deterministic_server(backend, 1, 1);
     let addr = handle.addr();
 
     let slow = std::thread::spawn(move || {
@@ -194,7 +245,7 @@ fn overload_replies_appear_exactly_when_queue_is_full() {
         .unwrap();
     assert!(
         bounced.contains("\"error\":\"overloaded\""),
-        "full queue must bounce immediately, got {bounced}"
+        "full queue must bounce, got {bounced}"
     );
 
     assert!(slow.join().unwrap().contains("\"ok\":true"));
@@ -204,10 +255,10 @@ fn overload_replies_appear_exactly_when_queue_is_full() {
     assert_eq!(metrics.counter("server.overload"), 1);
     assert_eq!(metrics.counter("server.err.overloaded"), 1);
 }
+battery!(overload_replies_appear_exactly_when_queue_is_full);
 
-#[test]
-fn queued_past_deadline_is_refused_without_execution() {
-    let handle = deterministic_server(1, 8);
+fn queued_past_deadline_is_refused_without_execution(backend: Backend) {
+    let handle = deterministic_server(backend, 1, 8);
     let addr = handle.addr();
 
     // Occupy the single worker: "late" then sits behind the slow job in
@@ -242,10 +293,10 @@ fn queued_past_deadline_is_refused_without_execution() {
     let metrics = handle.join();
     assert_eq!(metrics.counter("server.err.deadline_exceeded"), 1);
 }
+battery!(queued_past_deadline_is_refused_without_execution);
 
-#[test]
-fn shutdown_drains_in_flight_work_before_the_socket_closes() {
-    let handle = deterministic_server(2, 32);
+fn shutdown_drains_in_flight_work_before_the_socket_closes(backend: Backend) {
+    let handle = deterministic_server(backend, 2, 32);
     let addr = handle.addr();
     let in_flight = 8;
 
@@ -317,14 +368,14 @@ fn shutdown_drains_in_flight_work_before_the_socket_closes() {
         assert!(reply.contains("\"error\":\"shutting_down\""), "{reply}");
     } // an io error (connection torn down) is equally acceptable
 }
+battery!(shutdown_drains_in_flight_work_before_the_socket_closes);
 
 /// The fleet-agent verb: raw responder counts must equal a locally built
 /// shard roster's (the coordinator's whole correctness argument rests on
 /// agents answering exactly what `pet-sim` would), and equal requests must
 /// produce byte-identical replies.
-#[test]
-fn reader_round_counts_match_a_local_shard_roster() {
-    let handle = deterministic_server(2, 16);
+fn reader_round_counts_match_a_local_shard_roster(backend: Backend) {
+    let handle = deterministic_server(backend, 2, 16);
     let addr = handle.addr();
     let mut client = Client::connect(addr).unwrap();
     client
@@ -374,13 +425,13 @@ fn reader_round_counts_match_a_local_shard_roster() {
         .unwrap();
     handle.join();
 }
+battery!(reader_round_counts_match_a_local_shard_roster);
 
 /// The degenerate deployment — one worker, one queue slot — under
 /// concurrent closed-loop load: every request is answered (ok or a clean
 /// `overloaded` bounce), nothing is lost or hung.
-#[test]
-fn capacity_one_queue_survives_concurrent_load() {
-    let handle = deterministic_server(1, 1);
+fn capacity_one_queue_survives_concurrent_load(backend: Backend) {
+    let handle = deterministic_server(backend, 1, 1);
     let addr = handle.addr();
     let sent = 6 * 8;
     let ok = Arc::new(AtomicUsize::new(0));
@@ -422,14 +473,14 @@ fn capacity_one_queue_survives_concurrent_load() {
         bounced.load(Ordering::SeqCst) as u64
     );
 }
+battery!(capacity_one_queue_survives_concurrent_load);
 
 /// Shutdown issued while requests are verifiably *still queued* (the lone
 /// worker is pinned by a slow job): the ack must wait for the drain and
 /// still report `drained:true`, and every queued request must be answered
 /// with its real result.
-#[test]
-fn shutdown_while_requests_are_queued_still_reports_drained() {
-    let handle = deterministic_server(1, 8);
+fn shutdown_while_requests_are_queued_still_reports_drained(backend: Backend) {
+    let handle = deterministic_server(backend, 1, 8);
     let addr = handle.addr();
 
     let slow = std::thread::spawn(move || {
@@ -476,10 +527,10 @@ fn shutdown_while_requests_are_queued_still_reports_drained() {
     // slow + 3 queued, plus the shutdown ack itself.
     assert_eq!(metrics.counter("server.ok"), 5);
 }
+battery!(shutdown_while_requests_are_queued_still_reports_drained);
 
-#[test]
-fn telemetry_snapshot_reports_red_metrics() {
-    let handle = deterministic_server(2, 16);
+fn telemetry_snapshot_reports_red_metrics(backend: Backend) {
+    let handle = deterministic_server(backend, 2, 16);
     let addr = handle.addr();
     let mut client = Client::connect(addr).unwrap();
     client
@@ -521,13 +572,14 @@ fn telemetry_snapshot_reports_red_metrics() {
         .unwrap();
     handle.join();
 }
+battery!(telemetry_snapshot_reports_red_metrics);
 
-#[test]
-fn explicit_seed_pins_the_estimate_bit_for_bit() {
+fn explicit_seed_pins_the_estimate_bit_for_bit(backend: Backend) {
     // Even outside deterministic mode, an explicit seed fully determines
     // the reply — the per-process entropy only covers derived seeds.
     let run = |deterministic: bool| {
         let handle = serve(&ServerConfig {
+            backend,
             deterministic,
             ..ServerConfig::default()
         })
@@ -543,3 +595,4 @@ fn explicit_seed_pins_the_estimate_bit_for_bit() {
     };
     assert_eq!(run(false), run(true));
 }
+battery!(explicit_seed_pins_the_estimate_bit_for_bit);

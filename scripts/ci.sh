@@ -57,17 +57,77 @@ if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     fi
 fi
 
-# Serving-layer gate: the concurrency battery plus a ~5s closed-loop smoke
-# against an in-process `pet serve` — 10k requests, every reply validated,
-# run twice in deterministic mode and compared digest-for-digest. Non-zero
-# exit on any lost, malformed, or non-reproducible reply.
-echo "==> server integration battery"
+# Serving-layer gate: the concurrency battery (every test parameterized
+# over the threaded AND evented backends, plus the cross-backend
+# byte-parity test and the wire-protocol fuzzer) followed by closed-loop
+# smokes. Non-zero exit on any lost, malformed, or non-reproducible reply.
+echo "==> server integration battery (threaded + evented)"
 cargo test -q -p pet-server
 
-echo "==> loadgen smoke (10k requests, deterministic)"
-cargo run --release -q -p pet-cli --bin pet -- loadgen --local \
-    --requests 10000 --threads 8 --tags 200 --rounds 4 --verify-deterministic \
-    --bench-json results/BENCH_server.json
+# Cross-backend determinism: the same plan against both backends, each run
+# twice in deterministic mode (--verify-deterministic checks within-backend
+# reproducibility), then the two reply digests compared. The digest folds
+# every reply byte, so the evented rewrite answering even one request
+# differently from the threaded reference fails here.
+echo "==> loadgen smoke (both backends, digests must match)"
+loadgen_digest() {
+    cargo run --release -q -p pet-cli --bin pet -- loadgen --local \
+        --backend "$1" --requests 10000 --connections 8 --threads 8 \
+        --pipeline 4 --tags 200 --rounds 4 --verify-deterministic |
+        tee /dev/stderr | awk '/reply digest/ { d = $3 } END { print d }'
+}
+DIGEST_THREADED=$(loadgen_digest threaded)
+DIGEST_EVENTED=$(loadgen_digest evented)
+[[ -n "$DIGEST_THREADED" && "$DIGEST_THREADED" == "$DIGEST_EVENTED" ]] || {
+    echo "loadgen smoke: evented digest $DIGEST_EVENTED differs from" \
+        "threaded $DIGEST_THREADED on the same plan" >&2
+    exit 1
+}
+echo "loadgen smoke: backends agree ($DIGEST_THREADED)"
+
+# Connection-scale gate: one evented server, 10k concurrent connections
+# from a separate loadgen process (each process needs its own fd budget —
+# in one process the pair would need >20k descriptors). Two runs, digests
+# compared by --verify-deterministic; any connect failure or lost reply is
+# a non-zero exit. Skipped only when the fd limit cannot hold 10k sockets.
+ulimit -n 20000 2>/dev/null || true
+if [[ $(ulimit -n) -ge 10100 ]]; then
+    echo "==> evented 10k-connection smoke"
+    SMOKE_TMP=$(mktemp -d)
+    cargo run --release -q -p pet-cli --bin pet -- serve \
+        --addr 127.0.0.1:0 --backend evented --workers 1 --queue 16384 \
+        --deterministic --addr-file "$SMOKE_TMP/evented.addr" \
+        >"$SMOKE_TMP/evented.log" 2>&1 &
+    SMOKE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$SMOKE_TMP/evented.addr" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$SMOKE_TMP/evented.addr" ]] || {
+        echo "evented smoke server never published its address" >&2
+        cat "$SMOKE_TMP/evented.log" >&2
+        exit 1
+    }
+    SMOKE_ADDR=$(cat "$SMOKE_TMP/evented.addr")
+    cargo run --release -q -p pet-cli --bin pet -- loadgen \
+        --addr "$SMOKE_ADDR" --backend evented --connections 10000 \
+        --threads 8 --pipeline 2 --requests 20000 --verify-deterministic
+    # Shut the server down over the wire (bash's /dev/tcp keeps this
+    # dependency-free) and insist on a drained exit.
+    exec 3<>"/dev/tcp/${SMOKE_ADDR%:*}/${SMOKE_ADDR##*:}"
+    printf '{"id":"ci","verb":"shutdown"}\n' >&3
+    IFS= read -r SMOKE_BYE <&3
+    exec 3>&- 3<&-
+    [[ "$SMOKE_BYE" == *'"drained":true'* ]] || {
+        echo "evented smoke: shutdown reply not drained: $SMOKE_BYE" >&2
+        exit 1
+    }
+    wait "$SMOKE_PID"
+    rm -rf "$SMOKE_TMP"
+    echo "evented smoke: 10k connections held, digests identical"
+else
+    echo "==> evented 10k-connection smoke SKIPPED (fd limit $(ulimit -n) < 10100)"
+fi
 
 # Fleet-layer gate: the coordinator battery (bit-for-bit equivalence with
 # the simulator, fault injection, quorum loss) plus a live 3-agent smoke —
