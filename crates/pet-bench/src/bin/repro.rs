@@ -11,19 +11,10 @@
 //!
 //! Printed tables mirror the paper's rows; CSV files land in `results/`.
 
-use pet_core::bits::BitString;
-use pet_core::config::{PetConfig, SearchStrategy};
-use pet_core::kernel::{locate_prefix_len, locate_prefix_len_with, round_record};
-use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
-use pet_core::reader::{binary_round, linear_round};
-use pet_hash::family::AnyFamily;
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_bench::{ledger, suite};
 use pet_sim::experiments::{
     ablations, detection, energy, fig4, fig6, fig7, fleet, motivation, table3, table45,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -49,99 +40,19 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 /// Measures round throughput of the slot-by-slot oracle reader against the
-/// single-search kernel at paper scale — the kernel arm twice, once forced
-/// to the scalar lane and once on the runtime-dispatched active lane — plus
-/// bulk-hash throughput per lane, and writes `results/BENCH_kernel.json`
-/// with the active lane and the commit the numbers belong to.
+/// single-search kernel at paper scale (the measurement itself lives in
+/// [`pet_bench::suite::run_kernel`], shared with `pet bench record`),
+/// writes `results/BENCH_kernel.json`, and appends a normalized row to
+/// `results/ledger.jsonl`.
 fn bench_kernel(out_dir: &Path, quick: bool) {
-    let n = 100_000u64;
-    let config = PetConfig::paper_default();
-    let keys: Vec<u64> = (0..n).collect();
-    let mut roster = CodeRoster::new(&keys, &config, AnyFamily::default());
-    let codes = roster.codes().to_vec();
-    let lane = pet_hash::simd::active_lane();
-
-    // The estimating path is an *input* to gray-node location, so both arms
-    // consume the same pre-drawn path stream and time only the per-round
-    // search work.
-    let mut rng = StdRng::seed_from_u64(0xBE7C);
-    let paths: Vec<BitString> = (0..4096)
-        .map(|_| BitString::random(config.height(), &mut rng))
-        .collect();
-
-    let oracle_rounds: usize = if quick { 20_000 } else { 100_000 };
-    let mut air = Air::new(PerfectChannel);
-    let clock = Instant::now();
-    for i in 0..oracle_rounds {
-        let path = paths[i % paths.len()];
-        roster.begin_round(&RoundStart { path, seed: None });
-        let rec = match config.search() {
-            SearchStrategy::Linear => linear_round(&config, &mut roster, &mut air, &mut rng),
-            SearchStrategy::Binary => binary_round(&config, &mut roster, &mut air, &mut rng),
-        };
-        std::hint::black_box(rec);
-    }
-    let rounds_per_sec_oracle = oracle_rounds as f64 / clock.elapsed().as_secs_f64();
-
-    let kernel_rounds: usize = if quick { 200_000 } else { 1_000_000 };
-    let kernel_arm = |locate: &dyn Fn(&[u64], &BitString) -> u32| {
-        let clock = Instant::now();
-        for i in 0..kernel_rounds {
-            let path = paths[i % paths.len()];
-            let l = locate(&codes, &path);
-            std::hint::black_box(round_record(config.height(), config.search(), l));
-        }
-        kernel_rounds as f64 / clock.elapsed().as_secs_f64()
-    };
-    let rounds_per_sec_kernel =
-        kernel_arm(&|codes, path| locate_prefix_len_with(pet_hash::Lane::Scalar, codes, path));
-    // `locate_prefix_len` routes through the runtime-dispatched active lane
-    // (so `PET_FORCE_LANE` steers this arm).
-    let rounds_per_sec_kernel_simd = kernel_arm(&locate_prefix_len);
-
-    // Bulk code derivation is where the SIMD lanes actually earn their keep:
-    // active-mode PET re-hashes the whole population every round.
-    let hash_reps: usize = if quick { 20 } else { 100 };
-    let mut out = vec![0u64; keys.len()];
-    let mut hash_arm = |l: pet_hash::Lane| {
-        let clock = Instant::now();
-        for rep in 0..hash_reps {
-            pet_hash::simd::mix2_bulk_into(l, rep as u64, &keys, config.height(), &mut out);
-            std::hint::black_box(out[0]);
-        }
-        (hash_reps * keys.len()) as f64 / clock.elapsed().as_secs_f64()
-    };
-    let hash_elems_per_sec_scalar = hash_arm(pet_hash::Lane::Scalar);
-    let hash_elems_per_sec_simd = hash_arm(lane);
-
+    let bench = suite::run_kernel(quick, 3);
     std::fs::create_dir_all(out_dir).expect("results dir");
-    let commit = std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
-    let json = format!(
-        "{{\"n\": {n}, \"lane\": \"{lane}\", \"commit\": \"{commit}\", \
-         \"rounds_per_sec_oracle\": {rounds_per_sec_oracle:.1}, \
-         \"rounds_per_sec_kernel\": {rounds_per_sec_kernel:.1}, \
-         \"rounds_per_sec_kernel_simd\": {rounds_per_sec_kernel_simd:.1}, \
-         \"hash_elems_per_sec_scalar\": {hash_elems_per_sec_scalar:.1}, \
-         \"hash_elems_per_sec_simd\": {hash_elems_per_sec_simd:.1}}}\n",
-        lane = lane.as_str(),
-    );
-    std::fs::write(out_dir.join("BENCH_kernel.json"), json).expect("write BENCH_kernel.json");
-    println!(
-        "bench-kernel: n = {n} (lane {lane}, commit {commit}): oracle \
-         {rounds_per_sec_oracle:.0} rounds/s, kernel {rounds_per_sec_kernel:.0} \
-         rounds/s scalar / {rounds_per_sec_kernel_simd:.0} rounds/s {lane} \
-         ({:.1}x over oracle), bulk hash {:.1}M elem/s scalar / {:.1}M elem/s {lane}",
-        rounds_per_sec_kernel_simd / rounds_per_sec_oracle,
-        hash_elems_per_sec_scalar / 1e6,
-        hash_elems_per_sec_simd / 1e6,
-        lane = lane.as_str(),
-    );
+    let commit = ledger::current_commit();
+    std::fs::write(out_dir.join("BENCH_kernel.json"), bench.bench_json(&commit))
+        .expect("write BENCH_kernel.json");
+    let row = bench.ledger_row(&commit, "repro:bench-kernel");
+    ledger::append(&out_dir.join("ledger.jsonl"), &[row]).expect("append ledger.jsonl");
+    println!("{}", bench.render(&commit));
 }
 
 /// Closed-loop serving throughput for both pet-server backends, each run
@@ -186,6 +97,7 @@ fn bench_server(out_dir: &Path, quick: bool) {
             rounds: 4,
         };
         let mut report: Option<BatchReport> = None;
+        let mut rates: Vec<f64> = Vec::with_capacity(repeats);
         for _ in 0..repeats {
             let r = run_batch(handle.addr(), &plan);
             assert_eq!(
@@ -198,6 +110,7 @@ fn bench_server(out_dir: &Path, quick: bool) {
                 r.errors,
                 r.lost
             );
+            rates.push(requests as f64 / r.elapsed.as_secs_f64().max(1e-9));
             match &report {
                 Some(best) if r.elapsed >= best.elapsed => {}
                 _ => report = Some(r),
@@ -217,8 +130,16 @@ fn bench_server(out_dir: &Path, quick: bool) {
         );
         let run = BenchRun::new(backend.name(), &plan, &report);
         write_bench_json(path, &run).expect("write BENCH_server.json");
+        let row = ledger::migrate::row_from_bench_run(
+            &run,
+            &ledger::current_commit(),
+            "repro:bench-server",
+            repeats as u64,
+            ledger::noise_floor_of(&rates),
+        );
+        ledger::append(&out_dir.join("ledger.jsonl"), &[row]).expect("append ledger.jsonl");
     }
-    println!("bench-server: rows merged into {path}");
+    println!("bench-server: rows merged into {path} and results/ledger.jsonl");
 }
 
 fn main() {

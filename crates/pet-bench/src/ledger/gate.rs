@@ -1,0 +1,332 @@
+//! Regression gate over ledger rows: compares pinned metrics between a
+//! baseline and a candidate row set and renders a machine-readable
+//! verdict.
+//!
+//! Semantics (also in DESIGN.md "Perf ledger"):
+//!
+//! - A *pinned metric* names a benchmark, an optional config-key prefix,
+//!   and a metric. The gate checks every config the **candidate** actually
+//!   measured that the baseline also has — CI can run a fast subset
+//!   without the gate demanding the full matrix.
+//! - Per check, the allowed relative slack is `threshold +
+//!   max(baseline.noise_floor, candidate.noise_floor)`: jitter measured at
+//!   record time widens the gate for that row only.
+//! - Exactly *at* the limit passes; strictly beyond it fails. For
+//!   higher-is-better metrics a drop beyond the slack fails; for
+//!   lower-is-better (latency-shaped) metrics a rise beyond it fails.
+//! - A config or metric missing from the **baseline** is a skip (recorded
+//!   in the verdict, never a failure): new benchmarks must not brick the
+//!   gate. A zero/NaN value on either side is an [`CheckStatus::Invalid`]
+//!   check and **fails** — broken data must not pass silently.
+
+use super::{rel_change, LedgerRow};
+use pet_server::json::escape;
+use std::collections::BTreeMap;
+
+/// Whether smaller values of a metric are improvements. Convention:
+/// latency- and duration-shaped names (`*_ns`, `*_s`, `*latency*`,
+/// `ns_per_*`) are lower-is-better; everything else (rates, coverage) is
+/// higher-is-better.
+#[must_use]
+pub fn lower_is_better(metric: &str) -> bool {
+    metric.ends_with("_ns")
+        || metric.ends_with("_s")
+        || metric.contains("latency")
+        || metric.starts_with("ns_per_")
+}
+
+/// One metric the gate enforces.
+#[derive(Debug, Clone)]
+pub struct PinnedMetric {
+    /// Benchmark id the metric lives in (`"kernel"`, ...).
+    pub bench: String,
+    /// Config-key prefix filter (`""` matches every config).
+    pub config_prefix: String,
+    /// Metric name within the row's metrics map.
+    pub metric: String,
+}
+
+impl PinnedMetric {
+    /// Builds a pin; empty `config_prefix` matches all configs.
+    #[must_use]
+    pub fn new(bench: &str, config_prefix: &str, metric: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            config_prefix: config_prefix.to_string(),
+            metric: metric.to_string(),
+        }
+    }
+
+    /// Parses the CLI form `bench[:config_prefix]:metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec has fewer than two fields.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            [bench, metric] => Ok(Self::new(bench, "", metric)),
+            [bench, prefix, metric] => Ok(Self::new(bench, prefix, metric)),
+            _ => Err(format!(
+                "pin {spec:?} is not bench:metric or bench:config_prefix:metric"
+            )),
+        }
+    }
+}
+
+/// The repo's default pinned metrics: kernel rounds/s, evented serving
+/// throughput, fleet round latency — the three numbers the ROADMAP's perf
+/// PRs moved and the ledger exists to protect.
+#[must_use]
+pub fn default_pins() -> Vec<PinnedMetric> {
+    vec![
+        PinnedMetric::new("kernel", "", "rounds_per_sec_kernel_simd"),
+        PinnedMetric::new("server-loadgen", "evented/", "throughput_rps"),
+        PinnedMetric::new("fleet", "", "round_latency_mean_ns"),
+    ]
+}
+
+/// Outcome of one (bench, config, metric) comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// Within the allowed slack (or an improvement).
+    Pass,
+    /// Worse than baseline by more than threshold + noise floor.
+    Regressed,
+    /// Baseline has no matching config/metric — skipped, not a failure.
+    MissingBaseline,
+    /// A zero or non-finite value made the comparison meaningless — fails.
+    Invalid,
+}
+
+/// One gate comparison, fully materialized for the verdict artifact.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Benchmark id.
+    pub bench: String,
+    /// Config key (`"*"` for a pin that matched no candidate config).
+    pub config: String,
+    /// Metric name.
+    pub metric: String,
+    /// Whether smaller is an improvement for this metric.
+    pub lower_is_better: bool,
+    /// Baseline value (`None` when missing).
+    pub baseline: Option<f64>,
+    /// Candidate value (`None` when the pin matched nothing).
+    pub candidate: Option<f64>,
+    /// Relative change (candidate − baseline) / baseline.
+    pub change: Option<f64>,
+    /// Allowed relative slack for this check.
+    pub allowed: f64,
+    /// Verdict for this check.
+    pub status: CheckStatus,
+}
+
+/// The full gate outcome.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// The threshold the gate ran with.
+    pub threshold: f64,
+    /// Every comparison, in pin order then config order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateOutcome {
+    /// True when no check regressed or was invalid.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.checks
+            .iter()
+            .all(|c| matches!(c.status, CheckStatus::Pass | CheckStatus::MissingBaseline))
+    }
+
+    /// Renders the verdict as one JSON object (machine-readable; future CI
+    /// can annotate PRs from it without re-parsing gate stdout).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x}"));
+                format!(
+                    concat!(
+                        "{{\"bench\":\"{}\",\"config\":\"{}\",\"metric\":\"{}\",",
+                        "\"lower_is_better\":{},\"baseline\":{},\"candidate\":{},",
+                        "\"change\":{},\"allowed\":{},\"status\":\"{}\"}}"
+                    ),
+                    escape(&c.bench),
+                    escape(&c.config),
+                    escape(&c.metric),
+                    c.lower_is_better,
+                    opt(c.baseline),
+                    opt(c.candidate),
+                    opt(c.change),
+                    c.allowed,
+                    match c.status {
+                        CheckStatus::Pass => "pass",
+                        CheckStatus::Regressed => "regressed",
+                        CheckStatus::MissingBaseline => "missing-baseline",
+                        CheckStatus::Invalid => "invalid",
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":1,\"pass\":{},\"threshold\":{},\"checks\":[{}]}}\n",
+            self.pass(),
+            self.threshold,
+            checks.join(",")
+        )
+    }
+
+    /// Human-oriented one-line-per-check rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let arrow = if c.lower_is_better { "↓" } else { "↑" };
+            let values = match (c.baseline, c.candidate) {
+                (Some(b), Some(n)) => format!(
+                    "{b:.1} → {n:.1} ({:+.2}%, allowed ±{:.1}%)",
+                    c.change.unwrap_or(0.0) * 100.0,
+                    c.allowed * 100.0
+                ),
+                (None, Some(n)) => format!("no baseline → {n:.1}"),
+                _ => "no candidate rows".to_string(),
+            };
+            let status = match c.status {
+                CheckStatus::Pass => "ok       ",
+                CheckStatus::Regressed => "REGRESSED",
+                CheckStatus::MissingBaseline => "skipped  ",
+                CheckStatus::Invalid => "INVALID  ",
+            };
+            out.push_str(&format!(
+                "{status} {}/{} {} {arrow}: {values}\n",
+                c.bench, c.config, c.metric
+            ));
+        }
+        out
+    }
+}
+
+/// Latest row per (bench, config) — ledger order is append order, so the
+/// last matching row is the freshest measurement of that configuration.
+fn latest_by_config<'a>(
+    rows: &'a [LedgerRow],
+    pin: &PinnedMetric,
+) -> BTreeMap<&'a str, &'a LedgerRow> {
+    let mut latest: BTreeMap<&str, &LedgerRow> = BTreeMap::new();
+    for row in rows {
+        if row.bench == pin.bench
+            && row.config.starts_with(&pin.config_prefix)
+            && row.metrics.contains_key(&pin.metric)
+        {
+            latest.insert(row.config.as_str(), row);
+        }
+    }
+    latest
+}
+
+/// Runs the gate: every pinned metric, every candidate config.
+#[must_use]
+pub fn evaluate(
+    baseline: &[LedgerRow],
+    candidate: &[LedgerRow],
+    pins: &[PinnedMetric],
+    threshold: f64,
+) -> GateOutcome {
+    let mut checks = Vec::new();
+    for pin in pins {
+        let base = latest_by_config(baseline, pin);
+        let cand = latest_by_config(candidate, pin);
+        if cand.is_empty() {
+            // The candidate run did not measure this pin at all: record a
+            // skip so the verdict names the hole, but a fast CI subset
+            // must stay green.
+            checks.push(GateCheck {
+                bench: pin.bench.clone(),
+                config: if pin.config_prefix.is_empty() {
+                    "*".to_string()
+                } else {
+                    format!("{}*", pin.config_prefix)
+                },
+                metric: pin.metric.clone(),
+                lower_is_better: lower_is_better(&pin.metric),
+                baseline: None,
+                candidate: None,
+                change: None,
+                allowed: threshold,
+                status: CheckStatus::MissingBaseline,
+            });
+            continue;
+        }
+        for (config, cand_row) in &cand {
+            let cand_value = cand_row.metrics[&pin.metric];
+            let lower = lower_is_better(&pin.metric);
+            let (status, base_value, change, allowed) = match base.get(config) {
+                None => (CheckStatus::MissingBaseline, None, None, threshold),
+                Some(base_row) => {
+                    let base_value = base_row.metrics[&pin.metric];
+                    let allowed = threshold + base_row.noise_floor.max(cand_row.noise_floor);
+                    match rel_change(base_value, cand_value) {
+                        // Zero or non-finite on either side: refuse to
+                        // conclude anything — and refuse loudly.
+                        None => (CheckStatus::Invalid, Some(base_value), None, allowed),
+                        Some(change) => {
+                            let regressed = if lower {
+                                change > allowed
+                            } else {
+                                change < -allowed
+                            };
+                            let status = if regressed {
+                                CheckStatus::Regressed
+                            } else {
+                                CheckStatus::Pass
+                            };
+                            (status, Some(base_value), Some(change), allowed)
+                        }
+                    }
+                }
+            };
+            checks.push(GateCheck {
+                bench: pin.bench.clone(),
+                config: (*config).to_string(),
+                metric: pin.metric.clone(),
+                lower_is_better: lower,
+                baseline: base_value,
+                candidate: Some(cand_value),
+                change,
+                allowed,
+                status,
+            });
+        }
+    }
+    GateOutcome { threshold, checks }
+}
+
+/// Parses `10%`, `0.1`, or `10` (percent implied for values > 1) into a
+/// fraction.
+///
+/// # Errors
+///
+/// Returns a message for unparseable or negative thresholds.
+pub fn parse_threshold(raw: &str) -> Result<f64, String> {
+    let (text, percent) = match raw.strip_suffix('%') {
+        Some(t) => (t, true),
+        None => (raw, false),
+    };
+    let value: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| format!("threshold {raw:?} is not a number"))?;
+    let fraction = if percent || value > 1.0 {
+        value / 100.0
+    } else {
+        value
+    };
+    if !fraction.is_finite() || fraction < 0.0 {
+        return Err(format!("threshold {raw:?} must be >= 0"));
+    }
+    Ok(fraction)
+}

@@ -1,0 +1,360 @@
+//! The performance ledger: an append-only trajectory of benchmark results.
+//!
+//! `results/BENCH_kernel.json`, `BENCH_server.json`, and `BENCH_fleet.json`
+//! are point-in-time snapshots — each rerun replaces the previous numbers,
+//! so the repo knows where performance *is* but not where it *was*, and
+//! nothing fails when a pinned metric rots. This module gives every
+//! benchmark run a durable row in `results/ledger.jsonl`:
+//!
+//! - [`LedgerRow`] is the normalized schema (commit, timestamp, benchmark
+//!   id, config key, metrics map) that heterogeneous producers — the
+//!   kernel/fleet repro harness, `pet loadgen --bench-json`, Criterion
+//!   `estimates.json` — all map into (see [`migrate`]).
+//! - The ledger file is JSON Lines, append-only: [`append`] never rewrites
+//!   history, [`load`] replays it in order.
+//! - [`gate`] compares the latest rows against a baseline and fails CI on
+//!   regression of the pinned metrics; [`trend`] renders the trajectory as
+//!   CSV + SVG next to the experiment charts.
+//!
+//! Rows carry `best_of` (how many repeats the numbers are the best of) and
+//! `noise_floor` (observed relative jitter across those repeats) so the
+//! gate can tolerate machine noise without widening the threshold for
+//! genuinely stable metrics.
+
+pub mod gate;
+pub mod migrate;
+pub mod trend;
+
+use pet_server::json::{escape, Json};
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Version tag written into every ledger row.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// One normalized benchmark result: a (benchmark, config) point at a
+/// commit, with every measured metric in one map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRow {
+    /// Short commit hash the numbers belong to (`"unknown"` outside git).
+    pub commit: String,
+    /// Unix seconds when the row was recorded (0 for migrated snapshots
+    /// whose recording time is unknown).
+    pub timestamp_s: u64,
+    /// Benchmark id: `"kernel"`, `"server-loadgen"`, `"fleet"`,
+    /// `"criterion"`, ...
+    pub bench: String,
+    /// Configuration key within the benchmark, e.g. `"evented/c16/p64"` or
+    /// `"n=100000/lane=avx2"`. Gate and trend series are keyed by
+    /// (bench, config, metric).
+    pub config: String,
+    /// Where the row came from: `"repro:bench-kernel"`, `"loadgen"`,
+    /// `"migrate:BENCH_server.json"`, ...
+    pub source: String,
+    /// How many repeats these numbers are the best of (≥ 1).
+    pub best_of: u64,
+    /// Observed relative spread across the repeats (0 when unknown or
+    /// single-shot). The gate adds this to its threshold, so jittery rows
+    /// get honest slack instead of a global fudge factor.
+    pub noise_floor: f64,
+    /// Metric name → value. All values finite; names are free-form but the
+    /// direction convention in [`gate::lower_is_better`] applies.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl LedgerRow {
+    /// Starts an empty row for a benchmark/config pair at a commit.
+    #[must_use]
+    pub fn new(bench: &str, config: &str, commit: &str) -> Self {
+        Self {
+            commit: commit.to_string(),
+            timestamp_s: 0,
+            bench: bench.to_string(),
+            config: config.to_string(),
+            source: "unknown".to_string(),
+            best_of: 1,
+            noise_floor: 0.0,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a metric, rejecting non-finite values instead of letting a NaN
+    /// poison the gate arithmetic downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `value` is NaN or infinite.
+    pub fn metric(&mut self, name: &str, value: f64) -> Result<(), String> {
+        if !value.is_finite() {
+            return Err(format!("metric {name:?}: non-finite value {value}"));
+        }
+        self.metrics.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Structural validation: every field a reader relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bench.is_empty() || self.config.is_empty() {
+            return Err("bench and config must be non-empty".into());
+        }
+        if self.commit.is_empty() {
+            return Err("commit must be non-empty (use \"unknown\")".into());
+        }
+        if self.best_of == 0 {
+            return Err("best_of must be >= 1".into());
+        }
+        if !self.noise_floor.is_finite() || !(0.0..1.0).contains(&self.noise_floor) {
+            return Err(format!("noise_floor {} not in [0, 1)", self.noise_floor));
+        }
+        if self.metrics.is_empty() {
+            return Err("a row needs at least one metric".into());
+        }
+        for (name, value) in &self.metrics {
+            if name.is_empty() {
+                return Err("empty metric name".into());
+            }
+            if !value.is_finite() {
+                return Err(format!("metric {name:?}: non-finite value {value}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the row as one JSON line (no trailing newline). Metric keys
+    /// are in `BTreeMap` order, so equal rows render byte-identically —
+    /// the property the golden report test leans on.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape(k), fmt_f64(*v)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":{},\"commit\":\"{}\",\"timestamp_s\":{},",
+                "\"bench\":\"{}\",\"config\":\"{}\",\"source\":\"{}\",",
+                "\"best_of\":{},\"noise_floor\":{},\"metrics\":{{{}}}}}"
+            ),
+            LEDGER_SCHEMA_VERSION,
+            escape(&self.commit),
+            self.timestamp_s,
+            escape(&self.bench),
+            escape(&self.config),
+            escape(&self.source),
+            self.best_of,
+            fmt_f64(self.noise_floor),
+            metrics.join(",")
+        )
+    }
+
+    /// Parses a row from one ledger line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, an unknown schema version, or
+    /// a row that fails [`Self::validate`].
+    pub fn parse_jsonl(line: &str) -> Result<Self, String> {
+        let v = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema field")?;
+        if schema != LEDGER_SCHEMA_VERSION {
+            return Err(format!(
+                "ledger schema {schema} (this build reads {LEDGER_SCHEMA_VERSION})"
+            ));
+        }
+        let text = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string field {k:?}"))
+        };
+        let mut metrics = BTreeMap::new();
+        let Some(Json::Obj(entries)) = v.get("metrics") else {
+            return Err("missing metrics object".into());
+        };
+        for (name, value) in entries {
+            let value = value
+                .as_f64()
+                .ok_or(format!("metric {name:?}: not a number"))?;
+            metrics.insert(name.clone(), value);
+        }
+        let row = Self {
+            commit: text("commit")?,
+            timestamp_s: v
+                .get("timestamp_s")
+                .and_then(Json::as_u64)
+                .ok_or("missing timestamp_s")?,
+            bench: text("bench")?,
+            config: text("config")?,
+            source: text("source")?,
+            best_of: v
+                .get("best_of")
+                .and_then(Json::as_u64)
+                .ok_or("missing best_of")?,
+            noise_floor: v
+                .get("noise_floor")
+                .and_then(Json::as_f64)
+                .ok_or("missing noise_floor")?,
+            metrics,
+        };
+        row.validate()?;
+        Ok(row)
+    }
+
+    /// Stamps the row with the current wall clock.
+    #[must_use]
+    pub fn stamped_now(mut self) -> Self {
+        self.timestamp_s = now_unix_s();
+        self
+    }
+}
+
+/// Shortest round-trip decimal rendering of an f64. Rust's `Display`
+/// prints the minimal digits that parse back to the same bits and never
+/// uses exponent notation, which keeps the JSONL both stable and readable.
+fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "ledger never serializes non-finite values");
+    format!("{v}")
+}
+
+/// Appends rows to a JSONL ledger, creating the file (and parents) if
+/// needed. Never rewrites existing lines — the ledger is history.
+///
+/// # Errors
+///
+/// Returns a validation message for a bad row, or the underlying I/O
+/// error.
+pub fn append(path: &Path, rows: &[LedgerRow]) -> Result<(), String> {
+    for row in rows {
+        row.validate()
+            .map_err(|e| format!("{}/{}: {e}", row.bench, row.config))?;
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut body = String::new();
+    for row in rows {
+        body.push_str(&row.to_jsonl());
+        body.push('\n');
+    }
+    file.write_all(body.as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every row of a ledger file, in file (= append) order.
+///
+/// # Errors
+///
+/// Returns an I/O error for an unreadable file, or a parse message with
+/// the 1-based line number of the first malformed row.
+pub fn load(path: &Path) -> io::Result<Vec<LedgerRow>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_ledger(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parses ledger text (blank lines skipped).
+///
+/// # Errors
+///
+/// Returns a message with the 1-based line number of the first bad row.
+pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(LedgerRow::parse_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+/// Nearest-rank percentile over unsorted finite samples.
+///
+/// Returns `None` when the slice is empty or contains a non-finite value —
+/// the caller decides whether that is an error, instead of receiving a
+/// silently garbage rank.
+#[must_use]
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+/// Geometric mean of strictly positive finite samples (`None` otherwise).
+/// Used to aggregate per-config ratios into one headline number without
+/// letting a single huge config dominate an arithmetic mean.
+#[must_use]
+pub fn geomean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|v| v.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+/// Relative change `(candidate - baseline) / baseline`, defined only for a
+/// strictly positive finite baseline and finite candidate. This is the one
+/// place gate arithmetic touches division — a zero or NaN baseline becomes
+/// an explicit `None` (surfaced as an invalid check), never a NaN verdict.
+#[must_use]
+pub fn rel_change(baseline: f64, candidate: f64) -> Option<f64> {
+    if !baseline.is_finite() || baseline <= 0.0 || !candidate.is_finite() {
+        return None;
+    }
+    Some((candidate - baseline) / baseline)
+}
+
+/// Relative spread `(max - min) / max` of repeat measurements: the
+/// observed noise floor stored on best-of-N rows. 0 for fewer than two
+/// samples or a non-positive best value.
+#[must_use]
+pub fn noise_floor_of(samples: &[f64]) -> f64 {
+    if samples.len() < 2 || samples.iter().any(|v| !v.is_finite()) {
+        return 0.0;
+    }
+    let max = samples.iter().copied().fold(f64::MIN, f64::max);
+    let min = samples.iter().copied().fold(f64::MAX, f64::min);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    ((max - min) / max).clamp(0.0, 0.999_999)
+}
+
+/// Short hash of the working tree's HEAD, `"unknown"` when git is absent.
+#[must_use]
+pub fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+#[must_use]
+pub fn now_unix_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}

@@ -1,0 +1,189 @@
+//! Trend rendering: the ledger's trajectory as CSV and SVG.
+//!
+//! Each (bench, config, metric) triple becomes one series, points in
+//! ledger (= append) order. The CSV is byte-stable for a fixed ledger —
+//! pinned by a golden-file test — so diffs of `results/trends.csv` show
+//! exactly which series moved. SVGs are per benchmark, values normalized
+//! to each series' first point, so rounds/s and nanoseconds share one
+//! readable chart (1.0 = where the series started).
+
+use super::LedgerRow;
+use crate::svg::SvgChart;
+use pet_sim::csv::CsvWriter;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One point of a trend series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// 0-based position within the series (ledger order).
+    pub seq: u64,
+    /// Commit the measurement belongs to.
+    pub commit: String,
+    /// Unix seconds (0 = unknown / migrated).
+    pub timestamp_s: u64,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// One (bench, config, metric) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSeries {
+    /// Benchmark id.
+    pub bench: String,
+    /// Config key.
+    pub config: String,
+    /// Metric name.
+    pub metric: String,
+    /// Points in append order.
+    pub points: Vec<TrendPoint>,
+}
+
+impl TrendSeries {
+    /// Relative change from the first to the last point, when defined.
+    #[must_use]
+    pub fn total_change(&self) -> Option<f64> {
+        let first = self.points.first()?.value;
+        let last = self.points.last()?.value;
+        super::rel_change(first, last)
+    }
+}
+
+/// Groups ledger rows into series, sorted by (bench, config, metric).
+#[must_use]
+pub fn series_of(rows: &[LedgerRow]) -> Vec<TrendSeries> {
+    let mut series: Vec<TrendSeries> = Vec::new();
+    for row in rows {
+        for (metric, value) in &row.metrics {
+            let found = series
+                .iter_mut()
+                .find(|s| s.bench == row.bench && s.config == row.config && &s.metric == metric);
+            let target = match found {
+                Some(s) => s,
+                None => {
+                    series.push(TrendSeries {
+                        bench: row.bench.clone(),
+                        config: row.config.clone(),
+                        metric: metric.clone(),
+                        points: Vec::new(),
+                    });
+                    series.last_mut().expect("just pushed")
+                }
+            };
+            target.points.push(TrendPoint {
+                seq: target.points.len() as u64,
+                commit: row.commit.clone(),
+                timestamp_s: row.timestamp_s,
+                value: *value,
+            });
+        }
+    }
+    series.sort_by(|a, b| (&a.bench, &a.config, &a.metric).cmp(&(&b.bench, &b.config, &b.metric)));
+    series
+}
+
+/// Writes `trends.csv`: one line per point of every series.
+///
+/// # Errors
+///
+/// Returns any I/O error from the CSV writer.
+pub fn write_csv(series: &[TrendSeries], path: &Path) -> io::Result<()> {
+    let mut csv = CsvWriter::create(
+        path,
+        &[
+            "bench",
+            "config",
+            "metric",
+            "seq",
+            "commit",
+            "timestamp_s",
+            "value",
+        ],
+    )?;
+    for s in series {
+        for p in &s.points {
+            csv.row_strings(&[
+                s.bench.clone(),
+                s.config.clone(),
+                s.metric.clone(),
+                p.seq.to_string(),
+                p.commit.clone(),
+                p.timestamp_s.to_string(),
+                format!("{}", p.value),
+            ])?;
+        }
+    }
+    csv.finish()
+}
+
+/// Writes one `svg/trend_<bench>.svg` per benchmark and returns the paths
+/// written. Series whose first value is not strictly positive cannot be
+/// normalized and are skipped (they stay in the CSV).
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the files.
+pub fn write_svgs(series: &[TrendSeries], out_dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut benches: Vec<&str> = series.iter().map(|s| s.bench.as_str()).collect();
+    benches.sort_unstable();
+    benches.dedup();
+    let mut written = Vec::new();
+    for bench in benches {
+        let mut chart = SvgChart::new(
+            &format!("Perf ledger trend — {bench} (1.0 = first recorded value)"),
+            "run sequence",
+            "value / first value",
+        );
+        let mut plotted = 0usize;
+        for s in series.iter().filter(|s| s.bench == bench) {
+            let first = s.points.first().map_or(0.0, |p| p.value);
+            if first <= 0.0 {
+                continue;
+            }
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|p| (p.seq as f64, p.value / first))
+                .collect();
+            chart = chart.series(&format!("{}:{}", s.config, s.metric), pts);
+            plotted += 1;
+        }
+        if plotted == 0 {
+            continue;
+        }
+        let path = out_dir
+            .join("svg")
+            .join(format!("trend_{}.svg", bench.replace('/', "_")));
+        chart.save(&path)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Per-series one-liners for terminal output.
+#[must_use]
+pub fn render_summary(series: &[TrendSeries]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:<24} {:<28} {:>6} {:>14} {:>14} {:>9}\n",
+        "bench", "config", "metric", "points", "first", "last", "change"
+    ));
+    for s in series {
+        let first = s.points.first().map_or(0.0, |p| p.value);
+        let last = s.points.last().map_or(0.0, |p| p.value);
+        let change = s
+            .total_change()
+            .map_or_else(|| "n/a".to_string(), |c| format!("{:+.1}%", c * 100.0));
+        out.push_str(&format!(
+            "{:<16} {:<24} {:<28} {:>6} {:>14.1} {:>14.1} {:>9}\n",
+            s.bench,
+            s.config,
+            s.metric,
+            s.points.len(),
+            first,
+            last,
+            change
+        ));
+    }
+    out
+}

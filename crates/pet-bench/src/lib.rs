@@ -7,7 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ledger;
 pub mod plots;
+pub mod suite;
 pub mod svg;
 
 use pet_sim::csv::CsvWriter;

@@ -1,0 +1,103 @@
+//! Golden-file test for `pet bench report`'s renderers: a fixed ledger
+//! fixture must produce a byte-stable trend CSV (pinned under
+//! `tests/golden/`) and structurally sound SVGs.
+//!
+//! To regenerate the golden after an intentional format change:
+//! `PET_BLESS=1 cargo test -p pet-bench --test ledger_report`.
+
+use pet_bench::ledger::{parse_ledger, trend};
+use std::path::{Path, PathBuf};
+
+fn fixture() -> Vec<pet_bench::ledger::LedgerRow> {
+    let text = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ledger_fixture.jsonl"),
+    )
+    .expect("fixture readable");
+    parse_ledger(&text).expect("fixture parses")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pet-report-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trend_csv_matches_golden_byte_for_byte() {
+    let series = trend::series_of(&fixture());
+    let dir = tmp_dir("csv");
+    let out = dir.join("trends.csv");
+    trend::write_csv(&series, &out).unwrap();
+    let produced = std::fs::read_to_string(&out).unwrap();
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trends.csv");
+    if std::env::var("PET_BLESS").is_ok_and(|v| !v.is_empty()) {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &produced).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run once with PET_BLESS=1 to create it, then commit the file");
+    assert_eq!(
+        produced, golden,
+        "trends.csv drifted from tests/golden/trends.csv; if the change is \
+         intentional, re-bless with PET_BLESS=1 and commit"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trend_series_grouping_is_deterministic() {
+    let rows = fixture();
+    let series = trend::series_of(&rows);
+    // (bench, config, metric) triples, sorted: 3 kernel + 2×2 server + 2 fleet.
+    assert_eq!(series.len(), 3 + 4 + 2);
+    let keys: Vec<String> = series
+        .iter()
+        .map(|s| format!("{}/{}/{}", s.bench, s.config, s.metric))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "series come out sorted");
+    // The kernel simd series has all three commits, in append order.
+    let simd = series
+        .iter()
+        .find(|s| s.metric == "rounds_per_sec_kernel_simd")
+        .unwrap();
+    let commits: Vec<&str> = simd.points.iter().map(|p| p.commit.as_str()).collect();
+    assert_eq!(commits, ["8d4ee64", "4d58408", "a2eda42"]);
+    assert_eq!(simd.points[0].seq, 0);
+    assert_eq!(simd.points[2].seq, 2);
+    let change = simd.total_change().unwrap();
+    assert!(change > 0.039 && change < 0.040, "+{:.4}", change);
+}
+
+#[test]
+fn trend_svgs_are_structurally_sound() {
+    let series = trend::series_of(&fixture());
+    let dir = tmp_dir("svg");
+    let written = trend::write_svgs(&series, &dir).unwrap();
+    // One chart per benchmark present in the fixture.
+    let names: Vec<String> = written
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "trend_fleet.svg",
+            "trend_kernel.svg",
+            "trend_server-loadgen.svg"
+        ]
+    );
+    for path in &written {
+        let svg = std::fs::read_to_string(path).unwrap();
+        assert!(svg.starts_with("<svg"), "{}", path.display());
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains("Perf ledger trend"));
+    }
+    // The kernel chart carries one polyline per kernel series and its
+    // normalized values hover around 1.0 (first point = 1).
+    let kernel = std::fs::read_to_string(&written[1]).unwrap();
+    assert!(kernel.contains("n=100000/lane=avx2:rounds_per_sec_kernel_simd"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -10,6 +10,7 @@
 //! digest, which the CI fleet smoke asserts.
 
 use crate::args::{ArgError, Args};
+use pet_bench::ledger;
 use pet_core::config::PetConfig;
 use pet_fleet::{
     Coordinator, FaultAction, FaultEvent, FaultProxy, FleetConfig, FleetReport, FleetSpec,
@@ -176,9 +177,21 @@ pub fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
     let report = outcome.map_err(|e| ArgError(e.to_string()))?;
     print_fleet_report(&spec, &report);
     if let Some(path) = args.get("bench-json") {
-        write_fleet_bench_json(path, &spec, &report)
+        let json = write_fleet_bench_json(path, &spec, &report)
             .map_err(|e| ArgError(format!("--bench-json {path}: {e}")))?;
         println!("bench json     : {path}");
+        // Mirror the snapshot into the append-only perf ledger beside it
+        // (same adapter `pet bench record --from` would use).
+        let ledger_path = std::path::Path::new(path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("ledger.jsonl");
+        let rows =
+            ledger::migrate::sniff_snapshot(&json, "pet:fleet", Some(&ledger::current_commit()))
+                .map_err(ArgError)?;
+        ledger::append(&ledger_path, &rows)
+            .map_err(|e| ArgError(format!("{}: {e}", ledger_path.display())))?;
+        println!("ledger         : {}", ledger_path.display());
     }
     Ok(())
 }
@@ -226,7 +239,11 @@ fn print_fleet_report(spec: &FleetSpec, r: &FleetReport) {
 
 /// The machine-readable artifact for fleet drills: merged-estimate digest,
 /// coverage, and round-latency tail from the coordinator's histogram.
-fn write_fleet_bench_json(path: &str, spec: &FleetSpec, r: &FleetReport) -> std::io::Result<()> {
+fn write_fleet_bench_json(
+    path: &str,
+    spec: &FleetSpec,
+    r: &FleetReport,
+) -> std::io::Result<String> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -263,7 +280,8 @@ fn write_fleet_bench_json(path: &str, spec: &FleetSpec, r: &FleetReport) -> std:
         max_ns,
         r.digest(),
     );
-    std::fs::write(path, json)
+    std::fs::write(path, &json)?;
+    Ok(json)
 }
 
 /// `0,1;1,2;3` → one zone list per reader.

@@ -20,6 +20,7 @@
 //! JSON Lines, which `pet telemetry --file <path.jsonl>` summarizes.
 
 mod args;
+mod bench;
 mod fleet;
 mod serve;
 
@@ -67,6 +68,14 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
                [--quorum 1] [--deadline-ms 2000] [--dead-after 2] [--miss P]
                [--kill R@ROUND,...] [--stall R@ROUND:MS,...] [--drop R@ROUND,...]
                [--restore R@ROUND,...] [--shutdown-agents] [--bench-json path]
+  pet bench record  (--suite kernel [--quick] [--best-of 3] | --from BENCH_*.json
+               | --criterion-dir DIR) [--ledger results/ledger.jsonl]
+               [--commit C] [--source LABEL]
+  pet bench migrate [--results results] [--ledger results/ledger.jsonl]
+  pet bench report  [--ledger results/ledger.jsonl] [--out results]
+  pet bench gate    --baseline <file|git-ref> [--threshold 10%]
+               [--pin bench[:prefix]:metric,...] [--verdict path]
+               [--ledger results/ledger.jsonl]   (exit 1 on regression)
 (every command also accepts --telemetry <path.jsonl> to stream pet-obs events)";
 
 fn main() -> ExitCode {
@@ -87,6 +96,14 @@ fn accuracy_from(args: &Args) -> Result<Accuracy, ArgError> {
 }
 
 fn run(argv: &[String]) -> Result<(), ArgError> {
+    // `pet bench <action> [--flags]` carries an action word the flat
+    // grammar would reject as a positional; re-parse everything after
+    // `bench` so the action becomes the command.
+    if argv.first().map(String::as_str) == Some("bench") {
+        let args = Args::parse(argv[1..].iter().cloned())?;
+        let _telemetry = TelemetryGuard::from_args(&args)?;
+        return bench::cmd_bench(&args);
+    }
     let args = Args::parse(argv.iter().cloned())?;
     let _telemetry = TelemetryGuard::from_args(&args)?;
     match args.command.as_str() {

@@ -11,6 +11,7 @@
 //! (`--verify-deterministic`).
 
 use crate::args::{ArgError, Args};
+use pet_bench::ledger;
 use pet_server::loadgen::{run_batch, BatchReport, BenchRun, Plan};
 use pet_server::{serve, Backend, ServerConfig, ServerHandle};
 use std::net::SocketAddr;
@@ -125,6 +126,23 @@ pub fn cmd_loadgen(args: &Args) -> Result<(), ArgError> {
         pet_server::loadgen::write_bench_json(path, &run)
             .map_err(|e| ArgError(format!("--bench-json {path}: {e}")))?;
         println!("bench json    : {path}");
+        // The snapshot's directory also carries the append-only perf
+        // ledger, so every recorded loadgen run lands in the trend history
+        // without a separate `pet bench record` step.
+        let ledger_path = std::path::Path::new(path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("ledger.jsonl");
+        let row = ledger::migrate::row_from_bench_run(
+            &run,
+            &ledger::current_commit(),
+            "pet:loadgen",
+            1,
+            0.0,
+        );
+        ledger::append(&ledger_path, &[row])
+            .map_err(|e| ArgError(format!("{}: {e}", ledger_path.display())))?;
+        println!("ledger        : {}", ledger_path.display());
     }
     if verify {
         let second = run_batch(addr, &plan);

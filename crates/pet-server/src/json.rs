@@ -137,6 +137,30 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serializes the value back to compact JSON. Numbers render through
+    /// Rust's shortest-round-trip `f64` display, so integers stay
+    /// integer-shaped and `parse(render(v))` is value-identical to `v`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Null => "null".to_string(),
+            Self::Bool(b) => b.to_string(),
+            Self::Num(n) => format!("{n}"),
+            Self::Str(s) => format!("\"{}\"", escape(s)),
+            Self::Arr(items) => {
+                let body: Vec<String> = items.iter().map(Self::render).collect();
+                format!("[{}]", body.join(","))
+            }
+            Self::Obj(fields) => {
+                let body: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", body.join(","))
+            }
+        }
+    }
 }
 
 struct Parser<'a> {

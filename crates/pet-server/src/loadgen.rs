@@ -467,6 +467,56 @@ impl BenchRun {
         )
     }
 
+    /// Parses a pre-v2 flat artifact (one run, no `backend` /
+    /// `connections` / `pipeline` keys) with the defaults that benchmark
+    /// actually ran: the threaded backend, one connection per thread, no
+    /// pipelining. `requests` and `elapsed_s` are the only hard
+    /// requirements.
+    fn from_flat_json(v: &Json) -> Option<Self> {
+        let field = |k: &str| v.get(k).and_then(Json::as_u64);
+        let requests = field("requests")?;
+        let elapsed_s = v.get("elapsed_s").and_then(Json::as_f64)?;
+        let threads = field("threads").unwrap_or(8);
+        let lat = |k: &str| {
+            v.get("latency_ns")
+                .and_then(|l| l.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        Some(Self {
+            backend: v
+                .get("backend")
+                .and_then(Json::as_str)
+                .unwrap_or("threaded")
+                .to_string(),
+            requests,
+            connections: field("connections").unwrap_or(threads),
+            threads,
+            pipeline: field("pipeline").unwrap_or(1),
+            tags: field("tags").unwrap_or(0),
+            rounds: field("rounds").unwrap_or(0),
+            elapsed_s,
+            throughput_rps: v
+                .get("throughput_rps")
+                .and_then(Json::as_f64)
+                .unwrap_or(requests as f64 / elapsed_s.max(1e-9)),
+            ok: field("ok").unwrap_or(requests),
+            overloaded: field("overloaded").unwrap_or(0),
+            errors: field("errors").unwrap_or(0),
+            malformed: field("malformed").unwrap_or(0),
+            lost: field("lost").unwrap_or(0),
+            p50_ns: lat("p50"),
+            p95_ns: lat("p95"),
+            p99_ns: lat("p99"),
+            max_ns: lat("max"),
+            digest: v
+                .get("digest")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    }
+
     fn from_json(v: &Json) -> Option<Self> {
         let field = |k: &str| v.get(k).and_then(Json::as_u64);
         let lat = v.get("latency_ns")?;
@@ -499,12 +549,29 @@ impl BenchRun {
 /// turned the file into a merged `runs` array).
 pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
+/// The (backend, connections, pipeline) merge key of a bench row.
+type RowKey = (String, u64, u64);
+
+/// Merge key of a raw JSON row, when extractable.
+fn raw_key(item: &Json) -> Option<RowKey> {
+    Some((
+        item.get("backend").and_then(Json::as_str)?.to_string(),
+        item.get("connections").and_then(Json::as_u64)?,
+        item.get("pipeline").and_then(Json::as_u64)?,
+    ))
+}
+
 /// Writes (or merges into) the machine-readable benchmark artifact.
 ///
 /// The file holds one row per (backend, connections, pipeline)
 /// configuration; rewriting a configuration replaces its row and leaves
 /// the others intact, so threaded and evented measurements accumulate in
-/// one artifact. A pre-v2 (flat) file is replaced wholesale.
+/// one artifact — a partial rerun never loses rows it didn't measure.
+/// Rows a future (or past) schema dialect that [`BenchRun::from_json`]
+/// cannot parse are preserved verbatim, keyed when their (backend,
+/// connections, pipeline) fields are extractable. A pre-v2 flat file is
+/// migrated into a keyed v2 row instead of being discarded, so seed-era
+/// history survives the first rerun.
 ///
 /// # Errors
 ///
@@ -515,23 +582,46 @@ pub fn write_bench_json(path: &str, run: &BenchRun) -> std::io::Result<()> {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let mut runs: Vec<BenchRun> = Vec::new();
+    // (sort key, keyed?, rendered row). Unkeyed passthrough rows sort
+    // after every keyed row, in file order.
+    let mut rows: Vec<(Option<RowKey>, String)> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(path) {
         if let Ok(v) = Json::parse(existing.trim()) {
-            if v.get("schema_version").and_then(Json::as_u64) == Some(BENCH_SCHEMA_VERSION) {
+            let is_v2 =
+                v.get("schema_version").and_then(Json::as_u64) == Some(BENCH_SCHEMA_VERSION);
+            if is_v2 {
                 for item in v.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
-                    if let Some(parsed) = BenchRun::from_json(item) {
-                        if parsed.key() != run.key() {
-                            runs.push(parsed);
+                    match BenchRun::from_json(item) {
+                        Some(parsed) => {
+                            if parsed.key() != run.key() {
+                                rows.push((Some(parsed.key()), parsed.render()));
+                            }
+                        }
+                        // Not our dialect: keep the row byte-equivalent
+                        // rather than silently dropping someone's data.
+                        None => {
+                            let key = raw_key(item);
+                            if key.as_ref() != Some(&run.key()) {
+                                rows.push((key, item.render()));
+                            }
                         }
                     }
+                }
+            } else if let Some(flat) = BenchRun::from_flat_json(&v) {
+                if flat.key() != run.key() {
+                    rows.push((Some(flat.key()), flat.render()));
                 }
             }
         }
     }
-    runs.push(run.clone());
-    runs.sort_by_key(BenchRun::key);
-    let body: Vec<String> = runs.iter().map(BenchRun::render).collect();
+    rows.push((Some(run.key()), run.render()));
+    rows.sort_by(|a, b| match (&a.0, &b.0) {
+        (Some(x), Some(y)) => x.cmp(y),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+    let body: Vec<String> = rows.into_iter().map(|(_, text)| text).collect();
     let json = format!(
         "{{\"benchmark\":\"pet-server-loadgen\",\"schema_version\":{},\"runs\":[{}]}}\n",
         BENCH_SCHEMA_VERSION,
@@ -597,6 +687,75 @@ mod tests {
         assert_eq!(
             evented.get("connections").and_then(Json::as_u64),
             Some(plan.connections as u64)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a partial rerun must never lose rows it didn't measure
+    /// — neither rows this dialect can't parse (preserved verbatim) nor a
+    /// pre-v2 flat file (migrated into a keyed v2 row, not discarded).
+    #[test]
+    fn bench_json_partial_rerun_preserves_foreign_and_flat_rows() {
+        let dir =
+            std::env::temp_dir().join(format!("pet-bench-json-preserve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = Plan::default();
+        let mut report = BatchReport {
+            ok: plan.requests,
+            elapsed: Duration::from_millis(250),
+            ..BatchReport::default()
+        };
+        report.latency_ns = vec![1_000; 16];
+
+        // A v2 file holding one parseable row and one row from a richer
+        // future dialect (extra field, missing `latency_ns` so
+        // `from_json` rejects it).
+        let path = dir.join("BENCH_server.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(path, &BenchRun::new("threaded", &plan, &report)).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let foreign =
+            "{\"backend\":\"evented\",\"connections\":512,\"pipeline\":8,\"cpu_pct\":93.5}";
+        let text = text.replace("\"runs\":[", &format!("\"runs\":[{foreign},"));
+        std::fs::write(path, text).unwrap();
+
+        // Partial rerun of the threaded arm only.
+        report.elapsed = Duration::from_millis(125);
+        write_bench_json(path, &BenchRun::new("threaded", &plan, &report)).unwrap();
+        let v = Json::parse(std::fs::read_to_string(path).unwrap().trim()).unwrap();
+        let runs = v.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2, "foreign evented row must survive");
+        let evented = runs
+            .iter()
+            .find(|r| r.get("backend").and_then(Json::as_str) == Some("evented"))
+            .expect("foreign row preserved");
+        assert_eq!(evented.get("cpu_pct").and_then(Json::as_f64), Some(93.5));
+        assert_eq!(evented.get("connections").and_then(Json::as_u64), Some(512));
+
+        // A pre-v2 flat file: the rerun migrates it instead of clobbering.
+        let flat_path = dir.join("BENCH_server_flat.json");
+        let flat_path = flat_path.to_str().unwrap();
+        std::fs::write(
+            flat_path,
+            "{\"benchmark\":\"pet-server-loadgen\",\"requests\":20000,\"threads\":4,\
+             \"elapsed_s\":0.5,\"latency_ns\":{\"p50\":900,\"p95\":2000,\"p99\":3000,\
+             \"max\":9000},\"digest\":\"0xdead\"}\n",
+        )
+        .unwrap();
+        write_bench_json(flat_path, &BenchRun::new("evented", &plan, &report)).unwrap();
+        let v = Json::parse(std::fs::read_to_string(flat_path).unwrap().trim()).unwrap();
+        let runs = v.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2, "flat row must migrate, not vanish");
+        let migrated = runs
+            .iter()
+            .find(|r| r.get("backend").and_then(Json::as_str) == Some("threaded"))
+            .expect("flat row migrated with threaded defaults");
+        assert_eq!(migrated.get("requests").and_then(Json::as_u64), Some(20000));
+        assert_eq!(migrated.get("connections").and_then(Json::as_u64), Some(4));
+        assert_eq!(migrated.get("pipeline").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            migrated.get("throughput_rps").and_then(Json::as_f64),
+            Some(40000.0)
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -174,6 +174,30 @@ D2=$(grep '^fleet digest' "$FLEET_TMP/run2.out")
 wait "${AGENT_PIDS[@]}"
 echo "fleet smoke: reproducible ($D1)"
 
+# Perf-ledger gate: the golden report rendering always runs (byte-stable
+# CSV from a fixed fixture), and when PET_CI_GATE=1 the regression gate
+# measures the fast pinned subset live — a quick best-of-3 kernel suite
+# into a scratch ledger — and compares it against the committed ledger
+# history at a 10% threshold (+ per-row noise floors). Env-guarded because
+# wall-clock numbers from an arbitrarily loaded CI box are only meaningful
+# when the operator says the machine is quiet(ish).
+echo "==> perf ledger: golden report rendering"
+cargo test -q -p pet-bench --test ledger_report
+if [[ "${PET_CI_GATE:-0}" == "1" ]]; then
+    echo "==> perf ledger: regression gate (pinned kernel subset, live)"
+    GATE_TMP=$(mktemp -d)
+    "$PET_BIN" bench record --suite kernel --quick --best-of 3 \
+        --ledger "$GATE_TMP/ledger.jsonl"
+    "$PET_BIN" bench gate --baseline results/ledger.jsonl \
+        --ledger "$GATE_TMP/ledger.jsonl" --threshold 10% \
+        --pin kernel:rounds_per_sec_kernel_simd \
+        --verdict target/bench-gate-verdict.json
+    rm -rf "$GATE_TMP"
+    echo "perf ledger: gate verdict in target/bench-gate-verdict.json"
+else
+    echo "==> perf ledger: regression gate SKIPPED (set PET_CI_GATE=1 to run)"
+fi
+
 echo "==> cargo fmt --check (first-party crates)"
 for crate in "${CRATES[@]}"; do
     cargo fmt -p "$crate" --check

@@ -84,12 +84,37 @@ fn run_samples<F: FnMut(&mut Bencher)>(label: &str, samples: usize, tput: Option
         .collect();
     per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let rate = match tput {
         Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / median),
         Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / median),
         None => String::new(),
     };
     println!("bench: {label:<48} {:>12.1} ns/iter{rate}", median * 1e9);
+    write_estimates(label, median * 1e9, mean * 1e9);
+}
+
+/// When `PET_CRITERION_JSON_DIR` is set, mirror upstream criterion's output
+/// tree — `<dir>/<label>/new/estimates.json` with `mean`/`median`
+/// `point_estimate` fields in nanoseconds — so the perf ledger's criterion
+/// adapter (`pet bench record --criterion-dir`) ingests vendored runs the
+/// same way it would ingest real criterion output.
+fn write_estimates(label: &str, median_ns: f64, mean_ns: f64) {
+    let Ok(root) = std::env::var("PET_CRITERION_JSON_DIR") else {
+        return;
+    };
+    if root.is_empty() {
+        return;
+    }
+    let dir = std::path::Path::new(&root).join(label).join("new");
+    let body = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean_ns}}},\"median\":{{\"point_estimate\":{median_ns}}}}}\n"
+    );
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("estimates.json"), body))
+    {
+        eprintln!("criterion: cannot write estimates.json under {root}: {e}");
+    }
 }
 
 /// A named group of related benchmarks.
