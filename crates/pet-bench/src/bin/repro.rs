@@ -13,7 +13,7 @@
 
 use pet_bench::{ledger, suite};
 use pet_sim::experiments::{
-    ablations, detection, energy, fig4, fig6, fig7, fleet, motivation, table3, table45,
+    ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, table3, table45,
 };
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "motivation",
     "energy",
     "detection",
+    "monitor",
     "fleet",
     "bench-kernel",
     "bench-server",
@@ -331,6 +332,39 @@ fn main() {
         });
         pet_bench::report_detection(&rows, &out_dir).expect("write detection");
         pet_bench::figures::detection(&rows, &out_dir).expect("detection svg");
+    }
+
+    if want("monitor") {
+        let rows = monitor::run(&monitor::MonitorSweepParams {
+            runs: runs.min(200),
+            ..monitor::MonitorSweepParams::default()
+        });
+        pet_bench::report_monitor(&rows, &out_dir).expect("write monitor");
+        pet_bench::figures::monitor(&rows, &out_dir).expect("monitor svg");
+        // One ledger row per churn rate, so the gate's monitor pin tracks
+        // the detection latency at every swept operating point.
+        let commit = ledger::current_commit();
+        let ledger_rows: Vec<ledger::LedgerRow> = rows
+            .iter()
+            .map(|r| {
+                let mut row = ledger::LedgerRow::new(
+                    "monitor",
+                    &format!("burst=0.5/window=4/rate={}", r.churn_rate),
+                    &commit,
+                );
+                row.source = "repro:monitor".to_string();
+                row.metric("detection_latency_updates", r.mean_latency)
+                    .expect("finite latency");
+                row.metric("detection_rate", r.detection_rate)
+                    .expect("finite rate");
+                row
+            })
+            .collect();
+        ledger::append(&out_dir.join("ledger.jsonl"), &ledger_rows).expect("append ledger.jsonl");
+        println!(
+            "monitor: {} ledger rows appended to results/ledger.jsonl",
+            ledger_rows.len()
+        );
     }
 
     if want("fleet") {

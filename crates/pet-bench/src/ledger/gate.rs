@@ -76,13 +76,17 @@ impl PinnedMetric {
 
 /// The repo's default pinned metrics: kernel rounds/s, evented serving
 /// throughput, fleet round latency — the three numbers the ROADMAP's perf
-/// PRs moved and the ledger exists to protect.
+/// PRs moved and the ledger exists to protect — plus the streaming
+/// monitor's detection latency (in updates; lower is better), so window
+/// or alarm-threshold changes cannot silently slow down missing-tag
+/// detection.
 #[must_use]
 pub fn default_pins() -> Vec<PinnedMetric> {
     vec![
         PinnedMetric::new("kernel", "", "rounds_per_sec_kernel_simd"),
         PinnedMetric::new("server-loadgen", "evented/", "throughput_rps"),
         PinnedMetric::new("fleet", "", "round_latency_mean_ns"),
+        PinnedMetric::new("monitor", "", "detection_latency_updates"),
     ]
 }
 

@@ -585,6 +585,49 @@ pub fn report_detection(
     csv.finish()
 }
 
+/// Renders the streaming-monitor detection sweep and writes `monitor.csv`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the CSV writer.
+pub fn report_monitor(
+    rows: &[pet_sim::experiments::monitor::MonitorSweepRow],
+    out_dir: &Path,
+) -> io::Result<()> {
+    println!("\n== Streaming monitor: detection latency vs churn rate (pet-core monitor) ==");
+    println!(
+        "{:>12} {:>12} {:>18} {:>14}",
+        "churn rate", "detection", "latency (updates)", "false alarms"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>11.1}% {:>18.2} {:>13.1}%",
+            r.churn_rate,
+            r.detection_rate * 100.0,
+            r.mean_latency,
+            r.false_alarm_rate * 100.0
+        );
+    }
+    let mut csv = CsvWriter::create(
+        out_dir.join("monitor.csv"),
+        &[
+            "churn_rate",
+            "detection_rate",
+            "mean_latency_updates",
+            "false_alarm_rate",
+        ],
+    )?;
+    for r in rows {
+        csv.row(&[
+            r.churn_rate as f64,
+            r.detection_rate,
+            r.mean_latency,
+            r.false_alarm_rate,
+        ])?;
+    }
+    csv.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,7 +661,8 @@ mod tests {
 pub mod figures {
     use crate::svg::{Scale, SvgChart};
     use pet_sim::experiments::{
-        ablations, detection, energy, fig4, fig6, fig7, fleet, motivation, robustness, table45,
+        ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, robustness,
+        table45,
     };
     use std::io;
     use std::path::Path;
@@ -806,6 +850,30 @@ pub mod figures {
                 .collect(),
         );
         chart.save(&svg_dir(out_dir).join("detection.svg"))
+    }
+
+    /// Streaming-monitor detection sweep as an SVG: mean detection
+    /// latency (in updates after the burst) and detection rate vs the
+    /// balanced churn rate.
+    pub fn monitor(rows: &[monitor::MonitorSweepRow], out_dir: &Path) -> io::Result<()> {
+        let chart = SvgChart::new(
+            "Missing-tag detection vs churn",
+            "balanced churn rate (tags per update)",
+            "updates / probability",
+        )
+        .series(
+            "mean detection latency (updates)",
+            rows.iter()
+                .map(|r| (r.churn_rate as f64, r.mean_latency))
+                .collect(),
+        )
+        .series(
+            "detection rate",
+            rows.iter()
+                .map(|r| (r.churn_rate as f64, r.detection_rate))
+                .collect(),
+        );
+        chart.save(&svg_dir(out_dir).join("monitor.svg"))
     }
 
     /// Energy comparison as a log-scale bar-like SVG (one point per

@@ -557,7 +557,11 @@ fn pin_specs_parse() {
     let p = gate::PinnedMetric::parse("kernel:rounds_per_sec_kernel_simd").unwrap();
     assert_eq!(p.config_prefix, "");
     assert!(gate::PinnedMetric::parse("justonefield").is_err());
-    assert_eq!(gate::default_pins().len(), 3);
+    let pins = gate::default_pins();
+    assert_eq!(pins.len(), 4);
+    // The monitor pin is latency-shaped: lower must count as better.
+    let monitor = pins.iter().find(|p| p.bench == "monitor").unwrap();
+    assert!(gate::lower_is_better(&monitor.metric));
 }
 
 proptest! {

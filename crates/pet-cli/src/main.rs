@@ -7,6 +7,8 @@
 //! pet identify --tags 50000 [--protocol aloha|treewalk] [--seed S]
 //! pet compare  --tags 50000 [--epsilon 0.05] [--delta 0.01] [--seed S]
 //! pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
+//! pet monitor  --tags 2000 [--updates 8] [--window 4] [--churn-rate 20]
+//!              [--burst-at K --burst-size B] [--addr HOST:PORT] [--seed S]
 //! pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
 //! pet info     [--epsilon 0.05] [--delta 0.01]
 //! pet telemetry --file events.jsonl
@@ -51,6 +53,9 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
   pet identify --tags 50000 [--protocol aloha|treewalk] [--seed S]
   pet compare  --tags 50000 [--epsilon 0.05] [--delta 0.01] [--seed S]
   pet monitor  --expected 10000 --present 9000 [--alpha 0.01] [--seed S]
+  pet monitor  --tags 2000 [--updates 8] [--window 4] [--rounds 32]
+               [--alarm-fraction 0.5] [--churn-rate 20] [--burst-at K --burst-size B]
+               [--addr HOST:PORT] [--seed S]   (streaming estimation loop)
   pet tree     --tags 4 [--height 4] [--path 0011] [--seed S]
   pet trace    --tags 16 [--height 6] [--rounds 2] [--linear] [--seed S]
   pet info     [--epsilon 0.05] [--delta 0.01]
@@ -422,6 +427,13 @@ fn cmd_compare(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_monitor(args: &Args) -> Result<(), ArgError> {
+    // Two modes share the verb: the one-shot z-test audit
+    // (--expected/--present, the original `pet-apps` monitor) and the
+    // streaming estimation loop (--tags ..., `pet-core::monitor`), local
+    // or against a running server (--addr).
+    if args.get("tags").is_some() || args.get("addr").is_some() {
+        return cmd_monitor_stream(args);
+    }
     args.expect_only(&["expected", "present", "alpha", "seed", "telemetry"])?;
     let expected: u64 = args.require("expected")?;
     let present: usize = args.require("present")?;
@@ -454,6 +466,111 @@ fn cmd_monitor(args: &Args) -> Result<(), ArgError> {
         "(smallest deficit detectable with 95% power at this budget: {:.1}%)",
         monitor.detectable_fraction(0.95) * 100.0
     );
+    Ok(())
+}
+
+/// The streaming monitor mode: `updates` periodic re-estimates of a
+/// churning population, one line per update, with sliding-window
+/// smoothing and the missing-tag alarm. Runs in-process by default;
+/// `--addr` subscribes to a running server's `monitor` verb instead and
+/// prints the raw delta stream.
+fn cmd_monitor_stream(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "tags",
+        "updates",
+        "window",
+        "rounds",
+        "alarm-fraction",
+        "churn-rate",
+        "burst-at",
+        "burst-size",
+        "seed",
+        "addr",
+        "telemetry",
+    ])?;
+    let tags: usize = args.require("tags")?;
+    let updates: usize = args.get_or("updates", 8)?;
+    let window: usize = args.get_or("window", 4)?;
+    let rounds: u32 = args.get_or("rounds", 32)?;
+    let alarm_fraction: f64 = args.get_or("alarm-fraction", 0.5)?;
+    let churn_rate: usize = args.get_or("churn-rate", 0)?;
+    let burst_at: Option<usize> = match args.get("burst-at") {
+        Some(_) => Some(args.require("burst-at")?),
+        None => None,
+    };
+    let burst_size: usize = args.get_or("burst-size", 0)?;
+    let seed: u64 = args.get_or("seed", 0x40)?;
+
+    if let Some(addr) = args.get("addr") {
+        let mut client =
+            pet_server::Client::connect(addr).map_err(|e| ArgError(format!("{addr}: {e}")))?;
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+            .map_err(|e| ArgError(e.to_string()))?;
+        let burst = burst_at.map_or(String::new(), |b| {
+            format!(",\"burst_at\":{b},\"burst_size\":{burst_size}")
+        });
+        let line = format!(
+            "{{\"id\":\"cli\",\"verb\":\"monitor\",\"tags\":{tags},\"updates\":{updates},\
+             \"window\":{window},\"rounds\":{rounds},\"alarm_fraction\":{alarm_fraction},\
+             \"churn_rate\":{churn_rate},\"seed\":\"{seed:x}\"{burst}}}"
+        );
+        client.send(&line).map_err(|e| ArgError(e.to_string()))?;
+        for _ in 0..=updates {
+            let reply = client.recv().map_err(|e| ArgError(e.to_string()))?;
+            if reply.contains("\"ok\":false") {
+                return Err(ArgError(format!("server refused: {reply}")));
+            }
+            println!("{reply}");
+        }
+        return Ok(());
+    }
+
+    let monitor_config = pet_core::monitor::MonitorConfig {
+        config: PetConfig::paper_default(),
+        rounds,
+        window,
+        alarm_fraction,
+        reference: None,
+        base_seed: seed,
+    };
+    let mut monitor =
+        pet_core::monitor::Monitor::new(monitor_config).map_err(|e| ArgError(e.to_string()))?;
+    let schedule = pet_tags::dynamics::ChurnSchedule {
+        rate: churn_rate,
+        burst_at,
+        burst_size,
+    };
+    let mut timeline =
+        pet_tags::dynamics::Timeline::new(pet_tags::population::TagPopulation::sequential(tags));
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "update", "truth", "estimate", "windowed", "delta", "alarm"
+    );
+    for update in 0..updates {
+        for event in schedule.events_at(update) {
+            timeline.apply(event);
+        }
+        let keys: Vec<u64> = timeline.population().keys().collect();
+        let u = monitor
+            .observe_keys(&keys)
+            .map_err(|e| ArgError(e.to_string()))?;
+        println!(
+            "{:>7} {:>10} {:>12.0} {:>12.0} {:>+10.0} {:>8}",
+            u.index,
+            keys.len(),
+            u.estimate,
+            u.windowed,
+            u.delta,
+            if u.alarm { "ALARM" } else { "-" }
+        );
+    }
+    if let Some(reference) = monitor.reference() {
+        println!(
+            "(reference {reference:.0}, alarm below {:.0}; window {window}, {rounds} rounds/update)",
+            alarm_fraction * reference
+        );
+    }
     Ok(())
 }
 
@@ -715,6 +832,38 @@ mod cli_tests {
             exec(&["lane", "--tags", "4"]).is_err(),
             "lane takes no flags"
         );
+    }
+
+    /// The streaming monitor mode: `--tags` routes to the windowed
+    /// estimation loop while the legacy `--expected/--present` z-test path
+    /// keeps working (pinned in `compare_monitor_tree_trace_info`).
+    #[test]
+    fn monitor_streaming_mode() {
+        exec(&[
+            "monitor",
+            "--tags",
+            "400",
+            "--updates",
+            "5",
+            "--window",
+            "2",
+            "--rounds",
+            "8",
+            "--churn-rate",
+            "3",
+            "--burst-at",
+            "3",
+            "--burst-size",
+            "250",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        // Mixing the two modes is a flag error, not a silent fallback.
+        assert!(exec(&["monitor", "--tags", "400", "--expected", "500"]).is_err());
+        // Stream-mode validation comes from pet-core: window > updates
+        // still builds (window caps the fold), but zero rounds must fail.
+        assert!(exec(&["monitor", "--tags", "400", "--rounds", "0"]).is_err());
     }
 
     /// One end-to-end telemetry loop: stream a run to JSONL, read it back

@@ -23,6 +23,9 @@
 //! - [`session`]: end-to-end `m`-round estimation with air-cost accounting.
 //! - [`front`]: the unified [`Estimator`] entry point dispatching on the
 //!   configured [`Backend`].
+//! - [`monitor`]: continuous-monitoring estimation over a churning
+//!   population — sliding windows, Δn differentials, missing-tag alarm
+//!   (extension).
 //! - [`error`]: [`PetError`] for the fallible (`try_*`) API surface.
 //! - [`adaptive`]: sequential early-stopping sessions (extension).
 //!
@@ -53,6 +56,7 @@ pub mod error;
 pub mod estimator;
 pub mod front;
 pub mod kernel;
+pub mod monitor;
 pub mod oracle;
 pub mod reader;
 pub mod session;
@@ -65,6 +69,7 @@ pub use error::PetError;
 pub use estimator::PetEstimator;
 pub use front::Estimator;
 pub use kernel::CodeBank;
+pub use monitor::{Monitor, MonitorConfig, MonitorUpdate};
 pub use oracle::{CodeRoster, ResponderOracle, TagFleet};
 pub use reader::RoundRecord;
 pub use session::{EstimateReport, PetSession, SessionEngine};

@@ -4,7 +4,9 @@
 //! line and reads the single reply line the server guarantees — the
 //! simple closed-loop shape. [`Client::send`]/[`Client::recv`] split that
 //! in two so callers can keep several requests in flight on one
-//! connection, and [`Client::send_batch`] packages the common case: write
+//! connection or consume the multi-line stream a `monitor` subscription
+//! returns (one [`Client::recv`] per delta line plus one for the
+//! summary), and [`Client::send_batch`] packages the common case: write
 //! a whole burst of lines in one syscall, then collect the replies, which
 //! the server returns in request order. The load generator, the fleet's
 //! reader links, the integration tests, and the examples all speak

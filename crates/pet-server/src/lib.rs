@@ -7,10 +7,15 @@
 //! crate turns the reproduction into a long-running daemon:
 //!
 //! - **Protocol** ([`proto`]): line-delimited JSON over TCP. Verbs:
-//!   `estimate`, `robustness`, `reader-round`, `telemetry-snapshot`,
-//!   `shutdown`. One request line in, exactly one reply line out — always,
-//!   including for garbage input ([`json`] is a strict bounded parser,
-//!   fuzz-pinned).
+//!   `estimate`, `robustness`, `reader-round`, `monitor`,
+//!   `telemetry-snapshot`, `shutdown`. One request line in, one reply out —
+//!   always, including for garbage input ([`json`] is a strict bounded
+//!   parser, fuzz-pinned). Every reply is a single line except `monitor`'s,
+//!   a bounded stream of delta lines capped by a summary line.
+//! - **Monitoring** (`monitor`): a subscription-style verb streaming
+//!   periodic re-estimates of a churning population —
+//!   [`pet_core::monitor`] driven by `pet_tags::dynamics::ChurnSchedule`
+//!   server-side — with sliding-window smoothing and a missing-tag alarm.
 //! - **Fleet agent** (`reader-round`): the server doubles as one reader of
 //!   a distributed fleet. It reconstructs its zone shard deterministically
 //!   from four wire-size scalars (the derivation shared with

@@ -13,6 +13,9 @@
 //! {"id":"r5","verb":"shutdown"}
 //! {"id":"r6","verb":"reader-round","tags":4000,"zones":4,"deploy_seed":"b",
 //!  "coverage":[0,1],"height":32,"manufacture_seed":"2a","path":"9f3c11e2"}
+//! {"id":"r7","verb":"monitor","tags":2000,"updates":8,"window":4,
+//!  "rounds":32,"churn_rate":20,"burst_at":5,"burst_size":600,
+//!  "alarm_fraction":0.7,"seed":"2a"}
 //! ```
 //!
 //! `reader-round` is the fleet agent verb: the server reconstructs its zone
@@ -36,7 +39,10 @@
 //! on them without string matching on prose; the human-readable cause rides
 //! in `"detail"`. A request that cannot even be parsed far enough to
 //! recover an `id` is answered with `"id":null` — the connection always
-//! produces exactly one reply line per request line.
+//! produces at least one reply line per request line, and exactly one for
+//! every verb except `monitor`, whose single reply is a bounded *stream*:
+//! one `"verb":"monitor-delta"` line per update followed by a final
+//! `"verb":"monitor"` summary line, every line echoing the request `id`.
 
 use crate::json::{escape, Json};
 use pet_core::config::{Backend, Mitigation, PetConfig};
@@ -59,6 +65,15 @@ pub const MAX_RUNS: usize = 256;
 
 /// Upper bound on `zones` in a `reader-round` deployment.
 pub const MAX_ZONES: u32 = 4_096;
+
+/// Upper bound on `updates` in one `monitor` subscription (each update is
+/// a full estimation; the stream carries one delta line per update).
+pub const MAX_UPDATES: u32 = 1_000;
+
+/// Upper bound on the total round budget (`updates × rounds`) of one
+/// `monitor` subscription — the same ceiling a single `estimate` request
+/// may spend.
+pub const MAX_MONITOR_ROUNDS: u64 = MAX_ROUNDS as u64;
 
 /// Upper bound on the number of zones one reader's `coverage` may list.
 pub const MAX_COVERAGE_ZONES: usize = 256;
@@ -85,6 +100,9 @@ pub enum Verb {
     /// Execute one hash-synchronized estimating round against this agent's
     /// zone shard and report raw responder counts per prefix length.
     ReaderRound(ReaderRoundParams),
+    /// Stream a bounded monitoring subscription: periodic re-estimates over
+    /// a churning population, one delta line per update plus a summary.
+    Monitor(MonitorParams),
     /// Return the server's RED metrics as JSON.
     TelemetrySnapshot,
     /// Drain in-flight work, then stop the server.
@@ -99,6 +117,7 @@ impl Verb {
             Self::Estimate(_) => "estimate",
             Self::Robustness(_) => "robustness",
             Self::ReaderRound(_) => "reader-round",
+            Self::Monitor(_) => "monitor",
             Self::TelemetrySnapshot => "telemetry-snapshot",
             Self::Shutdown => "shutdown",
         }
@@ -114,6 +133,36 @@ pub struct EstimateParams {
     /// Explicit round count; `None` derives Eq. (20) from the accuracy.
     pub rounds: Option<u32>,
     /// Explicit RNG seed; `None` lets the server derive one (from the
+    /// request id in deterministic mode).
+    pub seed: Option<u64>,
+    /// The assembled protocol configuration.
+    pub config: PetConfig,
+}
+
+/// Parameters of a `monitor` subscription: a bounded stream of periodic
+/// re-estimates over a synthetic population churned by a
+/// `pet_tags::dynamics::ChurnSchedule`. The `seed` field travels as a hex
+/// string like the other full-width `u64` wire fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorParams {
+    /// Initial population size.
+    pub tags: usize,
+    /// Number of estimation updates to stream (one delta line each).
+    pub updates: u32,
+    /// Sliding-window width in updates.
+    pub window: usize,
+    /// Rounds per update.
+    pub rounds: u32,
+    /// Alarm when the windowed estimate drops below this fraction of the
+    /// reference population.
+    pub alarm_fraction: f64,
+    /// Tags joining *and* leaving per update (balanced steady churn).
+    pub churn_rate: usize,
+    /// Update index at which a missing-tag burst strikes.
+    pub burst_at: Option<u32>,
+    /// Tags lost in the burst.
+    pub burst_size: usize,
+    /// Explicit base RNG seed; `None` lets the server derive one (from the
     /// request id in deterministic mode).
     pub seed: Option<u64>,
     /// The assembled protocol configuration.
@@ -296,6 +345,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         "estimate" => Verb::Estimate(parse_estimate(&root, &id)?),
         "robustness" => Verb::Robustness(parse_robustness(&root, &id)?),
         "reader-round" => Verb::ReaderRound(parse_reader_round(&root, &id)?),
+        "monitor" => Verb::Monitor(parse_monitor(&root, &id)?),
         "telemetry-snapshot" => Verb::TelemetrySnapshot,
         "shutdown" => Verb::Shutdown,
         other => {
@@ -303,7 +353,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 Some(&id),
                 format!(
                     "unknown verb {other:?} \
-                     (estimate|robustness|reader-round|telemetry-snapshot|shutdown)"
+                     (estimate|robustness|reader-round|monitor|telemetry-snapshot|shutdown)"
                 ),
             ))
         }
@@ -322,23 +372,10 @@ fn parse_channel(root: &Json, id: &str) -> Result<ChannelModel, RequestError> {
         .map_err(|e| bad(Some(id), e.to_string()))
 }
 
-fn parse_estimate(root: &Json, id: &str) -> Result<EstimateParams, RequestError> {
-    let tags = u64_field(root, id, "tags")?
-        .ok_or_else(|| bad(Some(id), "estimate requires \"tags\""))? as usize;
-    if tags == 0 || tags > MAX_TAGS {
-        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
-    }
-    let rounds = match u64_field(root, id, "rounds")? {
-        Some(r) if (1..=u64::from(MAX_ROUNDS)).contains(&r) => Some(r as u32),
-        Some(_) => {
-            return Err(bad(
-                Some(id),
-                format!("\"rounds\" must be 1..={MAX_ROUNDS}"),
-            ))
-        }
-        None => None,
-    };
-    let seed = u64_field(root, id, "seed")?;
+/// Assembles the protocol-configuration knobs shared by the `estimate` and
+/// `monitor` verbs: `epsilon`/`delta`, `backend`, the channel model
+/// (`miss`/`false_busy`), and the mitigation (`probes` xor `trim`).
+fn parse_config(root: &Json, id: &str) -> Result<PetConfig, RequestError> {
     let epsilon = f64_field(root, id, "epsilon", 0.05)?;
     let delta = f64_field(root, id, "delta", 0.01)?;
     let accuracy = Accuracy::new(epsilon, delta).map_err(|e| bad(Some(id), e.to_string()))?;
@@ -371,16 +408,106 @@ fn parse_estimate(root: &Json, id: &str) -> Result<EstimateParams, RequestError>
         },
         (None, None) => Mitigation::None,
     };
-    let config = PetConfig::builder()
+    PetConfig::builder()
         .accuracy(accuracy)
         .backend(backend)
         .channel(channel)
         .mitigation(mitigation)
         .build()
-        .map_err(|e| bad(Some(id), e.to_string()))?;
+        .map_err(|e| bad(Some(id), e.to_string()))
+}
+
+fn parse_estimate(root: &Json, id: &str) -> Result<EstimateParams, RequestError> {
+    let tags = u64_field(root, id, "tags")?
+        .ok_or_else(|| bad(Some(id), "estimate requires \"tags\""))? as usize;
+    if tags == 0 || tags > MAX_TAGS {
+        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
+    }
+    let rounds = match u64_field(root, id, "rounds")? {
+        Some(r) if (1..=u64::from(MAX_ROUNDS)).contains(&r) => Some(r as u32),
+        Some(_) => {
+            return Err(bad(
+                Some(id),
+                format!("\"rounds\" must be 1..={MAX_ROUNDS}"),
+            ))
+        }
+        None => None,
+    };
+    let seed = u64_field(root, id, "seed")?;
+    let config = parse_config(root, id)?;
     Ok(EstimateParams {
         tags,
         rounds,
+        seed,
+        config,
+    })
+}
+
+fn parse_monitor(root: &Json, id: &str) -> Result<MonitorParams, RequestError> {
+    let tags = u64_field(root, id, "tags")?
+        .ok_or_else(|| bad(Some(id), "monitor requires \"tags\""))? as usize;
+    if tags == 0 || tags > MAX_TAGS {
+        return Err(bad(Some(id), format!("\"tags\" must be 1..={MAX_TAGS}")));
+    }
+    let updates = match u64_field(root, id, "updates")?.unwrap_or(8) {
+        u if (1..=u64::from(MAX_UPDATES)).contains(&u) => u as u32,
+        _ => {
+            return Err(bad(
+                Some(id),
+                format!("\"updates\" must be 1..={MAX_UPDATES}"),
+            ))
+        }
+    };
+    let window = match u64_field(root, id, "window")?.unwrap_or(4) {
+        w if (1..=u64::from(updates)).contains(&w) => w as usize,
+        _ => return Err(bad(Some(id), "\"window\" must be 1..=updates")),
+    };
+    let rounds = match u64_field(root, id, "rounds")?.unwrap_or(32) {
+        r if (1..=u64::from(MAX_ROUNDS)).contains(&r) => r as u32,
+        _ => {
+            return Err(bad(
+                Some(id),
+                format!("\"rounds\" must be 1..={MAX_ROUNDS}"),
+            ))
+        }
+    };
+    if u64::from(updates) * u64::from(rounds) > MAX_MONITOR_ROUNDS {
+        return Err(bad(
+            Some(id),
+            format!("\"updates\" x \"rounds\" must be <= {MAX_MONITOR_ROUNDS}"),
+        ));
+    }
+    let alarm_fraction = f64_field(root, id, "alarm_fraction", 0.5)?;
+    if !(alarm_fraction > 0.0 && alarm_fraction < 1.0) {
+        return Err(bad(Some(id), "\"alarm_fraction\" must be in (0, 1)"));
+    }
+    let churn_rate = u64_field(root, id, "churn_rate")?.unwrap_or(0) as usize;
+    if churn_rate > tags {
+        return Err(bad(Some(id), "\"churn_rate\" must be <= tags"));
+    }
+    let burst_at = match u64_field(root, id, "burst_at")? {
+        Some(b) if b < u64::from(updates) => Some(b as u32),
+        Some(_) => return Err(bad(Some(id), "\"burst_at\" must be < updates")),
+        None => None,
+    };
+    let burst_size = u64_field(root, id, "burst_size")?.unwrap_or(0) as usize;
+    if burst_at.is_some() && (burst_size == 0 || burst_size >= tags) {
+        return Err(bad(
+            Some(id),
+            "\"burst_size\" must be 1..tags when \"burst_at\" is set",
+        ));
+    }
+    let seed = u64_hex_field(root, id, "seed")?;
+    let config = parse_config(root, id)?;
+    Ok(MonitorParams {
+        tags,
+        updates,
+        window,
+        rounds,
+        alarm_fraction,
+        churn_rate,
+        burst_at,
+        burst_size,
         seed,
         config,
     })
@@ -685,6 +812,70 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(r.verb, Verb::ReaderRound(p) if p.path_bits == u64::MAX));
+    }
+
+    #[test]
+    fn parses_monitor_defaults_and_full_knobs() {
+        let r = parse_request(r#"{"id":"m","verb":"monitor","tags":2000}"#).unwrap();
+        match r.verb {
+            Verb::Monitor(p) => {
+                assert_eq!((p.tags, p.updates, p.window, p.rounds), (2000, 8, 4, 32));
+                assert_eq!(p.alarm_fraction, 0.5);
+                assert_eq!((p.churn_rate, p.burst_at, p.burst_size), (0, None, 0));
+                assert_eq!(p.seed, None);
+                assert_eq!(p.config.backend(), Backend::Kernel);
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+        let r = parse_request(
+            r#"{"id":"m","verb":"monitor","tags":2000,"updates":8,"window":4,
+                "rounds":16,"churn_rate":20,"burst_at":5,"burst_size":600,
+                "alarm_fraction":0.7,"seed":"deadbeefcafef00d","backend":"oracle"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.verb.name(), "monitor");
+        match r.verb {
+            Verb::Monitor(p) => {
+                assert_eq!(p.rounds, 16);
+                assert_eq!(p.churn_rate, 20);
+                assert_eq!((p.burst_at, p.burst_size), (Some(5), 600));
+                assert_eq!(p.alarm_fraction, 0.7);
+                assert_eq!(p.seed, Some(0xdead_beef_cafe_f00d));
+                assert_eq!(p.config.backend(), Backend::Oracle);
+            }
+            other => panic!("wrong verb {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_validation_rejects_bad_shapes() {
+        for bad in [
+            // missing/zero tags
+            r#"{"id":"m","verb":"monitor"}"#,
+            r#"{"id":"m","verb":"monitor","tags":0}"#,
+            // update/window/round bounds
+            r#"{"id":"m","verb":"monitor","tags":10,"updates":0}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"updates":100000}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"updates":4,"window":5}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"window":0}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"rounds":0}"#,
+            // total round budget
+            r#"{"id":"m","verb":"monitor","tags":10,"updates":1000,"rounds":10000}"#,
+            // alarm fraction open interval
+            r#"{"id":"m","verb":"monitor","tags":10,"alarm_fraction":0}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"alarm_fraction":1}"#,
+            // churn/burst shapes
+            r#"{"id":"m","verb":"monitor","tags":10,"churn_rate":11}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"burst_at":8}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"burst_at":2}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"burst_at":2,"burst_size":10}"#,
+            // config knobs flow through the shared parser
+            r#"{"id":"m","verb":"monitor","tags":10,"epsilon":2}"#,
+            r#"{"id":"m","verb":"monitor","tags":10,"backend":"gpu"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.id.as_deref(), Some("m"), "{bad}");
+        }
     }
 
     #[test]

@@ -28,9 +28,12 @@
 //!
 //! Design rules, in order of priority (shared by both backends):
 //!
-//! 1. **Every request line gets exactly one reply line.** Malformed input,
+//! 1. **Every request line gets exactly one reply.** Malformed input,
 //!    overload, deadlines, shutdown — all answer structurally; nothing is
-//!    silently dropped and no connection is left hanging.
+//!    silently dropped and no connection is left hanging. Every verb's
+//!    reply is a single line except `monitor`, whose one reply is a
+//!    bounded multi-line stream (delta lines + summary) written atomically
+//!    as a unit — replies still never interleave.
 //! 2. **Backpressure, never buffering.** Estimation work passes through a
 //!    fixed-capacity [`BoundedQueue`]; when it is full the connection
 //!    thread replies `overloaded` immediately. Memory use is bounded by

@@ -28,13 +28,14 @@
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    error_reply, ok_reply, parse_request, ErrorCode, EstimateParams, ReaderRoundParams, Request,
-    RobustnessRequest, Verb,
+    error_reply, ok_reply, parse_request, ErrorCode, EstimateParams, MonitorParams,
+    ReaderRoundParams, Request, RobustnessRequest, Verb,
 };
 use crate::shard::{reader_round_config, ShardCache};
 use pet_core::bits::BitString;
 use pet_core::config::TagMode;
 use pet_core::front::Estimator;
+use pet_core::monitor::{Monitor, MonitorConfig};
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_hash::family::AnyFamily;
 use pet_obs::Summary;
@@ -268,7 +269,7 @@ impl ServiceCore {
                     ack: ok_reply(&request.id, "shutdown", "\"drained\":true"),
                 }
             }
-            Verb::Estimate(_) | Verb::Robustness(_) | Verb::ReaderRound(_) => {
+            Verb::Estimate(_) | Verb::Robustness(_) | Verb::ReaderRound(_) | Verb::Monitor(_) => {
                 if self.is_shutting_down() {
                     return Dispatch::Reply(self.refuse_shutting_down(&request.id));
                 }
@@ -332,6 +333,7 @@ impl ServiceCore {
             Verb::Estimate(params) => self.execute_estimate(&request.id, params),
             Verb::Robustness(params) => execute_robustness(&request.id, params),
             Verb::ReaderRound(params) => self.execute_reader_round(&request.id, params),
+            Verb::Monitor(params) => self.execute_monitor(&request.id, params),
             // Control verbs never reach a work queue.
             Verb::TelemetrySnapshot | Verb::Shutdown => error_reply(
                 Some(&request.id),
@@ -420,6 +422,88 @@ impl ServiceCore {
         }
         body.push(']');
         ok_reply(id, "reader-round", &body)
+    }
+
+    /// Runs one bounded monitoring subscription: a synthetic population is
+    /// churned by a [`ChurnSchedule`] and re-estimated `updates` times
+    /// through [`pet_core::monitor::Monitor`]. The reply is a single
+    /// string carrying one `"verb":"monitor-delta"` line per update plus a
+    /// final `"verb":"monitor"` summary line, joined by interior newlines —
+    /// both transports write reply strings verbatim (appending one final
+    /// newline), so the client sees `updates + 1` lines for the one
+    /// request. Determinism is inherited from [`seed_for_id`]: the whole
+    /// stream is a pure function of the request in deterministic mode.
+    fn execute_monitor(&self, id: &str, params: &MonitorParams) -> String {
+        use pet_tags::dynamics::{ChurnSchedule, Timeline};
+        use pet_tags::population::TagPopulation;
+
+        let seed = params
+            .seed
+            .unwrap_or_else(|| seed_for_id(id) ^ self.seed_entropy);
+        let mut monitor = match Monitor::new(MonitorConfig {
+            config: params.config,
+            rounds: params.rounds,
+            window: params.window,
+            alarm_fraction: params.alarm_fraction,
+            reference: None,
+            base_seed: seed,
+        }) {
+            Ok(m) => m,
+            // Parse-time validation mirrors the monitor's own; reaching
+            // this arm means the two drifted apart.
+            Err(e) => return error_reply(Some(id), ErrorCode::Internal, Some(&e.to_string())),
+        };
+        let schedule = ChurnSchedule {
+            rate: params.churn_rate,
+            burst_at: params.burst_at.map(|u| u as usize),
+            burst_size: params.burst_size,
+        };
+        let mut timeline = Timeline::new(TagPopulation::sequential(params.tags));
+
+        use std::fmt::Write as _;
+        let escaped = crate::json::escape(id);
+        let mut out = String::with_capacity(params.updates as usize * 192 + 192);
+        let mut alarms = 0u32;
+        let mut first_alarm: Option<u64> = None;
+        let mut final_estimate = 0.0f64;
+        for update in 0..params.updates as usize {
+            for event in schedule.events_at(update) {
+                timeline.apply(event);
+            }
+            let keys: Vec<u64> = timeline.population().keys().collect();
+            let u = match monitor.observe_keys(&keys) {
+                Ok(u) => u,
+                Err(e) => return error_reply(Some(id), ErrorCode::Internal, Some(&e.to_string())),
+            };
+            if u.alarm {
+                alarms += 1;
+                first_alarm.get_or_insert(u.index);
+            }
+            final_estimate = u.windowed;
+            let _ = writeln!(
+                out,
+                "{{\"id\":\"{escaped}\",\"ok\":true,\"verb\":\"monitor-delta\",\"update\":{},\"estimate\":{:?},\"windowed\":{:?},\"delta\":{:?},\"p_value\":{:?},\"population\":{},\"alarm\":{}}}",
+                u.index,
+                u.estimate,
+                u.windowed,
+                u.delta,
+                u.p_value,
+                keys.len(),
+                u.alarm,
+            );
+        }
+        let reference = monitor.reference().unwrap_or(0.0);
+        let _ = write!(
+            out,
+            "{{\"id\":\"{escaped}\",\"ok\":true,\"verb\":\"monitor\",\"updates\":{},\"window\":{},\"reference\":{:?},\"alarms\":{alarms},\"first_alarm\":{},\"final_estimate\":{:?},\"seed\":{seed},\"deterministic\":{}}}",
+            params.updates,
+            params.window,
+            reference,
+            first_alarm.map_or("null".to_string(), |a| a.to_string()),
+            final_estimate,
+            self.deterministic || params.seed.is_some(),
+        );
+        out
     }
 }
 
@@ -527,5 +611,42 @@ mod tests {
             Some(Dispatch::Reply(r)) => assert!(r.contains("shutting_down"), "{r}"),
             _ => panic!("work after shutdown must be refused"),
         }
+    }
+
+    #[test]
+    fn monitor_streams_deltas_then_summary_deterministically() {
+        let core = ServiceCore::new(&ServerConfig {
+            deterministic: true,
+            ..ServerConfig::default()
+        });
+        let line = br#"{"id":"m1","verb":"monitor","tags":300,"updates":5,"window":2,"rounds":8,"churn_rate":3,"burst_at":3,"burst_size":200,"epsilon":0.2,"delta":0.2}"#;
+        let Some(Dispatch::Work(req)) = core.handle_line(line) else {
+            panic!("monitor must be queued as work");
+        };
+        let reply = core.execute_work(&req, Instant::now());
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines.len(), 6, "5 deltas + 1 summary:\n{reply}");
+        for (i, l) in lines.iter().take(5).enumerate() {
+            assert!(
+                l.contains("\"verb\":\"monitor-delta\"") && l.contains(&format!("\"update\":{i}")),
+                "{l}"
+            );
+            assert!(l.contains("\"id\":\"m1\""), "{l}");
+        }
+        assert!(lines[5].contains("\"verb\":\"monitor\""), "{}", lines[5]);
+        assert!(lines[5].contains("\"deterministic\":true"), "{}", lines[5]);
+        // The burst drops 200 of 300 tags; with alarm_fraction 0.5 and a
+        // window of 2 the alarm must have fired by the last update.
+        assert!(lines[4].contains("\"population\":100"), "{}", lines[4]);
+        assert!(lines[5].contains("\"alarms\":"), "{}", lines[5]);
+        // Deterministic mode: a second core answers byte-identically.
+        let core2 = ServiceCore::new(&ServerConfig {
+            deterministic: true,
+            ..ServerConfig::default()
+        });
+        let Some(Dispatch::Work(req2)) = core2.handle_line(line) else {
+            panic!("monitor must be queued as work");
+        };
+        assert_eq!(reply, core2.execute_work(&req2, Instant::now()));
     }
 }

@@ -17,6 +17,10 @@
 //!   answered `deadline_exceeded` without being executed.
 //! - **Graceful shutdown**: `shutdown` drains in-flight requests (they all
 //!   still reply) before the listener socket closes.
+//! - **Monitor streams**: a `monitor` subscription delivers every delta
+//!   line plus the summary, byte-identically across server instances in
+//!   deterministic mode, and a shutdown mid-subscription still drains the
+//!   full stream with zero lost deltas.
 
 use pet_server::json::Json;
 use pet_server::{serve, Backend, Client, ServerConfig};
@@ -573,6 +577,155 @@ fn telemetry_snapshot_reports_red_metrics(backend: Backend) {
     handle.join();
 }
 battery!(telemetry_snapshot_reports_red_metrics);
+
+/// One monitor subscription line: `updates` re-estimates over a churning
+/// population with a missing-tag burst at update 4.
+fn monitor_line(id: &str, updates: u32) -> String {
+    format!(
+        r#"{{"id":"{id}","verb":"monitor","tags":400,"updates":{updates},"window":3,"rounds":8,"churn_rate":5,"burst_at":4,"burst_size":250,"epsilon":0.2,"delta":0.2}}"#
+    )
+}
+
+/// Reads the full monitor stream for a subscription of `updates` updates:
+/// `updates` delta lines plus the final summary line.
+fn read_stream(client: &mut Client, updates: u32) -> Vec<String> {
+    (0..=updates)
+        .map(|_| client.recv().expect("stream line"))
+        .collect()
+}
+
+/// A subscription delivers exactly K delta lines (ids echoed, update
+/// indices in order) capped by one summary line, and the connection stays
+/// usable for ordinary requests afterwards.
+fn monitor_subscription_delivers_every_delta_then_summary(backend: Backend) {
+    let handle = deterministic_server(backend, 2, 16);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    let updates = 6u32;
+    client.send(&monitor_line("sub", updates)).unwrap();
+    let lines = read_stream(&mut client, updates);
+    for (i, line) in lines.iter().take(updates as usize).enumerate() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e}"));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("sub"), "{line}");
+        assert_eq!(
+            v.get("verb").and_then(Json::as_str),
+            Some("monitor-delta"),
+            "{line}"
+        );
+        assert_eq!(
+            v.get("update").and_then(Json::as_u64),
+            Some(i as u64),
+            "deltas arrive in update order: {line}"
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    }
+    let summary = Json::parse(&lines[updates as usize]).expect("summary is JSON");
+    assert_eq!(summary.get("verb").and_then(Json::as_str), Some("monitor"));
+    assert_eq!(
+        summary.get("updates").and_then(Json::as_u64),
+        Some(u64::from(updates))
+    );
+    // The burst at update 4 removes 250 of ~400 tags — well past the
+    // default 0.5 alarm fraction, so the alarm must have fired.
+    assert!(
+        summary.get("first_alarm").and_then(Json::as_u64).is_some(),
+        "burst must trip the alarm: {}",
+        lines[updates as usize]
+    );
+
+    // The stream is exactly updates+1 lines: the very next reply on this
+    // connection answers a fresh request, not a stray delta.
+    let after = client
+        .roundtrip(r#"{"id":"after","verb":"estimate","tags":100,"rounds":4}"#)
+        .unwrap();
+    let v = Json::parse(&after).unwrap();
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("after"), "{after}");
+    assert_eq!(v.get("verb").and_then(Json::as_str), Some("estimate"));
+
+    client
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    handle.join();
+}
+battery!(monitor_subscription_delivers_every_delta_then_summary);
+
+/// In deterministic mode the whole stream — every delta and the summary —
+/// is a pure function of the request, so two independently started servers
+/// produce byte-identical streams.
+fn monitor_streams_are_byte_identical_across_instances(backend: Backend) {
+    let run = || {
+        let handle = deterministic_server(backend, 2, 16);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        client.send(&monitor_line("twin", 8)).unwrap();
+        let lines = read_stream(&mut client, 8);
+        handle.shutdown();
+        handle.join();
+        lines
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.len(), 9);
+    assert_eq!(first, second, "streams must be byte-identical");
+}
+battery!(monitor_streams_are_byte_identical_across_instances);
+
+/// Shutdown issued while a subscription is streaming: the drain completes
+/// the in-flight monitor job, so the subscriber still receives every delta
+/// and the summary — zero lost deltas — before the listener closes.
+fn monitor_shutdown_drains_the_full_stream(backend: Backend) {
+    let handle = deterministic_server(backend, 1, 4);
+    let addr = handle.addr();
+
+    let updates = 10u32;
+    let subscriber = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        // Enough work per update that the shutdown below lands mid-stream.
+        client
+            .send(&format!(
+                r#"{{"id":"drain","verb":"monitor","tags":20000,"updates":{updates},"window":3,"rounds":64,"churn_rate":50,"burst_at":6,"burst_size":15000}}"#
+            ))
+            .unwrap();
+        read_stream(&mut client, updates)
+    });
+    // Let the subscription reach the worker, then pull the plug.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut controller = Client::connect(addr).unwrap();
+    controller
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let ack = controller
+        .roundtrip(r#"{"id":"bye","verb":"shutdown"}"#)
+        .unwrap();
+    assert!(ack.contains("\"drained\":true"), "{ack}");
+
+    let lines = subscriber.join().expect("subscriber thread");
+    assert_eq!(
+        lines.len(),
+        updates as usize + 1,
+        "zero lost deltas through shutdown"
+    );
+    for (i, line) in lines.iter().take(updates as usize).enumerate() {
+        assert!(line.contains("\"verb\":\"monitor-delta\""), "{line}");
+        assert!(line.contains(&format!("\"update\":{i}")), "{line}");
+    }
+    assert!(
+        lines[updates as usize].contains("\"verb\":\"monitor\""),
+        "{}",
+        lines[updates as usize]
+    );
+    handle.join();
+}
+battery!(monitor_shutdown_drains_the_full_stream);
 
 fn explicit_seed_pins_the_estimate_bit_for_bit(backend: Backend) {
     // Even outside deterministic mode, an explicit seed fully determines

@@ -14,6 +14,7 @@
 //! | [`energy`] | reader/tag energy per estimate across protocols (extension) |
 //! | [`fleet`] | multi-reader fleet vs single reader under loss and kill schedules (extension) |
 //! | [`detection`] | missing-tag alarm power curve: measured vs closed-form (extension) |
+//! | [`monitor`] | streaming monitor detection latency vs churn rate (extension) |
 //!
 //! Every experiment is a pure function of its parameter struct (which
 //! includes the seed), so regenerated numbers are reproducible bit-for-bit.
@@ -25,6 +26,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet;
+pub mod monitor;
 pub mod motivation;
 pub mod robustness;
 pub mod table3;

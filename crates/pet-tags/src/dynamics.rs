@@ -19,6 +19,78 @@ pub enum ChurnEvent {
     Leave(usize),
 }
 
+/// A deterministic rate-driven churn schedule for continuous monitoring:
+/// every update sees `rate` joins and `rate` leaves (so the population
+/// holds steady in expectation while its membership turns over), plus one
+/// optional missing-tag *burst* — a large one-off leave modelling a pallet
+/// going missing — at a fixed update index.
+///
+/// Shared by the sim sweep, the serving layer's `monitor` verb, and the
+/// `pet monitor` CLI so all three drive bit-identical populations from the
+/// same parameters.
+///
+/// # Example
+///
+/// ```
+/// use pet_tags::dynamics::{ChurnEvent, ChurnSchedule, Timeline};
+/// use pet_tags::population::TagPopulation;
+///
+/// let schedule = ChurnSchedule {
+///     rate: 10,
+///     burst_at: Some(2),
+///     burst_size: 50,
+/// };
+/// let mut t = Timeline::new(TagPopulation::sequential(100));
+/// for update in 0..4 {
+///     for event in schedule.events_at(update) {
+///         t.apply(event);
+///     }
+/// }
+/// // Steady churn preserves the size; the burst removed 50 for good.
+/// assert_eq!(t.population().len(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    /// Tags joining *and* leaving per update (balanced steady churn).
+    pub rate: usize,
+    /// Update index at which the missing-tag burst strikes; `None` for a
+    /// burst-free schedule.
+    pub burst_at: Option<usize>,
+    /// Tags lost in the burst.
+    pub burst_size: usize,
+}
+
+impl ChurnSchedule {
+    /// A steady balanced-churn schedule with no burst.
+    #[must_use]
+    pub fn steady(rate: usize) -> Self {
+        Self {
+            rate,
+            burst_at: None,
+            burst_size: 0,
+        }
+    }
+
+    /// The churn events to apply *before* estimating at `update`, in
+    /// application order: leaves, then matched fresh joins, then (when the
+    /// burst strikes this update) the burst leave. Leaves come first
+    /// because [`Timeline`] removes from the tail — joining first would
+    /// make the matched leave remove exactly the tags just joined, turning
+    /// the schedule into a no-op instead of membership turnover.
+    #[must_use]
+    pub fn events_at(&self, update: usize) -> Vec<ChurnEvent> {
+        let mut events = Vec::with_capacity(3);
+        if self.rate > 0 {
+            events.push(ChurnEvent::Leave(self.rate));
+            events.push(ChurnEvent::Join(self.rate));
+        }
+        if self.burst_at == Some(update) && self.burst_size > 0 {
+            events.push(ChurnEvent::Leave(self.burst_size));
+        }
+        events
+    }
+}
+
 /// A reproducible timeline of churn events over a population.
 ///
 /// # Example
@@ -125,6 +197,58 @@ mod tests {
         let mut t = Timeline::new(TagPopulation::sequential(2));
         assert_eq!(t.apply(ChurnEvent::Leave(10)), 0);
         assert_eq!(t.apply(ChurnEvent::Join(1)), 1);
+    }
+
+    #[test]
+    fn schedule_turns_membership_over_at_constant_size() {
+        let schedule = ChurnSchedule::steady(5);
+        let mut t = Timeline::new(TagPopulation::sequential(50));
+        let before: Vec<u64> = t.population().keys().collect();
+        for update in 0..3 {
+            for event in schedule.events_at(update) {
+                t.apply(event);
+            }
+            assert_eq!(t.population().len(), 50, "steady churn holds the size");
+        }
+        let after: Vec<u64> = t.population().keys().collect();
+        // Turnstile semantics: the first leave displaces 5 originals, and
+        // every later leave displaces the previous update's visitors — so
+        // the population always differs from the update before by 5 fresh
+        // EPCs (the churn the monitor sees), while 45 originals persist.
+        let kept = after.iter().filter(|k| before.contains(k)).count();
+        assert_eq!(kept, 45, "exactly one rate's worth of originals leave");
+        assert_ne!(after, before, "membership must actually turn over");
+    }
+
+    #[test]
+    fn schedule_burst_fires_once_at_its_update() {
+        let schedule = ChurnSchedule {
+            rate: 2,
+            burst_at: Some(1),
+            burst_size: 30,
+        };
+        assert_eq!(
+            schedule.events_at(0),
+            vec![ChurnEvent::Leave(2), ChurnEvent::Join(2)]
+        );
+        assert_eq!(
+            schedule.events_at(1),
+            vec![
+                ChurnEvent::Leave(2),
+                ChurnEvent::Join(2),
+                ChurnEvent::Leave(30)
+            ]
+        );
+        assert_eq!(schedule.events_at(2).len(), 2);
+        // Rate 0 with a burst is a pure missing-tag scenario.
+        let pure = ChurnSchedule {
+            rate: 0,
+            burst_at: Some(0),
+            burst_size: 10,
+        };
+        assert_eq!(pure.events_at(0), vec![ChurnEvent::Leave(10)]);
+        assert!(pure.events_at(1).is_empty());
+        assert!(ChurnSchedule::steady(0).events_at(0).is_empty());
     }
 
     #[test]

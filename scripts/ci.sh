@@ -57,10 +57,19 @@ if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
     fi
 fi
 
+# Streaming-conformance gate: the monitor layer must be a pure composition
+# of one-shot estimates — zero-churn proptest differential on both
+# backends, the golden churn trace (per-update estimates + alarm-fire
+# round, PET_BLESS=1 re-blesses), and bit-for-bit replay.
+echo "==> streaming conformance (monitor vs one-shot, golden churn trace)"
+cargo test -q -p pet --test streaming_conformance
+
 # Serving-layer gate: the concurrency battery (every test parameterized
 # over the threaded AND evented backends, plus the cross-backend
-# byte-parity test and the wire-protocol fuzzer) followed by closed-loop
-# smokes. Non-zero exit on any lost, malformed, or non-reproducible reply.
+# byte-parity test, the wire-protocol fuzzer, and the monitor-verb
+# subscription cases: full-stream delivery, byte-identical streams across
+# instances, shutdown drain) followed by closed-loop smokes. Non-zero exit
+# on any lost, malformed, or non-reproducible reply.
 echo "==> server integration battery (threaded + evented)"
 cargo test -q -p pet-server
 

@@ -1,0 +1,183 @@
+//! Streaming-conformance suite: the `pet-core::monitor` layer must be a
+//! *pure composition* of one-shot estimates — no hidden state, no extra
+//! randomness, no backend divergence.
+//!
+//! Three pins:
+//!
+//! 1. **Zero-churn differential** (property): with a fixed key set, every
+//!    monitor update is bit-for-bit the one-shot
+//!    [`Estimator::try_estimate_keys_rounds`] run under the derived
+//!    [`update_seed`], and the windowed value is bit-for-bit the
+//!    [`windowed_mean`] fold of those raw estimates — on both the Oracle
+//!    and Kernel backends.
+//! 2. **Golden churn trace**: a fixed-seed run with steady join/leave
+//!    churn plus one missing-tag burst pins every per-update estimate,
+//!    windowed value, differential, and the alarm-fire update in
+//!    `tests/golden/monitor_trace.csv`. Re-bless after an intentional
+//!    protocol change with `PET_BLESS=1 cargo test -p pet --test
+//!    streaming_conformance`.
+//! 3. **Replay determinism**: producing the trace twice from scratch gives
+//!    identical bytes — the property the server's byte-identical monitor
+//!    streams and the sim sweep's ledger rows stand on.
+
+use pet::prelude::*;
+use pet_core::monitor::{update_seed, windowed_mean, Monitor, MonitorConfig};
+use pet_tags::dynamics::{ChurnSchedule, Timeline};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn config(backend: Backend) -> PetConfig {
+    PetConfig::builder()
+        .accuracy(Accuracy::new(0.2, 0.2).unwrap())
+        .backend(backend)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite 1: zero churn ⇒ the monitor is exactly the one-shot
+    /// estimator run once per update under `update_seed(base, i)`, with
+    /// the window a pure fold over the raw estimates. Both backends.
+    #[test]
+    fn zero_churn_monitor_equals_one_shot(
+        n in 1usize..1_500,
+        rounds in 1u32..40,
+        window in 1usize..6,
+        base_seed in any::<u64>(),
+    ) {
+        let keys: Vec<u64> = TagPopulation::sequential(n).keys().collect();
+        for backend in [Backend::Oracle, Backend::Kernel] {
+            let mut monitor = Monitor::new(MonitorConfig {
+                config: config(backend),
+                rounds,
+                window,
+                alarm_fraction: 0.5,
+                reference: None,
+                base_seed,
+            })
+            .unwrap();
+            let estimator = Estimator::new(config(backend));
+            let mut raw = Vec::new();
+            for i in 0..4u64 {
+                let update = monitor.observe_keys(&keys).unwrap();
+                let mut rng = StdRng::seed_from_u64(update_seed(base_seed, i));
+                let solo = estimator
+                    .try_estimate_keys_rounds(&keys, rounds, &mut rng)
+                    .unwrap();
+                prop_assert_eq!(
+                    update.estimate.to_bits(),
+                    solo.estimate.to_bits(),
+                    "update {} must equal the one-shot run ({:?} backend)",
+                    i,
+                    backend
+                );
+                prop_assert_eq!(update.seed, update_seed(base_seed, i));
+                raw.push(solo.estimate);
+                let start = raw.len().saturating_sub(window);
+                prop_assert_eq!(
+                    update.windowed.to_bits(),
+                    windowed_mean(raw[start..].iter().copied()).to_bits(),
+                    "windowed value must be the pure fold of raw estimates"
+                );
+                let expect_delta = if raw.len() > 1 {
+                    raw[raw.len() - 1] - raw[raw.len() - 2]
+                } else {
+                    0.0
+                };
+                prop_assert_eq!(update.delta.to_bits(), expect_delta.to_bits());
+            }
+        }
+    }
+}
+
+/// The fixed churn scenario behind the golden trace: steady churn of 5
+/// tags/update on 600 tags, then a burst of 400 leaving at update 6.
+fn churn_trace() -> String {
+    let mut monitor = Monitor::new(MonitorConfig {
+        config: config(Backend::Kernel),
+        rounds: 32,
+        window: 3,
+        alarm_fraction: 0.6,
+        reference: Some(600.0),
+        base_seed: 0x00C0_FFEE,
+    })
+    .unwrap();
+    let schedule = ChurnSchedule {
+        rate: 5,
+        burst_at: Some(6),
+        burst_size: 400,
+    };
+    let mut timeline = Timeline::new(TagPopulation::sequential(600));
+    let mut out = String::from("update,population,estimate,windowed,delta,alarm\n");
+    for update in 0..10usize {
+        for event in schedule.events_at(update) {
+            timeline.apply(event);
+        }
+        let keys: Vec<u64> = timeline.population().keys().collect();
+        let u = monitor.observe_keys(&keys).unwrap();
+        // `{:?}` prints the shortest f64 representation that round-trips,
+        // so equal bytes ⇔ equal bits.
+        writeln!(
+            out,
+            "{},{},{:?},{:?},{:?},{}",
+            u.index,
+            keys.len(),
+            u.estimate,
+            u.windowed,
+            u.delta,
+            u.alarm
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Satellite 2: the golden churn trace. Pins per-update estimates and the
+/// alarm-fire update byte for byte; `PET_BLESS=1` re-blesses.
+#[test]
+fn golden_churn_trace_matches() {
+    let produced = churn_trace();
+
+    // Structural checks first, independent of the golden bytes: the alarm
+    // must fire only after the burst at update 6, and stay quiet before.
+    let alarm_updates: Vec<usize> = produced
+        .lines()
+        .skip(1)
+        .enumerate()
+        .filter(|(_, line)| line.ends_with("true"))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !alarm_updates.is_empty(),
+        "losing 400 of 600 tags must trip a 0.6 alarm fraction"
+    );
+    assert!(
+        alarm_updates[0] >= 6,
+        "alarm before the burst (update {}) is a false positive",
+        alarm_updates[0]
+    );
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/monitor_trace.csv");
+    if std::env::var("PET_BLESS").is_ok_and(|v| !v.is_empty()) {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &produced).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run once with PET_BLESS=1 to create it, then commit the file");
+    assert_eq!(
+        produced, golden,
+        "monitor trace drifted from tests/golden/monitor_trace.csv; if the \
+         change is intentional, re-bless with PET_BLESS=1 and commit"
+    );
+}
+
+/// Satellite/acceptance: the trace (and hence every monitor consumer —
+/// server streams, sim sweep, ledger rows) replays bit for bit.
+#[test]
+fn churn_trace_replays_bit_for_bit() {
+    assert_eq!(churn_trace(), churn_trace());
+}
