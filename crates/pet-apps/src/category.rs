@@ -11,8 +11,8 @@
 use pet_core::config::PetConfig;
 use pet_core::oracle::CodeRoster;
 use pet_core::session::{EstimateReport, PetSession};
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use pet_tags::population::TagPopulation;
 use pet_tags::tag::Tag;
 use rand::Rng;

@@ -12,8 +12,8 @@
 use pet_core::config::PetConfig;
 use pet_core::oracle::CodeRoster;
 use pet_core::session::PetSession;
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use pet_stats::erf::normal_cdf;
 use pet_stats::gray::{GrayDistribution, SIGMA_H};
 use pet_tags::population::TagPopulation;

@@ -13,8 +13,8 @@ use crate::use_est::OPTIMAL_LOAD;
 use crate::{CardinalityEstimator, Estimate};
 use pet_hash::family::{AnyFamily, HashFamily, MixFamily};
 use pet_hash::GeometricHasher;
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::{Rng, RngCore};
 

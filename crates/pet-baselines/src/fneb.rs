@@ -17,8 +17,8 @@
 
 use crate::{CardinalityEstimator, Estimate, Fidelity};
 use pet_hash::family::{AnyFamily, HashFamily};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::{Rng, RngCore};
 

@@ -1,0 +1,245 @@
+//! FSA — framed-slotted-aloha estimation with frame-size adjustment
+//! (after the FSA anti-collision analysis of arXiv 1712.05122).
+//!
+//! The workhorse Gen2 anti-collision discipline: the reader announces a
+//! frame of `f` slots, every tag picks one uniformly, and the reader tallies
+//! idle/singleton/collision slots. Schoute's backlog estimator converts one
+//! frame's tally into a cardinality estimate `n̂ = s + 2.39·c`, and the
+//! *frame-size adjustment* step resizes the next frame toward the running
+//! estimate so the load `n/f` stays near the efficiency optimum of 1 —
+//! exactly the dynamic the cited analysis optimizes. Unlike the sampling
+//! estimators (USE/UPE/EZB), every tag responds in every frame, which is
+//! what makes FSA the credible "what a stock reader would do" baseline for
+//! the PHY comparison sweep: its slot count *and* its energy bill scale
+//! with `n`, not with the accuracy target alone.
+
+use crate::{CardinalityEstimator, Estimate};
+use pet_hash::family::{AnyFamily, HashFamily};
+use pet_phy::channel::ChannelModel;
+use pet_phy::slot::SlotOutcome;
+use pet_phy::Air;
+use pet_stats::accuracy::Accuracy;
+use rand::{Rng, RngCore};
+
+/// Schoute's expected-collision-size factor: a collision slot hides 2.39
+/// tags on average at the optimal load.
+pub const SCHOUTE_FACTOR: f64 = 2.39;
+
+/// Per-round relative standard deviation of the Schoute estimate at load 1,
+/// ≈ 0.94/√f (Poisson slot approximation).
+const SCHOUTE_REL_SD: f64 = 0.94;
+
+/// Frames the adjustment loop needs to converge from a badly sized initial
+/// frame before the plateau average starts (the backlog estimate grows by
+/// ~2.39× per overloaded frame).
+const RAMP_ROUNDS: u32 = 2;
+
+/// The FSA estimator.
+#[derive(Debug, Clone)]
+pub struct Fsa {
+    initial_frame: u64,
+    max_frame: u64,
+    family: AnyFamily,
+}
+
+impl Fsa {
+    /// FSA with explicit initial and maximum frame sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are powers of two with
+    /// `16 ≤ initial ≤ max ≤ 2^20`.
+    #[must_use]
+    pub fn new(initial_frame: u64, max_frame: u64) -> Self {
+        for f in [initial_frame, max_frame] {
+            assert!(
+                f.is_power_of_two() && (16..=1 << 20).contains(&f),
+                "frame must be a power of two in 16..=2^20, got {f}"
+            );
+        }
+        assert!(initial_frame <= max_frame, "initial frame above maximum");
+        Self {
+            initial_frame,
+            max_frame,
+            family: AnyFamily::default(),
+        }
+    }
+
+    /// A Gen2-flavoured default: Q₀ = 9 (512-slot initial frame), frames
+    /// capped at 2^16 slots.
+    #[must_use]
+    pub fn gen2_default() -> Self {
+        Self::new(512, 1 << 16)
+    }
+
+    /// The frame the adjustment step selects for backlog estimate `est`:
+    /// the power of two nearest to the estimate (target load 1), clamped to
+    /// `16..=max_frame`.
+    #[must_use]
+    fn adjusted_frame(&self, est: f64) -> u64 {
+        let exp = est.max(1.0).log2().round().clamp(4.0, 20.0) as u32;
+        (1u64 << exp).clamp(16, self.max_frame)
+    }
+
+    /// One frame: announce, tally, and return the Schoute backlog estimate.
+    fn frame_estimate(
+        &self,
+        frame: u64,
+        keys: &[u64],
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let seed: u64 = rng.random();
+        let bits = frame.trailing_zeros();
+        let mut counts = vec![0u64; frame as usize];
+        for &k in keys {
+            counts[self.family.hash_bits(seed, k, bits) as usize] += 1;
+        }
+        // Query: 16-bit frame announcement + 16-bit session/seed nonce;
+        // then a Gen2 QueryRep (4 bits) advances every slot.
+        air.broadcast(32);
+        let (mut singletons, mut collisions) = (0u64, 0u64);
+        for &c in &counts {
+            match air.slot(c, 4, rng) {
+                SlotOutcome::Idle => {}
+                SlotOutcome::Singleton => singletons += 1,
+                SlotOutcome::Collision => collisions += 1,
+            }
+        }
+        singletons as f64 + SCHOUTE_FACTOR * collisions as f64
+    }
+}
+
+impl CardinalityEstimator for Fsa {
+    fn name(&self) -> &str {
+        "FSA"
+    }
+
+    /// Rounds so the plateau average meets `accuracy`, from the ≈0.94/√f
+    /// per-frame relative deviation at the adjusted load, plus the ramp
+    /// frames the adjustment needs to find that load.
+    fn rounds(&self, accuracy: &Accuracy) -> u32 {
+        let z = accuracy.quantile();
+        let per_round = SCHOUTE_REL_SD * SCHOUTE_REL_SD / self.initial_frame as f64;
+        let m = (z * z * per_round / (accuracy.epsilon() * accuracy.epsilon())).ceil();
+        (m as u32).max(1) + RAMP_ROUNDS
+    }
+
+    fn slots_per_round(&self) -> u64 {
+        self.initial_frame
+    }
+
+    /// A passive tag preloads one slot choice per frame, `log₂ f_max` bits
+    /// each.
+    fn tag_memory_bits(&self, accuracy: &Accuracy) -> u64 {
+        u64::from(self.rounds(accuracy)) * u64::from(self.max_frame.trailing_zeros())
+    }
+
+    fn estimate_rounds(
+        &self,
+        keys: &[u64],
+        rounds: u32,
+        air: &mut Air<ChannelModel>,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        assert!(rounds > 0, "at least one round is required");
+        let mut frame = self.initial_frame;
+        let mut history: Vec<(u64, f64)> = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let est = self.frame_estimate(frame, keys, air, rng);
+            history.push((frame, est));
+            frame = self.adjusted_frame(est);
+        }
+        // Average the plateau: frames the adjustment settled on. Ramp-up
+        // frames (deeply overloaded, Schoute saturated) would bias the mean.
+        let plateau = history.last().expect("rounds > 0").0;
+        let (mut sum, mut count) = (0.0, 0u32);
+        for &(f, est) in &history {
+            if f == plateau {
+                sum += est;
+                count += 1;
+            }
+        }
+        Estimate {
+            estimate: sum / f64::from(count),
+            rounds,
+            metrics: *air.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(n: usize, rounds: u32, seed: u64) -> Estimate {
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Fsa::gen2_default().estimate_rounds(&keys, rounds, &mut air, &mut rng)
+    }
+
+    #[test]
+    fn accurate_across_scales() {
+        for &n in &[300usize, 2_000, 20_000] {
+            let est = run(n, 12, 71);
+            let rel = (est.estimate - n as f64).abs() / n as f64;
+            assert!(rel < 0.15, "n = {n}: estimate {}", est.estimate);
+        }
+    }
+
+    #[test]
+    fn frame_adjustment_converges_to_the_load_optimum() {
+        let fsa = Fsa::new(128, 1 << 16);
+        // From a 128-slot frame against 10k tags, the plateau frame must
+        // reach the power of two bracketing n (8192 or 16384).
+        let keys: Vec<u64> = (0..10_000).collect();
+        let mut air = Air::new(ChannelModel::Perfect);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut frame = 128u64;
+        for _ in 0..8 {
+            let est = fsa.frame_estimate(frame, &keys, &mut air, &mut rng);
+            frame = fsa.adjusted_frame(est);
+        }
+        assert!(frame == 8_192 || frame == 16_384, "converged frame {frame}");
+    }
+
+    #[test]
+    fn adjustment_clamps_to_bounds() {
+        let fsa = Fsa::new(512, 4_096);
+        assert_eq!(fsa.adjusted_frame(0.0), 16);
+        assert_eq!(fsa.adjusted_frame(1e12), 4_096);
+        assert_eq!(fsa.adjusted_frame(512.0), 512);
+        // Nearest power of two, not floor: 700 → 512, 800 → 1024.
+        assert_eq!(fsa.adjusted_frame(700.0), 512);
+        assert_eq!(fsa.adjusted_frame(800.0), 1_024);
+    }
+
+    #[test]
+    fn every_tag_responds_every_frame() {
+        let n = 1_000usize;
+        let est = run(n, 4, 9);
+        // FSA has no sampling: tag responses = n × rounds exactly on a
+        // perfect channel.
+        assert_eq!(est.metrics.tag_responses, (n as u64) * 4);
+        assert!(est.metrics.slots > 0);
+        assert!(est.metrics.collision > 0);
+    }
+
+    #[test]
+    fn rounds_budget_scales_with_accuracy() {
+        let fsa = Fsa::gen2_default();
+        let tight = fsa.rounds(&Accuracy::new(0.02, 0.01).unwrap());
+        let loose = fsa.rounds(&Accuracy::new(0.2, 0.2).unwrap());
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+        assert!(loose > RAMP_ROUNDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_frames() {
+        let _ = Fsa::new(100, 1 << 16);
+    }
+}

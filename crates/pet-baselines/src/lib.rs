@@ -6,7 +6,9 @@
 //! read with the Flajolet–Martin statistic). Its related-work section (§2)
 //! further discusses **USE/UPE** (Kodialam & Nandagopal, MobiCom 2006) and
 //! **EZB** (Kodialam et al., INFOCOM 2007); we implement those too as
-//! extended baselines. None of these systems ever shipped source code — each
+//! extended baselines, plus **FSA** (framed-slotted aloha with frame-size
+//! adjustment, after arXiv 1712.05122) — the stock Gen2 anti-collision
+//! discipline the PHY comparison sweep prices in milliseconds and µJ. None of these systems ever shipped source code — each
 //! is built from its source paper (substitutions documented in DESIGN.md).
 //!
 //! Every estimator — including PET itself via [`PetAdapter`] — implements
@@ -31,8 +33,8 @@
 //!
 //! ```
 //! use pet_baselines::{CardinalityEstimator, Lof};
-//! use pet_radio::channel::ChannelModel;
-//! use pet_radio::Air;
+//! use pet_phy::channel::ChannelModel;
+//! use pet_phy::Air;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(5);
@@ -50,6 +52,7 @@
 
 pub mod ezb;
 pub mod fneb;
+pub mod fsa;
 pub mod lof;
 pub mod pet_adapter;
 pub mod upe;
@@ -57,13 +60,14 @@ pub mod use_est;
 
 pub use ezb::Ezb;
 pub use fneb::Fneb;
+pub use fsa::Fsa;
 pub use lof::Lof;
 pub use pet_adapter::PetAdapter;
 pub use upe::Upe;
 pub use use_est::UnifiedSimpleEstimator;
 
-use pet_radio::channel::ChannelModel;
-use pet_radio::{Air, AirMetrics};
+use pet_phy::channel::ChannelModel;
+use pet_phy::{Air, AirMetrics};
 use pet_stats::accuracy::Accuracy;
 use rand::RngCore;
 
@@ -138,7 +142,7 @@ pub trait CardinalityEstimator: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pet_radio::channel::ChannelModel;
+    use pet_phy::channel::ChannelModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -176,6 +180,7 @@ mod tests {
             Box::new(UnifiedSimpleEstimator::with_prior(1_000.0)),
             Box::new(Upe::with_prior(1_000.0)),
             Box::new(Ezb::paper_default()),
+            Box::new(Fsa::gen2_default()),
         ];
         let keys: Vec<u64> = (0..1_000).collect();
         let mut rng = StdRng::seed_from_u64(11);

@@ -15,8 +15,8 @@
 use crate::{CardinalityEstimator, Estimate, Fidelity};
 use pet_hash::family::{AnyFamily, MixFamily};
 use pet_hash::GeometricHasher;
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use pet_stats::binomial::sample_binomial;
 use pet_stats::gray::{FM_PHI, FM_SIGMA_R};

@@ -4,8 +4,8 @@ use crate::{CardinalityEstimator, Estimate};
 use pet_core::config::PetConfig;
 use pet_core::oracle::CodeRoster;
 use pet_core::session::PetSession;
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::RngCore;
 

@@ -12,9 +12,9 @@
 use crate::use_est::{UnifiedSimpleEstimator, OPTIMAL_LOAD};
 use crate::{CardinalityEstimator, Estimate, Fidelity};
 use pet_hash::family::{AnyFamily, HashFamily};
-use pet_radio::channel::ChannelModel;
-use pet_radio::slot::SlotOutcome;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::slot::SlotOutcome;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::{Rng, RngCore};
 

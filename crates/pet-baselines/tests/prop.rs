@@ -3,8 +3,8 @@
 use pet_baselines::{
     CardinalityEstimator, Ezb, Fidelity, Fneb, Lof, PetAdapter, UnifiedSimpleEstimator, Upe,
 };
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -9,8 +9,8 @@ use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::run_round;
 use pet_hash::family::{AnyFamily, HashFamily, HashKind};
 use pet_hash::{GeometricHasher, MixFamily};
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -109,7 +109,7 @@ fn bench_round_location(c: &mut Criterion) {
 
 fn bench_firmware(c: &mut Criterion) {
     use pet_firmware::TagChip;
-    use pet_radio::command::CommandFrame;
+    use pet_phy::command::CommandFrame;
     let start = CommandFrame::round_start(0xDEAD_BEEF, 32, None);
     let query = CommandFrame::query_mid(17);
     let mut chip = TagChip::new(0xCAFE_F00D);

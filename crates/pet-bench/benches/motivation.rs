@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_sim::experiments::{energy, motivation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -7,8 +7,8 @@ use pet_core::config::PetConfig;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::binary_round;
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use pet_sim::experiments::table3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

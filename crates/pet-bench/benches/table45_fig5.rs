@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_sim::experiments::table45;
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;

@@ -13,7 +13,8 @@
 
 use pet_bench::{ledger, suite};
 use pet_sim::experiments::{
-    ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, table3, table45,
+    ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, phy, table3,
+    table45,
 };
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -33,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablations",
     "motivation",
     "energy",
+    "phy",
     "detection",
     "monitor",
     "fleet",
@@ -323,6 +325,47 @@ fn main() {
         let rows = energy::run(&energy::EnergyParams::default());
         pet_bench::report_energy(&rows, &out_dir).expect("write energy");
         pet_bench::figures::energy(&rows, &out_dir).expect("energy svg");
+    }
+
+    if want("phy") {
+        let params = if quick {
+            phy::PhyParams {
+                n: 2_000,
+                epsilon: 0.10,
+                delta: 0.05,
+                ..phy::PhyParams::default()
+            }
+        } else {
+            phy::PhyParams::default()
+        };
+        let rows = phy::run(&params);
+        pet_bench::report_phy(&rows, &out_dir).expect("write phy");
+        pet_bench::figures::phy(&rows, &out_dir).expect("phy svg");
+        // One ledger row per scenario so the gate's phy pin tracks the
+        // modeled on-air time (and the energy bill rides along) at the
+        // paper operating point.
+        let commit = ledger::current_commit();
+        let ledger_rows: Vec<ledger::LedgerRow> = rows
+            .iter()
+            .map(|r| {
+                let config = format!(
+                    "scenario={}/n={}/eps={}/delta={}",
+                    r.scenario, r.n, params.epsilon, params.delta
+                );
+                let mut row = ledger::LedgerRow::new("phy", &config, &commit);
+                row.source = "repro:phy".to_string();
+                row.metric("wall_ms_per_estimate", r.wall_ms)
+                    .expect("finite wall clock");
+                row.metric("energy_uj_per_estimate", r.energy_uj)
+                    .expect("finite energy");
+                row
+            })
+            .collect();
+        ledger::append(&out_dir.join("ledger.jsonl"), &ledger_rows).expect("append ledger.jsonl");
+        println!(
+            "phy: {} ledger rows appended to results/ledger.jsonl",
+            ledger_rows.len()
+        );
     }
 
     if want("detection") {

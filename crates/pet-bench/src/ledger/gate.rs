@@ -24,15 +24,17 @@ use pet_server::json::escape;
 use std::collections::BTreeMap;
 
 /// Whether smaller values of a metric are improvements. Convention:
-/// latency- and duration-shaped names (`*_ns`, `*_s`, `*latency*`,
-/// `ns_per_*`) are lower-is-better; everything else (rates, coverage) is
-/// higher-is-better.
+/// latency-, duration-, and energy-shaped names (`*_ns`, `*_s`,
+/// `*latency*`, `ns_per_*`, `*wall_ms*`, `*_uj*`) are lower-is-better;
+/// everything else (rates, coverage) is higher-is-better.
 #[must_use]
 pub fn lower_is_better(metric: &str) -> bool {
     metric.ends_with("_ns")
         || metric.ends_with("_s")
         || metric.contains("latency")
         || metric.starts_with("ns_per_")
+        || metric.contains("wall_ms")
+        || metric.contains("_uj")
 }
 
 /// One metric the gate enforces.
@@ -77,9 +79,9 @@ impl PinnedMetric {
 /// The repo's default pinned metrics: kernel rounds/s, evented serving
 /// throughput, fleet round latency — the three numbers the ROADMAP's perf
 /// PRs moved and the ledger exists to protect — plus the streaming
-/// monitor's detection latency (in updates; lower is better), so window
-/// or alarm-threshold changes cannot silently slow down missing-tag
-/// detection.
+/// monitor's detection latency (in updates; lower is better) and the PHY
+/// sweep's modeled wall-clock per estimate, so protocol or profile changes
+/// cannot silently inflate PET's on-air time under the Gen2 pricing.
 #[must_use]
 pub fn default_pins() -> Vec<PinnedMetric> {
     vec![
@@ -87,6 +89,7 @@ pub fn default_pins() -> Vec<PinnedMetric> {
         PinnedMetric::new("server-loadgen", "evented/", "throughput_rps"),
         PinnedMetric::new("fleet", "", "round_latency_mean_ns"),
         PinnedMetric::new("monitor", "", "detection_latency_updates"),
+        PinnedMetric::new("phy", "", "wall_ms_per_estimate"),
     ]
 }
 

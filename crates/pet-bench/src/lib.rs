@@ -539,6 +539,59 @@ pub fn report_energy(
     csv.finish()
 }
 
+/// Renders the Gen2 PHY pricing sweep and writes `phy.csv`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the CSV writer.
+pub fn report_phy(rows: &[pet_sim::experiments::phy::PhyRow], out_dir: &Path) -> io::Result<()> {
+    println!("\n== Gen2 PHY pricing: wall-clock and energy per estimate ==");
+    println!(
+        "{:<16} {:>9} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "scenario", "rel err", "slots", "responses", "wall ms", "energy µJ", "tag µJ"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>8.2}% {:>10} {:>10} {:>12.1} {:>12.0} {:>12.0}",
+            r.scenario,
+            r.rel_error * 100.0,
+            r.slots,
+            r.tag_responses,
+            r.wall_ms,
+            r.energy_uj,
+            r.tag_uj
+        );
+    }
+    let mut csv = CsvWriter::create(
+        out_dir.join("phy.csv"),
+        &[
+            "scenario",
+            "n",
+            "estimate",
+            "rel_error",
+            "slots",
+            "tag_responses",
+            "wall_ms",
+            "energy_uj",
+            "tag_uj",
+        ],
+    )?;
+    for r in rows {
+        csv.row_strings(&[
+            r.scenario.clone(),
+            r.n.to_string(),
+            format!("{:.1}", r.estimate),
+            format!("{:.4}", r.rel_error),
+            r.slots.to_string(),
+            r.tag_responses.to_string(),
+            format!("{:.3}", r.wall_ms),
+            format!("{:.1}", r.energy_uj),
+            format!("{:.1}", r.tag_uj),
+        ])?;
+    }
+    csv.finish()
+}
+
 /// Renders the adaptive-stopping comparison rows.
 pub fn print_adaptive(rows: &[pet_sim::experiments::ablations::AdaptiveRow]) {
     println!("\n== Ablation: fixed Eq. (20) budget vs adaptive early stopping ==");
@@ -661,8 +714,8 @@ mod tests {
 pub mod figures {
     use crate::svg::{Scale, SvgChart};
     use pet_sim::experiments::{
-        ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, robustness,
-        table45,
+        ablations, detection, energy, fig4, fig6, fig7, fleet, monitor, motivation, phy,
+        robustness, table45,
     };
     use std::io;
     use std::path::Path;
@@ -889,6 +942,34 @@ pub mod figures {
             chart = chart.series(&r.protocol, vec![(i as f64, r.responses_per_tag.max(1e-3))]);
         }
         chart.save(&svg_dir(out_dir).join("energy.svg"))
+    }
+
+    /// Gen2 PHY pricing as a log-scale scatter SVG: each scenario is one
+    /// point per axis (wall-clock ms and total µJ), indexed by its
+    /// position in the sweep so the crossover between accuracy-bound PET
+    /// and population-bound FSA is visible at a glance.
+    pub fn phy(rows: &[phy::PhyRow], out_dir: &Path) -> io::Result<()> {
+        let mut chart = SvgChart::new(
+            "Gen2 PHY cost per estimate",
+            "scenario index (PET, PET+tash…, FSA, FNEB, LoF, EZB, UPE)",
+            "wall ms / energy µJ",
+        )
+        .scales(Scale::Linear, Scale::Log);
+        chart = chart.series(
+            "wall ms",
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| (i as f64, r.wall_ms.max(1e-3)))
+                .collect(),
+        );
+        chart = chart.series(
+            "energy µJ",
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| (i as f64, r.energy_uj.max(1e-3)))
+                .collect(),
+        );
+        chart.save(&svg_dir(out_dir).join("phy.svg"))
     }
 
     /// Robustness sweep as an SVG: accuracy degradation vs miss rate,

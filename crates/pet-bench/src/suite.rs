@@ -14,8 +14,8 @@ use pet_core::kernel::{locate_prefix_len, locate_prefix_len_with, round_record};
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::{binary_round, linear_round};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;

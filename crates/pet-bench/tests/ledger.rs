@@ -449,6 +449,8 @@ fn gate_lower_is_better_inverts_direction() {
     assert!(gate::lower_is_better("round_latency_mean_ns"));
     assert!(gate::lower_is_better("elapsed_s"));
     assert!(gate::lower_is_better("ns_per_iter"));
+    assert!(gate::lower_is_better("wall_ms_per_estimate"));
+    assert!(gate::lower_is_better("energy_uj_per_estimate"));
     assert!(!gate::lower_is_better("throughput_rps"));
     assert!(!gate::lower_is_better("effective_coverage"));
 }
@@ -558,10 +560,13 @@ fn pin_specs_parse() {
     assert_eq!(p.config_prefix, "");
     assert!(gate::PinnedMetric::parse("justonefield").is_err());
     let pins = gate::default_pins();
-    assert_eq!(pins.len(), 4);
-    // The monitor pin is latency-shaped: lower must count as better.
+    assert_eq!(pins.len(), 5);
+    // The monitor and phy pins are latency/duration-shaped: lower must
+    // count as better.
     let monitor = pins.iter().find(|p| p.bench == "monitor").unwrap();
     assert!(gate::lower_is_better(&monitor.metric));
+    let phy = pins.iter().find(|p| p.bench == "phy").unwrap();
+    assert!(gate::lower_is_better(&phy.metric));
 }
 
 proptest! {

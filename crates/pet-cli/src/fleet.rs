@@ -16,7 +16,7 @@ use pet_fleet::{
     Coordinator, FaultAction, FaultEvent, FaultProxy, FleetConfig, FleetReport, FleetSpec,
     RetryPolicy,
 };
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use pet_server::{serve, ServerConfig, ServerHandle};
 use pet_stats::accuracy::Accuracy;
 use std::time::Duration;
@@ -49,6 +49,7 @@ pub fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
         "restore",
         "shutdown-agents",
         "bench-json",
+        "phy",
         "telemetry",
     ])?;
 
@@ -118,6 +119,7 @@ pub fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
     let accuracy = Accuracy::new(epsilon, delta).map_err(|e| ArgError(e.to_string()))?;
     let pet = PetConfig::builder()
         .accuracy(accuracy)
+        .phy(crate::phy_from(args)?)
         .build()
         .map_err(|e| ArgError(e.to_string()))?;
     let mut config = FleetConfig::new(pet, args.get_or("rounds", 64)?, args.get_or("seed", 42)?);
@@ -232,6 +234,12 @@ fn print_fleet_report(spec: &FleetSpec, r: &FleetReport) {
             "round latency  : mean {:.3} ms, p95 ≤ {:.3} ms",
             span.mean_nanos() / 1e6,
             span.histogram.quantile_bound(0.95).unwrap_or(0) as f64 / 1e6
+        );
+    }
+    if let Some(p) = r.phy {
+        println!(
+            "phy (gen2)     : {:.1} ms on air, {:.0} µJ total ({:.0} µJ on tags)",
+            p.wall_ms, p.energy_uj, p.tag_uj
         );
     }
     println!("fleet digest   : {:#018x}", r.digest());

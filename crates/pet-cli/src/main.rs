@@ -27,7 +27,7 @@ mod fleet;
 mod serve;
 
 use args::{ArgError, Args};
-use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Lof, PetAdapter};
+use pet_baselines::{CardinalityEstimator, Ezb, Fneb, Fsa, Lof, PetAdapter};
 use pet_core::adaptive::AdaptiveSession;
 use pet_core::bits::BitString;
 use pet_core::config::{Mitigation, PetConfig, SearchStrategy};
@@ -35,8 +35,8 @@ use pet_core::front::Estimator;
 use pet_core::oracle::CodeRoster;
 use pet_core::tree::Tree;
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
-use pet_radio::channel::{ChannelModel, LossyChannel};
-use pet_radio::{Air, TimeModel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
+use pet_phy::{Air, PhyProfile, TimeModel};
 use pet_sim::experiments::robustness;
 use pet_stats::accuracy::Accuracy;
 use pet_stats::gray::{PHI, SIGMA_H};
@@ -45,8 +45,8 @@ use rand::SeedableRng;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [--flags]
-  pet estimate --tags 50000 [--epsilon 0.05] [--delta 0.01] [--protocol pet|fneb|lof|ezb]
-               [--linear] [--adaptive] [--rounds M] [--seed S]
+  pet estimate --tags 50000 [--epsilon 0.05] [--delta 0.01] [--protocol pet|fneb|lof|ezb|fsa]
+               [--linear] [--adaptive] [--rounds M] [--seed S] [--phy gen2]
                [--miss P] [--false-busy P] [--probes R | --trim K]
   pet robustness [--tags 5000] [--rounds 128] [--runs 40] [--miss 0,0.01,0.02,0.05,0.1]
                [--false-busy 0] [--probes 2] [--seed S] [--out target/robustness]
@@ -68,7 +68,7 @@ const USAGE: &str = "usage: pet <estimate|identify|compare|monitor|tree|info> [-
                [--tags 200] [--rounds 4] [--verify-deterministic]
                [--bench-json results/BENCH_server.json]
   pet fleet    (--spawn N [--backend threaded|evented] | --agents H:P,...)
-               [--tags 10000] [--zones Z]
+               [--tags 10000] [--zones Z] [--phy gen2]
                [--coverage 0,1;1,2;...] [--deploy-seed 7] [--rounds 64] [--seed 42]
                [--quorum 1] [--deadline-ms 2000] [--dead-after 2] [--miss P]
                [--kill R@ROUND,...] [--stall R@ROUND:MS,...] [--drop R@ROUND,...]
@@ -229,6 +229,7 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
         "false-busy",
         "probes",
         "trim",
+        "phy",
         "telemetry",
     ])?;
     let n: usize = args.require("tags")?;
@@ -237,6 +238,7 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     let protocol = args.get("protocol").unwrap_or("pet");
     let channel = channel_from(args)?;
     let mitigation = mitigation_from(args)?;
+    let phy = phy_from(args)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let keys: Vec<u64> = (0..n as u64).collect();
 
@@ -250,6 +252,7 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
             })
             .channel(channel)
             .mitigation(mitigation)
+            .phy(phy)
             .build()
             .map_err(|e| ArgError(e.to_string()))?;
         let report = if args.switch("adaptive") {
@@ -278,6 +281,9 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
         );
         println!("rounds        : {}", report.rounds);
         print_costs(&report.metrics);
+        if let Some(phy) = report.phy {
+            print_phy(&phy);
+        }
         return Ok(());
     }
 
@@ -285,9 +291,10 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
         "fneb" => Box::new(Fneb::paper_default()),
         "lof" => Box::new(Lof::paper_default()),
         "ezb" => Box::new(Ezb::paper_default()),
+        "fsa" => Box::new(Fsa::gen2_default()),
         other => {
             return Err(ArgError(format!(
-                "unknown protocol {other:?} (pet|fneb|lof|ezb)"
+                "unknown protocol {other:?} (pet|fneb|lof|ezb|fsa)"
             )))
         }
     };
@@ -313,6 +320,9 @@ fn cmd_estimate(args: &Args) -> Result<(), ArgError> {
     );
     println!("rounds        : {}", est.rounds);
     print_costs(&est.metrics);
+    if let Some(profile) = phy {
+        print_phy(&profile.report(&est.metrics));
+    }
     Ok(())
 }
 
@@ -727,7 +737,24 @@ fn cmd_lane(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn print_costs(m: &pet_radio::AirMetrics) {
+/// Parses `--phy NAME` into a profile, `None` when the flag is absent.
+fn phy_from(args: &Args) -> Result<Option<PhyProfile>, ArgError> {
+    match args.get("phy") {
+        None => Ok(None),
+        Some(name) => PhyProfile::named(name)
+            .map(Some)
+            .ok_or_else(|| ArgError(format!("unknown PHY profile {name:?} (gen2)"))),
+    }
+}
+
+fn print_phy(r: &pet_phy::PhyReport) {
+    println!(
+        "phy wall time : {:.1} ms   energy: {:.0} µJ (reader TX {:.0} / RX {:.0} / tags {:.0})",
+        r.wall_ms, r.energy_uj, r.reader_tx_uj, r.reader_rx_uj, r.tag_uj
+    );
+}
+
+fn print_costs(m: &pet_phy::AirMetrics) {
     println!(
         "air cost      : {} slots ({} idle / {} singleton / {} collision)",
         m.slots, m.idle, m.singleton, m.collision
@@ -757,7 +784,7 @@ mod cli_tests {
 
     #[test]
     fn estimate_all_protocols() {
-        for proto in ["pet", "fneb", "lof", "ezb"] {
+        for proto in ["pet", "fneb", "lof", "ezb", "fsa"] {
             exec(&[
                 "estimate",
                 "--tags",
@@ -771,6 +798,27 @@ mod cli_tests {
             ])
             .unwrap_or_else(|e| panic!("{proto}: {e}"));
         }
+    }
+
+    #[test]
+    fn estimate_phy_profile() {
+        // Every protocol accepts the profile; PET threads it through the
+        // config, baselines fold it over their metrics.
+        for proto in ["pet", "fsa"] {
+            exec(&[
+                "estimate",
+                "--tags",
+                "300",
+                "--protocol",
+                proto,
+                "--rounds",
+                "8",
+                "--phy",
+                "gen2",
+            ])
+            .unwrap_or_else(|e| panic!("{proto}: {e}"));
+        }
+        assert!(exec(&["estimate", "--tags", "300", "--phy", "lte"]).is_err());
     }
 
     #[test]

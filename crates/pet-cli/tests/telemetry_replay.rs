@@ -9,7 +9,7 @@
 
 use pet_core::config::{Backend, Mitigation, PetConfig};
 use pet_core::front::Estimator;
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -19,8 +19,8 @@ use crate::estimator::PetEstimator;
 use crate::oracle::ResponderOracle;
 use crate::reader::run_round;
 use crate::session::EstimateReport;
-use pet_radio::channel::Channel;
-use pet_radio::Air;
+use pet_phy::channel::Channel;
+use pet_phy::Air;
 use pet_stats::describe::Describe;
 use rand::Rng;
 
@@ -99,6 +99,7 @@ impl AdaptiveSession {
             metrics: *air.metrics(),
             zero_detected: false,
             records,
+            phy: crate::session::phy_fold(&self.config, air.metrics()),
         }
     }
 }
@@ -108,7 +109,7 @@ mod tests {
     use super::*;
     use crate::oracle::CodeRoster;
     use pet_hash::family::AnyFamily;
-    use pet_radio::channel::PerfectChannel;
+    use pet_phy::channel::PerfectChannel;
     use pet_stats::accuracy::Accuracy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

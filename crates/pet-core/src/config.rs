@@ -1,6 +1,7 @@
 //! PET protocol configuration.
 
-use pet_radio::channel::ChannelModel;
+use pet_phy::channel::ChannelModel;
+use pet_phy::profile::PhyProfile;
 use pet_stats::accuracy::Accuracy;
 use std::fmt;
 
@@ -35,7 +36,7 @@ pub enum TagMode {
 pub enum Backend {
     /// The slot-by-slot oracle reader ([`crate::PetSession`]): every query
     /// goes through the [`crate::oracle::ResponderOracle`] trait and the
-    /// radio [`pet_radio::Air`], so transcripts and lossy channels work.
+    /// radio [`pet_phy::Air`], so transcripts and lossy channels work.
     Oracle,
     /// The batched gray-node kernel ([`crate::SessionEngine`]): one binary
     /// search per round over sorted codes — ~5× faster at paper scale, the
@@ -173,6 +174,7 @@ pub struct PetConfig {
     backend: Backend,
     channel: ChannelModel,
     mitigation: Mitigation,
+    phy: Option<PhyProfile>,
 }
 
 impl PetConfig {
@@ -253,6 +255,15 @@ impl PetConfig {
         self.mitigation
     }
 
+    /// The PHY profile, if wall-clock/energy reporting was requested
+    /// (default `None`: the paper's pure slot accounting). Attaching a
+    /// profile never changes slot counts or estimate bits — the report is
+    /// a pure fold over the finished [`pet_phy::AirMetrics`].
+    #[must_use]
+    pub fn phy(&self) -> Option<PhyProfile> {
+        self.phy
+    }
+
     /// Rounds `m` required by the accuracy requirement (paper Eq. (20)).
     #[must_use]
     pub fn rounds(&self) -> u32 {
@@ -301,6 +312,7 @@ pub struct PetConfigBuilder {
     backend: Backend,
     channel: ChannelModel,
     mitigation: Mitigation,
+    phy: Option<PhyProfile>,
 }
 
 impl Default for PetConfigBuilder {
@@ -316,6 +328,7 @@ impl Default for PetConfigBuilder {
             backend: Backend::default(),
             channel: ChannelModel::default(),
             mitigation: Mitigation::default(),
+            phy: None,
         }
     }
 }
@@ -381,7 +394,7 @@ impl PetConfigBuilder {
 
     /// Sets the physical channel model (default
     /// [`ChannelModel::Perfect`], the paper's lossless assumption).
-    /// [`pet_radio::channel::LossyChannel`] parameters are validated at
+    /// [`pet_phy::channel::LossyChannel`] parameters are validated at
     /// construction, so every `ChannelModel` reaching the builder is
     /// already well-formed and round-trips unchanged through `build`.
     #[must_use]
@@ -395,6 +408,14 @@ impl PetConfigBuilder {
     #[must_use]
     pub fn mitigation(mut self, mitigation: Mitigation) -> Self {
         self.mitigation = mitigation;
+        self
+    }
+
+    /// Attaches a PHY profile so every report carries wall-clock ms and a
+    /// µJ energy ledger alongside slots (default `None`).
+    #[must_use]
+    pub fn phy(mut self, phy: Option<PhyProfile>) -> Self {
+        self.phy = phy;
         self
     }
 
@@ -427,6 +448,7 @@ impl PetConfigBuilder {
             backend: self.backend,
             channel: self.channel,
             mitigation: self.mitigation,
+            phy: self.phy,
         })
     }
 }
@@ -503,7 +525,7 @@ mod tests {
     /// defaults stay on the paper's lossless channel with no mitigation.
     #[test]
     fn channel_and_mitigation_round_trip_through_builder() {
-        use pet_radio::channel::LossyChannel;
+        use pet_phy::channel::LossyChannel;
 
         let c = PetConfig::paper_default();
         assert_eq!(c.channel(), ChannelModel::Perfect);
@@ -557,6 +579,18 @@ mod tests {
             .mitigation(Mitigation::TrimmedMean { trim: 2 })
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn phy_profile_round_trips_and_defaults_off() {
+        assert_eq!(PetConfig::paper_default().phy(), None);
+        let c = PetConfig::builder()
+            .phy(Some(PhyProfile::gen2()))
+            .build()
+            .unwrap();
+        assert_eq!(c.phy(), Some(PhyProfile::gen2()));
+        // The profile is part of the config's identity.
+        assert_ne!(c, PetConfig::paper_default());
     }
 
     #[test]

@@ -16,8 +16,8 @@ use crate::kernel::CodeBank;
 use crate::oracle::{CodeRoster, ResponderOracle};
 use crate::session::{EstimateReport, PetSession, SessionEngine};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::Channel;
-use pet_radio::{Air, Transcript};
+use pet_phy::channel::Channel;
+use pet_phy::{Air, Transcript};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
 use std::sync::Arc;
@@ -417,7 +417,7 @@ mod tests {
     /// seed, fault injection included.
     #[test]
     fn lossy_transcripts_are_backend_invariant() {
-        use pet_radio::channel::{ChannelModel, LossyChannel};
+        use pet_phy::channel::{ChannelModel, LossyChannel};
         for mode in [TagMode::PassivePreloaded, TagMode::ActivePerRound] {
             let lossy = ChannelModel::Lossy(LossyChannel::new(0.15, 0.03).unwrap());
             let build = |backend| {

@@ -42,7 +42,7 @@ use crate::reader::RoundRecord;
 use pet_hash::bulk::{hash_codes_par, radix_sort_codes, RadixScratch};
 use pet_hash::family::AnyFamily;
 use pet_hash::simd::{self, Lane};
-use pet_radio::{AirMetrics, SlotOutcome};
+use pet_phy::{AirMetrics, SlotOutcome};
 use std::sync::Arc;
 
 /// Longest prefix of `path` shared by any code, via one search.
@@ -190,8 +190,8 @@ fn binary_record(height: u32, l: u32, probes: u32) -> RoundRecord {
 }
 
 /// Replays one round's slot accounting into `metrics`, bit-for-bit equal
-/// to what [`crate::reader::run_round`] records through [`pet_radio::Air`]
-/// over a [`pet_radio::channel::PerfectChannel`] — including the
+/// to what [`crate::reader::run_round`] records through [`pet_phy::Air`]
+/// over a [`pet_phy::channel::PerfectChannel`] — including the
 /// round-start broadcast, per-query command bits, outcome tallies, and
 /// per-slot responder counts.
 ///
@@ -410,8 +410,8 @@ mod tests {
     use super::*;
     use crate::oracle::{CodeRoster, ResponderOracle, RoundStart};
     use crate::reader::{binary_round, linear_round};
-    use pet_radio::channel::PerfectChannel;
-    use pet_radio::Air;
+    use pet_phy::channel::PerfectChannel;
+    use pet_phy::Air;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

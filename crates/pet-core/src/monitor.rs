@@ -133,6 +133,9 @@ pub struct MonitorUpdate {
     pub rounds: u32,
     /// Mean responsive-prefix statistic `L̄` of this update.
     pub mean_prefix_len: f64,
+    /// PHY pricing of this update's air transcript, when the protocol
+    /// configuration carries a [`pet_phy::PhyProfile`].
+    pub phy: Option<pet_phy::PhyReport>,
 }
 
 /// A streaming estimation session over a churning population.
@@ -288,6 +291,7 @@ impl Monitor {
             alarm: windowed < self.alarm_fraction * reference,
             rounds: report.rounds,
             mean_prefix_len: report.mean_prefix_len,
+            phy: report.phy,
         })
     }
 }

@@ -22,8 +22,8 @@
 use crate::bits::BitString;
 use crate::config::{Mitigation, PetConfig, SearchStrategy, TagMode};
 use crate::oracle::{ResponderOracle, RoundStart};
-use pet_radio::channel::Channel;
-use pet_radio::{Air, AirMetrics, SlotOutcome};
+use pet_phy::channel::Channel;
+use pet_phy::{Air, AirMetrics, SlotOutcome};
 use rand::Rng;
 
 /// Outcome of one estimation round.
@@ -258,7 +258,7 @@ mod tests {
     use crate::oracle::{CodeRoster, TagFleet};
     use crate::tree::Tree;
     use pet_hash::family::{AnyFamily, HashKind};
-    use pet_radio::channel::PerfectChannel;
+    use pet_phy::channel::PerfectChannel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

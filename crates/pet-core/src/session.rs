@@ -14,8 +14,8 @@ use crate::kernel::{self, CodeBank};
 use crate::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use crate::reader::{run_round, RoundRecord};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::{Channel, ChannelModel};
-use pet_radio::{Air, AirMetrics, SlotOutcome, Transcript};
+use pet_phy::channel::{Channel, ChannelModel};
+use pet_phy::{Air, AirMetrics, PhyReport, SlotOutcome, Transcript};
 use pet_tags::population::TagPopulation;
 use rand::Rng;
 use std::sync::Arc;
@@ -36,6 +36,26 @@ pub struct EstimateReport {
     pub zero_detected: bool,
     /// Per-round records, in order.
     pub records: Vec<RoundRecord>,
+    /// Wall-clock/energy ledger when the config carries a
+    /// [`pet_phy::PhyProfile`] (`None` otherwise). Computed as a pure fold
+    /// over `metrics` after the run, so its presence never changes
+    /// `estimate`, `records`, or `metrics` (pinned by the
+    /// `phy_conformance` differential).
+    pub phy: Option<PhyReport>,
+}
+
+/// Folds finished [`AirMetrics`] into the configured PHY report (if any)
+/// and emits the `phy.wall_ms` / `phy.energy_uj` telemetry counters. Pure
+/// with respect to the protocol: reads the config and metrics only.
+pub(crate) fn phy_fold(config: &PetConfig, metrics: &AirMetrics) -> Option<PhyReport> {
+    let report = config.phy().map(|profile| profile.report(metrics));
+    if let Some(r) = &report {
+        if pet_obs::enabled() {
+            pet_obs::counter("phy.wall_ms", r.wall_ms.round() as u64);
+            pet_obs::counter("phy.energy_uj", r.energy_uj.round() as u64);
+        }
+    }
+    report
 }
 
 impl EstimateReport {
@@ -213,6 +233,7 @@ impl PetSession {
                     metrics: *air.metrics(),
                     zero_detected: true,
                     records: Vec::new(),
+                    phy: phy_fold(&self.config, air.metrics()),
                 });
             }
         }
@@ -229,6 +250,7 @@ impl PetSession {
             metrics: *air.metrics(),
             zero_detected: false,
             records,
+            phy: phy_fold(&self.config, air.metrics()),
         })
     }
 
@@ -449,6 +471,7 @@ impl SessionEngine {
                     metrics,
                     zero_detected: true,
                     records: Vec::new(),
+                    phy: phy_fold(config, &metrics),
                 });
             }
         }
@@ -478,6 +501,7 @@ impl SessionEngine {
             metrics,
             zero_detected: false,
             records,
+            phy: phy_fold(config, &metrics),
         })
     }
 
@@ -519,6 +543,7 @@ impl SessionEngine {
                         metrics: *air.metrics(),
                         zero_detected: true,
                         records: Vec::new(),
+                        phy: phy_fold(config, air.metrics()),
                     },
                     transcript,
                 ));
@@ -539,6 +564,7 @@ impl SessionEngine {
                 metrics: *air.metrics(),
                 zero_detected: false,
                 records,
+                phy: phy_fold(config, air.metrics()),
             },
             transcript,
         ))
@@ -560,7 +586,7 @@ impl SessionEngine {
 mod tests {
     use super::*;
     use crate::config::{Mitigation, SearchStrategy, TagMode};
-    use pet_radio::channel::{LossyChannel, PerfectChannel};
+    use pet_phy::channel::{LossyChannel, PerfectChannel};
     use pet_stats::accuracy::Accuracy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

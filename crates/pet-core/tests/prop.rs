@@ -8,8 +8,8 @@ use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart, TagFleet};
 use pet_core::reader::{binary_round, linear_round, run_round};
 use pet_core::tree::Tree;
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::{ChannelModel, LossyChannel, PerfectChannel};
-use pet_radio::{Air, AirMetrics};
+use pet_phy::channel::{ChannelModel, LossyChannel, PerfectChannel};
+use pet_phy::{Air, AirMetrics};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -4,7 +4,7 @@
 //! ever performs "bitwise comparison on the PET code and path prefix". This
 //! crate makes that claim concrete: [`TagChip`] is a fixed-register state
 //! machine — no allocation, no floating point, no hashing at run time —
-//! that consumes the bit-level reader frames of `pet-radio::command`
+//! that consumes the bit-level reader frames of `pet-phy::command`
 //! (CRC-5 checked) and decides whether to backscatter. It compiles with
 //! `#![no_std]` so it could be dropped into actual tag silicon tooling.
 //!
@@ -30,7 +30,7 @@
 /// Tree height the chip is masked for (the paper's `H`).
 pub const HEIGHT: u8 = 32;
 
-/// Frame opcodes (must match `pet-radio::command::PetCommandCode`).
+/// Frame opcodes (must match `pet-phy::command::PetCommandCode`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Opcode {
     /// Round start: latch the estimating path, reset search registers.
@@ -212,7 +212,7 @@ impl TagChip {
     }
 }
 
-/// CRC-5-EPC over a bit slice (identical to `pet-radio::crc::crc5_epc`,
+/// CRC-5-EPC over a bit slice (identical to `pet-phy::crc::crc5_epc`,
 /// duplicated here because this crate is `no_std` and dependency-free).
 #[must_use]
 pub const fn crc5(bits: &[bool]) -> u8 {

@@ -6,7 +6,7 @@
 use pet_core::bits::BitString;
 use pet_core::tree::Tree;
 use pet_firmware::{ChipAction, TagChip, HEIGHT};
-use pet_radio::command::CommandFrame;
+use pet_phy::command::CommandFrame;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -170,16 +170,16 @@ fn empty_field_measures_zero() {
     assert_eq!(slots, 6);
 }
 
-/// The firmware's frame vocabulary matches `pet-radio`'s frame builders
+/// The firmware's frame vocabulary matches `pet-phy`'s frame builders
 /// (shared opcodes, shared CRC) — a cross-crate wire-format pin.
 #[test]
 fn wire_format_compatibility() {
-    use pet_radio::crc::crc5_epc;
+    use pet_phy::crc::crc5_epc;
     let frame = CommandFrame::query_mid(17);
     assert_eq!(crc5_epc(frame.bits()), 0);
     assert_eq!(pet_firmware::crc5(frame.bits()), 0);
-    // A chip accepts the pet-radio-built probe.
+    // A chip accepts the pet-phy-built probe.
     let mut chip = TagChip::new(7);
-    let probe = CommandFrame::new(pet_radio::command::PetCommandCode::Probe, &[]);
+    let probe = CommandFrame::new(pet_phy::command::PetCommandCode::Probe, &[]);
     assert_eq!(chip.on_frame(probe.bits()), ChipAction::Respond);
 }

@@ -27,8 +27,8 @@ use pet_core::config::{PetConfig, TagMode};
 use pet_core::front::Estimator;
 use pet_core::oracle::{ResponderOracle, RoundStart};
 use pet_obs::Summary;
-use pet_radio::channel::{Channel, ChannelModel, PerfectChannel};
-use pet_radio::Air;
+use pet_phy::channel::{Channel, ChannelModel, PerfectChannel};
+use pet_phy::Air;
 use pet_server::proto::{MAX_COVERAGE_ZONES, MAX_TAGS, MAX_ZONES};
 use pet_sim::multireader::{coverage_fraction, Deployment, QuorumLost};
 use rand::rngs::StdRng;
@@ -141,6 +141,9 @@ pub struct FleetReport {
     pub readers: Vec<crate::link::ReaderStats>,
     /// Snapshot of the coordinator's RED metrics.
     pub telemetry: Summary,
+    /// PHY pricing of the controller's merged transcript, when the PET
+    /// config carries a [`pet_phy::PhyProfile`].
+    pub phy: Option<pet_phy::PhyReport>,
 }
 
 impl FleetReport {
@@ -297,6 +300,7 @@ impl Coordinator {
             degraded,
             readers,
             telemetry: self.metrics.snapshot(),
+            phy: report.phy,
         })
     }
 }
@@ -604,7 +608,7 @@ impl ResponderOracle for FleetOracle<'_> {
 mod tests {
     use super::*;
     use pet_core::config::Mitigation;
-    use pet_radio::channel::LossyChannel;
+    use pet_phy::channel::LossyChannel;
     use pet_stats::accuracy::Accuracy;
 
     fn pet_config() -> PetConfig {
@@ -788,6 +792,7 @@ mod tests {
             degraded: false,
             readers: vec![],
             telemetry: Summary::default(),
+            phy: None,
         };
         assert_eq!(report.digest(), report.digest());
     }

@@ -12,7 +12,7 @@ use pet_fleet::{
     run_fleet, Coordinator, FaultAction, FaultEvent, FaultProxy, FleetConfig, FleetError,
     FleetSpec, RetryPolicy,
 };
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use pet_server::{serve, ServerConfig, ServerHandle};
 use pet_sim::multireader::{Kill, OutagePlan, QuorumLost};
 use pet_stats::accuracy::Accuracy;

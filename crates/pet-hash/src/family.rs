@@ -131,6 +131,14 @@ pub enum HashKind {
     Md5,
     /// SHA-1 as named in §4.5.
     Sha1,
+    /// Tash analog on-tag hashing ([`crate::tash::TashFamily`]): bits
+    /// realized by selective reading on commodity Gen2 tags, with the
+    /// measured per-bit `P(1)` carried as a fixed-point knob so the kind
+    /// stays `Eq + Hash` for cache keys.
+    Tash {
+        /// `P(bit = 1)` in 1/256 units (128 = unbiased).
+        ones_q8: u16,
+    },
 }
 
 /// A dynamically selected hash family.
@@ -156,6 +164,16 @@ impl AnyFamily {
         Self { kind }
     }
 
+    /// Creates a Tash analog-hashing family with the given measured skew
+    /// (per-bit `P(1) = 0.5 + skew`, quantized to 1/256).
+    pub fn tash(skew: f64) -> Self {
+        Self {
+            kind: HashKind::Tash {
+                ones_q8: crate::tash::TashFamily::from_skew(skew).ones_q8(),
+            },
+        }
+    }
+
     /// Returns which digest backs this family.
     pub fn kind(&self) -> HashKind {
         self.kind
@@ -168,6 +186,9 @@ impl HashFamily for AnyFamily {
             HashKind::Mix => MixFamily::new().hash(seed, id),
             HashKind::Md5 => Md5Family::new().hash(seed, id),
             HashKind::Sha1 => Sha1Family::new().hash(seed, id),
+            HashKind::Tash { ones_q8 } => {
+                crate::tash::TashFamily::from_ones_q8(i64::from(ones_q8)).hash(seed, id)
+            }
         }
     }
 
@@ -176,6 +197,8 @@ impl HashFamily for AnyFamily {
             HashKind::Mix => MixFamily::new().hash_bits_bulk(seed, keys, bits, out),
             HashKind::Md5 => Md5Family::new().hash_bits_bulk(seed, keys, bits, out),
             HashKind::Sha1 => Sha1Family::new().hash_bits_bulk(seed, keys, bits, out),
+            HashKind::Tash { ones_q8 } => crate::tash::TashFamily::from_ones_q8(i64::from(ones_q8))
+                .hash_bits_bulk(seed, keys, bits, out),
         }
     }
 }
@@ -226,6 +249,26 @@ mod tests {
         }
         let frac = f64::from(agree) / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "seed correlation {frac}");
+    }
+
+    #[test]
+    fn tash_dispatch_matches_direct_and_caches_by_knob() {
+        let fam = AnyFamily::tash(0.1);
+        let HashKind::Tash { ones_q8 } = fam.kind() else {
+            panic!("tash constructor must select the Tash kind");
+        };
+        assert_eq!(ones_q8, 154, "0.6 × 256 rounds to 154");
+        assert_eq!(
+            fam.hash(3, 4),
+            crate::tash::TashFamily::from_ones_q8(154).hash(3, 4)
+        );
+        // Distinct knobs are distinct cache keys and distinct functions.
+        assert_ne!(AnyFamily::tash(0.0).kind(), AnyFamily::tash(0.1).kind());
+        let mut out = [0u64; 3];
+        fam.hash_bits_bulk(9, &[1, 2, 3], 32, &mut out);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, fam.hash_bits(9, (i + 1) as u64, 32));
+        }
     }
 
     #[test]

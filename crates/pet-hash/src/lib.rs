@@ -17,6 +17,8 @@
 //! - [`family`]: [`family::HashFamily`], seeded families of uniform hash
 //!   functions mapping `(seed, tag id) → k-bit code`, the operation PET's
 //!   Algorithm 2 writes as `H(s, tagID)`.
+//! - [`tash`]: the Tash analog on-tag hash realization (arXiv 1707.08883)
+//!   — selective-reading bits with a measured non-uniformity knob.
 //! - [`geometric`]: geometric-distribution hashing (`P(value = i) = 2^-(i+1)`)
 //!   used by the LoF lottery-frame baseline.
 //! - [`simd`]: runtime-feature-detected SIMD lanes (SSE2/AVX2 with a
@@ -50,6 +52,7 @@ pub mod md5;
 pub mod mix;
 pub mod sha1;
 pub mod simd;
+pub mod tash;
 
 pub use family::{HashFamily, Md5Family, MixFamily, Sha1Family};
 pub use geometric::GeometricHasher;

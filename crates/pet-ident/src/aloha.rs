@@ -11,9 +11,9 @@
 //! `n`, the wall that motivates estimation.
 
 use crate::{IdentificationProtocol, IdentifyReport};
-use pet_radio::channel::ChannelModel;
-use pet_radio::slot::SlotOutcome;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::slot::SlotOutcome;
+use pet_phy::Air;
 use rand::{Rng, RngCore};
 
 /// Schoute's expected colliders per collision slot at optimal load.

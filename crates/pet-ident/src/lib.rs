@@ -22,8 +22,8 @@
 //!
 //! ```
 //! use pet_ident::{IdentificationProtocol, TreeWalk};
-//! use pet_radio::channel::ChannelModel;
-//! use pet_radio::Air;
+//! use pet_phy::channel::ChannelModel;
+//! use pet_phy::Air;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let keys: Vec<u64> = (0..500).collect();
@@ -44,8 +44,8 @@ pub mod treewalk;
 pub use aloha::FramedAloha;
 pub use treewalk::TreeWalk;
 
-use pet_radio::channel::ChannelModel;
-use pet_radio::{Air, AirMetrics};
+use pet_phy::channel::ChannelModel;
+use pet_phy::{Air, AirMetrics};
 use rand::RngCore;
 
 /// Result of running an identification protocol to completion.

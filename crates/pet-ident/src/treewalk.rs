@@ -15,8 +15,8 @@ use crate::{IdentificationProtocol, IdentifyReport};
 use pet_core::bits::BitString;
 use pet_core::config::PetConfig;
 use pet_core::oracle::CodeRoster;
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use rand::RngCore;
 
 /// Binary tree-walking identification over `H`-bit IDs.

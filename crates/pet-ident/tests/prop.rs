@@ -1,8 +1,8 @@
 //! Property-based tests for the identification protocols.
 
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

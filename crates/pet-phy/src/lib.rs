@@ -22,14 +22,18 @@
 //!   wall-clock air time (extension; the paper reports slot counts only).
 //! - [`EnergyModel`]: reader/tag energy from the same metrics (extension,
 //!   after the paper's energy-aware related work).
+//! - [`PhyProfile`]: a named bundle of per-slot-type durations, link rate,
+//!   and power figures that folds finished metrics into a [`PhyReport`]
+//!   (wall-clock ms plus a reader-TX/reader-RX/tag µJ ledger) — the knob
+//!   behind `pet estimate --phy gen2`.
 //! - [`command`]/[`crc`]: bit-faithful Gen2-style command frames with CRC-5
 //!   protection (extension; the paper-facing accounting stays payload-only).
 //!
 //! # Example
 //!
 //! ```
-//! use pet_radio::{Air, SlotOutcome};
-//! use pet_radio::channel::PerfectChannel;
+//! use pet_phy::{Air, SlotOutcome};
+//! use pet_phy::channel::PerfectChannel;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
@@ -50,6 +54,7 @@ pub mod command;
 pub mod crc;
 pub mod energy;
 pub mod metrics;
+pub mod profile;
 pub mod slot;
 pub mod transcript;
 
@@ -57,6 +62,7 @@ pub use channel::Channel;
 pub use clock::TimeModel;
 pub use energy::EnergyModel;
 pub use metrics::AirMetrics;
+pub use profile::{PhyProfile, PhyReport};
 pub use slot::SlotOutcome;
 pub use transcript::{SlotRecord, Transcript};
 

@@ -1,10 +1,10 @@
 //! Property-based tests for the radio substrate.
 
-use pet_radio::channel::{Channel, ChannelModel, LossyChannel, PerfectChannel};
-use pet_radio::command::{CommandFrame, PetCommandCode};
-use pet_radio::crc::{bits_msb_first, crc16_ccitt, crc5_epc};
-use pet_radio::energy::EnergyModel;
-use pet_radio::{Air, AirMetrics, SlotOutcome, TimeModel};
+use pet_phy::channel::{Channel, ChannelModel, LossyChannel, PerfectChannel};
+use pet_phy::command::{CommandFrame, PetCommandCode};
+use pet_phy::crc::{bits_msb_first, crc16_ccitt, crc5_epc};
+use pet_phy::energy::EnergyModel;
+use pet_phy::{Air, AirMetrics, SlotOutcome, TimeModel};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

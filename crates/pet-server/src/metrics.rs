@@ -59,6 +59,8 @@ pub struct ServerMetrics {
     err: [AtomicU64; 5],
     events: AtomicU64,
     latency: Mutex<LatencyAccum>,
+    phy_wall_ms: AtomicU64,
+    phy_energy_uj: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -119,6 +121,18 @@ impl ServerMetrics {
         forward(&Event::Counter { name, delta: 1 });
     }
 
+    /// Accumulates one run's PHY pricing into the snapshot counters
+    /// (rounded to whole ms/µJ). No global-sink forward here: the
+    /// per-run `phy.wall_ms`/`phy.energy_uj` events are already emitted
+    /// by `pet-core`'s fold, and doubling them would skew JSONL sums.
+    pub fn phy(&self, report: &pet_phy::PhyReport) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.phy_wall_ms
+            .fetch_add(report.wall_ms.round() as u64, Ordering::Relaxed);
+        self.phy_energy_uj
+            .fetch_add(report.energy_uj.round() as u64, Ordering::Relaxed);
+    }
+
     /// Records a request latency sample into the log₂ histogram.
     pub fn latency(&self, latency: Duration) {
         let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
@@ -173,6 +187,14 @@ impl ServerMetrics {
             if total > 0 {
                 summary.set_counter(&format!("server.err.{}", code.wire()), total);
             }
+        }
+        let wall_ms = self.phy_wall_ms.load(Ordering::Relaxed);
+        if wall_ms > 0 {
+            summary.set_counter("phy.wall_ms", wall_ms);
+        }
+        let energy_uj = self.phy_energy_uj.load(Ordering::Relaxed);
+        if energy_uj > 0 {
+            summary.set_counter("phy.energy_uj", energy_uj);
         }
         let lat = self.latency.lock().expect("metrics poisoned");
         if let Some(histogram) = &lat.histogram {

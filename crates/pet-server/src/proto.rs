@@ -46,7 +46,8 @@
 
 use crate::json::{escape, Json};
 use pet_core::config::{Backend, Mitigation, PetConfig};
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
+use pet_phy::PhyProfile;
 use pet_stats::accuracy::Accuracy;
 use std::fmt;
 use std::time::Duration;
@@ -408,11 +409,20 @@ fn parse_config(root: &Json, id: &str) -> Result<PetConfig, RequestError> {
         },
         (None, None) => Mitigation::None,
     };
+    let phy = match root.get("phy").map(|v| v.as_str()) {
+        None => None,
+        Some(Some(name)) => Some(
+            PhyProfile::named(name)
+                .ok_or_else(|| bad(Some(id), format!("unknown \"phy\" profile {name:?}")))?,
+        ),
+        Some(None) => return Err(bad(Some(id), "\"phy\" must be a profile name string")),
+    };
     PetConfig::builder()
         .accuracy(accuracy)
         .backend(backend)
         .channel(channel)
         .mitigation(mitigation)
+        .phy(phy)
         .build()
         .map_err(|e| bad(Some(id), e.to_string()))
 }

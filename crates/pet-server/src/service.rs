@@ -362,7 +362,7 @@ impl ServiceCore {
                 let mut out = String::with_capacity(192);
                 let _ = write!(
                     out,
-                    "{{\"id\":\"{}\",\"ok\":true,\"verb\":\"estimate\",\"estimate\":{:?},\"rounds\":{},\"mean_prefix_len\":{:?},\"slots\":{},\"seed\":{},\"deterministic\":{}}}",
+                    "{{\"id\":\"{}\",\"ok\":true,\"verb\":\"estimate\",\"estimate\":{:?},\"rounds\":{},\"mean_prefix_len\":{:?},\"slots\":{},\"seed\":{},\"deterministic\":{}",
                     crate::json::escape(id),
                     report.estimate,
                     report.rounds,
@@ -371,6 +371,15 @@ impl ServiceCore {
                     seed,
                     self.deterministic || params.seed.is_some(),
                 );
+                if let Some(phy) = report.phy {
+                    self.metrics.phy(&phy);
+                    let _ = write!(
+                        out,
+                        ",\"wall_ms\":{:?},\"energy_uj\":{:?}",
+                        phy.wall_ms, phy.energy_uj
+                    );
+                }
+                out.push('}');
                 out
             }
             Err(e) => error_reply(Some(id), ErrorCode::Internal, Some(&e.to_string())),
@@ -466,6 +475,7 @@ impl ServiceCore {
         let mut alarms = 0u32;
         let mut first_alarm: Option<u64> = None;
         let mut final_estimate = 0.0f64;
+        let mut phy_total: Option<pet_phy::PhyReport> = None;
         for update in 0..params.updates as usize {
             for event in schedule.events_at(update) {
                 timeline.apply(event);
@@ -480,6 +490,14 @@ impl ServiceCore {
                 first_alarm.get_or_insert(u.index);
             }
             final_estimate = u.windowed;
+            if let Some(p) = u.phy {
+                let t = phy_total.get_or_insert_with(Default::default);
+                t.wall_ms += p.wall_ms;
+                t.reader_tx_uj += p.reader_tx_uj;
+                t.reader_rx_uj += p.reader_rx_uj;
+                t.tag_uj += p.tag_uj;
+                t.energy_uj += p.energy_uj;
+            }
             let _ = writeln!(
                 out,
                 "{{\"id\":\"{escaped}\",\"ok\":true,\"verb\":\"monitor-delta\",\"update\":{},\"estimate\":{:?},\"windowed\":{:?},\"delta\":{:?},\"p_value\":{:?},\"population\":{},\"alarm\":{}}}",
@@ -495,7 +513,7 @@ impl ServiceCore {
         let reference = monitor.reference().unwrap_or(0.0);
         let _ = write!(
             out,
-            "{{\"id\":\"{escaped}\",\"ok\":true,\"verb\":\"monitor\",\"updates\":{},\"window\":{},\"reference\":{:?},\"alarms\":{alarms},\"first_alarm\":{},\"final_estimate\":{:?},\"seed\":{seed},\"deterministic\":{}}}",
+            "{{\"id\":\"{escaped}\",\"ok\":true,\"verb\":\"monitor\",\"updates\":{},\"window\":{},\"reference\":{:?},\"alarms\":{alarms},\"first_alarm\":{},\"final_estimate\":{:?},\"seed\":{seed},\"deterministic\":{}",
             params.updates,
             params.window,
             reference,
@@ -503,6 +521,15 @@ impl ServiceCore {
             final_estimate,
             self.deterministic || params.seed.is_some(),
         );
+        if let Some(p) = phy_total {
+            self.metrics.phy(&p);
+            let _ = write!(
+                out,
+                ",\"wall_ms\":{:?},\"energy_uj\":{:?}",
+                p.wall_ms, p.energy_uj
+            );
+        }
+        out.push('}');
         out
     }
 }
@@ -648,5 +675,50 @@ mod tests {
             panic!("monitor must be queued as work");
         };
         assert_eq!(reply, core2.execute_work(&req2, Instant::now()));
+    }
+
+    #[test]
+    fn phy_profile_prices_estimate_and_monitor_replies() {
+        let core = ServiceCore::new(&ServerConfig {
+            deterministic: true,
+            ..ServerConfig::default()
+        });
+        let run = |line: &[u8]| {
+            let Some(Dispatch::Work(req)) = core.handle_line(line) else {
+                panic!("work verbs must be queued");
+            };
+            core.execute_work(&req, Instant::now())
+        };
+        // Without the knob the reply shape is unchanged.
+        let plain = run(br#"{"id":"e0","verb":"estimate","tags":200,"rounds":16}"#);
+        assert!(!plain.contains("wall_ms"), "{plain}");
+        // With it, estimate replies price the run...
+        let priced = run(br#"{"id":"e1","verb":"estimate","tags":200,"rounds":16,"phy":"gen2"}"#);
+        assert!(
+            priced.contains("\"wall_ms\":") && priced.contains("\"energy_uj\":"),
+            "{priced}"
+        );
+        // ...identically in everything else (same id → same derived seed).
+        let plain1 = run(br#"{"id":"e1","verb":"estimate","tags":200,"rounds":16}"#);
+        let strip = |r: &str| r.split(",\"wall_ms\"").next().unwrap().to_string();
+        assert_eq!(format!("{}}}", strip(&priced)), plain1);
+        // The monitor summary accumulates the whole stream's bill.
+        let summary = run(
+            br#"{"id":"m9","verb":"monitor","tags":200,"updates":3,"window":2,"rounds":8,"epsilon":0.2,"delta":0.2,"phy":"gen2"}"#,
+        );
+        let last = summary.lines().last().unwrap();
+        assert!(
+            last.contains("\"verb\":\"monitor\"") && last.contains("\"wall_ms\":"),
+            "{last}"
+        );
+        // An unknown profile is a parse-time error.
+        match core.handle_line(br#"{"id":"e2","verb":"estimate","tags":10,"phy":"lte"}"#) {
+            Some(Dispatch::Reply(r)) => assert!(r.contains("unknown \\\"phy\\\""), "{r}"),
+            _ => panic!("bad profile must reply inline"),
+        }
+        // The priced runs above accumulated into the snapshot counters.
+        let snapshot = core.metrics.snapshot();
+        assert!(snapshot.counter("phy.wall_ms") > 0);
+        assert!(snapshot.counter("phy.energy_uj") > 0);
     }
 }

@@ -14,8 +14,8 @@ use pet_core::oracle::CodeRoster;
 use pet_core::session::{PetSession, SessionEngine};
 use pet_hash::bulk::{hash_codes_into, radix_sort_codes, RadixScratch};
 use pet_hash::family::{AnyFamily, HashKind};
-use pet_radio::channel::{ChannelModel, LossyChannel};
-use pet_radio::Air;
+use pet_phy::channel::{ChannelModel, LossyChannel};
+use pet_phy::Air;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;

@@ -11,9 +11,9 @@
 //! prohibitive.
 
 use pet_baselines::{CardinalityEstimator, Fneb, Lof, PetAdapter};
-use pet_radio::channel::ChannelModel;
-use pet_radio::energy::EnergyModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::energy::EnergyModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

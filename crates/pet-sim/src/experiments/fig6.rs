@@ -10,8 +10,8 @@
 use crate::experiments::fig4::pet_trial;
 use crate::runner::run_trials;
 use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use pet_stats::erf::normal_cdf;
 use pet_stats::gray::GrayDistribution;

@@ -15,7 +15,7 @@
 use crate::multireader::{Deployment, Kill, OutagePlan};
 use crate::runner::trial_seed;
 use pet_core::config::PetConfig;
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

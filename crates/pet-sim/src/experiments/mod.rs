@@ -12,6 +12,7 @@
 //! | [`motivation`] | §1's claim measured: identification (Aloha/tree-walk) vs estimation cost as n grows |
 //! | [`robustness`] | accuracy vs miss/false-busy rates, with/without trimmed-mean mitigation (extension) |
 //! | [`energy`] | reader/tag energy per estimate across protocols (extension) |
+//! | [`phy`] | Gen2 PHY pricing: wall-ms + µJ ledger, PET vs FSA vs baselines, Tash hash skews (extension) |
 //! | [`fleet`] | multi-reader fleet vs single reader under loss and kill schedules (extension) |
 //! | [`detection`] | missing-tag alarm power curve: measured vs closed-form (extension) |
 //! | [`monitor`] | streaming monitor detection latency vs churn rate (extension) |
@@ -28,6 +29,7 @@ pub mod fig7;
 pub mod fleet;
 pub mod monitor;
 pub mod motivation;
+pub mod phy;
 pub mod robustness;
 pub mod table3;
 pub mod table45;

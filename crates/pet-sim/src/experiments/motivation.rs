@@ -5,8 +5,8 @@
 
 use pet_baselines::{CardinalityEstimator, PetAdapter};
 use pet_ident::{FramedAloha, IdentificationProtocol, TreeWalk};
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,7 +11,7 @@
 use crate::runner::run_trials;
 use pet_core::config::{Backend, Mitigation, PetConfig};
 use pet_core::Estimator;
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

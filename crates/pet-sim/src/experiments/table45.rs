@@ -11,8 +11,8 @@
 use crate::runner::run_trials;
 use pet_baselines::{CardinalityEstimator, Fidelity, Fneb, Lof, PetAdapter};
 use pet_core::front::Estimator;
-use pet_radio::channel::ChannelModel;
-use pet_radio::Air;
+use pet_phy::channel::ChannelModel;
+use pet_phy::Air;
 use pet_stats::accuracy::Accuracy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -13,8 +13,8 @@ use pet_core::config::PetConfig;
 use pet_core::front::Estimator;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::{ChannelModel, PerfectChannel};
-use pet_radio::Air;
+use pet_phy::channel::{ChannelModel, PerfectChannel};
+use pet_phy::Air;
 use pet_tags::mobility::ZoneField;
 use pet_tags::population::TagPopulation;
 use rand::rngs::StdRng;
@@ -433,7 +433,7 @@ impl ResponderOracle for ControllerOracle<'_> {
     }
 
     fn responders(&mut self, prefix_len: u32) -> u64 {
-        use pet_radio::channel::Channel;
+        use pet_phy::channel::Channel;
         if self.failure.is_some() {
             return 0;
         }
@@ -471,7 +471,7 @@ impl ResponderOracle for ControllerOracle<'_> {
 mod tests {
     use super::*;
     use pet_core::session::PetSession;
-    use pet_radio::channel::LossyChannel;
+    use pet_phy::channel::LossyChannel;
     use pet_stats::accuracy::Accuracy;
 
     fn config() -> PetConfig {

@@ -32,7 +32,7 @@
 //! |---|---|
 //! | [`pet_core`] (as `pet::core`) | The PET protocol: tree, paths, readers, tag logic, sessions |
 //! | [`pet_tags`] (as `pet::tags`) | EPC-96 identities, populations, churn, zone mobility |
-//! | [`pet_radio`] (as `pet::radio`) | Slotted MAC, channel models, air-cost accounting |
+//! | [`pet_phy`] (as `pet::phy`) | Slotted MAC, channel models, air-cost accounting |
 //! | [`pet_hash`] (as `pet::hash`) | MD5/SHA-1 (from scratch), mixers, geometric hashing |
 //! | [`pet_stats`] (as `pet::stats`) | erf/quantiles, accuracy→rounds, gray-node distribution |
 //! | [`pet_baselines`] (as `pet::baselines`) | FNEB, LoF, USE, UPE, EZB behind one trait |
@@ -51,7 +51,7 @@ pub use pet_core as core;
 pub use pet_firmware as firmware;
 pub use pet_hash as hash;
 pub use pet_ident as ident;
-pub use pet_radio as radio;
+pub use pet_phy as phy;
 pub use pet_server as server;
 pub use pet_sim as sim;
 pub use pet_stats as stats;
@@ -64,8 +64,8 @@ pub mod prelude {
     pub use pet_core::error::PetError;
     pub use pet_core::front::Estimator;
     pub use pet_core::session::{EstimateReport, PetSession};
-    pub use pet_radio::channel::ChannelModel;
-    pub use pet_radio::{Air, AirMetrics, TimeModel};
+    pub use pet_phy::channel::ChannelModel;
+    pub use pet_phy::{Air, AirMetrics, PhyProfile, PhyReport, TimeModel};
     pub use pet_stats::accuracy::Accuracy;
     pub use pet_tags::population::TagPopulation;
     pub use rand::rngs::StdRng;

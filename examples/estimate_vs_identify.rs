@@ -11,8 +11,8 @@
 
 use pet::baselines::{CardinalityEstimator, PetAdapter};
 use pet::ident::{FramedAloha, IdentificationProtocol, TreeWalk};
+use pet::phy::energy::EnergyModel;
 use pet::prelude::*;
-use pet::radio::energy::EnergyModel;
 
 fn main() {
     let accuracy = Accuracy::new(0.05, 0.01).expect("valid accuracy");

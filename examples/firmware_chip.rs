@@ -10,8 +10,8 @@
 //! ```
 
 use pet::firmware::{ChipAction, TagChip, HEIGHT};
+use pet::phy::command::CommandFrame;
 use pet::prelude::*;
-use pet::radio::command::CommandFrame;
 use pet_hash::family::{AnyFamily, HashFamily};
 
 fn main() {

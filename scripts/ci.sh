@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 CRATES=(
     pet pet-apps pet-baselines pet-bench pet-cli pet-core pet-firmware
-    pet-fleet pet-hash pet-ident pet-obs pet-radio pet-server pet-sim
+    pet-fleet pet-hash pet-ident pet-obs pet-phy pet-server pet-sim
     pet-stats pet-tags
 )
 
@@ -63,6 +63,13 @@ fi
 # round, PET_BLESS=1 re-blesses), and bit-for-bit replay.
 echo "==> streaming conformance (monitor vs one-shot, golden churn trace)"
 cargo test -q -p pet --test streaming_conformance
+
+# PHY-conformance gate: the Gen2 pricing layer must be a pure observer —
+# the pricing-purity proptest (phy-on vs phy-off, both backends), the
+# golden priced trace (PET_BLESS=1 re-blesses), bit-for-bit replay, and
+# the trimmed-mean/hash-skew caveat pin.
+echo "==> PHY conformance (pricing purity, golden priced trace)"
+cargo test -q -p pet --test phy_conformance
 
 # Serving-layer gate: the concurrency battery (every test parameterized
 # over the threaded AND evented backends, plus the cross-backend

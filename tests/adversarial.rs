@@ -7,7 +7,7 @@ use pet_core::config::SearchStrategy;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::binary_round;
 use pet_hash::family::AnyFamily;
-use pet_radio::channel::{LossyChannel, PerfectChannel};
+use pet_phy::channel::{LossyChannel, PerfectChannel};
 use pet_sim::run_trials;
 
 fn quick_config() -> PetConfig {

@@ -4,7 +4,7 @@ use pet::prelude::*;
 use pet::sim::Deployment;
 use pet::tags::dynamics::{ChurnEvent, Timeline};
 use pet::tags::mobility::ZoneField;
-use pet_radio::channel::LossyChannel;
+use pet_phy::channel::LossyChannel;
 
 fn quick_config() -> PetConfig {
     PetConfig::builder()

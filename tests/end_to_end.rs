@@ -71,8 +71,11 @@ fn slots_per_round_independent_of_population() {
 fn hash_families_are_interchangeable() {
     let n = 5_000usize;
     let mut means = Vec::new();
-    for kind in [HashKind::Mix, HashKind::Md5, HashKind::Sha1] {
-        let summary = run_trials(40, 0x0E2E_0002 ^ kind as u64, |trial_seed| {
+    for (salt, kind) in [HashKind::Mix, HashKind::Md5, HashKind::Sha1]
+        .into_iter()
+        .enumerate()
+    {
+        let summary = run_trials(40, 0x0E2E_0002 ^ salt as u64, |trial_seed| {
             let config = PetConfig::builder()
                 .accuracy(Accuracy::new(0.2, 0.2).unwrap())
                 .manufacture_seed(trial_seed)

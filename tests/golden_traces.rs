@@ -10,8 +10,8 @@ use pet_core::bits::BitString;
 use pet_core::kernel::CodeBank;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::{binary_round, linear_round};
-use pet_radio::channel::{LossyChannel, PerfectChannel};
-use pet_radio::{Air, SlotOutcome};
+use pet_phy::channel::{LossyChannel, PerfectChannel};
+use pet_phy::{Air, SlotOutcome};
 use std::sync::Arc;
 
 fn fig3_roster() -> CodeRoster {

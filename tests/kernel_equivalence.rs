@@ -11,8 +11,8 @@
 use pet_core::config::{PetConfig, SearchStrategy, TagMode};
 use pet_core::oracle::{CodeRoster, ResponderOracle, TagFleet};
 use pet_core::session::{EstimateReport, PetSession, SessionEngine};
-use pet_radio::channel::PerfectChannel;
-use pet_radio::Air;
+use pet_phy::channel::PerfectChannel;
+use pet_phy::Air;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

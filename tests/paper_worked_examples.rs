@@ -12,7 +12,7 @@ use pet_core::bits::BitString;
 use pet_core::oracle::{CodeRoster, ResponderOracle, RoundStart};
 use pet_core::reader::{binary_round, linear_round};
 use pet_core::tree::{NodeColor, Tree};
-use pet_radio::channel::PerfectChannel;
+use pet_phy::channel::PerfectChannel;
 
 fn bits(s: &str) -> BitString {
     let v = u64::from_str_radix(s, 2).expect("binary literal");
@@ -81,7 +81,7 @@ fn fig3a_basic_protocol_takes_five_slots() {
     let mut roster = CodeRoster::from_codes(&fig3_codes(), 6);
     let path = bits("000011");
     roster.begin_round(&RoundStart { path, seed: None });
-    let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
+    let mut air = pet_phy::Air::new(PerfectChannel).with_transcript(16);
     let mut rng = StdRng::seed_from_u64(0);
     let record = linear_round(&config, &mut roster, &mut air, &mut rng);
     assert_eq!(
@@ -110,7 +110,7 @@ fn fig3b_binary_search_takes_two_slots() {
     let mut roster = CodeRoster::from_codes(&fig3_codes(), 6);
     let path = bits("000011");
     roster.begin_round(&RoundStart { path, seed: None });
-    let mut air = pet_radio::Air::new(PerfectChannel).with_transcript(16);
+    let mut air = pet_phy::Air::new(PerfectChannel).with_transcript(16);
     let mut rng = StdRng::seed_from_u64(0);
     let record = binary_round(&config, &mut roster, &mut air, &mut rng);
     assert_eq!(

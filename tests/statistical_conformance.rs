@@ -21,7 +21,7 @@
 
 use pet_core::config::{Backend, Mitigation, PetConfig, TagMode};
 use pet_core::front::Estimator;
-use pet_radio::channel::{ChannelModel, LossyChannel};
+use pet_phy::channel::{ChannelModel, LossyChannel};
 use pet_stats::accuracy::Accuracy;
 use pet_stats::conformance::{epsilon_delta_coverage, ks_prefix_law, relative_bias};
 use rand::rngs::StdRng;
